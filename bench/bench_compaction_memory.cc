@@ -1,0 +1,157 @@
+// Section III-D reproduction: the memory-bounding effect of Compact /
+// Truncate / Shrink over a year of per-user activity.
+//
+// Paper numbers: with the production time-dimension config the average
+// slice-list length is 62 and the average slice ~730 bytes, i.e. ~45 KB of
+// memory per profile, stable over time; without compact/truncate a profile
+// at 5-minute slice granularity would grow to ~76 MB/year. Serialized +
+// compressed profiles are <40 KB.
+//
+// Reproduced claims: (a) unbounded mode grows linearly to thousands of
+// slices while the full ladder keeps the slice count in the same order as
+// the paper's 62; (b) bytes/profile stay flat (stable) under the ladder;
+// (c) shrink removes long-tail features on top of compaction; (d) the
+// serialized+compressed profile lands in the tens-of-KB band.
+#include <string>
+
+#include "bench/bench_util.h"
+#include "codec/profile_codec.h"
+#include "compaction/compactor.h"
+#include "core/profile_data.h"
+
+namespace ips {
+namespace {
+
+constexpr int kDaysSimulated = 550;  // past the 365d horizon: steady state
+constexpr int kActionsPerDay = 40;  // an active user
+
+enum class Mode { kNone, kCompact, kCompactTruncate, kFull };
+
+const char* ModeName(Mode mode) {
+  switch (mode) {
+    case Mode::kNone:
+      return "none";
+    case Mode::kCompact:
+      return "compact";
+    case Mode::kCompactTruncate:
+      return "compact+trunc";
+    case Mode::kFull:
+      return "full(+shrink)";
+  }
+  return "?";
+}
+
+TableSchema SchemaFor(Mode mode) {
+  TableSchema schema = DefaultTableSchema("t");
+  schema.write_granularity_ms = 5 * kMillisPerMinute;  // the paper's example
+  if (mode == Mode::kNone) {
+    schema.time_dimensions.clear();
+    schema.truncate = TruncatePolicy{};
+    schema.shrink = ShrinkPolicy{};
+  } else if (mode == Mode::kCompact) {
+    schema.truncate = TruncatePolicy{};
+    schema.shrink = ShrinkPolicy{};
+  } else if (mode == Mode::kCompactTruncate) {
+    schema.shrink = ShrinkPolicy{};
+  } else {
+    schema.shrink.default_retain = 40;
+    schema.shrink.freshness_horizon_ms = kMillisPerDay;
+  }
+  return schema;
+}
+
+struct ModeResult {
+  size_t slices = 0;
+  size_t features = 0;
+  size_t bytes = 0;
+  size_t serialized_bytes = 0;
+  size_t mid_year_bytes = 0;
+};
+
+ModeResult Replay(Mode mode) {
+  TableSchema schema = SchemaFor(mode);
+  Compactor compactor(&schema);
+  ProfileData profile(schema.write_granularity_ms);
+  Rng rng(7);
+  TimestampMs now = kMillisPerDay;
+
+  ModeResult result;
+  for (int day = 0; day < kDaysSimulated; ++day) {
+    for (int action = 0; action < kActionsPerDay; ++action) {
+      now += kMillisPerDay / kActionsPerDay;
+      CountVector counts{1, 0, 0, 0};
+      if (rng.Bernoulli(0.2)) counts[1] = 1;
+      profile
+          .Add(now, static_cast<SlotId>(rng.Uniform(6)),
+               static_cast<TypeId>(rng.Uniform(8)),
+               // Zipf-ish fid popularity with a long tail of one-off items.
+               rng.Bernoulli(0.5) ? rng.Uniform(50) + 1
+                                  : rng.Next() | 1,
+               counts)
+          .ok();
+    }
+    if (mode != Mode::kNone && day % 7 == 6) {
+      compactor.FullCompact(profile, now);
+    }
+    if (day == 400) {
+      // First post-saturation snapshot (the 365-day truncation horizon has
+      // been reached); steady state means end-of-run bytes match this.
+      result.mid_year_bytes = profile.ApproximateBytes();
+    }
+  }
+  if (mode != Mode::kNone) compactor.FullCompact(profile, now);
+
+  result.slices = profile.SliceCount();
+  result.features = profile.TotalFeatures();
+  result.bytes = profile.ApproximateBytes();
+  std::string encoded;
+  EncodeProfile(profile, &encoded);
+  result.serialized_bytes = encoded.size();
+  return result;
+}
+
+void Run() {
+  std::printf(
+      "=== III-D: profile memory over one simulated year ===\n"
+      "paper: avg 62 slices, ~45 KB/profile stable; ~76 MB/year without "
+      "compact+truncate; serialized <40 KB\n\n");
+
+  bench::PrintHeader({"mode", "slices", "features", "mem_KB", "ser_KB",
+                      "sat_KB"});
+  ModeResult none, full;
+  for (Mode mode : {Mode::kNone, Mode::kCompact, Mode::kCompactTruncate,
+                    Mode::kFull}) {
+    const ModeResult r = Replay(mode);
+    if (mode == Mode::kNone) none = r;
+    if (mode == Mode::kFull) full = r;
+    bench::PrintCell(ModeName(mode));
+    bench::PrintCell(static_cast<int64_t>(r.slices));
+    bench::PrintCell(static_cast<int64_t>(r.features));
+    bench::PrintCell(static_cast<double>(r.bytes) / 1024.0);
+    bench::PrintCell(static_cast<double>(r.serialized_bytes) / 1024.0);
+    bench::PrintCell(static_cast<double>(r.mid_year_bytes) / 1024.0);
+    bench::EndRow();
+  }
+
+  std::printf(
+      "\nshape checks vs paper:\n"
+      "  unbounded slice count: %zu (vs %zu with the full ladder -> "
+      "%.0fx reduction; paper: unbounded ~10^5 5-min slices/yr vs 62)\n"
+      "  memory reduction: %.0fx (paper: ~76 MB -> ~45 KB, ~1700x at "
+      "production action rates)\n"
+      "  full-mode profile stays flat after saturation: end/day-400 bytes = %.2f "
+      "(paper: 'remains fairly stable')\n",
+      none.slices, full.slices,
+      static_cast<double>(none.slices) / static_cast<double>(full.slices),
+      static_cast<double>(none.bytes) / static_cast<double>(full.bytes),
+      static_cast<double>(full.bytes) /
+          static_cast<double>(full.mid_year_bytes));
+}
+
+}  // namespace
+}  // namespace ips
+
+int main() {
+  ips::Run();
+  return 0;
+}

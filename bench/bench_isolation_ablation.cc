@@ -1,0 +1,129 @@
+// Section IV-C / III-F ablation: read-write isolation on vs off.
+//
+// Paper result: after enabling isolation in production, the write p99
+// dropped about 80% while query latency stayed stable.
+//
+// Mechanism under test: with isolation OFF every add_profile goes through
+// the main cached table — contending on the same per-profile entry locks as
+// queries and, worse, paying a KV load on a cache miss. With isolation ON
+// writes land in the lightweight write-only table and are merged into the
+// main table asynchronously, so the write path never touches the KV store
+// and rarely contends with readers.
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+
+namespace ips {
+namespace {
+
+constexpr int kWritesPerThread = 500;
+constexpr int kReadsPerWrite = 4;
+constexpr int kThreads = 3;
+
+struct RunResult {
+  Histogram write_latency;
+  Histogram read_latency;
+};
+
+void RunMode(bool isolation, RunResult* out) {
+  ManualClock sim_clock(800 * kMillisPerDay);
+  DeploymentOptions options = bench::SingleRegion(/*calibrated=*/true);
+  options.discovery_ttl_ms = 365 * kMillisPerDay;
+  options.instance.isolation_enabled = isolation;
+  options.instance.isolation_merge_interval_ms = 250;
+  options.instance.start_background_threads = true;
+  // A modest cache so a fraction of writes touch cold profiles — the cache
+  // miss on the write path is the isolation-off killer.
+  options.instance.cache.memory_limit_bytes = 24u << 20;
+  Deployment deployment(options, &sim_clock);
+  TableSchema schema = DefaultTableSchema("user_profile");
+  if (!deployment.CreateTableEverywhere(schema).ok()) return;
+
+  WorkloadOptions workload_options;
+  workload_options.num_users = 40'000;
+  workload_options.seed = 33;
+  WorkloadGenerator preload_workload(workload_options);
+  bench::Preload(deployment, preload_workload, "user_profile", 100'000,
+                 sim_clock.NowMs(), 30 * kMillisPerDay);
+  deployment.NodesInRegion("lf")[0]->instance().FlushAll();
+
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      WorkloadOptions per_thread = workload_options;
+      per_thread.seed = 100 + t + (isolation ? 50 : 0);
+      WorkloadGenerator workload(per_thread);
+      IpsClientOptions client_options;
+      client_options.caller = "mixed";
+      client_options.local_region = "lf";
+      IpsClient client(client_options, &deployment);
+      for (int w = 0; w < kWritesPerThread; ++w) {
+        ProfileId uid;
+        auto records = workload.NextAddBatch(sim_clock.NowMs(), &uid);
+        int64_t begin = MonotonicNanos();
+        client.AddProfiles("user_profile", uid, records).ok();
+        out->write_latency.Record((MonotonicNanos() - begin) / 1000);
+        for (int r = 0; r < kReadsPerWrite; ++r) {
+          ProfileId read_uid;
+          QuerySpec spec = workload.NextQuerySpec(&read_uid);
+          begin = MonotonicNanos();
+          client.Query("user_profile", read_uid, spec).ok();
+          out->read_latency.Record((MonotonicNanos() - begin) / 1000);
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+}
+
+void Run() {
+  std::printf(
+      "=== III-F ablation: read-write isolation off vs on ===\n"
+      "paper: enabling isolation cut write p99 ~80%%; query latency "
+      "stable\n\n");
+
+  RunResult off, on;
+  RunMode(false, &off);
+  RunMode(true, &on);
+
+  bench::PrintHeader({"mode", "w_p50_ms", "w_p99_ms", "r_p50_ms",
+                      "r_p99_ms"});
+  bench::PrintCell("isolation=off");
+  bench::PrintCell(bench::UsToMs(off.write_latency.Percentile(0.50)));
+  bench::PrintCell(bench::UsToMs(off.write_latency.Percentile(0.99)));
+  bench::PrintCell(bench::UsToMs(off.read_latency.Percentile(0.50)));
+  bench::PrintCell(bench::UsToMs(off.read_latency.Percentile(0.99)));
+  bench::EndRow();
+  bench::PrintCell("isolation=on");
+  bench::PrintCell(bench::UsToMs(on.write_latency.Percentile(0.50)));
+  bench::PrintCell(bench::UsToMs(on.write_latency.Percentile(0.99)));
+  bench::PrintCell(bench::UsToMs(on.read_latency.Percentile(0.50)));
+  bench::PrintCell(bench::UsToMs(on.read_latency.Percentile(0.99)));
+  bench::EndRow();
+
+  const double p99_off = static_cast<double>(
+      off.write_latency.Percentile(0.99));
+  const double p99_on = static_cast<double>(
+      on.write_latency.Percentile(0.99));
+  const double reduction = 100.0 * (1.0 - p99_on / p99_off);
+  const double read_p50_off =
+      static_cast<double>(off.read_latency.Percentile(0.50));
+  const double read_p50_on =
+      static_cast<double>(on.read_latency.Percentile(0.50));
+  std::printf(
+      "\nshape checks vs paper:\n"
+      "  write p99 reduction from isolation: %.1f%% (paper: ~80%%)\n"
+      "  read p50 change: %.1f%% (paper: stable)\n",
+      reduction,
+      100.0 * (read_p50_on - read_p50_off) / read_p50_off);
+}
+
+}  // namespace
+}  // namespace ips
+
+int main() {
+  ips::Run();
+  return 0;
+}

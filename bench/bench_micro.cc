@@ -1,0 +1,268 @@
+// Micro-benchmarks (google-benchmark) for the core building blocks, plus
+// the design-choice ablations DESIGN.md calls out:
+//   * sharded-LRU + try_lock swap vs a single global mutex (Fig 7/8),
+//   * hash-accumulator merge vs sorted k-way heap merge,
+//   * codec / compression throughput (the Fig 12 serialization path),
+//   * consistent-hash routing cost.
+#include <benchmark/benchmark.h>
+
+#include <list>
+#include <mutex>
+#include <optional>
+
+#include "cluster/consistent_hash.h"
+#include "codec/coding.h"
+#include "codec/compress.h"
+#include "codec/profile_codec.h"
+#include "common/hash.h"
+#include "common/random.h"
+#include "core/profile_data.h"
+#include "query/merger.h"
+#include "query/query.h"
+
+namespace ips {
+namespace {
+
+// ---------------------------------------------------------------- codec ---
+
+void BM_VarintEncodeDecode(benchmark::State& state) {
+  Rng rng(1);
+  std::vector<uint64_t> values(1024);
+  for (auto& v : values) v = rng.Next() >> (rng.Uniform(60));
+  for (auto _ : state) {
+    std::string buf;
+    for (uint64_t v : values) PutVarint64(&buf, v);
+    Decoder dec(buf);
+    uint64_t out, sum = 0;
+    while (dec.GetVarint64(&out)) sum += out;
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(state.iterations() * values.size());
+}
+BENCHMARK(BM_VarintEncodeDecode);
+
+ProfileData BuildProfile(int slices, int features_per_slice) {
+  Rng rng(3);
+  ProfileData profile(kMillisPerMinute);
+  const TimestampMs base = 100 * kMillisPerDay;
+  for (int s = 0; s < slices; ++s) {
+    for (int f = 0; f < features_per_slice; ++f) {
+      profile
+          .Add(base + s * kMillisPerMinute, static_cast<SlotId>(f % 4),
+               static_cast<TypeId>(f % 3), rng.Next() | 1,
+               CountVector{1, 2, 0, 1})
+          .ok();
+    }
+  }
+  return profile;
+}
+
+void BM_ProfileEncode(benchmark::State& state) {
+  ProfileData profile = BuildProfile(static_cast<int>(state.range(0)), 20);
+  std::string out;
+  for (auto _ : state) {
+    EncodeProfile(profile, &out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetBytesProcessed(state.iterations() * out.size());
+}
+BENCHMARK(BM_ProfileEncode)->Arg(8)->Arg(62)->Arg(256);
+
+void BM_ProfileDecode(benchmark::State& state) {
+  ProfileData profile = BuildProfile(static_cast<int>(state.range(0)), 20);
+  std::string encoded;
+  EncodeProfile(profile, &encoded);
+  for (auto _ : state) {
+    ProfileData decoded;
+    DecodeProfile(encoded, &decoded).ok();
+    benchmark::DoNotOptimize(decoded.SliceCount());
+  }
+  state.SetBytesProcessed(state.iterations() * encoded.size());
+}
+BENCHMARK(BM_ProfileDecode)->Arg(8)->Arg(62)->Arg(256);
+
+void BM_BlockCompress(benchmark::State& state) {
+  ProfileData profile = BuildProfile(62, 20);
+  std::string raw;
+  raw.reserve(EncodedProfileSizeUncompressed(profile));
+  // Compress the serialized (pre-compression) profile bytes.
+  {
+    std::string compressed;
+    EncodeProfile(profile, &compressed);
+    BlockUncompress(compressed, &raw).ok();
+  }
+  std::string out;
+  for (auto _ : state) {
+    BlockCompress(raw, &out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetBytesProcessed(state.iterations() * raw.size());
+}
+BENCHMARK(BM_BlockCompress);
+
+// ---------------------------------------------------------------- query ---
+
+void BM_QueryTopK(benchmark::State& state) {
+  ProfileData profile = BuildProfile(62, static_cast<int>(state.range(0)));
+  const TimestampMs now = 101 * kMillisPerDay;
+  for (auto _ : state) {
+    auto result = GetProfileTopK(profile, 1, std::nullopt,
+                                 TimeRange::Current(2 * kMillisPerDay),
+                                 SortBy::kActionCount, 0, 20, now);
+    benchmark::DoNotOptimize(result.ok());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_QueryTopK)->Arg(10)->Arg(40)->Arg(160);
+
+void BM_QueryDecay(benchmark::State& state) {
+  ProfileData profile = BuildProfile(62, 40);
+  const TimestampMs now = 101 * kMillisPerDay;
+  DecaySpec decay;
+  decay.function = DecayFunction::kExponential;
+  decay.factor = 0.9;
+  decay.unit_ms = kMillisPerDay;
+  for (auto _ : state) {
+    auto result = GetProfileDecay(profile, 1, std::nullopt,
+                                  TimeRange::Current(2 * kMillisPerDay),
+                                  decay, now);
+    benchmark::DoNotOptimize(result.ok());
+  }
+}
+BENCHMARK(BM_QueryDecay);
+
+// Ablation: hash-based accumulation (ExecuteQuery's strategy) vs the sorted
+// k-way heap merge that exploits the fid ordering.
+std::vector<IndexedFeatureStats> BuildRuns(int runs, int entries) {
+  Rng rng(9);
+  std::vector<IndexedFeatureStats> out(runs);
+  for (auto& run : out) {
+    for (int i = 0; i < entries; ++i) {
+      run.Upsert(rng.Uniform(entries * 4), CountVector{1, 2});
+    }
+  }
+  return out;
+}
+
+void BM_MergeHeap(benchmark::State& state) {
+  auto runs = BuildRuns(static_cast<int>(state.range(0)), 64);
+  std::vector<const IndexedFeatureStats*> ptrs;
+  for (const auto& r : runs) ptrs.push_back(&r);
+  for (auto _ : state) {
+    IndexedFeatureStats merged = MergeSortedRuns(ptrs, ReduceFn::kSum);
+    benchmark::DoNotOptimize(merged.size());
+  }
+}
+BENCHMARK(BM_MergeHeap)->Arg(4)->Arg(16)->Arg(62);
+
+void BM_MergeHash(benchmark::State& state) {
+  auto runs = BuildRuns(static_cast<int>(state.range(0)), 64);
+  for (auto _ : state) {
+    std::unordered_map<FeatureId, CountVector> acc;
+    for (const auto& run : runs) {
+      for (const auto& stat : run.stats()) {
+        acc[stat.fid].AccumulateSum(stat.counts);
+      }
+    }
+    benchmark::DoNotOptimize(acc.size());
+  }
+}
+BENCHMARK(BM_MergeHash)->Arg(4)->Arg(16)->Arg(62);
+
+// ------------------------------------------------------------ LRU ablation
+
+// Minimal single-mutex LRU vs the sharded design: measures lock-acquisition
+// throughput under contention from multiple threads (the phenomenon Fig 7
+// addresses).
+struct GlobalLru {
+  std::mutex mu;
+  std::list<uint64_t> lru;
+  std::unordered_map<uint64_t, std::list<uint64_t>::iterator> pos;
+
+  void Touch(uint64_t key) {
+    std::lock_guard<std::mutex> lock(mu);
+    auto it = pos.find(key);
+    if (it != pos.end()) {
+      lru.splice(lru.begin(), lru, it->second);
+    } else {
+      lru.push_front(key);
+      pos[key] = lru.begin();
+      if (lru.size() > 4096) {
+        pos.erase(lru.back());
+        lru.pop_back();
+      }
+    }
+  }
+};
+
+struct ShardedLru {
+  static constexpr int kShards = 16;
+  GlobalLru shards[kShards];
+  void Touch(uint64_t key) { shards[Mix64(key) % kShards].Touch(key); }
+};
+
+GlobalLru* TheGlobalLru() {
+  static GlobalLru* const lru = new GlobalLru();
+  return lru;
+}
+ShardedLru* TheShardedLru() {
+  static ShardedLru* const lru = new ShardedLru();
+  return lru;
+}
+
+void BM_LruGlobalMutex(benchmark::State& state) {
+  Rng rng(state.thread_index() + 1);
+  for (auto _ : state) {
+    TheGlobalLru()->Touch(rng.Uniform(8192));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_LruGlobalMutex)->Threads(1)->Threads(4)->Threads(8);
+
+void BM_LruSharded(benchmark::State& state) {
+  Rng rng(state.thread_index() + 1);
+  for (auto _ : state) {
+    TheShardedLru()->Touch(rng.Uniform(8192));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_LruSharded)->Threads(1)->Threads(4)->Threads(8);
+
+// ------------------------------------------------------- consistent hash ---
+
+void BM_ConsistentHashLookup(benchmark::State& state) {
+  ConsistentHashRing ring;
+  for (int i = 0; i < static_cast<int>(state.range(0)); ++i) {
+    ring.AddNode("node-" + std::to_string(i));
+  }
+  Rng rng(4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ring.Lookup(rng.Next()));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ConsistentHashLookup)->Arg(8)->Arg(64)->Arg(1024);
+
+// ---------------------------------------------------------------- write ---
+
+void BM_ProfileAdd(benchmark::State& state) {
+  Rng rng(6);
+  ProfileData profile(kMillisPerMinute);
+  TimestampMs now = kMillisPerDay;
+  for (auto _ : state) {
+    now += 100;
+    profile
+        .Add(now, static_cast<SlotId>(rng.Uniform(8)),
+             static_cast<TypeId>(rng.Uniform(4)), rng.Uniform(1000) + 1,
+             CountVector{1})
+        .ok();
+    benchmark::DoNotOptimize(profile.SliceCount());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ProfileAdd);
+
+}  // namespace
+}  // namespace ips
+
+BENCHMARK_MAIN();

@@ -1,0 +1,123 @@
+// Section III-E ablation: bulk (Fig 12) vs slice-split (Fig 13/14) profile
+// persistence.
+//
+// The paper introduced slice splitting because very large profiles made
+// bulk flushes pay serialization and network cost proportional to the whole
+// profile on every update, limiting cached profiles and saturating the
+// storage network. With the split, a steady-state flush rewrites only the
+// slices that changed plus a small meta record.
+//
+// Reproduced claims: (a) steady-state incremental flush cost under the
+// split mode is a small fraction of bulk mode's for large profiles; (b)
+// first-touch load is comparable (both must read everything); (c) bulk
+// remains fine for small profiles (the threshold heuristic).
+#include "bench/bench_util.h"
+#include "kvstore/mem_kv_store.h"
+#include "server/persistence.h"
+
+namespace ips {
+namespace {
+
+constexpr int64_t kMinute = kMillisPerMinute;
+
+ProfileData BuildProfile(int slices, int features_per_slice) {
+  Rng rng(11);
+  ProfileData profile(kMinute);
+  const TimestampMs base = 100 * kMillisPerDay;
+  for (int s = 0; s < slices; ++s) {
+    for (int f = 0; f < features_per_slice; ++f) {
+      profile
+          .Add(base + s * kMinute, static_cast<SlotId>(f % 4), 1,
+               rng.Next() | 1, CountVector{1, 2, 0, 1})
+          .ok();
+    }
+  }
+  return profile;
+}
+
+struct ModeCost {
+  double initial_flush_ms = 0;
+  double steady_flush_ms = 0;   // flush after touching one slice
+  double load_ms = 0;
+  int64_t bytes_written_steady = 0;
+};
+
+ModeCost Measure(PersistenceMode mode, int slices, int features_per_slice) {
+  MemKvOptions kv_options = bench::CalibratedKv();
+  kv_options.seed = 5 + static_cast<uint64_t>(mode);
+  MemKvStore kv(kv_options);
+  PersisterOptions options;
+  options.mode = mode;
+  Persister persister("t", &kv, options);
+
+  ProfileData profile = BuildProfile(slices, features_per_slice);
+  ModeCost cost;
+
+  int64_t begin = MonotonicNanos();
+  persister.Flush(1, profile).ok();
+  cost.initial_flush_ms =
+      static_cast<double>(MonotonicNanos() - begin) / 1e6;
+
+  // Steady state: one new observation lands in the newest slice, flush
+  // again. Bulk rewrites everything; split detects unchanged slices via
+  // checksums and ships only the touched slice + meta.
+  profile
+      .Add(profile.NewestMs() - 1, 1, 1, 424242, CountVector{1, 0, 0, 0})
+      .ok();
+  const int64_t written_before = kv.TotalBytesWritten();
+  begin = MonotonicNanos();
+  persister.Flush(1, profile).ok();
+  cost.steady_flush_ms =
+      static_cast<double>(MonotonicNanos() - begin) / 1e6;
+  cost.bytes_written_steady = kv.TotalBytesWritten() - written_before;
+
+  begin = MonotonicNanos();
+  auto loaded = persister.Load(1);
+  cost.load_ms = static_cast<double>(MonotonicNanos() - begin) / 1e6;
+  if (!loaded.ok()) cost.load_ms = -1;
+  return cost;
+}
+
+void Run() {
+  std::printf(
+      "=== III-E ablation: bulk vs slice-split persistence ===\n"
+      "paper: oversized profiles exhausted CPU/network under bulk mode;\n"
+      "slice splitting bounds the per-flush work\n\n");
+
+  bench::PrintHeader({"profile", "mode", "init_ms", "steady_ms", "load_ms",
+                      "d_bytes"});
+  struct Case {
+    const char* label;
+    int slices;
+    int features;
+  };
+  for (const Case& c : {Case{"small(8x10)", 8, 10},
+                        Case{"medium(62x20)", 62, 20},
+                        Case{"large(256x60)", 256, 60}}) {
+    for (PersistenceMode mode :
+         {PersistenceMode::kBulk, PersistenceMode::kSliceSplit}) {
+      const ModeCost cost = Measure(mode, c.slices, c.features);
+      bench::PrintCell(c.label);
+      bench::PrintCell(mode == PersistenceMode::kBulk ? "bulk" : "split");
+      bench::PrintCell(cost.initial_flush_ms);
+      bench::PrintCell(cost.steady_flush_ms);
+      bench::PrintCell(cost.load_ms);
+      bench::PrintCell(cost.bytes_written_steady);
+      bench::EndRow();
+    }
+  }
+  std::printf(
+      "\nshape checks vs paper:\n"
+      "  d_bytes (net new KV bytes per steady-state flush) collapses under\n"
+      "  split mode for large profiles: only changed slices + meta are\n"
+      "  rewritten, vs the whole profile under bulk — the Fig 13 motivation.\n"
+      "  load_ms is comparable across modes (first touch reads everything).\n");
+}
+
+}  // namespace
+}  // namespace ips
+
+int main() {
+  ips::Run();
+  return 0;
+}

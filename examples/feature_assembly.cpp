@@ -1,0 +1,126 @@
+// Config-driven feature engineering (Sections I and V-a).
+//
+// A ranking service declares its features as a hot-reloadable JSON set; the
+// FeatureAssembler runs all of them per request, returns the assembled
+// sample for model scoring, and flushes the identical sample to a training
+// topic — the paper's "assemble them for serving and flush them into
+// training data in parallel to avoid training-serving skew". A second
+// feature set is then published live (no restart) to show the Section V-a
+// iteration loop machine-learning engineers use.
+#include <cstdio>
+
+#include "common/clock.h"
+#include "kvstore/mem_kv_store.h"
+#include "server/feature_assembler.h"
+
+namespace {
+
+using ips::kMillisPerDay;
+using ips::kMillisPerMinute;
+
+void PrintSample(const ips::AssembledSample& sample) {
+  std::printf("sample for user %llu (%zu feature values):\n",
+              static_cast<unsigned long long>(sample.uid),
+              sample.TotalValues());
+  for (const auto& group : sample.features) {
+    std::printf("  %-24s [", group.name.c_str());
+    for (size_t i = 0; i < group.fids.size(); ++i) {
+      std::printf("%s%llu:%.2f", i == 0 ? "" : ", ",
+                  static_cast<unsigned long long>(group.fids[i]),
+                  group.values[i]);
+    }
+    std::printf("]\n");
+  }
+}
+
+}  // namespace
+
+int main() {
+  ips::ManualClock clock(100 * kMillisPerDay);
+  ips::MemKvStore kv;
+  ips::IpsInstanceOptions options;
+  options.isolation_enabled = false;
+  ips::IpsInstance instance(options, &kv, &clock);
+
+  ips::TableSchema schema = ips::DefaultTableSchema("user_profile");
+  schema.actions = {"click", "like", "share", "comment"};
+  if (!instance.CreateTable(schema).ok()) return 1;
+
+  // Seed a user's history: fresh sports content, older tech content.
+  const ips::ProfileId user = 9001;
+  for (int i = 1; i <= 6; ++i) {
+    instance
+        .AddProfile("seed", "user_profile", user,
+                    clock.NowMs() - i * kMillisPerMinute, /*slot=*/1,
+                    /*type=*/1, /*fid=*/100 + i,
+                    ips::CountVector{1, i % 2, 0, 0})
+        .ok();
+    instance
+        .AddProfile("seed", "user_profile", user,
+                    clock.NowMs() - i * kMillisPerDay, /*slot=*/2,
+                    /*type=*/1, /*fid=*/200 + i,
+                    ips::CountVector{2, 0, 1, 0})
+        .ok();
+  }
+
+  // The training stream the model trainer consumes.
+  ips::MessageLog training_log(2);
+  ips::FeatureAssemblerOptions assembler_options;
+  assembler_options.caller = "ranker";
+  assembler_options.training_topic = "training-samples";
+  ips::FeatureAssembler assembler(assembler_options, &instance,
+                                  &training_log);
+
+  // The product's feature set, as configuration.
+  ips::ConfigRegistry registry;
+  assembler.AttachConfigRegistry(&registry, "features/feed", &schema);
+  const char* kV1 = R"({
+    "features": [
+      {"name": "sports_top_clicks_1h", "table": "user_profile", "slot": 1,
+       "window": {"kind": "CURRENT", "span": "1h"},
+       "sort": {"by": "count", "action": "click"}, "k": 3},
+      {"name": "tech_top_shares_30d", "table": "user_profile", "slot": 2,
+       "window": {"kind": "CURRENT", "span": "30d"},
+       "sort": {"by": "count", "action": "share"}, "k": 3}
+    ]
+  })";
+  if (!registry.PublishJson("features/feed", kV1).ok()) return 1;
+  std::printf("--- feature set v1 (%zu features) ---\n",
+              assembler.FeatureCount());
+  auto sample = assembler.Assemble(user);
+  if (sample.ok()) PrintSample(*sample);
+
+  // A/B iteration (Section V-a): the engineer adds a decayed variant and
+  // publishes the new set live; the next request uses it.
+  const char* kV2 = R"({
+    "features": [
+      {"name": "sports_top_clicks_1h", "table": "user_profile", "slot": 1,
+       "window": {"kind": "CURRENT", "span": "1h"},
+       "sort": {"by": "count", "action": "click"}, "k": 3},
+      {"name": "tech_top_shares_30d", "table": "user_profile", "slot": 2,
+       "window": {"kind": "CURRENT", "span": "30d"},
+       "sort": {"by": "count", "action": "share"}, "k": 3},
+      {"name": "tech_decayed_clicks", "table": "user_profile", "slot": 2,
+       "window": {"kind": "CURRENT", "span": "30d"},
+       "sort": {"by": "count", "action": "click"}, "k": 3,
+       "decay": {"function": "EXP", "factor": 0.7, "unit": "1d"}}
+    ]
+  })";
+  if (!registry.PublishJson("features/feed", kV2).ok()) return 1;
+  std::printf("\n--- feature set v2 hot-reloaded (%zu features) ---\n",
+              assembler.FeatureCount());
+  sample = assembler.Assemble(user);
+  if (sample.ok()) PrintSample(*sample);
+
+  // What the trainer sees: identical samples, no skew.
+  size_t training_records = 0;
+  for (size_t p = 0; p < training_log.num_partitions(); ++p) {
+    training_records +=
+        static_cast<size_t>(training_log.EndOffset("training-samples", p));
+  }
+  std::printf(
+      "\ntraining topic now holds %zu flushed sample(s) — byte-identical "
+      "to what serving used\n",
+      training_records);
+  return 0;
+}

@@ -1,0 +1,239 @@
+#include "baseline/lambda_profile.h"
+
+#include <algorithm>
+#include <map>
+
+#include "codec/coding.h"
+
+namespace ips {
+
+void ContentStore::Put(FeatureId item, SlotId slot, TypeId type) {
+  std::lock_guard<std::mutex> lock(mu_);
+  items_[item] = {slot, type};
+}
+
+Status ContentStore::Lookup(FeatureId item, SlotId* slot,
+                            TypeId* type) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = items_.find(item);
+  if (it == items_.end()) {
+    return Status::NotFound("item " + std::to_string(item));
+  }
+  *slot = it->second.first;
+  *type = it->second.second;
+  return Status::OK();
+}
+
+size_t ContentStore::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return items_.size();
+}
+
+namespace {
+
+// Long-term profile value encoding: a flat list of (fid, slot, type, counts)
+// sorted by slot then descending primary count — the precomputed form the
+// batch job produces.
+void EncodeLongTerm(const std::vector<LongTermFeature>& features,
+                    std::string* out) {
+  PutVarint64(out, features.size());
+  for (const auto& f : features) {
+    PutVarint64(out, f.fid);
+    PutVarint64(out, f.slot);
+    PutVarint64(out, f.type);
+    PutVarint64(out, f.counts.size());
+    for (size_t i = 0; i < f.counts.size(); ++i) {
+      PutVarintSigned64(out, f.counts[i]);
+    }
+  }
+}
+
+bool DecodeLongTerm(std::string_view data,
+                    std::vector<LongTermFeature>* features) {
+  Decoder dec(data);
+  uint64_t n;
+  if (!dec.GetVarint64(&n)) return false;
+  if (n > 1u << 24) return false;
+  features->clear();
+  features->reserve(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    LongTermFeature f;
+    uint64_t slot, type, counts_n;
+    if (!dec.GetVarint64(&f.fid) || !dec.GetVarint64(&slot) ||
+        !dec.GetVarint64(&type) || !dec.GetVarint64(&counts_n)) {
+      return false;
+    }
+    if (counts_n > 64) return false;
+    f.slot = static_cast<SlotId>(slot);
+    f.type = static_cast<TypeId>(type);
+    f.counts.Resize(counts_n);
+    for (uint64_t j = 0; j < counts_n; ++j) {
+      int64_t v;
+      if (!dec.GetVarintSigned64(&v)) return false;
+      f.counts[j] = v;
+    }
+    features->push_back(std::move(f));
+  }
+  return dec.Empty();
+}
+
+}  // namespace
+
+LambdaProfileService::LambdaProfileService(LambdaOptions options,
+                                           KvStore* long_term_kv,
+                                           ContentStore* content, Clock* clock)
+    : options_(options),
+      long_term_kv_(long_term_kv),
+      content_(content),
+      clock_(clock) {}
+
+std::string LambdaProfileService::LongTermKey(ProfileId uid) const {
+  return "lt/" + std::to_string(uid);
+}
+
+Status LambdaProfileService::RecordAction(ProfileId uid, FeatureId item,
+                                          TimestampMs timestamp,
+                                          const CountVector& counts) {
+  std::lock_guard<std::mutex> lock(mu_);
+  batch_log_.push_back(LoggedAction{uid, item, timestamp, counts});
+  auto& recent = short_term_[uid];
+  recent.push_back(ShortTermEntry{item, timestamp});
+  while (recent.size() > options_.short_term_capacity) recent.pop_front();
+  return Status::OK();
+}
+
+size_t LambdaProfileService::RunDailyBatch(TimestampMs now_ms) {
+  std::vector<LoggedAction> log;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    log.swap(batch_log_);
+    last_batch_ms_ = now_ms;
+  }
+  if (log.empty()) return 0;
+
+  // Fold the day's actions into the stored profiles, user by user.
+  std::map<ProfileId, std::vector<LoggedAction>> by_user;
+  for (auto& action : log) by_user[action.uid].push_back(std::move(action));
+
+  size_t users = 0;
+  for (auto& [uid, actions] : by_user) {
+    std::vector<LongTermFeature> profile;
+    std::string stored;
+    if (long_term_kv_->Get(LongTermKey(uid), &stored).ok()) {
+      DecodeLongTerm(stored, &profile);
+    }
+    // Merge new actions into the aggregate.
+    std::map<FeatureId, LongTermFeature> merged;
+    for (auto& f : profile) merged[f.fid] = std::move(f);
+    for (const auto& action : actions) {
+      auto it = merged.find(action.item);
+      if (it == merged.end()) {
+        LongTermFeature f;
+        f.fid = action.item;
+        if (!content_->Lookup(action.item, &f.slot, &f.type).ok()) continue;
+        f.counts = action.counts;
+        merged[action.item] = std::move(f);
+      } else {
+        it->second.counts.AccumulateSum(action.counts);
+      }
+    }
+    // Keep the top N per slot by primary count.
+    std::map<SlotId, std::vector<LongTermFeature>> per_slot;
+    for (auto& [fid, f] : merged) per_slot[f.slot].push_back(std::move(f));
+    std::vector<LongTermFeature> kept;
+    for (auto& [slot, features] : per_slot) {
+      std::sort(features.begin(), features.end(),
+                [](const LongTermFeature& a, const LongTermFeature& b) {
+                  const int64_t ca = a.counts.At(0), cb = b.counts.At(0);
+                  if (ca != cb) return ca > cb;
+                  return a.fid < b.fid;
+                });
+      if (features.size() > options_.long_term_top_n) {
+        features.resize(options_.long_term_top_n);
+      }
+      for (auto& f : features) kept.push_back(std::move(f));
+    }
+    std::string encoded;
+    EncodeLongTerm(kept, &encoded);
+    if (long_term_kv_->Set(LongTermKey(uid), encoded).ok()) ++users;
+  }
+  return users;
+}
+
+Result<std::vector<LongTermFeature>> LambdaProfileService::QueryLongTerm(
+    ProfileId uid, SlotId slot, size_t k) const {
+  std::string stored;
+  Status status = long_term_kv_->Get(LongTermKey(uid), &stored);
+  if (status.IsNotFound()) return std::vector<LongTermFeature>{};
+  IPS_RETURN_IF_ERROR(status);
+  std::vector<LongTermFeature> profile;
+  if (!DecodeLongTerm(stored, &profile)) {
+    return Status::Corruption("malformed long-term profile");
+  }
+  std::vector<LongTermFeature> out;
+  for (auto& f : profile) {
+    if (f.slot == slot) out.push_back(std::move(f));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const LongTermFeature& a, const LongTermFeature& b) {
+              const int64_t ca = a.counts.At(0), cb = b.counts.At(0);
+              if (ca != cb) return ca > cb;
+              return a.fid < b.fid;
+            });
+  if (k > 0 && out.size() > k) out.resize(k);
+  return out;
+}
+
+Result<std::vector<LongTermFeature>> LambdaProfileService::QueryShortTerm(
+    ProfileId uid, SlotId slot, size_t k, size_t* lookups) const {
+  std::vector<ShortTermEntry> recent;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = short_term_.find(uid);
+    if (it != short_term_.end()) {
+      recent.assign(it->second.begin(), it->second.end());
+    }
+  }
+  // The upstream-visible assembly step: resolve every recent id against the
+  // content store, then aggregate — work IPS performs server-side, once.
+  std::map<FeatureId, LongTermFeature> agg;
+  size_t lookup_count = 0;
+  for (const auto& entry : recent) {
+    SlotId item_slot;
+    TypeId item_type;
+    ++lookup_count;
+    if (!content_->Lookup(entry.item, &item_slot, &item_type).ok()) continue;
+    if (item_slot != slot) continue;
+    auto it = agg.find(entry.item);
+    if (it == agg.end()) {
+      LongTermFeature f;
+      f.fid = entry.item;
+      f.slot = item_slot;
+      f.type = item_type;
+      f.counts.Resize(options_.num_actions);
+      f.counts[0] = 1;
+      agg[entry.item] = std::move(f);
+    } else {
+      it->second.counts[0] += 1;
+    }
+  }
+  if (lookups != nullptr) *lookups = lookup_count;
+  std::vector<LongTermFeature> out;
+  out.reserve(agg.size());
+  for (auto& [fid, f] : agg) out.push_back(std::move(f));
+  std::sort(out.begin(), out.end(),
+            [](const LongTermFeature& a, const LongTermFeature& b) {
+              const int64_t ca = a.counts.At(0), cb = b.counts.At(0);
+              if (ca != cb) return ca > cb;
+              return a.fid < b.fid;
+            });
+  if (k > 0 && out.size() > k) out.resize(k);
+  return out;
+}
+
+size_t LambdaProfileService::pending_log_records() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return batch_log_.size();
+}
+
+}  // namespace ips

@@ -1,0 +1,117 @@
+// The legacy Lambda-architecture profile service of Section I (Fig 2) — the
+// baseline IPS replaced. Two independent services:
+//
+//  * Long Term Profile: a key-value store holding each user's top features
+//    over their entire history, refreshed by a daily offline batch job over
+//    the action logs. Fresh at best as of the last batch run.
+//  * Short Term Profile: only the content ids of the user's most recent
+//    clicks; at query time the caller resolves each id against a content
+//    store to obtain categorical information and assembles features itself.
+//
+// The benchmark contrast with IPS: no arbitrary time windows (only "all
+// history as of yesterday" and "last N clicks"), day-scale freshness lag on
+// aggregates, and per-item content lookups on every short-term query.
+#ifndef IPS_BASELINE_LAMBDA_PROFILE_H_
+#define IPS_BASELINE_LAMBDA_PROFILE_H_
+
+#include <deque>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/status.h"
+#include "core/types.h"
+#include "kvstore/kv_store.h"
+
+namespace ips {
+
+/// item -> (slot, type) resolution service (the "content data store").
+class ContentStore {
+ public:
+  void Put(FeatureId item, SlotId slot, TypeId type);
+  /// NotFound for unknown items.
+  Status Lookup(FeatureId item, SlotId* slot, TypeId* type) const;
+  size_t size() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::unordered_map<FeatureId, std::pair<SlotId, TypeId>> items_;
+};
+
+struct LambdaOptions {
+  /// Top features kept per (user, slot) by the batch job.
+  size_t long_term_top_n = 50;
+  /// Recent click ids kept per user.
+  size_t short_term_capacity = 100;
+  size_t num_actions = 4;
+};
+
+/// One aggregated long-term feature.
+struct LongTermFeature {
+  FeatureId fid = 0;
+  SlotId slot = 0;
+  TypeId type = 0;
+  CountVector counts;
+};
+
+class LambdaProfileService {
+ public:
+  LambdaProfileService(LambdaOptions options, KvStore* long_term_kv,
+                       ContentStore* content, Clock* clock);
+
+  /// Write path: the action is appended to the batch log (long-term input)
+  /// and pushed onto the user's recent-click list (short-term state).
+  Status RecordAction(ProfileId uid, FeatureId item, TimestampMs timestamp,
+                      const CountVector& counts);
+
+  /// Runs the daily batch job: folds every logged action into the long-term
+  /// profiles and persists them to the KV store. Returns users updated.
+  size_t RunDailyBatch(TimestampMs now_ms);
+
+  /// Long-term query: top features of a slot as of the last batch run.
+  Result<std::vector<LongTermFeature>> QueryLongTerm(ProfileId uid,
+                                                     SlotId slot,
+                                                     size_t k) const;
+
+  /// Short-term query: the user's recent clicks resolved through the
+  /// content store and aggregated per feature by the caller-visible logic —
+  /// one content lookup per distinct recent item, the cost the paper calls
+  /// out.
+  Result<std::vector<LongTermFeature>> QueryShortTerm(ProfileId uid,
+                                                      SlotId slot, size_t k,
+                                                      size_t* lookups) const;
+
+  TimestampMs last_batch_ms() const { return last_batch_ms_; }
+  size_t pending_log_records() const;
+
+ private:
+  struct LoggedAction {
+    ProfileId uid;
+    FeatureId item;
+    TimestampMs timestamp;
+    CountVector counts;
+  };
+
+  struct ShortTermEntry {
+    FeatureId item;
+    TimestampMs timestamp;
+  };
+
+  std::string LongTermKey(ProfileId uid) const;
+
+  LambdaOptions options_;
+  KvStore* long_term_kv_;
+  ContentStore* content_;
+  Clock* clock_;
+
+  mutable std::mutex mu_;
+  std::vector<LoggedAction> batch_log_;
+  std::unordered_map<ProfileId, std::deque<ShortTermEntry>> short_term_;
+  TimestampMs last_batch_ms_ = 0;
+};
+
+}  // namespace ips
+
+#endif  // IPS_BASELINE_LAMBDA_PROFILE_H_

@@ -1,0 +1,419 @@
+#include "cache/gcache.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/hash.h"
+#include "common/logging.h"
+
+namespace ips {
+
+namespace {
+
+size_t RoundUpPow2(size_t n) {
+  if (n == 0) return 1;
+  while ((n & (n - 1)) != 0) ++n;
+  return n;
+}
+
+}  // namespace
+
+GCache::GCache(GCacheOptions options, Clock* clock, FlushFn flush, LoadFn load,
+               MetricsRegistry* metrics)
+    : options_(options),
+      clock_(clock),
+      flush_(std::move(flush)),
+      load_(std::move(load)),
+      metrics_(metrics) {
+  options_.lru_shards = RoundUpPow2(options_.lru_shards);
+  options_.dirty_shards = RoundUpPow2(options_.dirty_shards);
+  if (options_.flush_threads < options_.dirty_shards) {
+    options_.flush_threads = options_.dirty_shards;
+  }
+  // Round flush threads up to a multiple of the shard count so the shards
+  // are covered evenly (the Fig 9 constraint).
+  if (options_.flush_threads % options_.dirty_shards != 0) {
+    options_.flush_threads +=
+        options_.dirty_shards -
+        options_.flush_threads % options_.dirty_shards;
+  }
+  for (size_t i = 0; i < options_.lru_shards; ++i) {
+    lru_shards_.push_back(std::make_unique<LruShard>());
+  }
+  for (size_t i = 0; i < options_.dirty_shards; ++i) {
+    dirty_shards_.push_back(std::make_unique<DirtyShard>());
+  }
+  if (options_.start_background_threads) {
+    for (size_t i = 0; i < options_.swap_threads; ++i) {
+      background_threads_.emplace_back([this] { SwapLoop(); });
+    }
+    for (size_t i = 0; i < options_.flush_threads; ++i) {
+      background_threads_.emplace_back([this, i] { FlushLoop(i); });
+    }
+  }
+}
+
+GCache::~GCache() {
+  shutdown_.store(true, std::memory_order_relaxed);
+  bg_cv_.notify_all();
+  for (auto& t : background_threads_) t.join();
+  // Final write-back so no acknowledged update is lost on clean shutdown.
+  FlushAll();
+}
+
+size_t GCache::LruIndex(ProfileId pid) const {
+  return Mix64(pid) & (options_.lru_shards - 1);
+}
+
+size_t GCache::DirtyIndex(ProfileId pid) const {
+  // Use a different bit range than the LRU shard index so the two shardings
+  // are independent.
+  return (Mix64(pid) >> 17) & (options_.dirty_shards - 1);
+}
+
+void GCache::TouchLru(LruShard& shard, ProfileId pid) {
+  auto pos = shard.lru_pos.find(pid);
+  if (pos != shard.lru_pos.end()) {
+    shard.lru.splice(shard.lru.begin(), shard.lru, pos->second);
+  } else {
+    shard.lru.push_front(pid);
+    shard.lru_pos[pid] = shard.lru.begin();
+  }
+}
+
+Result<std::pair<GCache::EntryPtr, bool>> GCache::GetOrLoad(
+    ProfileId pid, bool create_if_missing) {
+  LruShard& shard = *lru_shards_[LruIndex(pid)];
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.map.find(pid);
+    if (it != shard.map.end()) {
+      TouchLru(shard, pid);
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      if (metrics_ != nullptr) metrics_->GetCounter("cache.hit")->Increment();
+      return std::make_pair(it->second, true);
+    }
+  }
+
+  // Miss: consult persistent storage outside the shard lock — loads can take
+  // milliseconds and must not block unrelated traffic on this shard.
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  if (metrics_ != nullptr) metrics_->GetCounter("cache.miss")->Increment();
+
+  ProfileData loaded(options_.write_granularity_ms);
+  bool found_in_store = false;
+  {
+    Result<ProfileData> result = load_(pid);
+    if (result.ok()) {
+      loaded = std::move(result).value();
+      found_in_store = true;
+    } else if (result.status().IsNotFound()) {
+      if (!create_if_missing) return result.status();
+    } else {
+      return result.status();  // storage unavailable etc.
+    }
+  }
+
+  auto entry = std::make_shared<Entry>(pid, std::move(loaded));
+  {
+    std::lock_guard<std::mutex> entry_lock(entry->mu);
+    entry->bytes = entry->profile.ApproximateBytes();
+  }
+
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto [it, inserted] = shard.map.try_emplace(pid, entry);
+  if (!inserted) {
+    // Lost a race with a concurrent loader; use the established entry and
+    // drop ours. (Its loaded contents are equivalent.)
+    TouchLru(shard, pid);
+    return std::make_pair(it->second, true);
+  }
+  TouchLru(shard, pid);
+  shard.bytes.fetch_add(entry->bytes, std::memory_order_relaxed);
+  memory_bytes_.fetch_add(entry->bytes, std::memory_order_relaxed);
+  (void)found_in_store;
+  return std::make_pair(entry, false);
+}
+
+void GCache::UpdateAccounting(LruShard& shard, Entry& entry) {
+  const size_t now_bytes = entry.profile.ApproximateBytes();
+  const size_t old_bytes = entry.bytes;
+  entry.bytes = now_bytes;
+  if (now_bytes >= old_bytes) {
+    const size_t delta = now_bytes - old_bytes;
+    shard.bytes.fetch_add(delta, std::memory_order_relaxed);
+    memory_bytes_.fetch_add(delta, std::memory_order_relaxed);
+  } else {
+    const size_t delta = old_bytes - now_bytes;
+    shard.bytes.fetch_sub(delta, std::memory_order_relaxed);
+    memory_bytes_.fetch_sub(delta, std::memory_order_relaxed);
+  }
+}
+
+void GCache::MarkDirty(Entry& entry) {
+  if (entry.dirty) return;  // caller holds entry.mu
+  entry.dirty = true;
+  DirtyShard& dshard = *dirty_shards_[DirtyIndex(entry.pid)];
+  std::lock_guard<std::mutex> lock(dshard.mu);
+  if (!entry.in_dirty_list) {
+    dshard.dirty.push_back(entry.pid);
+    entry.in_dirty_list = true;
+  }
+}
+
+Status GCache::WithProfile(ProfileId pid,
+                           const std::function<void(const ProfileData&)>& fn,
+                           bool* out_was_hit) {
+  if (out_was_hit != nullptr) *out_was_hit = false;
+  IPS_ASSIGN_OR_RETURN(auto pair, GetOrLoad(pid, /*create_if_missing=*/false));
+  auto& [entry, was_hit] = pair;
+  if (out_was_hit != nullptr) *out_was_hit = was_hit;
+  std::lock_guard<std::mutex> lock(entry->mu);
+  fn(entry->profile);
+  return Status::OK();
+}
+
+Status GCache::WithProfileMutable(
+    ProfileId pid, const std::function<void(ProfileData&)>& fn,
+    bool* out_was_hit) {
+  if (out_was_hit != nullptr) *out_was_hit = false;
+  IPS_ASSIGN_OR_RETURN(auto pair, GetOrLoad(pid, /*create_if_missing=*/true));
+  auto& [entry, was_hit] = pair;
+  if (out_was_hit != nullptr) *out_was_hit = was_hit;
+  LruShard& shard = *lru_shards_[LruIndex(pid)];
+  std::lock_guard<std::mutex> lock(entry->mu);
+  fn(entry->profile);
+  UpdateAccounting(shard, *entry);
+  MarkDirty(*entry);
+  return Status::OK();
+}
+
+size_t GCache::EvictFromShard(LruShard& shard, size_t target_bytes) {
+  size_t evicted = 0;
+  size_t freed = 0;
+  std::vector<EntryPtr> doomed;  // destroyed outside the shard lock
+
+  std::unique_lock<std::mutex> lock(shard.mu);
+  auto it = shard.lru.end();
+  while (freed < target_bytes && it != shard.lru.begin()) {
+    --it;
+    const ProfileId pid = *it;
+    auto map_it = shard.map.find(pid);
+    if (map_it == shard.map.end()) {
+      // Stale pid in the list; drop it.
+      shard.lru_pos.erase(pid);
+      it = shard.lru.erase(it);
+      continue;
+    }
+    EntryPtr entry = map_it->second;
+    // Fig 8: probe with try_lock; a contended entry is being served right
+    // now — skip it and move up the list instead of blocking.
+    std::unique_lock<std::mutex> entry_lock(entry->mu, std::try_to_lock);
+    if (!entry_lock.owns_lock()) continue;
+    if (entry->dirty) {
+      // Write-back: persist before dropping so no update is lost.
+      if (!FlushEntryLocked(*entry).ok()) continue;  // flush later, skip
+    }
+    const size_t bytes = entry->bytes;
+    entry_lock.unlock();
+    shard.map.erase(map_it);
+    shard.lru_pos.erase(pid);
+    it = shard.lru.erase(it);
+    shard.bytes.fetch_sub(bytes, std::memory_order_relaxed);
+    memory_bytes_.fetch_sub(bytes, std::memory_order_relaxed);
+    freed += bytes;
+    ++evicted;
+    doomed.push_back(std::move(entry));
+  }
+  lock.unlock();
+  if (metrics_ != nullptr && evicted > 0) {
+    metrics_->GetCounter("cache.evicted")->Increment(evicted);
+  }
+  return evicted;
+}
+
+size_t GCache::SwapOnce() {
+  const size_t high = static_cast<size_t>(
+      static_cast<double>(options_.memory_limit_bytes) *
+      options_.high_watermark);
+  const size_t low = static_cast<size_t>(
+      static_cast<double>(options_.memory_limit_bytes) *
+      options_.low_watermark);
+  size_t evicted = 0;
+  // Evict starting from the largest shard until usage drops under the low
+  // watermark (the paper's largest-shard-first strategy).
+  while (MemoryBytes() > high) {
+    LruShard* largest = nullptr;
+    size_t largest_bytes = 0;
+    for (auto& shard : lru_shards_) {
+      const size_t b = shard->bytes.load(std::memory_order_relaxed);
+      if (b > largest_bytes) {
+        largest_bytes = b;
+        largest = shard.get();
+      }
+    }
+    if (largest == nullptr || largest_bytes == 0) break;
+    const size_t over = MemoryBytes() - low;
+    const size_t pass = EvictFromShard(*largest, std::min(over, largest_bytes));
+    if (pass == 0) break;  // everything contended or dirty-unflushable
+    evicted += pass;
+    if (MemoryBytes() <= low) break;
+  }
+  return evicted;
+}
+
+Status GCache::FlushEntryLocked(Entry& entry) {
+  Status status = flush_(entry.pid, entry.profile);
+  if (status.ok()) {
+    entry.dirty = false;
+    if (metrics_ != nullptr) {
+      metrics_->GetCounter("cache.flushed")->Increment();
+    }
+  } else if (metrics_ != nullptr) {
+    metrics_->GetCounter("cache.flush_error")->Increment();
+  }
+  return status;
+}
+
+size_t GCache::FlushShard(DirtyShard& dshard) {
+  // Grab the current batch; new dirties accumulate behind it.
+  std::list<ProfileId> batch;
+  {
+    std::lock_guard<std::mutex> lock(dshard.mu);
+    batch.swap(dshard.dirty);
+  }
+  size_t flushed = 0;
+  std::list<ProfileId> requeue;
+  for (ProfileId pid : batch) {
+    LruShard& shard = *lru_shards_[LruIndex(pid)];
+    EntryPtr entry;
+    {
+      std::lock_guard<std::mutex> lock(shard.mu);
+      auto it = shard.map.find(pid);
+      if (it != shard.map.end()) entry = it->second;
+    }
+    if (!entry) continue;  // evicted (was flushed on eviction)
+    std::lock_guard<std::mutex> entry_lock(entry->mu);
+    {
+      std::lock_guard<std::mutex> dlock(dshard.mu);
+      entry->in_dirty_list = false;
+    }
+    if (!entry->dirty) continue;
+    if (FlushEntryLocked(*entry).ok()) {
+      ++flushed;
+    } else {
+      requeue.push_back(pid);
+      std::lock_guard<std::mutex> dlock(dshard.mu);
+      entry->in_dirty_list = true;
+    }
+  }
+  if (!requeue.empty()) {
+    std::lock_guard<std::mutex> lock(dshard.mu);
+    dshard.dirty.splice(dshard.dirty.end(), requeue);
+  }
+  return flushed;
+}
+
+size_t GCache::FlushOnce() {
+  size_t total = 0;
+  for (auto& shard : dirty_shards_) total += FlushShard(*shard);
+  return total;
+}
+
+void GCache::FlushAll() {
+  // Loop because flushes may fail transiently (injected storage errors) and
+  // new dirties can appear; bail after a bounded number of rounds.
+  for (int round = 0; round < 64; ++round) {
+    if (FlushOnce() == 0 && DirtyCount() == 0) return;
+  }
+  IPS_LOG(Warn) << "FlushAll: dirty entries remain after bounded retries";
+}
+
+Status GCache::Invalidate(ProfileId pid) {
+  LruShard& shard = *lru_shards_[LruIndex(pid)];
+  EntryPtr entry;
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.map.find(pid);
+    if (it == shard.map.end()) return Status::OK();
+    entry = it->second;
+  }
+  {
+    std::lock_guard<std::mutex> entry_lock(entry->mu);
+    if (entry->dirty) IPS_RETURN_IF_ERROR(FlushEntryLocked(*entry));
+  }
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.map.find(pid);
+  if (it == shard.map.end() || it->second != entry) return Status::OK();
+  shard.map.erase(it);
+  auto pos = shard.lru_pos.find(pid);
+  if (pos != shard.lru_pos.end()) {
+    shard.lru.erase(pos->second);
+    shard.lru_pos.erase(pos);
+  }
+  shard.bytes.fetch_sub(entry->bytes, std::memory_order_relaxed);
+  memory_bytes_.fetch_sub(entry->bytes, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+std::vector<ProfileId> GCache::CachedIds() const {
+  std::vector<ProfileId> ids;
+  for (const auto& shard : lru_shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    for (const auto& [pid, entry] : shard->map) ids.push_back(pid);
+  }
+  return ids;
+}
+
+size_t GCache::EntryCount() const {
+  size_t total = 0;
+  for (const auto& shard : lru_shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    total += shard->map.size();
+  }
+  return total;
+}
+
+size_t GCache::DirtyCount() const {
+  size_t total = 0;
+  for (const auto& shard : dirty_shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    total += shard->dirty.size();
+  }
+  return total;
+}
+
+double GCache::HitRatio() const {
+  const int64_t h = hits_.load(std::memory_order_relaxed);
+  const int64_t m = misses_.load(std::memory_order_relaxed);
+  return h + m == 0 ? 0.0
+                    : static_cast<double>(h) / static_cast<double>(h + m);
+}
+
+void GCache::SwapLoop() {
+  std::unique_lock<std::mutex> lock(bg_mu_);
+  while (!shutdown_.load(std::memory_order_relaxed)) {
+    bg_cv_.wait_for(lock,
+                    std::chrono::milliseconds(options_.swap_interval_ms));
+    if (shutdown_.load(std::memory_order_relaxed)) return;
+    lock.unlock();
+    SwapOnce();
+    lock.lock();
+  }
+}
+
+void GCache::FlushLoop(size_t thread_index) {
+  DirtyShard& my_shard =
+      *dirty_shards_[thread_index % options_.dirty_shards];
+  std::unique_lock<std::mutex> lock(bg_mu_);
+  while (!shutdown_.load(std::memory_order_relaxed)) {
+    bg_cv_.wait_for(lock,
+                    std::chrono::milliseconds(options_.flush_interval_ms));
+    if (shutdown_.load(std::memory_order_relaxed)) return;
+    lock.unlock();
+    FlushShard(my_shard);
+    lock.lock();
+  }
+}
+
+}  // namespace ips

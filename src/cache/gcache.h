@@ -1,0 +1,204 @@
+// GCache (Section III-C, Figs 6-9): the write-back compute cache at the heart
+// of the IPS compute-cache layer. Profiles live in memory wrapped in cache
+// entries tracked by two structures:
+//
+//   * a sharded LRU list (Fig 7) — swap threads evict cold entries when
+//     memory exceeds the configured threshold, starting from the largest
+//     shard, probing entries with try_lock and skipping contended ones
+//     instead of blocking (Fig 8);
+//   * a sharded dirty list (Fig 9) — flush threads persist updated profiles
+//     to the key-value store; the flush-thread count is a multiple of the
+//     dirty-shard count so every shard has dedicated threads.
+//
+// Persistence and load are injected as callbacks so this layer stays
+// independent of the codec/kvstore choices (bulk vs slice-split modes both
+// plug in here).
+#ifndef IPS_CACHE_GCACHE_H_
+#define IPS_CACHE_GCACHE_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <functional>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/metrics.h"
+#include "common/status.h"
+#include "core/profile_data.h"
+#include "core/types.h"
+
+namespace ips {
+
+struct GCacheOptions {
+  /// LRU partitions (Fig 7). Power of two.
+  size_t lru_shards = 8;
+  /// Dirty-list partitions (Fig 9). Power of two.
+  size_t dirty_shards = 4;
+  /// Flush threads; must be a positive multiple of dirty_shards.
+  size_t flush_threads = 4;
+  /// Swap (eviction) threads.
+  size_t swap_threads = 1;
+  /// Hard memory budget for cached profiles, in bytes.
+  size_t memory_limit_bytes = 256 << 20;
+  /// Swapping starts when usage exceeds limit * high watermark and stops
+  /// below limit * low watermark (the paper's clusters hold ~85% usage).
+  double high_watermark = 0.85;
+  double low_watermark = 0.80;
+  /// Background thread cadence.
+  int64_t swap_interval_ms = 50;
+  int64_t flush_interval_ms = 100;
+  /// When false no background threads start; tests drive SwapOnce/FlushOnce
+  /// manually for determinism.
+  bool start_background_threads = true;
+  /// Write slice granularity for profiles created on first touch.
+  int64_t write_granularity_ms = 60'000;
+};
+
+/// Persists one profile; invoked with the entry lock held.
+using FlushFn = std::function<Status(ProfileId, const ProfileData&)>;
+/// Loads one profile on cache miss. NotFound means "no such profile yet".
+using LoadFn = std::function<Result<ProfileData>(ProfileId)>;
+
+class GCache {
+ public:
+  GCache(GCacheOptions options, Clock* clock, FlushFn flush, LoadFn load,
+         MetricsRegistry* metrics = nullptr);
+  ~GCache();
+
+  GCache(const GCache&) = delete;
+  GCache& operator=(const GCache&) = delete;
+
+  /// Read path: runs `fn` with shared (entry-locked) access to the profile.
+  /// On miss the loader is consulted; NotFound from the loader is returned
+  /// to the caller (queries on unknown profiles are empty, handled above).
+  /// `out_was_hit`, when non-null, reports whether this was a cache hit —
+  /// the Table II latency split keys on it.
+  Status WithProfile(ProfileId pid,
+                     const std::function<void(const ProfileData&)>& fn,
+                     bool* out_was_hit = nullptr);
+
+  /// Write path: runs `fn` with exclusive access, creating the profile when
+  /// absent (after a load attempt), then marks the entry dirty.
+  Status WithProfileMutable(ProfileId pid,
+                            const std::function<void(ProfileData&)>& fn,
+                            bool* out_was_hit = nullptr);
+
+  /// Runs one eviction pass if usage exceeds the high watermark. Returns the
+  /// number of entries evicted.
+  size_t SwapOnce();
+
+  /// Flushes every dirty entry in every shard; returns entries flushed.
+  size_t FlushOnce();
+
+  /// Flush + wait until the dirty lists are empty (shutdown, tests).
+  void FlushAll();
+
+  /// Drops a clean entry from the cache (failover handover). Dirty entries
+  /// are flushed first.
+  Status Invalidate(ProfileId pid);
+
+  /// Profile ids currently cached (ops sweeps, e.g. forced compaction).
+  std::vector<ProfileId> CachedIds() const;
+
+  size_t EntryCount() const;
+  size_t MemoryBytes() const {
+    return memory_bytes_.load(std::memory_order_relaxed);
+  }
+  double MemoryUsageRatio() const {
+    return static_cast<double>(MemoryBytes()) /
+           static_cast<double>(options_.memory_limit_bytes);
+  }
+  size_t DirtyCount() const;
+
+  /// Lifetime hit ratio in [0,1]; 0 when no lookups yet.
+  double HitRatio() const;
+
+  const GCacheOptions& options() const { return options_; }
+
+ private:
+  struct Entry {
+    ProfileId pid = 0;
+    ProfileData profile;
+    std::mutex mu;
+    /// Approximate bytes, maintained under mu, mirrored into shard/global
+    /// accounting.
+    size_t bytes = 0;
+    bool dirty = false;
+    /// Guarded by the owning DirtyShard's mutex.
+    bool in_dirty_list = false;
+
+    Entry(ProfileId id, ProfileData data)
+        : pid(id), profile(std::move(data)) {}
+  };
+  using EntryPtr = std::shared_ptr<Entry>;
+
+  struct LruShard {
+    mutable std::mutex mu;
+    std::unordered_map<ProfileId, EntryPtr> map;
+    /// Most-recent at front. Stores pids; map lookup revalidates.
+    std::list<ProfileId> lru;
+    std::unordered_map<ProfileId, std::list<ProfileId>::iterator> lru_pos;
+    std::atomic<size_t> bytes{0};
+  };
+
+  struct DirtyShard {
+    mutable std::mutex mu;
+    std::list<ProfileId> dirty;
+  };
+
+  size_t LruIndex(ProfileId pid) const;
+  size_t DirtyIndex(ProfileId pid) const;
+
+  /// Finds or creates the entry; returns (entry, was_hit). May invoke the
+  /// loader outside all shard locks.
+  Result<std::pair<EntryPtr, bool>> GetOrLoad(ProfileId pid,
+                                              bool create_if_missing);
+
+  /// Moves `pid` to the LRU front.
+  void TouchLru(LruShard& shard, ProfileId pid);
+
+  /// Re-measures entry bytes (entry lock held) and fixes accounting.
+  void UpdateAccounting(LruShard& shard, Entry& entry);
+
+  void MarkDirty(Entry& entry);
+
+  /// Evicts from `shard` until `target_bytes` freed or shard exhausted.
+  size_t EvictFromShard(LruShard& shard, size_t target_bytes);
+
+  /// Flushes the given entry if dirty (entry lock must be held).
+  Status FlushEntryLocked(Entry& entry);
+
+  /// Flushes all entries queued in one dirty shard.
+  size_t FlushShard(DirtyShard& shard);
+
+  void SwapLoop();
+  void FlushLoop(size_t thread_index);
+
+  GCacheOptions options_;
+  Clock* clock_;
+  FlushFn flush_;
+  LoadFn load_;
+  MetricsRegistry* metrics_;
+
+  std::vector<std::unique_ptr<LruShard>> lru_shards_;
+  std::vector<std::unique_ptr<DirtyShard>> dirty_shards_;
+  std::atomic<size_t> memory_bytes_{0};
+  std::atomic<int64_t> hits_{0};
+  std::atomic<int64_t> misses_{0};
+
+  std::atomic<bool> shutdown_{false};
+  std::mutex bg_mu_;
+  std::condition_variable bg_cv_;
+  std::vector<std::thread> background_threads_;
+};
+
+}  // namespace ips
+
+#endif  // IPS_CACHE_GCACHE_H_

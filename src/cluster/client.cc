@@ -1,0 +1,184 @@
+#include "cluster/client.h"
+
+namespace ips {
+
+IpsClient::IpsClient(IpsClientOptions options, Deployment* deployment)
+    : options_(std::move(options)),
+      deployment_(deployment),
+      metrics_(deployment->metrics()) {
+  RefreshView();
+}
+
+void IpsClient::RefreshView() {
+  std::lock_guard<std::mutex> lock(mu_);
+  rings_.clear();
+  for (const auto& region : deployment_->region_names()) {
+    std::vector<std::string> members;
+    for (const auto& entry : deployment_->discovery().Snapshot(region)) {
+      members.push_back(entry.instance_id);
+    }
+    rings_[region].SetMembers(members);
+  }
+  last_refresh_ms_ = deployment_->clock()->NowMs();
+}
+
+void IpsClient::MaybeRefresh() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const TimestampMs now = deployment_->clock()->NowMs();
+    if (last_refresh_ms_ >= 0 &&
+        now - last_refresh_ms_ < options_.refresh_interval_ms) {
+      return;
+    }
+  }
+  RefreshView();
+}
+
+std::vector<std::string> IpsClient::ReadCandidates(ProfileId pid,
+                                                   const std::string& region,
+                                                   int attempts) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = rings_.find(region);
+  if (it == rings_.end()) return {};
+  return it->second.LookupN(pid, static_cast<size_t>(attempts));
+}
+
+Status IpsClient::AddProfile(const std::string& table, ProfileId pid,
+                             TimestampMs timestamp, SlotId slot, TypeId type,
+                             FeatureId fid, const CountVector& counts) {
+  AddRecord record;
+  record.timestamp = timestamp;
+  record.slot = slot;
+  record.type = type;
+  record.fid = fid;
+  record.counts = counts;
+  return AddProfiles(table, pid, {record});
+}
+
+Status IpsClient::AddProfiles(const std::string& table, ProfileId pid,
+                              const std::vector<AddRecord>& records) {
+  return AddProfilesAs(options_.caller, table, pid, records);
+}
+
+bool IpsClient::HasTableAnywhere(const std::string& table) {
+  MaybeRefresh();
+  for (const auto& region : deployment_->region_names()) {
+    for (auto* node : deployment_->NodesInRegion(region)) {
+      if (!node->IsDown() && node->instance().HasTable(table)) return true;
+    }
+  }
+  return false;
+}
+
+Status IpsClient::AddProfilesAs(const std::string& caller,
+                                const std::string& table, ProfileId pid,
+                                const std::vector<AddRecord>& records) {
+  MaybeRefresh();
+  metrics_->GetCounter("client.write_requests")->Increment();
+
+  // Multi-region writing: every region gets the record on its owning node.
+  size_t regions_ok = 0;
+  Status last_error = Status::Unavailable("no live instance");
+  for (const auto& region : deployment_->region_names()) {
+    Status region_status = Status::Unavailable("no live instance");
+    const auto candidates =
+        ReadCandidates(pid, region, options_.max_write_attempts);
+    for (const auto& node_id : candidates) {
+      IpsNode* node = deployment_->FindNode(node_id);
+      if (node == nullptr) continue;
+      region_status = node->Call(
+          options_.request_bytes, /*response_bytes=*/64,
+          [&](IpsInstance& instance) {
+            return instance.AddProfiles(caller, table, pid, records);
+          });
+      if (region_status.ok()) break;
+      // A quota rejection is a server decision, not a node fault: stop
+      // hammering successors (they enforce the same quota).
+      if (region_status.IsResourceExhausted()) break;
+    }
+    if (region_status.ok()) {
+      ++regions_ok;
+    } else {
+      last_error = region_status;
+      metrics_->GetCounter("client.write_region_errors")->Increment();
+    }
+  }
+  if (regions_ok == 0) {
+    metrics_->GetCounter("client.write_errors")->Increment();
+    // Surface the representative cause: callers distinguish quota pacing
+    // (back off and retry) from unavailability (fail over / alert).
+    return last_error;
+  }
+  return Status::OK();
+}
+
+Result<QueryResult> IpsClient::Query(const std::string& table, ProfileId pid,
+                                     const QuerySpec& spec) {
+  MaybeRefresh();
+  metrics_->GetCounter("client.read_requests")->Increment();
+
+  // Region preference: local first, then failover regions in order.
+  std::vector<std::string> regions;
+  if (!options_.local_region.empty()) regions.push_back(options_.local_region);
+  for (const auto& r : options_.failover_regions) regions.push_back(r);
+  if (regions.empty()) regions = deployment_->region_names();
+
+  Status last_error = Status::Unavailable("no live instance");
+  for (const auto& region : regions) {
+    const auto candidates =
+        ReadCandidates(pid, region, options_.max_read_attempts);
+    for (const auto& node_id : candidates) {
+      IpsNode* node = deployment_->FindNode(node_id);
+      if (node == nullptr) continue;
+      Result<QueryResult> query_result = Status::Unavailable("unset");
+      Status call_status = node->Call(
+          options_.request_bytes, options_.response_bytes,
+          [&](IpsInstance& instance) {
+            query_result = instance.Query(options_.caller, table, pid, spec);
+            return query_result.ok() ? Status::OK() : query_result.status();
+          });
+      if (call_status.ok() && query_result.ok()) {
+        return query_result;
+      }
+      last_error = call_status.ok() ? query_result.status() : call_status;
+      // Quota rejections are not retried: the server told us to back off.
+      if (last_error.IsResourceExhausted()) break;
+    }
+    if (last_error.IsResourceExhausted()) break;
+  }
+  metrics_->GetCounter("client.read_errors")->Increment();
+  return last_error;
+}
+
+Result<QueryResult> IpsClient::GetProfileTopK(
+    const std::string& table, ProfileId pid, SlotId slot,
+    std::optional<TypeId> type, const TimeRange& range, SortBy sort_by,
+    ActionIndex sort_action, size_t k) {
+  QuerySpec spec;
+  spec.slot = slot;
+  spec.type = type;
+  spec.time_range = range;
+  spec.sort_by = sort_by;
+  spec.sort_action = sort_action;
+  spec.k = k;
+  return Query(table, pid, spec);
+}
+
+int64_t IpsClient::requests() const {
+  return metrics_->GetCounter("client.read_requests")->Value() +
+         metrics_->GetCounter("client.write_requests")->Value();
+}
+
+int64_t IpsClient::errors() const {
+  return metrics_->GetCounter("client.read_errors")->Value() +
+         metrics_->GetCounter("client.write_errors")->Value();
+}
+
+double IpsClient::ErrorRate() const {
+  const int64_t total = requests();
+  return total == 0 ? 0.0
+                    : static_cast<double>(errors()) /
+                          static_cast<double>(total);
+}
+
+}  // namespace ips

@@ -1,0 +1,102 @@
+// Unified IPS client (Section III): the single library every upstream
+// application uses. It refreshes the instance list from service discovery
+// periodically, routes each profile id with consistent hashing, retries
+// failed calls on ring successors, prefers the local region for reads, and
+// fans writes out to every region (Fig 15). Client-observed errors feed the
+// error-rate metric of Fig 17.
+#ifndef IPS_CLUSTER_CLIENT_H_
+#define IPS_CLUSTER_CLIENT_H_
+
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "cluster/consistent_hash.h"
+#include "cluster/deployment.h"
+#include "common/clock.h"
+#include "common/metrics.h"
+#include "query/query.h"
+
+namespace ips {
+
+struct IpsClientOptions {
+  std::string caller = "default";
+  std::string local_region;
+  /// Region preference order after the local one (failover targets).
+  std::vector<std::string> failover_regions;
+  /// Attempts per read, each on the next ring successor.
+  int max_read_attempts = 2;
+  /// Attempts per write per region.
+  int max_write_attempts = 2;
+  /// Discovery view refresh interval (simulated time).
+  int64_t refresh_interval_ms = 2000;
+  /// Estimated request/response payloads for the transport cost model.
+  size_t request_bytes = 256;
+  size_t response_bytes = 2048;
+};
+
+class IpsClient {
+ public:
+  IpsClient(IpsClientOptions options, Deployment* deployment);
+
+  /// Write path: the record is sent to the owning instance in *every*
+  /// region (multi-region writing). Succeeds when at least one region
+  /// acknowledged; per-region failures are counted but tolerated, matching
+  /// the weak-consistency contract.
+  Status AddProfile(const std::string& table, ProfileId pid,
+                    TimestampMs timestamp, SlotId slot, TypeId type,
+                    FeatureId fid, const CountVector& counts);
+
+  Status AddProfiles(const std::string& table, ProfileId pid,
+                     const std::vector<AddRecord>& records);
+
+  /// AddProfiles under an explicit caller identity (e.g. a bulk-import job
+  /// writing under its own quota while sharing the client plumbing).
+  Status AddProfilesAs(const std::string& caller, const std::string& table,
+                       ProfileId pid, const std::vector<AddRecord>& records);
+
+  /// True when some live node in any region has the table (pre-flight check
+  /// for batch jobs).
+  bool HasTableAnywhere(const std::string& table);
+
+  /// Read path: local region first, ring successor retries, then failover
+  /// regions.
+  Result<QueryResult> Query(const std::string& table, ProfileId pid,
+                            const QuerySpec& spec);
+
+  Result<QueryResult> GetProfileTopK(const std::string& table, ProfileId pid,
+                                     SlotId slot, std::optional<TypeId> type,
+                                     const TimeRange& range, SortBy sort_by,
+                                     ActionIndex sort_action, size_t k);
+
+  /// Forces a discovery refresh now (tests; normally interval-driven).
+  void RefreshView();
+
+  /// Observability: client-side request/error counters.
+  int64_t requests() const;
+  int64_t errors() const;
+  double ErrorRate() const;
+
+ private:
+  /// Ordered candidate node ids for `pid` reads in `region`.
+  std::vector<std::string> ReadCandidates(ProfileId pid,
+                                          const std::string& region,
+                                          int attempts);
+  void MaybeRefresh();
+
+  IpsClientOptions options_;
+  Deployment* deployment_;
+  MetricsRegistry* metrics_;
+
+  std::mutex mu_;
+  /// region -> ring over that region's live instances.
+  std::unordered_map<std::string, ConsistentHashRing> rings_;
+  TimestampMs last_refresh_ms_ = -1;
+};
+
+}  // namespace ips
+
+#endif  // IPS_CLUSTER_CLIENT_H_

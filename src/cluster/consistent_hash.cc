@@ -1,0 +1,78 @@
+#include "cluster/consistent_hash.h"
+
+#include <algorithm>
+
+#include "common/hash.h"
+
+namespace ips {
+
+namespace {
+
+const std::string& EmptyString() {
+  static const std::string* const kEmpty = new std::string();
+  return *kEmpty;
+}
+
+}  // namespace
+
+void ConsistentHashRing::AddNode(const std::string& node_id) {
+  if (HasNode(node_id)) return;
+  members_.push_back(node_id);
+  std::sort(members_.begin(), members_.end());
+  for (int v = 0; v < virtual_nodes_; ++v) {
+    const uint64_t point =
+        HashCombine(Fnv1a(node_id), Mix64(static_cast<uint64_t>(v)));
+    ring_.emplace(point, node_id);
+  }
+}
+
+void ConsistentHashRing::RemoveNode(const std::string& node_id) {
+  auto it = std::find(members_.begin(), members_.end(), node_id);
+  if (it == members_.end()) return;
+  members_.erase(it);
+  for (auto ring_it = ring_.begin(); ring_it != ring_.end();) {
+    if (ring_it->second == node_id) {
+      ring_it = ring_.erase(ring_it);
+    } else {
+      ++ring_it;
+    }
+  }
+}
+
+bool ConsistentHashRing::HasNode(const std::string& node_id) const {
+  return std::find(members_.begin(), members_.end(), node_id) !=
+         members_.end();
+}
+
+void ConsistentHashRing::SetMembers(const std::vector<std::string>& node_ids) {
+  ring_.clear();
+  members_.clear();
+  for (const auto& id : node_ids) AddNode(id);
+}
+
+const std::string& ConsistentHashRing::Lookup(ProfileId pid) const {
+  if (ring_.empty()) return EmptyString();
+  const uint64_t point = Mix64(pid);
+  auto it = ring_.lower_bound(point);
+  if (it == ring_.end()) it = ring_.begin();  // wrap around
+  return it->second;
+}
+
+std::vector<std::string> ConsistentHashRing::LookupN(ProfileId pid,
+                                                     size_t count) const {
+  std::vector<std::string> out;
+  if (ring_.empty() || count == 0) return out;
+  const uint64_t point = Mix64(pid);
+  auto it = ring_.lower_bound(point);
+  const size_t distinct = std::min(count, members_.size());
+  while (out.size() < distinct) {
+    if (it == ring_.end()) it = ring_.begin();
+    if (std::find(out.begin(), out.end(), it->second) == out.end()) {
+      out.push_back(it->second);
+    }
+    ++it;
+  }
+  return out;
+}
+
+}  // namespace ips

@@ -1,0 +1,47 @@
+// ID-based consistent-hash ring (Section III): the IPS client routes each
+// profile id to the instance owning its hash range, so every instance serves
+// a stable fraction of the cluster's data and nodes can join/leave with
+// minimal key movement.
+#ifndef IPS_CLUSTER_CONSISTENT_HASH_H_
+#define IPS_CLUSTER_CONSISTENT_HASH_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/types.h"
+
+namespace ips {
+
+class ConsistentHashRing {
+ public:
+  /// `virtual_nodes` replicas per member smooth the load distribution.
+  explicit ConsistentHashRing(int virtual_nodes = 128)
+      : virtual_nodes_(virtual_nodes) {}
+
+  void AddNode(const std::string& node_id);
+  void RemoveNode(const std::string& node_id);
+  bool HasNode(const std::string& node_id) const;
+
+  /// Replaces the membership in one step (client view refresh).
+  void SetMembers(const std::vector<std::string>& node_ids);
+
+  /// Owner of `pid`; empty string when the ring is empty.
+  const std::string& Lookup(ProfileId pid) const;
+
+  /// Owner plus the next `count - 1` distinct successors (retry targets).
+  std::vector<std::string> LookupN(ProfileId pid, size_t count) const;
+
+  size_t NodeCount() const { return members_.size(); }
+  const std::vector<std::string>& members() const { return members_; }
+
+ private:
+  int virtual_nodes_;
+  std::map<uint64_t, std::string> ring_;
+  std::vector<std::string> members_;
+};
+
+}  // namespace ips
+
+#endif  // IPS_CLUSTER_CONSISTENT_HASH_H_

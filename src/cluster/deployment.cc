@@ -1,0 +1,115 @@
+#include "cluster/deployment.h"
+
+namespace ips {
+
+IpsNode::IpsNode(std::string node_id, std::string region,
+                 IpsInstanceOptions instance_options, KvStore* kv,
+                 Clock* clock, ChannelOptions channel_options,
+                 MetricsRegistry* metrics)
+    : node_id_(std::move(node_id)), region_(std::move(region)) {
+  instance_options.instance_id = node_id_;
+  instance_ = std::make_unique<IpsInstance>(instance_options, kv, clock,
+                                            metrics);
+  channel_options.seed = Fnv1a(node_id_) | 1;
+  channel_ = std::make_unique<Channel>(channel_options);
+}
+
+Status IpsNode::Call(size_t request_bytes, size_t response_bytes,
+                     const std::function<Status(IpsInstance&)>& handler) {
+  if (down_.load(std::memory_order_relaxed)) {
+    return Status::Unavailable("node " + node_id_ + " down");
+  }
+  return channel_->Call(request_bytes, response_bytes, [&] {
+    if (down_.load(std::memory_order_relaxed)) {
+      return Status::Unavailable("node " + node_id_ + " down");
+    }
+    return handler(*instance_);
+  });
+}
+
+Deployment::Deployment(DeploymentOptions options, Clock* clock,
+                       MetricsRegistry* metrics)
+    : options_(std::move(options)),
+      clock_(clock),
+      metrics_(metrics != nullptr ? metrics : &owned_metrics_),
+      discovery_(clock, options_.discovery_ttl_ms) {
+  // One replicated KV for the whole deployment: primary region(s) write the
+  // master, the i-th non-primary region reads slave i.
+  ReplicatedKvOptions kv_options = options_.kv;
+  size_t num_secondary = 0;
+  for (const auto& r : options_.regions) {
+    if (!r.is_primary) ++num_secondary;
+  }
+  kv_options.num_slaves = std::max<size_t>(1, num_secondary);
+  kv_ = std::make_unique<ReplicatedKv>(kv_options, clock);
+
+  size_t slave_index = 0;
+  uint64_t endpoint = 0;
+  for (const auto& region : options_.regions) {
+    region_names_.push_back(region.name);
+    KvStore* region_kv =
+        region.is_primary ? kv_->master() : kv_->slave(slave_index++);
+    IpsInstanceOptions instance_options = options_.instance;
+    // Only primary-region instances persist to the master KV cluster
+    // (Fig 15); secondary regions read their local slave and never write.
+    instance_options.persist_writes = region.is_primary;
+    for (size_t i = 0; i < region.num_nodes; ++i) {
+      const std::string node_id =
+          region.name + "/ips-" + std::to_string(i);
+      auto node = std::make_unique<IpsNode>(node_id, region.name,
+                                            instance_options, region_kv,
+                                            clock, options_.channel,
+                                            metrics_);
+      discovery_.Register(node_id, region.name, endpoint++);
+      nodes_.push_back(std::move(node));
+    }
+  }
+}
+
+Status Deployment::CreateTableEverywhere(const TableSchema& schema) {
+  for (auto& node : nodes_) {
+    IPS_RETURN_IF_ERROR(node->instance().CreateTable(schema));
+  }
+  return Status::OK();
+}
+
+std::vector<IpsNode*> Deployment::NodesInRegion(const std::string& region) {
+  std::vector<IpsNode*> out;
+  for (auto& node : nodes_) {
+    if (node->region() == region) out.push_back(node.get());
+  }
+  return out;
+}
+
+IpsNode* Deployment::FindNode(const std::string& node_id) {
+  for (auto& node : nodes_) {
+    if (node->node_id() == node_id) return node.get();
+  }
+  return nullptr;
+}
+
+void Deployment::FailRegion(const std::string& region) {
+  for (auto& node : nodes_) {
+    if (node->region() == region) {
+      node->SetDown(true);
+      discovery_.Deregister(node->node_id());
+    }
+  }
+}
+
+void Deployment::RecoverRegion(const std::string& region) {
+  for (auto& node : nodes_) {
+    if (node->region() == region) {
+      node->SetDown(false);
+      discovery_.Register(node->node_id(), node->region(), 0);
+    }
+  }
+}
+
+void Deployment::HeartbeatAll() {
+  for (auto& node : nodes_) {
+    if (!node->IsDown()) discovery_.Heartbeat(node->node_id());
+  }
+}
+
+}  // namespace ips

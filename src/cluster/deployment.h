@@ -1,0 +1,110 @@
+// Multi-region deployment (Section III-G, Fig 15). Each region runs a set of
+// IPS instances over a region-local key-value cluster: exactly one region
+// binds its instances to the *master* KV cluster, every other region binds
+// to a read-only *slave* replica lagging asynchronously. Upstream writers
+// send to all regions; readers stay in their local region. When a region
+// fails, its traffic is redirected to surviving regions within the client's
+// failover policy — and a node recovering from a failover may load stale
+// data from its slave, the weak-consistency behaviour the paper accepts.
+#ifndef IPS_CLUSTER_DEPLOYMENT_H_
+#define IPS_CLUSTER_DEPLOYMENT_H_
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cluster/discovery.h"
+#include "cluster/rpc.h"
+#include "common/clock.h"
+#include "common/metrics.h"
+#include "kvstore/replicated_kv.h"
+#include "server/ips_instance.h"
+
+namespace ips {
+
+/// One IPS server process plus its simulated network path.
+class IpsNode {
+ public:
+  IpsNode(std::string node_id, std::string region,
+          IpsInstanceOptions instance_options, KvStore* kv, Clock* clock,
+          ChannelOptions channel_options, MetricsRegistry* metrics);
+
+  const std::string& node_id() const { return node_id_; }
+  const std::string& region() const { return region_; }
+  IpsInstance& instance() { return *instance_; }
+  Channel& channel() { return *channel_; }
+
+  /// Crash/restart injection. A down node fails every call with Unavailable
+  /// and, on restart, comes back with a cold cache (the process died).
+  void SetDown(bool down) { down_.store(down, std::memory_order_relaxed); }
+  bool IsDown() const { return down_.load(std::memory_order_relaxed); }
+
+  /// Routes a request through the simulated network into the instance.
+  Status Call(size_t request_bytes, size_t response_bytes,
+              const std::function<Status(IpsInstance&)>& handler);
+
+ private:
+  std::string node_id_;
+  std::string region_;
+  std::unique_ptr<IpsInstance> instance_;
+  std::unique_ptr<Channel> channel_;
+  std::atomic<bool> down_{false};
+};
+
+struct RegionOptions {
+  std::string name;
+  size_t num_nodes = 2;
+  bool is_primary = false;  // binds to the master KV cluster
+};
+
+struct DeploymentOptions {
+  std::vector<RegionOptions> regions;
+  IpsInstanceOptions instance;
+  ChannelOptions channel;
+  ReplicatedKvOptions kv;
+  /// Discovery heartbeat TTL.
+  int64_t discovery_ttl_ms = 10'000;
+};
+
+/// Owns the regions, nodes, replicated KV and the discovery service.
+class Deployment {
+ public:
+  Deployment(DeploymentOptions options, Clock* clock,
+             MetricsRegistry* metrics = nullptr);
+
+  /// Creates `schema`'s table on every node.
+  Status CreateTableEverywhere(const TableSchema& schema);
+
+  DiscoveryService& discovery() { return discovery_; }
+  ReplicatedKv& kv() { return *kv_; }
+  Clock* clock() { return clock_; }
+  MetricsRegistry* metrics() { return metrics_; }
+
+  const std::vector<std::string>& region_names() const {
+    return region_names_;
+  }
+  std::vector<IpsNode*> NodesInRegion(const std::string& region);
+  IpsNode* FindNode(const std::string& node_id);
+
+  /// Fails / recovers a whole region (all nodes down + deregistered).
+  void FailRegion(const std::string& region);
+  void RecoverRegion(const std::string& region);
+
+  /// Heartbeats every live node (driven by the simulation loop).
+  void HeartbeatAll();
+
+ private:
+  DeploymentOptions options_;
+  Clock* clock_;
+  MetricsRegistry* metrics_;
+  MetricsRegistry owned_metrics_;
+  std::unique_ptr<ReplicatedKv> kv_;
+  DiscoveryService discovery_;
+  std::vector<std::string> region_names_;
+  std::vector<std::unique_ptr<IpsNode>> nodes_;
+};
+
+}  // namespace ips
+
+#endif  // IPS_CLUSTER_DEPLOYMENT_H_

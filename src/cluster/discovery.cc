@@ -1,0 +1,43 @@
+#include "cluster/discovery.h"
+
+namespace ips {
+
+void DiscoveryService::Register(const std::string& instance_id,
+                                const std::string& region,
+                                uint64_t endpoint) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ServiceEntry entry;
+  entry.instance_id = instance_id;
+  entry.region = region;
+  entry.endpoint = endpoint;
+  entry.last_heartbeat_ms = clock_->NowMs();
+  entries_[instance_id] = entry;
+}
+
+void DiscoveryService::Deregister(const std::string& instance_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_.erase(instance_id);
+}
+
+void DiscoveryService::Heartbeat(const std::string& instance_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(instance_id);
+  if (it != entries_.end()) {
+    it->second.last_heartbeat_ms = clock_->NowMs();
+  }
+}
+
+std::vector<ServiceEntry> DiscoveryService::Snapshot(
+    const std::string& region) const {
+  const TimestampMs now = clock_->NowMs();
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<ServiceEntry> out;
+  for (const auto& [id, entry] : entries_) {
+    if (now - entry.last_heartbeat_ms > ttl_ms_) continue;
+    if (!region.empty() && entry.region != region) continue;
+    out.push_back(entry);
+  }
+  return out;
+}
+
+}  // namespace ips

@@ -1,0 +1,53 @@
+// Service discovery (Section III): IPS instances register themselves with
+// Consul when ready, and clients refresh the instance list periodically.
+// This in-process registry models the same contract: registration with TTL
+// heartbeats, deregistration, and snapshot reads. The TTL makes crashed
+// nodes fall out of the view only after a heartbeat gap — exactly the stale-
+// view window real deployments see between a crash and client refresh.
+#ifndef IPS_CLUSTER_DISCOVERY_H_
+#define IPS_CLUSTER_DISCOVERY_H_
+
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+
+namespace ips {
+
+struct ServiceEntry {
+  std::string instance_id;
+  std::string region;
+  /// Opaque endpoint handle (index into the deployment's node table).
+  uint64_t endpoint = 0;
+  TimestampMs last_heartbeat_ms = 0;
+};
+
+class DiscoveryService {
+ public:
+  /// Entries whose heartbeat is older than `ttl_ms` are dropped from
+  /// snapshots.
+  DiscoveryService(Clock* clock, int64_t ttl_ms = 10'000)
+      : clock_(clock), ttl_ms_(ttl_ms) {}
+
+  void Register(const std::string& instance_id, const std::string& region,
+                uint64_t endpoint);
+  void Deregister(const std::string& instance_id);
+  void Heartbeat(const std::string& instance_id);
+
+  /// All live entries, optionally restricted to one region.
+  std::vector<ServiceEntry> Snapshot(const std::string& region = "") const;
+
+  size_t LiveCount() const { return Snapshot().size(); }
+
+ private:
+  Clock* clock_;
+  int64_t ttl_ms_;
+  mutable std::mutex mu_;
+  std::map<std::string, ServiceEntry> entries_;
+};
+
+}  // namespace ips
+
+#endif  // IPS_CLUSTER_DISCOVERY_H_

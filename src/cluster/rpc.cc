@@ -1,0 +1,60 @@
+#include "cluster/rpc.h"
+
+#include <thread>
+
+namespace ips {
+
+namespace {
+
+void BurnMicros(int64_t us) {
+  if (us <= 0) return;
+  if (us >= 1000) {
+    std::this_thread::sleep_for(std::chrono::microseconds(us));
+    return;
+  }
+  const int64_t deadline = MonotonicNanos() + us * 1000;
+  while (MonotonicNanos() < deadline) {
+    // spin
+  }
+}
+
+}  // namespace
+
+int64_t Channel::DrawOneWayDelayUs(size_t payload_bytes) {
+  int64_t delay = options_.base_latency_us;
+  if (options_.tail_latency_us > 0) {
+    std::lock_guard<std::mutex> lock(rng_mu_);
+    delay += static_cast<int64_t>(
+        rng_.Exponential(static_cast<double>(options_.tail_latency_us)));
+  }
+  if (options_.per_kib_us > 0) {
+    delay +=
+        options_.per_kib_us * static_cast<int64_t>(payload_bytes / 1024);
+  }
+  return delay;
+}
+
+Status Channel::Call(size_t request_bytes, size_t response_bytes,
+                     const std::function<Status()>& handler) {
+  if (partitioned_.load(std::memory_order_relaxed)) {
+    return Status::Unavailable("network partition");
+  }
+  {
+    std::lock_guard<std::mutex> lock(rng_mu_);
+    if (options_.drop_probability > 0.0 &&
+        rng_.Bernoulli(options_.drop_probability)) {
+      return Status::Unavailable("request dropped");
+    }
+  }
+  BurnMicros(DrawOneWayDelayUs(request_bytes));
+  Status status = handler();
+  BurnMicros(DrawOneWayDelayUs(response_bytes));
+  return status;
+}
+
+void Channel::SetDropProbability(double p) {
+  std::lock_guard<std::mutex> lock(rng_mu_);
+  options_.drop_probability = p;
+}
+
+}  // namespace ips

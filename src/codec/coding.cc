@@ -1,0 +1,91 @@
+#include "codec/coding.h"
+
+namespace ips {
+
+void PutFixed32(std::string* dst, uint32_t value) {
+  char buf[4];
+  buf[0] = static_cast<char>(value & 0xFF);
+  buf[1] = static_cast<char>((value >> 8) & 0xFF);
+  buf[2] = static_cast<char>((value >> 16) & 0xFF);
+  buf[3] = static_cast<char>((value >> 24) & 0xFF);
+  dst->append(buf, 4);
+}
+
+void PutFixed64(std::string* dst, uint64_t value) {
+  PutFixed32(dst, static_cast<uint32_t>(value & 0xFFFFFFFFULL));
+  PutFixed32(dst, static_cast<uint32_t>(value >> 32));
+}
+
+void PutVarint64(std::string* dst, uint64_t value) {
+  char buf[10];
+  int n = 0;
+  while (value >= 0x80) {
+    buf[n++] = static_cast<char>((value & 0x7F) | 0x80);
+    value >>= 7;
+  }
+  buf[n++] = static_cast<char>(value);
+  dst->append(buf, n);
+}
+
+void PutVarintSigned64(std::string* dst, int64_t value) {
+  PutVarint64(dst, ZigZagEncode(value));
+}
+
+void PutLengthPrefixed(std::string* dst, std::string_view value) {
+  PutVarint64(dst, value.size());
+  dst->append(value.data(), value.size());
+}
+
+bool Decoder::GetFixed32(uint32_t* value) {
+  if (input_.size() < 4) return false;
+  const unsigned char* p =
+      reinterpret_cast<const unsigned char*>(input_.data());
+  *value = static_cast<uint32_t>(p[0]) | (static_cast<uint32_t>(p[1]) << 8) |
+           (static_cast<uint32_t>(p[2]) << 16) |
+           (static_cast<uint32_t>(p[3]) << 24);
+  input_.remove_prefix(4);
+  return true;
+}
+
+bool Decoder::GetFixed64(uint64_t* value) {
+  uint32_t lo, hi;
+  if (!GetFixed32(&lo) || !GetFixed32(&hi)) return false;
+  *value = static_cast<uint64_t>(lo) | (static_cast<uint64_t>(hi) << 32);
+  return true;
+}
+
+bool Decoder::GetVarint64(uint64_t* value) {
+  uint64_t result = 0;
+  for (int shift = 0; shift <= 63 && !input_.empty(); shift += 7) {
+    const uint64_t byte = static_cast<unsigned char>(input_.front());
+    input_.remove_prefix(1);
+    result |= (byte & 0x7F) << shift;
+    if ((byte & 0x80) == 0) {
+      *value = result;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool Decoder::GetVarintSigned64(int64_t* value) {
+  uint64_t raw;
+  if (!GetVarint64(&raw)) return false;
+  *value = ZigZagDecode(raw);
+  return true;
+}
+
+bool Decoder::GetLengthPrefixed(std::string_view* value) {
+  uint64_t len;
+  if (!GetVarint64(&len)) return false;
+  return GetBytes(static_cast<size_t>(len), value);
+}
+
+bool Decoder::GetBytes(size_t n, std::string_view* value) {
+  if (input_.size() < n) return false;
+  *value = input_.substr(0, n);
+  input_.remove_prefix(n);
+  return true;
+}
+
+}  // namespace ips

@@ -1,0 +1,61 @@
+// Byte-oriented primitives for the profile wire format: little-endian fixed
+// integers, LEB128 varints and zigzag signed mapping. This is the substrate
+// for the Protocol-Buffers-style hierarchical profile encoding of Fig 12.
+#ifndef IPS_CODEC_CODING_H_
+#define IPS_CODEC_CODING_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+
+namespace ips {
+
+void PutFixed32(std::string* dst, uint32_t value);
+void PutFixed64(std::string* dst, uint64_t value);
+
+/// Appends an unsigned LEB128 varint (1-10 bytes).
+void PutVarint64(std::string* dst, uint64_t value);
+
+/// Appends a zigzag-mapped signed varint.
+void PutVarintSigned64(std::string* dst, int64_t value);
+
+/// Appends varint length + raw bytes.
+void PutLengthPrefixed(std::string* dst, std::string_view value);
+
+/// Sequential decoder over an input buffer. All getters return false on
+/// truncated/malformed input and leave the cursor unspecified; callers wrap
+/// failures into Status::Corruption.
+class Decoder {
+ public:
+  explicit Decoder(std::string_view input) : input_(input) {}
+
+  bool GetFixed32(uint32_t* value);
+  bool GetFixed64(uint64_t* value);
+  bool GetVarint64(uint64_t* value);
+  bool GetVarintSigned64(int64_t* value);
+  bool GetLengthPrefixed(std::string_view* value);
+  /// Reads exactly n raw bytes.
+  bool GetBytes(size_t n, std::string_view* value);
+
+  bool Empty() const { return input_.empty(); }
+  size_t Remaining() const { return input_.size(); }
+
+ private:
+  std::string_view input_;
+};
+
+inline uint64_t ZigZagEncode(int64_t v) {
+  return (static_cast<uint64_t>(v) << 1) ^
+         static_cast<uint64_t>(v >> 63);
+}
+
+inline int64_t ZigZagDecode(uint64_t v) {
+  return static_cast<int64_t>((v >> 1) ^ (~(v & 1) + 1));
+}
+
+}  // namespace ips
+
+#endif  // IPS_CODEC_CODING_H_

@@ -1,0 +1,144 @@
+#include "codec/compress.h"
+
+#include <cstring>
+
+#include "codec/coding.h"
+#include "common/hash.h"
+
+namespace ips {
+
+namespace {
+
+// Greedy LZ with a 14-bit hash table over 4-byte sequences. Ops:
+//   literal: varint(len << 1 | 0) + raw bytes
+//   copy:    varint(len << 1 | 1) + varint(offset)
+constexpr size_t kMinMatch = 4;
+constexpr size_t kMaxOffset = 1 << 16;
+constexpr int kHashBits = 14;
+constexpr size_t kHashSize = 1 << kHashBits;
+
+inline uint32_t HashQuad(const char* p) {
+  uint32_t v;
+  std::memcpy(&v, p, 4);
+  return (v * 0x9E3779B1u) >> (32 - kHashBits);
+}
+
+inline void EmitLiteral(std::string* out, const char* data, size_t len) {
+  if (len == 0) return;
+  PutVarint64(out, (static_cast<uint64_t>(len) << 1) | 0);
+  out->append(data, len);
+}
+
+inline void EmitCopy(std::string* out, size_t len, size_t offset) {
+  PutVarint64(out, (static_cast<uint64_t>(len) << 1) | 1);
+  PutVarint64(out, offset);
+}
+
+}  // namespace
+
+void BlockCompress(std::string_view input, std::string* output) {
+  output->clear();
+  PutVarint64(output, input.size());
+  PutFixed32(output, Checksum32(input.data(), input.size()));
+  if (input.empty()) return;
+
+  const char* const base = input.data();
+  const size_t n = input.size();
+  size_t table[kHashSize];
+  // Positions are stored +1 so zero means "empty".
+  std::memset(table, 0, sizeof(table));
+
+  size_t pos = 0;
+  size_t literal_start = 0;
+  while (pos + kMinMatch <= n) {
+    const uint32_t h = HashQuad(base + pos);
+    const size_t candidate = table[h];
+    table[h] = pos + 1;
+    bool matched = false;
+    if (candidate != 0) {
+      const size_t cand_pos = candidate - 1;
+      const size_t offset = pos - cand_pos;
+      if (offset > 0 && offset <= kMaxOffset &&
+          std::memcmp(base + cand_pos, base + pos, kMinMatch) == 0) {
+        // Extend the match.
+        size_t len = kMinMatch;
+        while (pos + len < n && base[cand_pos + len] == base[pos + len]) {
+          ++len;
+        }
+        EmitLiteral(output, base + literal_start, pos - literal_start);
+        EmitCopy(output, len, offset);
+        // Seed hash entries inside the match sparsely to keep speed.
+        const size_t end = pos + len;
+        for (size_t i = pos + 1; i + kMinMatch <= end && i + kMinMatch <= n;
+             i += 3) {
+          table[HashQuad(base + i)] = i + 1;
+        }
+        pos = end;
+        literal_start = pos;
+        matched = true;
+      }
+    }
+    if (!matched) ++pos;
+  }
+  EmitLiteral(output, base + literal_start, n - literal_start);
+}
+
+Status BlockUncompress(std::string_view compressed, std::string* output) {
+  Decoder dec(compressed);
+  uint64_t expected_len;
+  uint32_t checksum;
+  if (!dec.GetVarint64(&expected_len) || !dec.GetFixed32(&checksum)) {
+    return Status::Corruption("compressed frame header truncated");
+  }
+  output->clear();
+  output->reserve(expected_len);
+  while (!dec.Empty()) {
+    uint64_t tag;
+    if (!dec.GetVarint64(&tag)) {
+      return Status::Corruption("truncated op tag");
+    }
+    const uint64_t len = tag >> 1;
+    if (len == 0) return Status::Corruption("zero-length op");
+    if ((tag & 1) == 0) {
+      std::string_view literal;
+      if (!dec.GetBytes(len, &literal)) {
+        return Status::Corruption("truncated literal");
+      }
+      output->append(literal.data(), literal.size());
+    } else {
+      uint64_t offset;
+      if (!dec.GetVarint64(&offset)) {
+        return Status::Corruption("truncated copy offset");
+      }
+      if (offset == 0 || offset > output->size()) {
+        return Status::Corruption("copy offset out of range");
+      }
+      // Overlapping copies are legal (RLE-style); copy byte-wise.
+      size_t src = output->size() - offset;
+      for (uint64_t i = 0; i < len; ++i) {
+        output->push_back((*output)[src + i]);
+      }
+    }
+    if (output->size() > expected_len) {
+      return Status::Corruption("decompressed past declared length");
+    }
+  }
+  if (output->size() != expected_len) {
+    return Status::Corruption("decompressed length mismatch");
+  }
+  if (Checksum32(output->data(), output->size()) != checksum) {
+    return Status::Corruption("payload checksum mismatch");
+  }
+  return Status::OK();
+}
+
+Result<size_t> GetUncompressedLength(std::string_view compressed) {
+  Decoder dec(compressed);
+  uint64_t len;
+  if (!dec.GetVarint64(&len)) {
+    return Status::Corruption("compressed frame header truncated");
+  }
+  return static_cast<size_t>(len);
+}
+
+}  // namespace ips

@@ -1,0 +1,32 @@
+// Block compression for persisted profiles. The production system compresses
+// serialized profiles with Snappy before writing them to the key-value store
+// (Section III-E) to cut network traffic and storage; this is a from-scratch
+// byte-oriented LZ77-family codec with the same design point: speed over
+// ratio, greedy hash-table matching, no entropy stage.
+#ifndef IPS_CODEC_COMPRESS_H_
+#define IPS_CODEC_COMPRESS_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+
+namespace ips {
+
+/// Compresses `input` into `*output` (replacing its contents). The frame is
+/// self-describing: decompressed length, a checksum of the payload and a
+/// sequence of literal/copy ops. Always succeeds; incompressible input grows
+/// by at most input/255 + 16 bytes.
+void BlockCompress(std::string_view input, std::string* output);
+
+/// Decompresses a frame produced by BlockCompress. Returns Corruption on any
+/// malformed frame, out-of-range copy or checksum mismatch.
+Status BlockUncompress(std::string_view compressed, std::string* output);
+
+/// Returns the decompressed size recorded in the frame header without
+/// decompressing (used by cache memory accounting on load).
+Result<size_t> GetUncompressedLength(std::string_view compressed);
+
+}  // namespace ips
+
+#endif  // IPS_CODEC_COMPRESS_H_

@@ -1,0 +1,235 @@
+#include "codec/profile_codec.h"
+
+#include <algorithm>
+#include <map>
+
+#include "codec/coding.h"
+#include "codec/compress.h"
+
+namespace ips {
+
+namespace {
+
+constexpr uint32_t kProfileMagic = 0x49505346;  // "IPSF"
+constexpr uint32_t kSliceMetaMagic = 0x49505349;
+
+void EncodeCounts(const CountVector& counts, std::string* out) {
+  PutVarint64(out, counts.size());
+  for (size_t i = 0; i < counts.size(); ++i) {
+    PutVarintSigned64(out, counts[i]);
+  }
+}
+
+bool DecodeCounts(Decoder* dec, CountVector* counts) {
+  uint64_t n;
+  if (!dec->GetVarint64(&n)) return false;
+  if (n > 1u << 20) return false;  // sanity bound against corrupt lengths
+  counts->Resize(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    int64_t v;
+    if (!dec->GetVarintSigned64(&v)) return false;
+    (*counts)[i] = v;
+  }
+  return true;
+}
+
+void EncodeStats(const IndexedFeatureStats& stats, std::string* out) {
+  PutVarint64(out, stats.size());
+  // Delta-encode the sorted fids: adjacency compresses hashed ids poorly but
+  // costs nothing, and production fids are often dense per type.
+  FeatureId prev = 0;
+  for (const auto& stat : stats.stats()) {
+    PutVarint64(out, stat.fid - prev);
+    prev = stat.fid;
+    EncodeCounts(stat.counts, out);
+  }
+}
+
+bool DecodeStats(Decoder* dec, IndexedFeatureStats* stats) {
+  uint64_t n;
+  if (!dec->GetVarint64(&n)) return false;
+  if (n > 1u << 26) return false;
+  FeatureId prev = 0;
+  for (uint64_t i = 0; i < n; ++i) {
+    uint64_t delta;
+    if (!dec->GetVarint64(&delta)) return false;
+    FeatureStat stat;
+    stat.fid = prev + delta;
+    // Deltas of zero would break strict ordering except for the first entry.
+    if (i > 0 && delta == 0) return false;
+    prev = stat.fid;
+    if (!DecodeCounts(dec, &stat.counts)) return false;
+    stats->AppendSortedUnchecked(std::move(stat));
+  }
+  return true;
+}
+
+void EncodeSliceBody(const Slice& slice, std::string* out) {
+  PutVarintSigned64(out, slice.start_ms());
+  PutVarintSigned64(out, slice.end_ms());
+  // Deterministic order: sort slot and type ids.
+  std::map<SlotId, const InstanceSet*> slots;
+  for (const auto& [slot, set] : slice.slots()) slots[slot] = &set;
+  PutVarint64(out, slots.size());
+  for (const auto& [slot, set] : slots) {
+    PutVarint64(out, slot);
+    std::map<TypeId, const IndexedFeatureStats*> types;
+    for (const auto& [type, stats] : set->types()) types[type] = &stats;
+    PutVarint64(out, types.size());
+    for (const auto& [type, stats] : types) {
+      PutVarint64(out, type);
+      EncodeStats(*stats, out);
+    }
+  }
+}
+
+bool DecodeSliceBody(Decoder* dec, Slice* slice) {
+  int64_t start, end;
+  if (!dec->GetVarintSigned64(&start) || !dec->GetVarintSigned64(&end)) {
+    return false;
+  }
+  slice->set_range(start, end);
+  uint64_t num_slots;
+  if (!dec->GetVarint64(&num_slots)) return false;
+  if (num_slots > 1u << 20) return false;
+  for (uint64_t s = 0; s < num_slots; ++s) {
+    uint64_t slot, num_types;
+    if (!dec->GetVarint64(&slot) || !dec->GetVarint64(&num_types)) {
+      return false;
+    }
+    if (num_types > 1u << 20) return false;
+    InstanceSet& set =
+        slice->mutable_slots()[static_cast<SlotId>(slot)];
+    for (uint64_t t = 0; t < num_types; ++t) {
+      uint64_t type;
+      if (!dec->GetVarint64(&type)) return false;
+      IndexedFeatureStats& stats =
+          set.mutable_types()[static_cast<TypeId>(type)];
+      if (!DecodeStats(dec, &stats)) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+void EncodeSlice(const Slice& slice, std::string* out) {
+  out->clear();
+  EncodeSliceBody(slice, out);
+}
+
+Status DecodeSlice(std::string_view data, Slice* slice) {
+  *slice = Slice();
+  Decoder dec(data);
+  if (!DecodeSliceBody(&dec, slice) || !dec.Empty()) {
+    return Status::Corruption("malformed slice encoding");
+  }
+  return Status::OK();
+}
+
+void EncodeProfile(const ProfileData& profile, std::string* out) {
+  std::string raw;
+  PutFixed32(&raw, kProfileMagic);
+  PutVarint64(&raw, profile.write_granularity_ms());
+  PutVarintSigned64(&raw, profile.LastActionMs());
+  PutVarint64(&raw, profile.SliceCount());
+  for (const auto& slice : profile.slices()) {
+    EncodeSliceBody(slice, &raw);
+  }
+  BlockCompress(raw, out);
+}
+
+Status DecodeProfile(std::string_view data, ProfileData* profile) {
+  std::string raw;
+  IPS_RETURN_IF_ERROR(BlockUncompress(data, &raw));
+  Decoder dec(raw);
+  uint32_t magic;
+  if (!dec.GetFixed32(&magic) || magic != kProfileMagic) {
+    return Status::Corruption("bad profile magic");
+  }
+  uint64_t granularity;
+  int64_t last_action;
+  uint64_t num_slices;
+  if (!dec.GetVarint64(&granularity) ||
+      !dec.GetVarintSigned64(&last_action) ||
+      !dec.GetVarint64(&num_slices)) {
+    return Status::Corruption("truncated profile header");
+  }
+  if (num_slices > 1u << 24) {
+    return Status::Corruption("implausible slice count");
+  }
+  *profile = ProfileData(static_cast<int64_t>(granularity));
+  profile->set_last_action_ms(last_action);
+  for (uint64_t i = 0; i < num_slices; ++i) {
+    Slice slice;
+    if (!DecodeSliceBody(&dec, &slice)) {
+      return Status::Corruption("malformed slice in profile");
+    }
+    profile->mutable_slices().push_back(std::move(slice));
+  }
+  if (!dec.Empty()) {
+    return Status::Corruption("trailing bytes after profile");
+  }
+  if (!profile->CheckInvariants()) {
+    return Status::Corruption("decoded profile violates slice invariants");
+  }
+  profile->RecomputeBytes();  // slices were attached directly
+  return Status::OK();
+}
+
+void EncodeSliceMeta(const SliceMeta& meta, std::string* out) {
+  out->clear();
+  PutFixed32(out, kSliceMetaMagic);
+  PutVarint64(out, meta.write_granularity_ms);
+  PutVarintSigned64(out, meta.last_action_ms);
+  PutVarint64(out, meta.entries.size());
+  for (const auto& e : meta.entries) {
+    PutVarint64(out, e.slice_key);
+    PutVarintSigned64(out, e.start_ms);
+    PutVarintSigned64(out, e.end_ms);
+  }
+}
+
+Status DecodeSliceMeta(std::string_view data, SliceMeta* meta) {
+  Decoder dec(data);
+  uint32_t magic;
+  if (!dec.GetFixed32(&magic) || magic != kSliceMetaMagic) {
+    return Status::Corruption("bad slice-meta magic");
+  }
+  uint64_t granularity, num;
+  int64_t last_action;
+  if (!dec.GetVarint64(&granularity) ||
+      !dec.GetVarintSigned64(&last_action) || !dec.GetVarint64(&num)) {
+    return Status::Corruption("truncated slice-meta header");
+  }
+  if (num > 1u << 24) return Status::Corruption("implausible entry count");
+  meta->write_granularity_ms = static_cast<int64_t>(granularity);
+  meta->last_action_ms = last_action;
+  meta->entries.clear();
+  meta->entries.reserve(num);
+  for (uint64_t i = 0; i < num; ++i) {
+    SliceMetaEntry e;
+    if (!dec.GetVarint64(&e.slice_key) ||
+        !dec.GetVarintSigned64(&e.start_ms) ||
+        !dec.GetVarintSigned64(&e.end_ms)) {
+      return Status::Corruption("truncated slice-meta entry");
+    }
+    meta->entries.push_back(e);
+  }
+  if (!dec.Empty()) return Status::Corruption("trailing bytes in slice-meta");
+  return Status::OK();
+}
+
+size_t EncodedProfileSizeUncompressed(const ProfileData& profile) {
+  std::string raw;
+  PutFixed32(&raw, kProfileMagic);
+  PutVarint64(&raw, profile.write_granularity_ms());
+  PutVarintSigned64(&raw, profile.LastActionMs());
+  PutVarint64(&raw, profile.SliceCount());
+  for (const auto& slice : profile.slices()) {
+    EncodeSliceBody(slice, &raw);
+  }
+  return raw.size();
+}
+
+}  // namespace ips

@@ -1,0 +1,58 @@
+// Profile (de)serialization for persistence (Section III-E).
+//
+// Two granularities are supported, matching the paper:
+//  * Bulk mode (Fig 12): the whole ProfileData is encoded hierarchically,
+//    compressed, and stored under the profile id.
+//  * Fine-grained mode (Fig 13): each slice is encoded and stored as its own
+//    value; a compact SliceMeta record lists the slice keys, ranges and a
+//    generation number for the version-controlled consistency protocol of
+//    Fig 14.
+#ifndef IPS_CODEC_PROFILE_CODEC_H_
+#define IPS_CODEC_PROFILE_CODEC_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "core/profile_data.h"
+#include "core/slice.h"
+
+namespace ips {
+
+/// Encodes one slice (interval + all slot/type/feature stats).
+void EncodeSlice(const Slice& slice, std::string* out);
+/// Decodes a slice; Corruption on malformed input.
+Status DecodeSlice(std::string_view data, Slice* slice);
+
+/// Encodes the whole profile (bulk mode) and compresses it.
+void EncodeProfile(const ProfileData& profile, std::string* out);
+/// Decodes a compressed bulk-mode profile.
+Status DecodeProfile(std::string_view data, ProfileData* profile);
+
+/// Metadata describing one persisted slice in fine-grained mode.
+struct SliceMetaEntry {
+  /// Key suffix of the slice value in the KV store.
+  uint64_t slice_key = 0;
+  TimestampMs start_ms = 0;
+  TimestampMs end_ms = 0;
+};
+
+/// The slice-meta value (Fig 13): an ordered list of slice entries plus the
+/// profile-level attributes needed to reconstruct ProfileData.
+struct SliceMeta {
+  int64_t write_granularity_ms = 60'000;
+  TimestampMs last_action_ms = 0;
+  std::vector<SliceMetaEntry> entries;  // newest first
+};
+
+void EncodeSliceMeta(const SliceMeta& meta, std::string* out);
+Status DecodeSliceMeta(std::string_view data, SliceMeta* meta);
+
+/// Uncompressed encoded size of a profile, handy for the paper's ~40 KB
+/// serialized-profile observations in benches.
+size_t EncodedProfileSizeUncompressed(const ProfileData& profile);
+
+}  // namespace ips
+
+#endif  // IPS_CODEC_PROFILE_CODEC_H_

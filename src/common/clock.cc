@@ -1,0 +1,10 @@
+#include "common/clock.h"
+
+namespace ips {
+
+SystemClock* SystemClock::Instance() {
+  static SystemClock* const kInstance = new SystemClock();
+  return kInstance;
+}
+
+}  // namespace ips

@@ -1,0 +1,486 @@
+#include "common/config.h"
+
+#include <cctype>
+#include <charconv>
+#include <cstdio>
+
+#include "common/clock.h"
+
+namespace ips {
+
+namespace {
+
+const ConfigValue& NullValue() {
+  static const ConfigValue* const kNull = new ConfigValue();
+  return *kNull;
+}
+
+// Recursive-descent JSON parser over a string_view cursor.
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Result<ConfigValue> Parse() {
+    IPS_ASSIGN_OR_RETURN(ConfigValue v, ParseValue());
+    SkipWs();
+    if (pos_ != text_.size()) {
+      return Status::InvalidArgument("trailing characters at offset " +
+                                     std::to_string(pos_));
+    }
+    return v;
+  }
+
+ private:
+  void SkipWs() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    SkipWs();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Status Err(const std::string& what) {
+    return Status::InvalidArgument(what + " at offset " +
+                                   std::to_string(pos_));
+  }
+
+  Result<ConfigValue> ParseValue() {
+    SkipWs();
+    if (pos_ >= text_.size()) return Err("unexpected end of input");
+    const char c = text_[pos_];
+    switch (c) {
+      case '{':
+        return ParseObject();
+      case '[':
+        return ParseArray();
+      case '"': {
+        IPS_ASSIGN_OR_RETURN(std::string s, ParseString());
+        return ConfigValue::String(std::move(s));
+      }
+      case 't':
+        if (text_.substr(pos_, 4) == "true") {
+          pos_ += 4;
+          return ConfigValue::Bool(true);
+        }
+        return Err("bad literal");
+      case 'f':
+        if (text_.substr(pos_, 5) == "false") {
+          pos_ += 5;
+          return ConfigValue::Bool(false);
+        }
+        return Err("bad literal");
+      case 'n':
+        if (text_.substr(pos_, 4) == "null") {
+          pos_ += 4;
+          return ConfigValue();
+        }
+        return Err("bad literal");
+      default:
+        return ParseNumber();
+    }
+  }
+
+  Result<ConfigValue> ParseObject() {
+    if (!Consume('{')) return Err("expected '{'");
+    ConfigValue obj = ConfigValue::Object();
+    SkipWs();
+    if (Consume('}')) return obj;
+    for (;;) {
+      SkipWs();
+      if (pos_ >= text_.size() || text_[pos_] != '"') {
+        return Err("expected object key");
+      }
+      IPS_ASSIGN_OR_RETURN(std::string key, ParseString());
+      if (!Consume(':')) return Err("expected ':'");
+      IPS_ASSIGN_OR_RETURN(ConfigValue v, ParseValue());
+      obj.Set(std::move(key), std::move(v));
+      if (Consume(',')) continue;
+      if (Consume('}')) return obj;
+      return Err("expected ',' or '}'");
+    }
+  }
+
+  Result<ConfigValue> ParseArray() {
+    if (!Consume('[')) return Err("expected '['");
+    ConfigValue arr = ConfigValue::Array();
+    SkipWs();
+    if (Consume(']')) return arr;
+    for (;;) {
+      IPS_ASSIGN_OR_RETURN(ConfigValue v, ParseValue());
+      arr.Append(std::move(v));
+      if (Consume(',')) continue;
+      if (Consume(']')) return arr;
+      return Err("expected ',' or ']'");
+    }
+  }
+
+  Result<std::string> ParseString() {
+    // Caller guarantees text_[pos_] == '"'.
+    ++pos_;
+    std::string out;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c == '\\') {
+        if (pos_ >= text_.size()) return Err("bad escape");
+        const char e = text_[pos_++];
+        switch (e) {
+          case '"':
+            out += '"';
+            break;
+          case '\\':
+            out += '\\';
+            break;
+          case '/':
+            out += '/';
+            break;
+          case 'n':
+            out += '\n';
+            break;
+          case 't':
+            out += '\t';
+            break;
+          case 'r':
+            out += '\r';
+            break;
+          case 'b':
+            out += '\b';
+            break;
+          case 'f':
+            out += '\f';
+            break;
+          default:
+            return Err("unsupported escape");
+        }
+      } else {
+        out += c;
+      }
+    }
+    return Err("unterminated string");
+  }
+
+  Result<ConfigValue> ParseNumber() {
+    const size_t start = pos_;
+    if (pos_ < text_.size() && (text_[pos_] == '-' || text_[pos_] == '+')) {
+      ++pos_;
+    }
+    bool is_double = false;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (std::isdigit(static_cast<unsigned char>(c))) {
+        ++pos_;
+      } else if (c == '.' || c == 'e' || c == 'E' || c == '-' || c == '+') {
+        // '-'/'+' only valid after exponent, but we let from_chars validate.
+        is_double = is_double || c == '.' || c == 'e' || c == 'E';
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    const std::string_view token = text_.substr(start, pos_ - start);
+    if (token.empty()) return Err("expected value");
+    if (!is_double) {
+      int64_t v = 0;
+      auto [p, ec] =
+          std::from_chars(token.data(), token.data() + token.size(), v);
+      if (ec == std::errc() && p == token.data() + token.size()) {
+        return ConfigValue::Int(v);
+      }
+    }
+    // Fall back to double parsing (std::from_chars<double> exists in gcc 12).
+    double d = 0.0;
+    auto [p, ec] =
+        std::from_chars(token.data(), token.data() + token.size(), d);
+    if (ec != std::errc() || p != token.data() + token.size()) {
+      return Err("malformed number");
+    }
+    return ConfigValue::Double(d);
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+void DumpValue(const ConfigValue& v, std::string& out) {
+  switch (v.type()) {
+    case ConfigValue::Type::kNull:
+      out += "null";
+      return;
+    case ConfigValue::Type::kBool:
+      out += v.AsBool() ? "true" : "false";
+      return;
+    case ConfigValue::Type::kInt:
+      out += std::to_string(v.AsInt());
+      return;
+    case ConfigValue::Type::kDouble: {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%.17g", v.AsDouble());
+      out += buf;
+      return;
+    }
+    case ConfigValue::Type::kString:
+      out += '"';
+      for (char c : v.AsString()) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          default:
+            out += c;
+        }
+      }
+      out += '"';
+      return;
+    case ConfigValue::Type::kArray: {
+      out += '[';
+      bool first = true;
+      for (const auto& item : v.items()) {
+        if (!first) out += ',';
+        first = false;
+        DumpValue(item, out);
+      }
+      out += ']';
+      return;
+    }
+    case ConfigValue::Type::kObject: {
+      out += '{';
+      bool first = true;
+      for (const auto& [k, val] : v.members()) {
+        if (!first) out += ',';
+        first = false;
+        out += '"';
+        out += k;
+        out += "\":";
+        DumpValue(val, out);
+      }
+      out += '}';
+      return;
+    }
+  }
+}
+
+}  // namespace
+
+ConfigValue ConfigValue::Bool(bool b) {
+  ConfigValue v;
+  v.type_ = Type::kBool;
+  v.bool_ = b;
+  return v;
+}
+
+ConfigValue ConfigValue::Int(int64_t i) {
+  ConfigValue v;
+  v.type_ = Type::kInt;
+  v.int_ = i;
+  return v;
+}
+
+ConfigValue ConfigValue::Double(double d) {
+  ConfigValue v;
+  v.type_ = Type::kDouble;
+  v.double_ = d;
+  return v;
+}
+
+ConfigValue ConfigValue::String(std::string s) {
+  ConfigValue v;
+  v.type_ = Type::kString;
+  v.string_ = std::move(s);
+  return v;
+}
+
+ConfigValue ConfigValue::Array() {
+  ConfigValue v;
+  v.type_ = Type::kArray;
+  return v;
+}
+
+ConfigValue ConfigValue::Object() {
+  ConfigValue v;
+  v.type_ = Type::kObject;
+  return v;
+}
+
+bool ConfigValue::AsBool(bool fallback) const {
+  return type_ == Type::kBool ? bool_ : fallback;
+}
+
+int64_t ConfigValue::AsInt(int64_t fallback) const {
+  if (type_ == Type::kInt) return int_;
+  if (type_ == Type::kDouble) return static_cast<int64_t>(double_);
+  return fallback;
+}
+
+double ConfigValue::AsDouble(double fallback) const {
+  if (type_ == Type::kDouble) return double_;
+  if (type_ == Type::kInt) return static_cast<double>(int_);
+  return fallback;
+}
+
+const std::string& ConfigValue::AsString() const { return string_; }
+
+const ConfigValue& ConfigValue::Get(std::string_view key) const {
+  if (type_ == Type::kObject) {
+    auto it = object_.find(std::string(key));
+    if (it != object_.end()) return it->second;
+  }
+  return NullValue();
+}
+
+bool ConfigValue::Has(std::string_view key) const {
+  return type_ == Type::kObject &&
+         object_.find(std::string(key)) != object_.end();
+}
+
+ConfigValue& ConfigValue::Set(std::string key, ConfigValue value) {
+  type_ = Type::kObject;
+  return object_[std::move(key)] = std::move(value);
+}
+
+void ConfigValue::Append(ConfigValue value) {
+  type_ = Type::kArray;
+  array_.push_back(std::move(value));
+}
+
+size_t ConfigValue::size() const {
+  if (type_ == Type::kArray) return array_.size();
+  if (type_ == Type::kObject) return object_.size();
+  return 0;
+}
+
+std::string ConfigValue::Dump() const {
+  std::string out;
+  DumpValue(*this, out);
+  return out;
+}
+
+Result<ConfigValue> ParseConfig(std::string_view text) {
+  return Parser(text).Parse();
+}
+
+Result<int64_t> ParseDurationMs(std::string_view text) {
+  if (text.empty()) return Status::InvalidArgument("empty duration");
+  size_t i = 0;
+  while (i < text.size() && (std::isdigit(static_cast<unsigned char>(
+                                 text[i])) ||
+                             (i == 0 && text[i] == '-'))) {
+    ++i;
+  }
+  if (i == 0 || (i == 1 && text[0] == '-')) {
+    return Status::InvalidArgument("duration missing magnitude: " +
+                                   std::string(text));
+  }
+  int64_t magnitude = 0;
+  {
+    auto [p, ec] = std::from_chars(text.data(), text.data() + i, magnitude);
+    if (ec != std::errc() || p != text.data() + i) {
+      return Status::InvalidArgument("bad duration magnitude: " +
+                                     std::string(text));
+    }
+  }
+  const std::string_view unit = text.substr(i);
+  int64_t scale;
+  if (unit.empty() || unit == "s") {
+    scale = kMillisPerSecond;
+  } else if (unit == "ms") {
+    scale = 1;
+  } else if (unit == "m") {
+    scale = kMillisPerMinute;
+  } else if (unit == "h") {
+    scale = kMillisPerHour;
+  } else if (unit == "d") {
+    scale = kMillisPerDay;
+  } else {
+    return Status::InvalidArgument("unknown duration unit: " +
+                                   std::string(text));
+  }
+  return magnitude * scale;
+}
+
+std::string FormatDurationMs(int64_t ms) {
+  struct Unit {
+    int64_t scale;
+    const char* suffix;
+  };
+  static constexpr Unit kUnits[] = {{kMillisPerDay, "d"},
+                                    {kMillisPerHour, "h"},
+                                    {kMillisPerMinute, "m"},
+                                    {kMillisPerSecond, "s"}};
+  for (const auto& u : kUnits) {
+    if (ms != 0 && ms % u.scale == 0) {
+      return std::to_string(ms / u.scale) + u.suffix;
+    }
+  }
+  return std::to_string(ms) + "ms";
+}
+
+int ConfigRegistry::Publish(const std::string& key, ConfigValue value) {
+  std::vector<Listener> to_notify;
+  ConfigValue snapshot;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    values_[key] = std::move(value);
+    snapshot = values_[key];
+    for (const auto& [id, sub] : subs_) {
+      if (sub.key == key) to_notify.push_back(sub.listener);
+    }
+  }
+  for (const auto& l : to_notify) l(snapshot);
+  return static_cast<int>(to_notify.size());
+}
+
+Status ConfigRegistry::PublishJson(const std::string& key,
+                                   std::string_view text) {
+  IPS_ASSIGN_OR_RETURN(ConfigValue v, ParseConfig(text));
+  Publish(key, std::move(v));
+  return Status::OK();
+}
+
+int64_t ConfigRegistry::Subscribe(const std::string& key, Listener listener) {
+  ConfigValue snapshot;
+  bool have_value = false;
+  int64_t id;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    id = next_id_++;
+    subs_[id] = Subscription{key, listener};
+    auto it = values_.find(key);
+    if (it != values_.end()) {
+      snapshot = it->second;
+      have_value = true;
+    }
+  }
+  if (have_value) listener(snapshot);
+  return id;
+}
+
+void ConfigRegistry::Unsubscribe(int64_t subscription_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  subs_.erase(subscription_id);
+}
+
+ConfigValue ConfigRegistry::Current(const std::string& key) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = values_.find(key);
+  return it == values_.end() ? ConfigValue() : it->second;
+}
+
+}  // namespace ips

@@ -1,0 +1,126 @@
+// Minimal JSON-style configuration values with the duration literals the
+// paper's configs use ("10m", "1h", "30d" — Listings 2-4), plus a registry
+// with hot-reload callbacks (Section V-b: "most changes can be made live in
+// minutes", via hot-reloadable feature configuration).
+#ifndef IPS_COMMON_CONFIG_H_
+#define IPS_COMMON_CONFIG_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace ips {
+
+/// A parsed configuration value: null, bool, int, double, string, array or
+/// object. Objects preserve key order via std::map for deterministic dumps.
+class ConfigValue {
+ public:
+  enum class Type { kNull, kBool, kInt, kDouble, kString, kArray, kObject };
+
+  ConfigValue() : type_(Type::kNull) {}
+  static ConfigValue Bool(bool b);
+  static ConfigValue Int(int64_t i);
+  static ConfigValue Double(double d);
+  static ConfigValue String(std::string s);
+  static ConfigValue Array();
+  static ConfigValue Object();
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_object() const { return type_ == Type::kObject; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_string() const { return type_ == Type::kString; }
+  bool is_number() const {
+    return type_ == Type::kInt || type_ == Type::kDouble;
+  }
+
+  bool AsBool(bool fallback = false) const;
+  int64_t AsInt(int64_t fallback = 0) const;
+  double AsDouble(double fallback = 0.0) const;
+  const std::string& AsString() const;
+
+  /// Object access. Returns a shared null value when missing.
+  const ConfigValue& Get(std::string_view key) const;
+  bool Has(std::string_view key) const;
+  ConfigValue& Set(std::string key, ConfigValue value);
+
+  /// Array access.
+  const std::vector<ConfigValue>& items() const { return array_; }
+  void Append(ConfigValue value);
+  size_t size() const;
+
+  const std::map<std::string, ConfigValue>& members() const {
+    return object_;
+  }
+
+  /// Serializes back to compact JSON.
+  std::string Dump() const;
+
+ private:
+  Type type_;
+  bool bool_ = false;
+  int64_t int_ = 0;
+  double double_ = 0.0;
+  std::string string_;
+  std::vector<ConfigValue> array_;
+  std::map<std::string, ConfigValue> object_;
+};
+
+/// Parses a JSON document (objects, arrays, strings, numbers, true/false/
+/// null). Rejects trailing garbage. No exceptions; malformed input returns an
+/// error status.
+Result<ConfigValue> ParseConfig(std::string_view text);
+
+/// Parses a duration literal like "500ms", "10s", "10m", "1h", "30d" into
+/// milliseconds. A bare integer is treated as seconds, matching the paper's
+/// config listings where "0s"/"1m" style units are the norm.
+Result<int64_t> ParseDurationMs(std::string_view text);
+
+/// Formats milliseconds back to the most compact exact unit ("90s", "2h").
+std::string FormatDurationMs(int64_t ms);
+
+/// Hot-reloadable configuration registry. Components subscribe to a key and
+/// are invoked synchronously whenever a new document is published under it.
+class ConfigRegistry {
+ public:
+  using Listener = std::function<void(const ConfigValue&)>;
+
+  /// Publishes a new config under `key`, replacing the previous one and
+  /// notifying all subscribers. Returns the number of listeners notified.
+  int Publish(const std::string& key, ConfigValue value);
+
+  /// Parses `text` and publishes it; malformed documents are rejected and the
+  /// previous config stays live (the hot-reload safety contract).
+  Status PublishJson(const std::string& key, std::string_view text);
+
+  /// Subscribes to `key`. If a value is already present the listener fires
+  /// immediately. Returns a subscription id usable with Unsubscribe.
+  int64_t Subscribe(const std::string& key, Listener listener);
+
+  void Unsubscribe(int64_t subscription_id);
+
+  /// Snapshot of the current value (null when absent).
+  ConfigValue Current(const std::string& key) const;
+
+ private:
+  struct Subscription {
+    std::string key;
+    Listener listener;
+  };
+
+  mutable std::mutex mu_;
+  std::map<std::string, ConfigValue> values_;
+  std::map<int64_t, Subscription> subs_;
+  int64_t next_id_ = 1;
+};
+
+}  // namespace ips
+
+#endif  // IPS_COMMON_CONFIG_H_

@@ -1,0 +1,53 @@
+// Hashing utilities shared by the shard routers, the consistent-hash ring
+// and the cache partitioning.
+#ifndef IPS_COMMON_HASH_H_
+#define IPS_COMMON_HASH_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string_view>
+
+namespace ips {
+
+/// 64-bit finalizer-style mixer (murmur3 fmix64). Bijective; used to spread
+/// sequential profile IDs across shards.
+inline uint64_t Mix64(uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xFF51AFD7ED558CCDULL;
+  x ^= x >> 33;
+  x *= 0xC4CEB9FE1A85EC53ULL;
+  x ^= x >> 33;
+  return x;
+}
+
+/// FNV-1a over arbitrary bytes; used for string keys (table names, node ids).
+inline uint64_t Fnv1a(std::string_view data) {
+  uint64_t h = 0xCBF29CE484222325ULL;
+  for (unsigned char c : data) {
+    h ^= c;
+    h *= 0x100000001B3ULL;
+  }
+  return h;
+}
+
+/// Combines two hashes (boost-style with 64-bit constant).
+inline uint64_t HashCombine(uint64_t a, uint64_t b) {
+  return a ^ (b + 0x9E3779B97F4A7C15ULL + (a << 12) + (a >> 4));
+}
+
+/// CRC-ish checksum for codec framing. Not a real CRC32C (no hardware
+/// dependency) but detects the corruption classes the tests inject.
+inline uint32_t Checksum32(const void* data, size_t len) {
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+  uint64_t h = 0x811C9DC5ULL ^ len;
+  for (size_t i = 0; i < len; ++i) {
+    h ^= p[i];
+    h *= 0x01000193ULL;
+    h ^= h >> 17;
+  }
+  return static_cast<uint32_t>(h ^ (h >> 32));
+}
+
+}  // namespace ips
+
+#endif  // IPS_COMMON_HASH_H_

@@ -1,0 +1,129 @@
+#include "common/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+
+namespace ips {
+
+namespace {
+
+// Geometric bucket boundaries: first 64 buckets are exact (0..63), then each
+// subsequent group of 16 doubles the range, giving ~4% relative resolution.
+constexpr int kLinearBuckets = 64;
+constexpr int kSubBucketsPerOctave = 16;
+
+}  // namespace
+
+int Histogram::BucketFor(int64_t value) {
+  if (value < 0) value = 0;
+  if (value < kLinearBuckets) return static_cast<int>(value);
+  // Position within the geometric region.
+  const int msb = 63 - __builtin_clzll(static_cast<uint64_t>(value));
+  const int octave = msb - 5;  // values >= 64 have msb >= 6
+  const int64_t base = int64_t{1} << msb;
+  const int sub = static_cast<int>(((value - base) * kSubBucketsPerOctave) /
+                                   base);
+  int idx = kLinearBuckets + (octave - 1) * kSubBucketsPerOctave + sub;
+  if (idx >= kNumBuckets) idx = kNumBuckets - 1;
+  return idx;
+}
+
+int64_t Histogram::BucketUpperBound(int bucket) {
+  if (bucket < kLinearBuckets) return bucket;
+  const int rel = bucket - kLinearBuckets;
+  const int octave = rel / kSubBucketsPerOctave + 1;
+  const int sub = rel % kSubBucketsPerOctave;
+  const int64_t base = int64_t{1} << (octave + 5);
+  return base + (base * (sub + 1)) / kSubBucketsPerOctave - 1;
+}
+
+Histogram::Histogram() { Reset(); }
+
+void Histogram::Reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+  min_.store(std::numeric_limits<int64_t>::max(), std::memory_order_relaxed);
+  max_.store(0, std::memory_order_relaxed);
+}
+
+void Histogram::Record(int64_t value) { RecordMultiple(value, 1); }
+
+void Histogram::RecordMultiple(int64_t value, int64_t count) {
+  if (count <= 0) return;
+  if (value < 0) value = 0;
+  buckets_[BucketFor(value)].fetch_add(count, std::memory_order_relaxed);
+  count_.fetch_add(count, std::memory_order_relaxed);
+  sum_.fetch_add(value * count, std::memory_order_relaxed);
+  int64_t prev_min = min_.load(std::memory_order_relaxed);
+  while (value < prev_min &&
+         !min_.compare_exchange_weak(prev_min, value,
+                                     std::memory_order_relaxed)) {
+  }
+  int64_t prev_max = max_.load(std::memory_order_relaxed);
+  while (value > prev_max &&
+         !max_.compare_exchange_weak(prev_max, value,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+int64_t Histogram::min() const {
+  const int64_t m = min_.load(std::memory_order_relaxed);
+  return m == std::numeric_limits<int64_t>::max() ? 0 : m;
+}
+
+double Histogram::Mean() const {
+  const int64_t c = count();
+  return c == 0 ? 0.0 : static_cast<double>(sum()) / static_cast<double>(c);
+}
+
+int64_t Histogram::Percentile(double q) const {
+  const int64_t total = count();
+  if (total == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  const int64_t target = static_cast<int64_t>(std::ceil(q * total));
+  int64_t seen = 0;
+  for (int i = 0; i < kNumBuckets; ++i) {
+    seen += buckets_[i].load(std::memory_order_relaxed);
+    if (seen >= target && seen > 0) {
+      return std::min(BucketUpperBound(i), max());
+    }
+  }
+  return max();
+}
+
+void Histogram::Merge(const Histogram& other) {
+  for (int i = 0; i < kNumBuckets; ++i) {
+    const int64_t v = other.buckets_[i].load(std::memory_order_relaxed);
+    if (v != 0) buckets_[i].fetch_add(v, std::memory_order_relaxed);
+  }
+  count_.fetch_add(other.count(), std::memory_order_relaxed);
+  sum_.fetch_add(other.sum(), std::memory_order_relaxed);
+  const int64_t omin = other.min_.load(std::memory_order_relaxed);
+  int64_t prev_min = min_.load(std::memory_order_relaxed);
+  while (omin < prev_min &&
+         !min_.compare_exchange_weak(prev_min, omin,
+                                     std::memory_order_relaxed)) {
+  }
+  const int64_t omax = other.max();
+  int64_t prev_max = max_.load(std::memory_order_relaxed);
+  while (omax > prev_max &&
+         !max_.compare_exchange_weak(prev_max, omax,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+std::string Histogram::Summary() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "count=%lld mean=%.1f p50=%lld p99=%lld max=%lld",
+                static_cast<long long>(count()), Mean(),
+                static_cast<long long>(Percentile(0.50)),
+                static_cast<long long>(Percentile(0.99)),
+                static_cast<long long>(max()));
+  return buf;
+}
+
+}  // namespace ips

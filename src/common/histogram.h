@@ -1,0 +1,63 @@
+// Streaming latency histogram with log-bucketed resolution, used by every
+// bench harness to report the p50/p99 series the paper's figures show.
+#ifndef IPS_COMMON_HISTOGRAM_H_
+#define IPS_COMMON_HISTOGRAM_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ips {
+
+/// Thread-safe histogram over non-negative integer samples (typically
+/// microseconds). Buckets grow geometrically (~4% relative error), which is
+/// ample for millisecond-scale service latency reporting.
+class Histogram {
+ public:
+  Histogram();
+
+  /// Records one sample. Lock-free.
+  void Record(int64_t value);
+
+  /// Records `count` occurrences of `value`.
+  void RecordMultiple(int64_t value, int64_t count);
+
+  int64_t count() const { return count_.load(std::memory_order_relaxed); }
+  int64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+  int64_t min() const;
+  int64_t max() const { return max_.load(std::memory_order_relaxed); }
+  double Mean() const;
+
+  /// Value at quantile q in [0, 1], e.g. Percentile(0.99). Returns 0 when
+  /// empty.
+  int64_t Percentile(double q) const;
+
+  /// Resets all counters; not atomic with respect to concurrent Record calls
+  /// (bench harnesses call it between windows on quiesced load).
+  void Reset();
+
+  /// Merges `other` into this histogram.
+  void Merge(const Histogram& other);
+
+  /// One-line summary: count/mean/p50/p99/max.
+  std::string Summary() const;
+
+  static constexpr int kNumBuckets = 512;
+
+  /// Exposed for tests: bucket index for a value.
+  static int BucketFor(int64_t value);
+  /// Exposed for tests: representative (upper bound) value of a bucket.
+  static int64_t BucketUpperBound(int bucket);
+
+ private:
+  std::atomic<int64_t> buckets_[kNumBuckets];
+  std::atomic<int64_t> count_;
+  std::atomic<int64_t> sum_;
+  std::atomic<int64_t> min_;
+  std::atomic<int64_t> max_;
+};
+
+}  // namespace ips
+
+#endif  // IPS_COMMON_HISTOGRAM_H_

@@ -1,0 +1,46 @@
+// Minimal leveled logger. Off by default at DEBUG; bench binaries raise the
+// level for progress lines. Thread-safe via a single mutex (the hot paths do
+// not log).
+#ifndef IPS_COMMON_LOGGING_H_
+#define IPS_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace ips {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Sets the global minimum level; messages below it are dropped.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+/// Emits one log line (already formatted) at the given level.
+void LogMessage(LogLevel level, const std::string& message);
+
+namespace logging_internal {
+
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { LogMessage(level_, stream_.str()); }
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace logging_internal
+}  // namespace ips
+
+#define IPS_LOG(level)                                        \
+  if (::ips::GetLogLevel() <= ::ips::LogLevel::k##level)      \
+  ::ips::logging_internal::LogLine(::ips::LogLevel::k##level)
+
+#endif  // IPS_COMMON_LOGGING_H_

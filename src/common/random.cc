@@ -1,0 +1,44 @@
+#include "common/random.h"
+
+#include <cmath>
+
+namespace ips {
+
+ZipfGenerator::ZipfGenerator(uint64_t n, double theta)
+    : n_(n), theta_(theta) {
+  assert(n > 0);
+  assert(theta > 0.0 && theta < 1.0);
+  zeta_two_theta_ = Zeta(2, theta);
+  zeta_n_ = Zeta(n, theta);
+  alpha_ = 1.0 / (1.0 - theta);
+  eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n), 1.0 - theta)) /
+         (1.0 - zeta_two_theta_ / zeta_n_);
+}
+
+double ZipfGenerator::Zeta(uint64_t n, double theta) {
+  double sum = 0.0;
+  for (uint64_t i = 1; i <= n; ++i) {
+    sum += 1.0 / std::pow(static_cast<double>(i), theta);
+  }
+  return sum;
+}
+
+uint64_t ZipfGenerator::Next(Rng& rng) const {
+  const double u = rng.NextDouble();
+  const double uz = u * zeta_n_;
+  if (uz < 1.0) return 0;
+  if (uz < 1.0 + std::pow(0.5, theta_)) return 1;
+  const uint64_t rank = static_cast<uint64_t>(
+      static_cast<double>(n_) * std::pow(eta_ * u - eta_ + 1.0, alpha_));
+  return rank >= n_ ? n_ - 1 : rank;
+}
+
+uint64_t ScrambleId(uint64_t rank) {
+  // Stafford variant 13 of the murmur3 finalizer — a bijection on 64 bits.
+  uint64_t z = rank + 0x9E3779B97F4A7C15ULL;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace ips

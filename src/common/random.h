@@ -1,0 +1,117 @@
+// Deterministic pseudo-random sources used by workload generators, failure
+// injection and the simulated transports. Everything is seedable so every
+// benchmark run is reproducible.
+#ifndef IPS_COMMON_RANDOM_H_
+#define IPS_COMMON_RANDOM_H_
+
+#include <cassert>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+namespace ips {
+
+/// xoshiro256** generator: fast, high quality, and state is four words so a
+/// per-shard instance costs nothing. Not cryptographic.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ULL) { Seed(seed); }
+
+  void Seed(uint64_t seed) {
+    // SplitMix64 expansion of the seed, the canonical initializer.
+    for (auto& word : state_) {
+      seed += 0x9E3779B97F4A7C15ULL;
+      uint64_t z = seed;
+      z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+      z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+      word = z ^ (z >> 31);
+    }
+  }
+
+  uint64_t Next() {
+    const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform in [0, bound). bound must be > 0.
+  uint64_t Uniform(uint64_t bound) {
+    assert(bound > 0);
+    // Lemire's multiply-shift rejection-free mapping is fine here; slight
+    // modulo bias is irrelevant for workload generation.
+    return static_cast<uint64_t>(
+        (static_cast<__uint128_t>(Next()) * bound) >> 64);
+  }
+
+  /// Uniform in [lo, hi] inclusive.
+  int64_t UniformRange(int64_t lo, int64_t hi) {
+    assert(hi >= lo);
+    return lo + static_cast<int64_t>(
+                    Uniform(static_cast<uint64_t>(hi - lo) + 1));
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  /// True with probability p.
+  bool Bernoulli(double p) { return NextDouble() < p; }
+
+  /// Exponential variate with the given mean (> 0); used for simulated
+  /// network/storage latency tails.
+  double Exponential(double mean) {
+    double u = NextDouble();
+    if (u >= 1.0) u = 0.9999999999999999;
+    return -mean * std::log1p(-u);
+  }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  uint64_t state_[4];
+};
+
+/// Zipfian sampler over [0, n). Uses the Gray/Jain rejection-inversion-free
+/// approximation with precomputed zeta; draws are O(1).
+///
+/// User popularity in consumer recommendation traffic is heavily skewed; the
+/// paper's cache-hit-ratio and compaction results only arise under such skew,
+/// so all profile-ID workloads in bench/ sample from this distribution.
+class ZipfGenerator {
+ public:
+  /// `n` items, skew `theta` in (0, 1); theta ~0.99 matches YCSB's default
+  /// and approximates measured content-consumption skew.
+  ZipfGenerator(uint64_t n, double theta);
+
+  /// Draws an item rank in [0, n); rank 0 is the most popular.
+  uint64_t Next(Rng& rng) const;
+
+  uint64_t n() const { return n_; }
+
+ private:
+  static double Zeta(uint64_t n, double theta);
+
+  uint64_t n_;
+  double theta_;
+  double alpha_;
+  double zeta_n_;
+  double eta_;
+  double zeta_two_theta_;
+};
+
+/// Scrambles a dense rank into a sparse 64-bit ID so consecutive hot users do
+/// not land on the same hash shard (mirrors hashed profile IDs in the paper).
+uint64_t ScrambleId(uint64_t rank);
+
+}  // namespace ips
+
+#endif  // IPS_COMMON_RANDOM_H_

@@ -1,0 +1,43 @@
+#include "common/rate_limiter.h"
+
+#include <algorithm>
+
+namespace ips {
+
+TokenBucket::TokenBucket(double rate_per_sec, double burst, Clock* clock)
+    : rate_per_sec_(rate_per_sec),
+      burst_(burst),
+      available_(burst),
+      last_refill_ms_(clock->NowMs()),
+      clock_(clock) {}
+
+void TokenBucket::RefillLocked(TimestampMs now_ms) {
+  if (now_ms <= last_refill_ms_) return;
+  const double elapsed_sec =
+      static_cast<double>(now_ms - last_refill_ms_) / 1000.0;
+  available_ = std::min(burst_, available_ + elapsed_sec * rate_per_sec_);
+  last_refill_ms_ = now_ms;
+}
+
+bool TokenBucket::TryAcquire(double tokens) {
+  std::lock_guard<std::mutex> lock(mu_);
+  RefillLocked(clock_->NowMs());
+  if (available_ < tokens) return false;
+  available_ -= tokens;
+  return true;
+}
+
+void TokenBucket::Reconfigure(double rate_per_sec, double burst) {
+  std::lock_guard<std::mutex> lock(mu_);
+  RefillLocked(clock_->NowMs());
+  rate_per_sec_ = rate_per_sec;
+  burst_ = burst;
+  available_ = std::min(available_, burst_);
+}
+
+double TokenBucket::rate_per_sec() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return rate_per_sec_;
+}
+
+}  // namespace ips

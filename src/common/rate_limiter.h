@@ -1,0 +1,43 @@
+// Token-bucket rate limiter backing the per-caller QPS quotas of Section V-b:
+// each upstream caller gets a quota and the server rejects requests above it
+// until the usage falls back under the limit.
+#ifndef IPS_COMMON_RATE_LIMITER_H_
+#define IPS_COMMON_RATE_LIMITER_H_
+
+#include <cstdint>
+#include <mutex>
+
+#include "common/clock.h"
+
+namespace ips {
+
+/// Classic token bucket. Thread-safe. Time comes from a Clock so quota
+/// behaviour is testable under simulated time.
+class TokenBucket {
+ public:
+  /// `rate_per_sec` tokens accrue per second up to `burst` capacity.
+  TokenBucket(double rate_per_sec, double burst, Clock* clock);
+
+  /// Attempts to take `tokens`; returns false (and consumes nothing) when the
+  /// bucket lacks them — the quota-exceeded rejection path.
+  bool TryAcquire(double tokens = 1.0);
+
+  /// Replaces the rate/burst on the fly (hot reconfiguration, §V-b).
+  void Reconfigure(double rate_per_sec, double burst);
+
+  double rate_per_sec() const;
+
+ private:
+  void RefillLocked(TimestampMs now_ms);
+
+  mutable std::mutex mu_;
+  double rate_per_sec_;
+  double burst_;
+  double available_;
+  TimestampMs last_refill_ms_;
+  Clock* clock_;
+};
+
+}  // namespace ips
+
+#endif  // IPS_COMMON_RATE_LIMITER_H_

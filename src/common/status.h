@@ -1,0 +1,173 @@
+// Error handling primitives for IPS. The codebase does not use exceptions;
+// every fallible operation returns a Status or a Result<T>.
+#ifndef IPS_COMMON_STATUS_H_
+#define IPS_COMMON_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace ips {
+
+/// Canonical error space, loosely modelled after absl::StatusCode. Only the
+/// codes IPS actually produces are defined.
+enum class StatusCode : int {
+  kOk = 0,
+  kNotFound = 1,
+  kInvalidArgument = 2,
+  kAlreadyExists = 3,
+  kResourceExhausted = 4,   // quota rejections, memory caps
+  kUnavailable = 5,         // injected node/region failures, dropped RPCs
+  kDeadlineExceeded = 6,
+  kAborted = 7,             // version conflicts on XSet (Fig 14 protocol)
+  kCorruption = 8,          // codec / checksum failures
+  kInternal = 9,
+  kUnimplemented = 10,
+};
+
+/// Returns the canonical spelling of a code, e.g. "NOT_FOUND".
+std::string_view StatusCodeToString(StatusCode code);
+
+/// Value-semantic status object. An OK status carries no message and no
+/// allocation; error statuses carry a code and a human-readable message.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  static Status OK() { return Status(); }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Aborted(std::string msg) {
+    return Status(StatusCode::kAborted, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
+  bool IsAlreadyExists() const {
+    return code_ == StatusCode::kAlreadyExists;
+  }
+  bool IsInvalidArgument() const {
+    return code_ == StatusCode::kInvalidArgument;
+  }
+  bool IsResourceExhausted() const {
+    return code_ == StatusCode::kResourceExhausted;
+  }
+  bool IsUnavailable() const { return code_ == StatusCode::kUnavailable; }
+  bool IsAborted() const { return code_ == StatusCode::kAborted; }
+  bool IsCorruption() const { return code_ == StatusCode::kCorruption; }
+
+  /// "OK" or "CODE: message".
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Result<T> holds either a value or an error Status, like absl::StatusOr.
+template <typename T>
+class Result {
+ public:
+  // Implicit conversions from value / status intentionally mirror StatusOr
+  // ergonomics: `return value;` and `return Status::NotFound(...)` both work.
+  Result(T value) : value_(std::move(value)) {}            // NOLINT
+  Result(Status status) : status_(std::move(status)) {     // NOLINT
+    assert(!status_.ok() && "Result constructed from OK status without value");
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return *std::move(value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value, or `fallback` when in error state.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  std::optional<T> value_;
+  Status status_;
+};
+
+// Propagates errors to the caller, Rust-`?`-style.
+#define IPS_RETURN_IF_ERROR(expr)                   \
+  do {                                              \
+    ::ips::Status _ips_status = (expr);             \
+    if (!_ips_status.ok()) return _ips_status;      \
+  } while (0)
+
+#define IPS_ASSIGN_OR_RETURN_IMPL(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                              \
+  if (!tmp.ok()) return tmp.status();              \
+  lhs = std::move(tmp).value()
+
+#define IPS_ASSIGN_OR_RETURN_CONCAT(a, b) a##b
+#define IPS_ASSIGN_OR_RETURN_NAME(a, b) IPS_ASSIGN_OR_RETURN_CONCAT(a, b)
+
+// `IPS_ASSIGN_OR_RETURN(auto v, Fn());` — assigns on success, returns the
+// error Status on failure.
+#define IPS_ASSIGN_OR_RETURN(lhs, rexpr) \
+  IPS_ASSIGN_OR_RETURN_IMPL(             \
+      IPS_ASSIGN_OR_RETURN_NAME(_ips_result_, __LINE__), lhs, rexpr)
+
+}  // namespace ips
+
+#endif  // IPS_COMMON_STATUS_H_

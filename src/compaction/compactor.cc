@@ -1,0 +1,191 @@
+#include "compaction/compactor.h"
+
+#include <algorithm>
+#include <unordered_set>
+#include <vector>
+
+namespace ips {
+
+namespace {
+
+// Granularity the ladder prescribes for data of the given age; falls back to
+// the write granularity for ages before the ladder and to the coarsest rung
+// for ages past its end.
+int64_t GranularityForAge(const TableSchema& schema, int64_t age_ms) {
+  if (schema.time_dimensions.empty()) return schema.write_granularity_ms;
+  for (const auto& rule : schema.time_dimensions) {
+    if (age_ms >= rule.from_age_ms && age_ms < rule.to_age_ms) {
+      return rule.granularity_ms;
+    }
+  }
+  if (age_ms >= schema.time_dimensions.back().to_age_ms) {
+    return schema.time_dimensions.back().granularity_ms;
+  }
+  return schema.write_granularity_ms;
+}
+
+int64_t BucketOf(TimestampMs ts, int64_t granularity) {
+  int64_t b = ts / granularity;
+  if (ts < 0 && b * granularity > ts) --b;
+  return b;
+}
+
+}  // namespace
+
+double Compactor::ImportanceScore(const CountVector& counts) const {
+  const auto& weights = schema_->shrink.action_weights;
+  double score = 0.0;
+  for (size_t i = 0; i < counts.size(); ++i) {
+    const double w = i < weights.size() ? weights[i] : 1.0;
+    score += w * static_cast<double>(counts[i]);
+  }
+  return score;
+}
+
+size_t Compactor::Compact(ProfileData& profile, TimestampMs now_ms,
+                          size_t max_merges) const {
+  if (schema_->time_dimensions.empty()) return 0;
+  auto& slices = profile.mutable_slices();
+  size_t merged = 0;
+  auto it = slices.begin();  // newest first
+  while (it != slices.end()) {
+    auto older = std::next(it);
+    if (older == slices.end()) break;
+    // The rung is chosen by the newer slice's age: as data ages it migrates
+    // down the ladder, and using the finer (newer) granularity guarantees we
+    // never produce a window wider than either member's prescription.
+    const int64_t age_ms = now_ms - it->end_ms();
+    const int64_t g = GranularityForAge(*schema_, age_ms);
+    const bool same_bucket =
+        BucketOf(older->start_ms(), g) == BucketOf(it->end_ms() - 1, g);
+    if (same_bucket && it->end_ms() - older->start_ms() <= g) {
+      it->MergeFrom(*older, schema_->reduce);
+      slices.erase(older);
+      ++merged;
+      if (max_merges > 0 && merged >= max_merges) break;
+      // Stay on `it`: it may absorb further older neighbours in this bucket.
+    } else {
+      ++it;
+    }
+  }
+  if (merged > 0) profile.RecomputeBytes();
+  return merged;
+}
+
+size_t Compactor::Truncate(ProfileData& profile, TimestampMs now_ms) const {
+  const TruncatePolicy& policy = schema_->truncate;
+  auto& slices = profile.mutable_slices();
+  size_t dropped = 0;
+
+  if (policy.max_age_ms > 0) {
+    const TimestampMs horizon = now_ms - policy.max_age_ms;
+    while (!slices.empty() && slices.back().end_ms() <= horizon) {
+      slices.pop_back();
+      ++dropped;
+    }
+  }
+
+  if (policy.max_slices > 0 &&
+      slices.size() > static_cast<size_t>(policy.max_slices)) {
+    const size_t excess = slices.size() - policy.max_slices;
+    for (size_t i = 0; i < excess; ++i) {
+      slices.pop_back();
+      ++dropped;
+    }
+  }
+  if (dropped > 0) profile.RecomputeBytes();
+  return dropped;
+}
+
+size_t Compactor::Shrink(ProfileData& profile, TimestampMs now_ms) const {
+  const ShrinkPolicy& policy = schema_->shrink;
+  if (policy.default_retain == 0 && policy.retain_per_slot.empty()) return 0;
+
+  const TimestampMs fresh_after = now_ms - policy.freshness_horizon_ms;
+  size_t removed = 0;
+
+  for (auto& slice : profile.mutable_slices()) {
+    // Freshness principle: recent slices are exempt — a low count on recent
+    // data may still grow, so eliminating it would destroy signal.
+    if (slice.end_ms() > fresh_after) continue;
+
+    for (auto& [slot, set] : slice.mutable_slots()) {
+      auto budget_it = policy.retain_per_slot.find(slot);
+      const int64_t budget = budget_it != policy.retain_per_slot.end()
+                                 ? budget_it->second
+                                 : policy.default_retain;
+      if (budget <= 0) continue;  // shrink disabled for this slot
+
+      const size_t total = set.TotalFeatures();
+      if (total <= static_cast<size_t>(budget)) continue;
+
+      // Multi-dimensional importance: weighted sum across action counts.
+      // The budget applies per slot per slice, across all types.
+      struct Entry {
+        double score;
+        TypeId type;
+        FeatureId fid;
+      };
+      std::vector<Entry> entries;
+      entries.reserve(total);
+      for (const auto& [type, stats] : set.types()) {
+        for (const auto& stat : stats.stats()) {
+          entries.push_back(Entry{ImportanceScore(stat.counts), type,
+                                  stat.fid});
+        }
+      }
+      auto better = [](const Entry& a, const Entry& b) {
+        if (a.score != b.score) return a.score > b.score;
+        if (a.type != b.type) return a.type < b.type;
+        return a.fid < b.fid;
+      };
+      std::nth_element(entries.begin(), entries.begin() + budget - 1,
+                       entries.end(), better);
+      entries.resize(budget);
+
+      std::unordered_set<uint64_t> kept;
+      kept.reserve(entries.size());
+      for (const auto& e : entries) {
+        kept.insert((static_cast<uint64_t>(e.type) << 48) ^ e.fid);
+      }
+      for (auto& [type, stats] : set.mutable_types()) {
+        const TypeId t = type;
+        const size_t before = stats.size();
+        stats.Retain([&](const FeatureStat& stat) {
+          return kept.count((static_cast<uint64_t>(t) << 48) ^ stat.fid) > 0;
+        });
+        removed += before - stats.size();
+      }
+    }
+  }
+  if (removed > 0) profile.RecomputeBytes();
+  return removed;
+}
+
+CompactionStats Compactor::FullCompact(ProfileData& profile,
+                                       TimestampMs now_ms) const {
+  CompactionStats stats;
+  stats.bytes_before = profile.ApproximateBytes();
+  stats.slices_merged = Compact(profile, now_ms);
+  stats.slices_truncated = Truncate(profile, now_ms);
+  stats.features_shrunk = Shrink(profile, now_ms);
+  // The passes above mutate the slice list directly, so the incremental
+  // byte counter must be re-measured.
+  stats.bytes_after = profile.RecomputeBytes();
+  return stats;
+}
+
+CompactionStats Compactor::PartialCompact(ProfileData& profile,
+                                          TimestampMs now_ms) const {
+  // Cheap steps only: bounded merging plus truncation. Shrink's scoring pass
+  // is the expensive part, deferred to full compactions.
+  constexpr size_t kPartialMergeBudget = 4;
+  CompactionStats stats;
+  stats.bytes_before = profile.ApproximateBytes();
+  stats.slices_merged = Compact(profile, now_ms, kPartialMergeBudget);
+  stats.slices_truncated = Truncate(profile, now_ms);
+  stats.bytes_after = profile.RecomputeBytes();
+  return stats;
+}
+
+}  // namespace ips

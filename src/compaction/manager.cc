@@ -1,0 +1,94 @@
+#include "compaction/manager.h"
+
+namespace ips {
+
+CompactionManager::CompactionManager(
+    CompactionManagerOptions options, Clock* clock,
+    std::function<void(ProfileId, bool)> run_compaction,
+    MetricsRegistry* metrics)
+    : options_(options),
+      clock_(clock),
+      run_compaction_(std::move(run_compaction)),
+      metrics_(metrics) {
+  if (!options_.synchronous) {
+    pool_ = std::make_unique<ThreadPool>(options_.num_threads,
+                                         options_.max_queue);
+  }
+}
+
+CompactionManager::~CompactionManager() {
+  if (pool_) pool_->Wait();
+}
+
+bool CompactionManager::MaybeTrigger(ProfileId pid) {
+  if (!enabled_.load(std::memory_order_relaxed)) return false;
+  const TimestampMs now = clock_->NowMs();
+  bool full = true;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (in_flight_.count(pid) > 0) return false;
+    auto it = last_run_ms_.find(pid);
+    if (it != last_run_ms_.end() &&
+        now - it->second < options_.min_interval_ms) {
+      return false;
+    }
+    in_flight_.insert(pid);
+    last_run_ms_[pid] = now;
+    // Bound the rate-limit map: it only needs recent entries.
+    if (last_run_ms_.size() > 4 * options_.max_queue + 1024) {
+      for (auto li = last_run_ms_.begin(); li != last_run_ms_.end();) {
+        if (now - li->second >= options_.min_interval_ms) {
+          li = last_run_ms_.erase(li);
+        } else {
+          ++li;
+        }
+      }
+    }
+  }
+
+  if (metrics_ != nullptr) {
+    metrics_->GetCounter("compaction.triggered")->Increment();
+  }
+
+  if (options_.synchronous) {
+    Execute(pid, /*full=*/true);
+    return true;
+  }
+
+  // Degrade to partial compaction when the queue backs up (peak traffic).
+  full = pool_->QueueDepth() < options_.partial_threshold;
+  const bool submitted =
+      pool_->Submit([this, pid, full] { Execute(pid, full); });
+  if (!submitted) {
+    std::lock_guard<std::mutex> lock(mu_);
+    in_flight_.erase(pid);
+    if (metrics_ != nullptr) {
+      metrics_->GetCounter("compaction.dropped")->Increment();
+    }
+    return false;
+  }
+  return true;
+}
+
+void CompactionManager::Execute(ProfileId pid, bool full) {
+  const int64_t begin_ns = MonotonicNanos();
+  run_compaction_(pid, full);
+  if (metrics_ != nullptr) {
+    metrics_->GetCounter(full ? "compaction.full" : "compaction.partial")
+        ->Increment();
+    metrics_->GetHistogram("compaction.micros")
+        ->Record((MonotonicNanos() - begin_ns) / 1000);
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  in_flight_.erase(pid);
+}
+
+void CompactionManager::Drain() {
+  if (pool_) pool_->Wait();
+}
+
+size_t CompactionManager::QueueDepth() const {
+  return pool_ ? pool_->QueueDepth() : 0;
+}
+
+}  // namespace ips

@@ -1,0 +1,97 @@
+#include "core/feature_stat.h"
+
+#include <algorithm>
+
+namespace ips {
+
+namespace {
+
+struct FidLess {
+  bool operator()(const FeatureStat& s, FeatureId fid) const {
+    return s.fid < fid;
+  }
+};
+
+}  // namespace
+
+int64_t IndexedFeatureStats::Upsert(FeatureId fid, const CountVector& counts,
+                                    ReduceFn reduce) {
+  auto it = std::lower_bound(stats_.begin(), stats_.end(), fid, FidLess());
+  if (it != stats_.end() && it->fid == fid) {
+    const int64_t before =
+        static_cast<int64_t>(it->counts.ApproximateBytes());
+    switch (reduce) {
+      case ReduceFn::kSum:
+        it->counts.AccumulateSum(counts);
+        break;
+      case ReduceFn::kMax:
+        it->counts.AccumulateMax(counts);
+        break;
+    }
+    return static_cast<int64_t>(it->counts.ApproximateBytes()) - before;
+  }
+  FeatureStat stat;
+  stat.fid = fid;
+  stat.counts = counts;
+  const int64_t delta = static_cast<int64_t>(stat.ApproximateBytes());
+  stats_.insert(it, std::move(stat));
+  return delta;
+}
+
+const FeatureStat* IndexedFeatureStats::Find(FeatureId fid) const {
+  auto it = std::lower_bound(stats_.begin(), stats_.end(), fid, FidLess());
+  if (it != stats_.end() && it->fid == fid) return &*it;
+  return nullptr;
+}
+
+void IndexedFeatureStats::MergeFrom(const IndexedFeatureStats& other,
+                                    ReduceFn reduce) {
+  if (other.empty()) return;
+  if (empty()) {
+    stats_ = other.stats_;
+    return;
+  }
+  // Linear two-way merge: both inputs are sorted by fid.
+  std::vector<FeatureStat> merged;
+  merged.reserve(stats_.size() + other.stats_.size());
+  size_t i = 0, j = 0;
+  while (i < stats_.size() && j < other.stats_.size()) {
+    if (stats_[i].fid < other.stats_[j].fid) {
+      merged.push_back(std::move(stats_[i++]));
+    } else if (stats_[i].fid > other.stats_[j].fid) {
+      merged.push_back(other.stats_[j++]);
+    } else {
+      FeatureStat combined = std::move(stats_[i++]);
+      switch (reduce) {
+        case ReduceFn::kSum:
+          combined.counts.AccumulateSum(other.stats_[j].counts);
+          break;
+        case ReduceFn::kMax:
+          combined.counts.AccumulateMax(other.stats_[j].counts);
+          break;
+      }
+      ++j;
+      merged.push_back(std::move(combined));
+    }
+  }
+  while (i < stats_.size()) merged.push_back(std::move(stats_[i++]));
+  while (j < other.stats_.size()) merged.push_back(other.stats_[j++]);
+  stats_ = std::move(merged);
+}
+
+size_t IndexedFeatureStats::ApproximateBytes() const {
+  size_t bytes = sizeof(IndexedFeatureStats);
+  for (const auto& s : stats_) bytes += s.ApproximateBytes();
+  // Unused vector capacity still occupies memory.
+  bytes += (stats_.capacity() - stats_.size()) * sizeof(FeatureStat);
+  return bytes;
+}
+
+bool IndexedFeatureStats::IsSorted() const {
+  for (size_t i = 1; i < stats_.size(); ++i) {
+    if (stats_[i - 1].fid >= stats_[i].fid) return false;
+  }
+  return true;
+}
+
+}  // namespace ips

@@ -1,0 +1,133 @@
+#include "core/profile_data.h"
+
+#include <algorithm>
+
+namespace ips {
+
+TimestampMs ProfileData::AlignDown(TimestampMs ts) const {
+  const int64_t g = write_granularity_ms_;
+  if (g <= 1) return ts;
+  TimestampMs aligned = (ts / g) * g;
+  if (ts < 0 && aligned > ts) aligned -= g;  // floor for negative timestamps
+  return aligned;
+}
+
+Status ProfileData::Add(TimestampMs timestamp, SlotId slot, TypeId type,
+                        FeatureId fid, const CountVector& counts,
+                        ReduceFn reduce) {
+  if (counts.empty()) {
+    return Status::InvalidArgument("empty count vector");
+  }
+  last_action_ms_ = std::max(last_action_ms_, timestamp);
+
+  const TimestampMs aligned = AlignDown(timestamp);
+  const TimestampMs aligned_end = aligned + write_granularity_ms_;
+
+  // Overhead charged per freshly created slice (list node + empty slice).
+  constexpr int64_t kNewSliceBytes = static_cast<int64_t>(sizeof(Slice)) + 16;
+
+  if (slices_.empty()) {
+    slices_.emplace_front(aligned, aligned_end);
+    approx_bytes_ += kNewSliceBytes +
+                     slices_.front().Add(slot, type, fid, counts, reduce);
+    return Status::OK();
+  }
+
+  // Newer than (or at) the head's end: open a new head slice. Its start is
+  // clamped to the head's end so intervals stay disjoint even when the head
+  // has been compacted into a non-grid-aligned width.
+  Slice& head = slices_.front();
+  if (timestamp >= head.end_ms()) {
+    const TimestampMs start = std::max(aligned, head.end_ms());
+    slices_.emplace_front(start, std::max(aligned_end, start + 1));
+    approx_bytes_ += kNewSliceBytes +
+                     slices_.front().Add(slot, type, fid, counts, reduce);
+    return Status::OK();
+  }
+
+  // Walk newest -> oldest to find the covering slice or the insertion gap.
+  for (auto it = slices_.begin(); it != slices_.end(); ++it) {
+    if (it->Contains(timestamp)) {
+      approx_bytes_ += it->Add(slot, type, fid, counts, reduce);
+      return Status::OK();
+    }
+    if (timestamp >= it->end_ms()) {
+      // Gap between the previous (newer) slice and *it.
+      auto newer = std::prev(it);
+      const TimestampMs lo = std::max(aligned, it->end_ms());
+      const TimestampMs hi = std::min(aligned_end, newer->start_ms());
+      auto inserted = slices_.emplace(it, lo, std::max(hi, lo + 1));
+      approx_bytes_ +=
+          kNewSliceBytes + inserted->Add(slot, type, fid, counts, reduce);
+      return Status::OK();
+    }
+  }
+
+  // Older than everything: append at the tail.
+  Slice& tail = slices_.back();
+  const TimestampMs hi = std::min(aligned_end, tail.start_ms());
+  const TimestampMs lo = std::min(aligned, hi - 1);
+  slices_.emplace_back(lo, hi);
+  approx_bytes_ +=
+      kNewSliceBytes + slices_.back().Add(slot, type, fid, counts, reduce);
+  return Status::OK();
+}
+
+TimestampMs ProfileData::NewestMs() const {
+  return slices_.empty() ? 0 : slices_.front().end_ms();
+}
+
+TimestampMs ProfileData::OldestMs() const {
+  return slices_.empty() ? 0 : slices_.back().start_ms();
+}
+
+size_t ProfileData::TotalFeatures() const {
+  size_t total = 0;
+  for (const auto& s : slices_) total += s.TotalFeatures();
+  return total;
+}
+
+size_t ProfileData::RecomputeBytes() {
+  size_t bytes = sizeof(ProfileData);
+  for (const auto& s : slices_) bytes += s.ApproximateBytes() + 16;
+  approx_bytes_ = bytes;
+  return bytes;
+}
+
+bool ProfileData::CheckInvariants() const {
+  TimestampMs prev_start = 0;
+  bool first = true;
+  for (const auto& s : slices_) {
+    if (s.start_ms() >= s.end_ms()) return false;
+    if (!first && s.end_ms() > prev_start) return false;  // overlap/disorder
+    prev_start = s.start_ms();
+    first = false;
+    for (const auto& [slot, set] : s.slots()) {
+      for (const auto& [type, stats] : set.types()) {
+        if (!stats.IsSorted()) return false;
+      }
+    }
+  }
+  return true;
+}
+
+void ProfileData::MergeProfile(const ProfileData& other, ReduceFn reduce) {
+  for (auto it = other.slices_.rbegin(); it != other.slices_.rend(); ++it) {
+    // Re-add every feature of the foreign slice through the normal write
+    // path, stamped at the slice's start. This keeps the disjointness
+    // invariant without needing interval surgery; isolation-merge slices are
+    // narrow (seconds wide) so the aggregation error is bounded by the write
+    // granularity, the same trade-off the paper accepts for compaction.
+    for (const auto& [slot, set] : it->slots()) {
+      for (const auto& [type, stats] : set.types()) {
+        for (const auto& stat : stats.stats()) {
+          Add(it->start_ms(), slot, type, stat.fid, stat.counts, reduce)
+              .ok();
+        }
+      }
+    }
+  }
+  last_action_ms_ = std::max(last_action_ms_, other.last_action_ms_);
+}
+
+}  // namespace ips

@@ -1,0 +1,145 @@
+#include "core/table_schema.h"
+
+#include <algorithm>
+
+namespace ips {
+
+int TableSchema::ActionIndex(const std::string& action) const {
+  for (size_t i = 0; i < actions.size(); ++i) {
+    if (actions[i] == action) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+Status TableSchema::Validate() const {
+  if (name.empty()) return Status::InvalidArgument("table name empty");
+  if (write_granularity_ms <= 0) {
+    return Status::InvalidArgument("write granularity must be positive");
+  }
+  int64_t prev_to = -1;
+  for (const auto& rule : time_dimensions) {
+    if (rule.granularity_ms <= 0) {
+      return Status::InvalidArgument("time dimension granularity <= 0");
+    }
+    if (rule.from_age_ms >= rule.to_age_ms) {
+      return Status::InvalidArgument("time dimension range inverted");
+    }
+    if (prev_to >= 0 && rule.from_age_ms != prev_to) {
+      return Status::InvalidArgument(
+          "time dimension ladder has gaps or overlaps");
+    }
+    prev_to = rule.to_age_ms;
+  }
+  if (truncate.max_age_ms < 0 || truncate.max_slices < 0) {
+    return Status::InvalidArgument("negative truncate limit");
+  }
+  if (shrink.default_retain < 0) {
+    return Status::InvalidArgument("negative shrink budget");
+  }
+  return Status::OK();
+}
+
+Result<TableSchema> ParseTableSchema(const ConfigValue& doc) {
+  if (!doc.is_object()) {
+    return Status::InvalidArgument("schema document must be an object");
+  }
+  TableSchema schema;
+  schema.name = doc.Get("name").AsString();
+
+  for (const auto& a : doc.Get("actions").items()) {
+    schema.actions.push_back(a.AsString());
+  }
+
+  const std::string& reduce = doc.Get("reduce").AsString();
+  if (reduce.empty() || reduce == "SUM") {
+    schema.reduce = ReduceFn::kSum;
+  } else if (reduce == "MAX") {
+    schema.reduce = ReduceFn::kMax;
+  } else {
+    return Status::InvalidArgument("unknown reduce function: " + reduce);
+  }
+
+  if (doc.Has("write_granularity")) {
+    IPS_ASSIGN_OR_RETURN(
+        schema.write_granularity_ms,
+        ParseDurationMs(doc.Get("write_granularity").AsString()));
+  }
+
+  // time_dimension: {"<granularity>": ["<from_age>", "<to_age>"], ...}
+  // (Listing 2/3). Rules are sorted by from-age to form the ladder.
+  const ConfigValue& dims = doc.Get("time_dimension");
+  for (const auto& [gran_text, range] : dims.members()) {
+    if (range.size() != 2) {
+      return Status::InvalidArgument("time dimension range needs 2 entries");
+    }
+    TimeDimensionRule rule;
+    IPS_ASSIGN_OR_RETURN(rule.granularity_ms, ParseDurationMs(gran_text));
+    IPS_ASSIGN_OR_RETURN(rule.from_age_ms,
+                         ParseDurationMs(range.items()[0].AsString()));
+    IPS_ASSIGN_OR_RETURN(rule.to_age_ms,
+                         ParseDurationMs(range.items()[1].AsString()));
+    schema.time_dimensions.push_back(rule);
+  }
+  std::sort(schema.time_dimensions.begin(), schema.time_dimensions.end(),
+            [](const TimeDimensionRule& a, const TimeDimensionRule& b) {
+              return a.from_age_ms < b.from_age_ms;
+            });
+
+  const ConfigValue& trunc = doc.Get("truncate");
+  if (trunc.is_object()) {
+    if (trunc.Has("max_age")) {
+      IPS_ASSIGN_OR_RETURN(schema.truncate.max_age_ms,
+                           ParseDurationMs(trunc.Get("max_age").AsString()));
+    }
+    schema.truncate.max_slices = trunc.Get("max_slices").AsInt(0);
+  }
+
+  const ConfigValue& shrink = doc.Get("shrink");
+  if (shrink.is_object()) {
+    schema.shrink.default_retain = shrink.Get("default_retain").AsInt(0);
+    for (const auto& [slot_text, budget] : shrink.Get("slots").members()) {
+      schema.shrink.retain_per_slot[static_cast<SlotId>(
+          std::stoul(slot_text))] = budget.AsInt(0);
+    }
+    for (const auto& w : shrink.Get("action_weights").items()) {
+      schema.shrink.action_weights.push_back(w.AsDouble(1.0));
+    }
+    if (shrink.Has("freshness")) {
+      IPS_ASSIGN_OR_RETURN(
+          schema.shrink.freshness_horizon_ms,
+          ParseDurationMs(shrink.Get("freshness").AsString()));
+    }
+  }
+
+  IPS_RETURN_IF_ERROR(schema.Validate());
+  return schema;
+}
+
+Result<TableSchema> ParseTableSchemaJson(std::string_view json) {
+  IPS_ASSIGN_OR_RETURN(ConfigValue doc, ParseConfig(json));
+  return ParseTableSchema(doc);
+}
+
+TableSchema DefaultTableSchema(std::string name) {
+  TableSchema schema;
+  schema.name = std::move(name);
+  schema.actions = {"click", "like", "share", "comment"};
+  schema.reduce = ReduceFn::kSum;
+  schema.write_granularity_ms = kMillisPerMinute;
+  // The Listing 3 production ladder, minus the 1s rung (our default write
+  // granularity is already 1m).
+  schema.time_dimensions = {
+      {kMillisPerMinute, 0, kMillisPerHour},
+      {kMillisPerHour, kMillisPerHour, kMillisPerDay},
+      {kMillisPerDay, kMillisPerDay, 30 * kMillisPerDay},
+      {30 * kMillisPerDay, 30 * kMillisPerDay, 365 * kMillisPerDay},
+  };
+  schema.truncate.max_age_ms = 365 * kMillisPerDay;
+  schema.truncate.max_slices = 0;
+  schema.shrink.default_retain = 100;
+  schema.shrink.action_weights = {1.0, 2.0, 2.0, 3.0};
+  schema.shrink.freshness_horizon_ms = kMillisPerHour;
+  return schema;
+}
+
+}  // namespace ips

@@ -1,0 +1,91 @@
+// Per-table configuration: the action schema (names of the count-vector
+// dimensions), default reduce function, write slice granularity, and the
+// compaction/truncation/shrink policies (Listings 2-4). Tables are the unit
+// of logical data organization (Section III-B) and of hot reconfiguration
+// (Section V-b).
+#ifndef IPS_CORE_TABLE_SCHEMA_H_
+#define IPS_CORE_TABLE_SCHEMA_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/config.h"
+#include "common/status.h"
+#include "core/types.h"
+
+namespace ips {
+
+/// One rung of the time-dimension ladder (Listing 2/3): slices whose age is
+/// within [from_age_ms, to_age_ms) are compacted to `granularity_ms` wide
+/// windows.
+struct TimeDimensionRule {
+  int64_t granularity_ms = 0;
+  int64_t from_age_ms = 0;
+  int64_t to_age_ms = 0;
+};
+
+/// Truncation policy (Section III-D b): drop slices past a maximum age and/or
+/// beyond a maximum count. Zero means "no limit".
+struct TruncatePolicy {
+  int64_t max_age_ms = 0;
+  int64_t max_slices = 0;
+};
+
+/// Shrink policy (Listing 4): per-slot retained feature budget, with action
+/// significance weights for the multi-dimensional importance sort and a
+/// freshness horizon protecting recent data from elimination.
+struct ShrinkPolicy {
+  /// slot -> max features kept per (slot, type) per slice group.
+  std::map<SlotId, int64_t> retain_per_slot;
+  /// Default budget for slots not listed; 0 disables shrinking for them.
+  int64_t default_retain = 0;
+  /// Importance weights per action index; missing entries weigh 1.
+  std::vector<double> action_weights;
+  /// Features inside slices newer than this age are never shrunk.
+  int64_t freshness_horizon_ms = 0;
+};
+
+/// Full table schema.
+struct TableSchema {
+  std::string name;
+  /// Names of the count-vector dimensions, e.g. {"click","like","share"}.
+  std::vector<std::string> actions;
+  ReduceFn reduce = ReduceFn::kSum;
+  /// Width of freshly written slices.
+  int64_t write_granularity_ms = 60'000;
+  /// Compaction ladder, sorted by from_age ascending. Empty = no compaction.
+  std::vector<TimeDimensionRule> time_dimensions;
+  TruncatePolicy truncate;
+  ShrinkPolicy shrink;
+
+  /// Index of an action name, or -1.
+  int ActionIndex(const std::string& action) const;
+
+  /// Validates internal consistency (ladder contiguity, positive widths).
+  Status Validate() const;
+};
+
+/// Parses a schema from its JSON document. Accepts the paper's config shape:
+///
+/// {
+///   "name": "user_profile",
+///   "actions": ["click", "like", "share"],
+///   "reduce": "SUM",
+///   "write_granularity": "1m",
+///   "time_dimension": {"1m": ["0s","1h"], "1h": ["1h","24h"]},
+///   "truncate": {"max_age": "365d", "max_slices": 100},
+///   "shrink": {"default_retain": 50, "slots": {"3": 100},
+///              "action_weights": [1.0, 2.0, 3.0], "freshness": "1h"}
+/// }
+Result<TableSchema> ParseTableSchema(const ConfigValue& doc);
+Result<TableSchema> ParseTableSchemaJson(std::string_view json);
+
+/// A reasonable production-like default: 1-minute write slices, the Listing 3
+/// ladder, 365-day truncation and a 100-feature shrink budget.
+TableSchema DefaultTableSchema(std::string name);
+
+}  // namespace ips
+
+#endif  // IPS_CORE_TABLE_SCHEMA_H_

@@ -1,0 +1,124 @@
+// Fundamental identifier and count types of the IPS data model (Section II).
+//
+// Terminology mapping to the paper:
+//   ProfileId  — 64-bit unsigned key of a profile inside a Profile Table.
+//   SlotId     — coarse feature category ("Sports").
+//   TypeId     — fine category within a slot ("Basketball"); the `type`
+//                parameter of the read/write APIs. The paper's in-memory
+//                description keys the Instance Set by an "action_type ID
+//                defined by upstream applications"; we follow the API-level
+//                meaning (category type) and keep per-action counts inside
+//                the feature stat's count vector, which is the only reading
+//                consistent with the motivating example (like/comment/share
+//                counts attached to one feature).
+//   FeatureId  — unique id of a feature ("Golden State Warriors"), hashed in
+//                production; opaque 64-bit here.
+//   ActionIndex — position in the count vector (0=click, 1=like, ... as the
+//                table schema defines).
+#ifndef IPS_CORE_TYPES_H_
+#define IPS_CORE_TYPES_H_
+
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+
+namespace ips {
+
+using ProfileId = uint64_t;
+using SlotId = uint32_t;
+using TypeId = uint32_t;
+using FeatureId = uint64_t;
+using ActionIndex = uint32_t;
+
+/// Vector of per-action counts attached to one feature, e.g.
+/// [clicks, likes, shares, comments]. Small-buffer-optimized: profiles hold
+/// millions of these, and production count vectors have <= 4 actions in the
+/// common case, so the inline representation avoids a heap allocation per
+/// feature.
+class CountVector {
+ public:
+  static constexpr size_t kInlineCapacity = 4;
+
+  CountVector() = default;
+  explicit CountVector(size_t n) { Resize(n); }
+  CountVector(std::initializer_list<int64_t> init) {
+    Resize(init.size());
+    size_t i = 0;
+    for (int64_t v : init) (*this)[i++] = v;
+  }
+
+  CountVector(const CountVector& other) { CopyFrom(other); }
+  CountVector& operator=(const CountVector& other) {
+    if (this != &other) CopyFrom(other);
+    return *this;
+  }
+  CountVector(CountVector&& other) noexcept { MoveFrom(std::move(other)); }
+  CountVector& operator=(CountVector&& other) noexcept {
+    if (this != &other) MoveFrom(std::move(other));
+    return *this;
+  }
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  int64_t& operator[](size_t i) { return data()[i]; }
+  int64_t operator[](size_t i) const { return data()[i]; }
+
+  /// Value at `i`, or 0 when out of range (queries may name an action the
+  /// writer never recorded).
+  int64_t At(size_t i) const { return i < size_ ? data()[i] : 0; }
+
+  int64_t* data() { return size_ <= kInlineCapacity ? inline_ : heap_.data(); }
+  const int64_t* data() const {
+    return size_ <= kInlineCapacity ? inline_ : heap_.data();
+  }
+
+  /// Grows or shrinks; new elements are zero.
+  void Resize(size_t n);
+
+  /// Element-wise accumulate, growing to other's width; the SUM reduce path.
+  void AccumulateSum(const CountVector& other);
+  /// Element-wise max, growing to other's width; the MAX reduce path.
+  void AccumulateMax(const CountVector& other);
+
+  /// Sum of all elements (used by size-agnostic importance scoring).
+  int64_t Total() const;
+
+  bool operator==(const CountVector& other) const;
+
+  /// Approximate heap + inline footprint for cache memory accounting.
+  size_t ApproximateBytes() const {
+    return sizeof(CountVector) +
+           (size_ > kInlineCapacity ? heap_.capacity() * sizeof(int64_t) : 0);
+  }
+
+ private:
+  void CopyFrom(const CountVector& other);
+  void MoveFrom(CountVector&& other);
+
+  size_t size_ = 0;
+  int64_t inline_[kInlineCapacity] = {0, 0, 0, 0};
+  std::vector<int64_t> heap_;
+};
+
+/// Sort orders for top-K queries (Section II-B get_profile_topK sort_type):
+/// by one action's count, by timestamp (slice recency), or by feature id.
+enum class SortBy : int {
+  kActionCount = 0,
+  kTimestamp = 1,
+  kFeatureId = 2,
+};
+
+/// Reduce functions applied when merging the same feature across slices
+/// (compaction, Listing 2) or across the write table and the main table.
+enum class ReduceFn : int {
+  kSum = 0,
+  kMax = 1,
+};
+
+}  // namespace ips
+
+#endif  // IPS_CORE_TYPES_H_

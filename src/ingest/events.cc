@@ -1,0 +1,43 @@
+#include "ingest/events.h"
+
+#include "codec/coding.h"
+
+namespace ips {
+
+std::string EncodeInstance(const Instance& instance) {
+  std::string out;
+  PutVarint64(&out, instance.uid);
+  PutVarint64(&out, instance.item_id);
+  PutVarintSigned64(&out, instance.timestamp);
+  PutVarint64(&out, instance.slot);
+  PutVarint64(&out, instance.type);
+  PutVarint64(&out, instance.counts.size());
+  for (size_t i = 0; i < instance.counts.size(); ++i) {
+    PutVarintSigned64(&out, instance.counts[i]);
+  }
+  return out;
+}
+
+bool DecodeInstance(const std::string& data, Instance* instance) {
+  Decoder dec(data);
+  uint64_t slot, type, n;
+  if (!dec.GetVarint64(&instance->uid) ||
+      !dec.GetVarint64(&instance->item_id) ||
+      !dec.GetVarintSigned64(&instance->timestamp) ||
+      !dec.GetVarint64(&slot) || !dec.GetVarint64(&type) ||
+      !dec.GetVarint64(&n)) {
+    return false;
+  }
+  if (n > 64) return false;
+  instance->slot = static_cast<SlotId>(slot);
+  instance->type = static_cast<TypeId>(type);
+  instance->counts.Resize(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    int64_t v;
+    if (!dec.GetVarintSigned64(&v)) return false;
+    instance->counts[i] = v;
+  }
+  return dec.Empty();
+}
+
+}  // namespace ips

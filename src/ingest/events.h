@@ -1,0 +1,65 @@
+// Instance-data event types (Section III-A). Instance data — the training
+// samples that double as IPS's input — is formed by joining three streams:
+// impressions (an item was shown), actions (the user did something), and
+// features (backend ranking signals).
+#ifndef IPS_INGEST_EVENTS_H_
+#define IPS_INGEST_EVENTS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "core/types.h"
+
+namespace ips {
+
+/// Correlates the three streams for one (user, item) presentation.
+using RequestId = uint64_t;
+
+struct ImpressionEvent {
+  RequestId request_id = 0;
+  ProfileId uid = 0;
+  FeatureId item_id = 0;
+  TimestampMs timestamp = 0;
+  /// Server-side or client-side impression (both exist in production).
+  bool client_side = false;
+};
+
+struct ActionEvent {
+  RequestId request_id = 0;
+  ProfileId uid = 0;
+  FeatureId item_id = 0;
+  TimestampMs timestamp = 0;
+  /// Index into the table's action schema (click/like/share/comment...).
+  ActionIndex action = 0;
+  int64_t count = 1;
+};
+
+struct FeatureEvent {
+  RequestId request_id = 0;
+  ProfileId uid = 0;
+  TimestampMs timestamp = 0;
+  /// Backend categorization of the item.
+  SlotId slot = 0;
+  TypeId type = 0;
+};
+
+/// The joined instance: one user-item interaction with its categorization
+/// and per-action counts — exactly what the extraction job writes into IPS.
+struct Instance {
+  ProfileId uid = 0;
+  FeatureId item_id = 0;
+  TimestampMs timestamp = 0;
+  SlotId slot = 0;
+  TypeId type = 0;
+  CountVector counts;
+};
+
+/// Serialization for the message log (values are opaque bytes, as in Kafka).
+std::string EncodeInstance(const Instance& instance);
+bool DecodeInstance(const std::string& data, Instance* instance);
+
+}  // namespace ips
+
+#endif  // IPS_INGEST_EVENTS_H_

@@ -1,0 +1,61 @@
+#include "ingest/ingestion_job.h"
+
+namespace ips {
+
+namespace {
+
+std::vector<AddRecord> DefaultExtract(const Instance& instance) {
+  AddRecord record;
+  record.timestamp = instance.timestamp;
+  record.slot = instance.slot;
+  record.type = instance.type;
+  record.fid = instance.item_id;
+  record.counts = instance.counts;
+  return {record};
+}
+
+}  // namespace
+
+IngestionJob::IngestionJob(IngestionJobOptions options, MessageLog* log,
+                           IpsClient* client, ExtractFn extract)
+    : options_(options),
+      log_(log),
+      client_(client),
+      extract_(extract != nullptr ? std::move(extract) : DefaultExtract) {}
+
+size_t IngestionJob::PollOnce() {
+  size_t written = 0;
+  for (size_t partition = 0; partition < log_->num_partitions();
+       ++partition) {
+    int64_t offset = log_->CommittedOffset(options_.consumer_group,
+                                           options_.topic, partition);
+    const int64_t end = log_->EndOffset(options_.topic, partition);
+    while (offset < end) {
+      const auto records = log_->Read(options_.topic, partition, offset,
+                                      options_.batch_size);
+      if (records.empty()) break;
+      for (const auto& record : records) {
+        Instance instance;
+        if (!DecodeInstance(record.value, &instance)) {
+          ++errors_;
+          continue;
+        }
+        const auto adds = extract_(instance);
+        if (adds.empty()) continue;
+        Status status =
+            client_->AddProfiles(options_.table, instance.uid, adds);
+        if (status.ok()) {
+          ++written;
+        } else {
+          ++errors_;
+        }
+      }
+      offset = records.back().offset + 1;
+      log_->CommitOffset(options_.consumer_group, options_.topic, partition,
+                         offset);
+    }
+  }
+  return written;
+}
+
+}  // namespace ips

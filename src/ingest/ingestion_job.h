@@ -1,0 +1,57 @@
+// Ingestion job (Section III-A): the Flink-style streaming job that consumes
+// joined instances from the message log and, through user-defined extraction
+// logic, writes them into IPS via the unified client. One job instance owns
+// a set of log partitions and advances its committed offsets as it goes, so
+// processing is resumable and replayable (back-fill).
+#ifndef IPS_INGEST_INGESTION_JOB_H_
+#define IPS_INGEST_INGESTION_JOB_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cluster/client.h"
+#include "common/status.h"
+#include "ingest/events.h"
+#include "ingest/message_log.h"
+
+namespace ips {
+
+struct IngestionJobOptions {
+  std::string topic = "instances";
+  std::string consumer_group = "ips-ingest";
+  std::string table = "user_profile";
+  /// Records pulled per partition per poll.
+  size_t batch_size = 256;
+};
+
+/// Maps one joined instance to the add_profile record(s) it produces. The
+/// default extraction writes (slot, type, item_id) with the instance's
+/// counts — the common case; products install custom logic here.
+using ExtractFn =
+    std::function<std::vector<AddRecord>(const Instance& instance)>;
+
+class IngestionJob {
+ public:
+  IngestionJob(IngestionJobOptions options, MessageLog* log,
+               IpsClient* client, ExtractFn extract = nullptr);
+
+  /// Drains every partition up to its current end; returns instances
+  /// written. Call repeatedly from a driver loop ("micro-batches").
+  size_t PollOnce();
+
+  /// Instances that failed to decode or write.
+  int64_t error_count() const { return errors_; }
+
+ private:
+  IngestionJobOptions options_;
+  MessageLog* log_;
+  IpsClient* client_;
+  ExtractFn extract_;
+  int64_t errors_ = 0;
+};
+
+}  // namespace ips
+
+#endif  // IPS_INGEST_INGESTION_JOB_H_

@@ -1,0 +1,68 @@
+#include "ingest/message_log.h"
+
+#include "common/hash.h"
+
+namespace ips {
+
+MessageLog::MessageLog(size_t num_partitions)
+    : num_partitions_(num_partitions == 0 ? 1 : num_partitions) {}
+
+size_t MessageLog::PartitionFor(uint64_t key) const {
+  return Mix64(key) % num_partitions_;
+}
+
+int64_t MessageLog::Append(const std::string& topic, uint64_t key,
+                           std::string value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& partitions = topics_[topic];
+  if (partitions.empty()) partitions.resize(num_partitions_);
+  Partition& p = partitions[PartitionFor(key)];
+  LogRecord record;
+  record.key = key;
+  record.value = std::move(value);
+  record.offset = static_cast<int64_t>(p.records.size());
+  p.records.push_back(std::move(record));
+  return static_cast<int64_t>(p.records.size()) - 1;
+}
+
+std::vector<LogRecord> MessageLog::Read(const std::string& topic,
+                                        size_t partition, int64_t offset,
+                                        size_t max_records) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<LogRecord> out;
+  auto it = topics_.find(topic);
+  if (it == topics_.end() || partition >= it->second.size()) return out;
+  const Partition& p = it->second[partition];
+  if (offset < 0) offset = 0;
+  for (size_t i = static_cast<size_t>(offset);
+       i < p.records.size() && out.size() < max_records; ++i) {
+    out.push_back(p.records[i]);
+  }
+  return out;
+}
+
+int64_t MessageLog::EndOffset(const std::string& topic,
+                              size_t partition) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = topics_.find(topic);
+  if (it == topics_.end() || partition >= it->second.size()) return 0;
+  return static_cast<int64_t>(it->second[partition].records.size());
+}
+
+void MessageLog::CommitOffset(const std::string& group,
+                              const std::string& topic, size_t partition,
+                              int64_t offset) {
+  std::lock_guard<std::mutex> lock(mu_);
+  offsets_[group + "/" + topic + "/" + std::to_string(partition)] = offset;
+}
+
+int64_t MessageLog::CommittedOffset(const std::string& group,
+                                    const std::string& topic,
+                                    size_t partition) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it =
+      offsets_.find(group + "/" + topic + "/" + std::to_string(partition));
+  return it == offsets_.end() ? 0 : it->second;
+}
+
+}  // namespace ips

@@ -1,0 +1,62 @@
+// Partitioned, append-only message log — the Kafka substitute on the
+// ingestion path (Section III-A): joined instances are written to topics and
+// consumed by the IPS extraction job. Partitioning is by key (uid) so one
+// user's instances stay ordered; consumers track per-partition offsets and
+// can replay (the back-fill scenario of Section III-F).
+#ifndef IPS_INGEST_MESSAGE_LOG_H_
+#define IPS_INGEST_MESSAGE_LOG_H_
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace ips {
+
+struct LogRecord {
+  uint64_t key = 0;
+  std::string value;
+  int64_t offset = 0;
+};
+
+class MessageLog {
+ public:
+  explicit MessageLog(size_t num_partitions = 4);
+
+  /// Appends to the partition owning `key`; returns the record's offset.
+  int64_t Append(const std::string& topic, uint64_t key,
+                 std::string value);
+
+  /// Reads up to `max_records` starting at `offset` in one partition.
+  std::vector<LogRecord> Read(const std::string& topic, size_t partition,
+                              int64_t offset, size_t max_records) const;
+
+  /// End offset (next to be written) of a partition.
+  int64_t EndOffset(const std::string& topic, size_t partition) const;
+
+  size_t num_partitions() const { return num_partitions_; }
+  size_t PartitionFor(uint64_t key) const;
+
+  /// Committed consumer-group offsets, for resumable consumption.
+  void CommitOffset(const std::string& group, const std::string& topic,
+                    size_t partition, int64_t offset);
+  int64_t CommittedOffset(const std::string& group, const std::string& topic,
+                          size_t partition) const;
+
+ private:
+  struct Partition {
+    std::vector<LogRecord> records;
+  };
+
+  size_t num_partitions_;
+  mutable std::mutex mu_;
+  std::map<std::string, std::vector<Partition>> topics_;
+  std::map<std::string, int64_t> offsets_;  // "group/topic/partition" -> off
+};
+
+}  // namespace ips
+
+#endif  // IPS_INGEST_MESSAGE_LOG_H_

@@ -1,0 +1,84 @@
+#include "ingest/stream_join.h"
+
+#include <algorithm>
+
+namespace ips {
+
+StreamJoiner::StreamJoiner(StreamJoinOptions options, Sink sink)
+    : options_(options), sink_(std::move(sink)) {}
+
+void StreamJoiner::OnImpression(const ImpressionEvent& event) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Group& group = pending_[event.request_id];
+  if (group.first_seen_ms == 0) group.first_seen_ms = event.timestamp;
+  // Server and client impressions may both arrive; keep the earliest.
+  if (!group.impression.has_value() ||
+      event.timestamp < group.impression->timestamp) {
+    group.impression = event;
+  }
+}
+
+void StreamJoiner::OnAction(const ActionEvent& event) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Group& group = pending_[event.request_id];
+  if (group.first_seen_ms == 0) group.first_seen_ms = event.timestamp;
+  group.actions.push_back(event);
+}
+
+void StreamJoiner::OnFeature(const FeatureEvent& event) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Group& group = pending_[event.request_id];
+  if (group.first_seen_ms == 0) group.first_seen_ms = event.timestamp;
+  group.feature = event;
+}
+
+bool StreamJoiner::EmitLocked(Group& group) {
+  if (!group.impression.has_value()) return false;
+  if (group.actions.empty() && !options_.emit_actionless) return false;
+
+  Instance instance;
+  instance.uid = group.impression->uid;
+  instance.item_id = group.impression->item_id;
+  instance.timestamp = group.impression->timestamp;
+  if (group.feature.has_value()) {
+    instance.slot = group.feature->slot;
+    instance.type = group.feature->type;
+  }
+  instance.counts.Resize(options_.num_actions);
+  for (const auto& action : group.actions) {
+    if (action.action < options_.num_actions) {
+      instance.counts[action.action] += action.count;
+      instance.timestamp = std::max(instance.timestamp, action.timestamp);
+    }
+  }
+  sink_(instance);
+  return true;
+}
+
+size_t StreamJoiner::AdvanceWatermark(TimestampMs now_ms) {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t emitted = 0;
+  for (auto it = pending_.begin(); it != pending_.end();) {
+    Group& group = it->second;
+    const bool expired = now_ms - group.first_seen_ms >= options_.window_ms;
+    // A group with all three streams present can be emitted eagerly; others
+    // wait for the window in case late events still arrive.
+    const bool complete = group.impression.has_value() &&
+                          group.feature.has_value() &&
+                          !group.actions.empty();
+    if (complete || expired) {
+      if (EmitLocked(group)) ++emitted;
+      it = pending_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return emitted;
+}
+
+size_t StreamJoiner::PendingGroups() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return pending_.size();
+}
+
+}  // namespace ips

@@ -1,0 +1,69 @@
+// Windowed three-stream join (Section III-A): impression, action and feature
+// events correlated by request id are combined into Instances, the training
+// samples that feed IPS. This mirrors the production Flink join jobs: events
+// buffer in a time window; a group is emitted when complete (impression +
+// categorization seen) or when its window expires (late/missing streams are
+// tolerated with defaults — weak completeness, as in the real pipeline).
+#ifndef IPS_INGEST_STREAM_JOIN_H_
+#define IPS_INGEST_STREAM_JOIN_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "common/clock.h"
+#include "ingest/events.h"
+
+namespace ips {
+
+struct StreamJoinOptions {
+  /// How long a pending group may wait for its remaining streams.
+  int64_t window_ms = 60'000;
+  /// Width of the count vector in produced instances (action schema size).
+  size_t num_actions = 4;
+  /// Emit groups that saw an impression but no action (negative samples are
+  /// training signal too; their counts are all zero except impressions are
+  /// not part of the count vector here).
+  bool emit_actionless = false;
+};
+
+class StreamJoiner {
+ public:
+  using Sink = std::function<void(const Instance&)>;
+
+  StreamJoiner(StreamJoinOptions options, Sink sink);
+
+  void OnImpression(const ImpressionEvent& event);
+  void OnAction(const ActionEvent& event);
+  void OnFeature(const FeatureEvent& event);
+
+  /// Flushes every group whose window expired at `now_ms`. Returns the
+  /// number of instances emitted.
+  size_t AdvanceWatermark(TimestampMs now_ms);
+
+  /// Groups still buffered.
+  size_t PendingGroups() const;
+
+ private:
+  struct Group {
+    std::optional<ImpressionEvent> impression;
+    std::optional<FeatureEvent> feature;
+    std::vector<ActionEvent> actions;
+    TimestampMs first_seen_ms = 0;
+  };
+
+  /// Emits the group if it has enough information; returns whether emitted.
+  bool EmitLocked(Group& group);
+
+  StreamJoinOptions options_;
+  Sink sink_;
+  mutable std::mutex mu_;
+  std::map<RequestId, Group> pending_;
+};
+
+}  // namespace ips
+
+#endif  // IPS_INGEST_STREAM_JOIN_H_

@@ -1,0 +1,129 @@
+#include "ingest/workload.h"
+
+#include <cmath>
+
+namespace ips {
+
+WorkloadGenerator::WorkloadGenerator(WorkloadOptions options)
+    : options_(options),
+      rng_(options.seed),
+      user_zipf_(options.num_users, options.user_zipf_theta),
+      item_zipf_(options.num_items, options.item_zipf_theta) {}
+
+ProfileId WorkloadGenerator::SampleUser() {
+  // Scramble the rank so hot users spread across shards, as hashed profile
+  // ids do in production.
+  return ScrambleId(user_zipf_.Next(rng_));
+}
+
+void WorkloadGenerator::SampleItem(FeatureId* item, SlotId* slot,
+                                   TypeId* type) {
+  const uint64_t rank = item_zipf_.Next(rng_);
+  *item = ScrambleId(rank) | 1;  // avoid fid 0
+  // Categorization is a deterministic function of the item so the same item
+  // always lands in the same (slot, type) — as backend feature streams do.
+  const uint64_t h = Mix64(rank + 0x5bd1e995);
+  *slot = static_cast<SlotId>(h % options_.num_slots);
+  *type = static_cast<TypeId>((h >> 32) % options_.types_per_slot);
+}
+
+std::vector<AddRecord> WorkloadGenerator::NextAddBatch(TimestampMs now_ms,
+                                                       ProfileId* uid) {
+  *uid = SampleUser();
+  FeatureId item;
+  SlotId slot;
+  TypeId type;
+  SampleItem(&item, &slot, &type);
+
+  AddRecord record;
+  record.timestamp = now_ms;
+  record.slot = slot;
+  record.type = type;
+  record.fid = item;
+  record.counts.Resize(options_.num_actions);
+  for (size_t i = 0; i < options_.num_actions; ++i) {
+    const double rate =
+        i < options_.action_rates.size() ? options_.action_rates[i] : 0.0;
+    if (rate >= 1.0 || rng_.Bernoulli(rate)) record.counts[i] = 1;
+  }
+  return {record};
+}
+
+QuerySpec WorkloadGenerator::NextQuerySpec(ProfileId* uid) {
+  *uid = SampleUser();
+  QuerySpec spec;
+  spec.slot = static_cast<SlotId>(rng_.Uniform(options_.num_slots));
+  if (rng_.Bernoulli(0.5)) {
+    spec.type = static_cast<TypeId>(rng_.Uniform(options_.types_per_slot));
+  }
+  static constexpr int64_t kWindows[] = {kMillisPerHour, kMillisPerDay,
+                                         7 * kMillisPerDay,
+                                         30 * kMillisPerDay};
+  spec.time_range = TimeRange::Current(kWindows[rng_.Uniform(4)]);
+  spec.sort_by = SortBy::kActionCount;
+  spec.sort_action =
+      static_cast<ActionIndex>(rng_.Uniform(options_.num_actions));
+  spec.k = 10 + rng_.Uniform(91);  // 10..100
+  if (rng_.Bernoulli(0.2)) {
+    spec.decay.function = DecayFunction::kExponential;
+    spec.decay.factor = 0.9;
+    spec.decay.unit_ms = kMillisPerDay;
+  }
+  return spec;
+}
+
+WorkloadGenerator::EventTriple WorkloadGenerator::NextEventGroup(
+    TimestampMs now_ms) {
+  EventTriple triple;
+  const RequestId rid = next_request_id_++;
+  const ProfileId uid = SampleUser();
+  FeatureId item;
+  SlotId slot;
+  TypeId type;
+  SampleItem(&item, &slot, &type);
+
+  triple.impression.request_id = rid;
+  triple.impression.uid = uid;
+  triple.impression.item_id = item;
+  triple.impression.timestamp = now_ms;
+
+  triple.feature.request_id = rid;
+  triple.feature.uid = uid;
+  triple.feature.timestamp = now_ms;
+  triple.feature.slot = slot;
+  triple.feature.type = type;
+
+  for (size_t i = 0; i < options_.num_actions; ++i) {
+    const double rate =
+        i < options_.action_rates.size() ? options_.action_rates[i] : 0.0;
+    if (rate >= 1.0 || rng_.Bernoulli(rate)) {
+      ActionEvent action;
+      action.request_id = rid;
+      action.uid = uid;
+      action.item_id = item;
+      // Actions trail the impression by a few seconds.
+      action.timestamp = now_ms + static_cast<int64_t>(rng_.Uniform(5000));
+      action.action = static_cast<ActionIndex>(i);
+      triple.actions.push_back(action);
+    }
+  }
+  return triple;
+}
+
+double DiurnalLoadFactor(TimestampMs time_of_day_ms, double trough_fraction) {
+  // Day curve: sinusoidal base with its trough around 06:00 plus a Gaussian
+  // evening bump centred at 21:00 — the shape of consumer-app traffic.
+  int64_t tod = time_of_day_ms % kMillisPerDay;
+  if (tod < 0) tod += kMillisPerDay;
+  const double t =
+      static_cast<double>(tod) / static_cast<double>(kMillisPerDay);
+  const double base = 0.5 + 0.5 * std::sin((t - 0.5) * 2.0 * M_PI);
+  const double evening_dist = (t - 0.875) / 0.08;  // 21:00, ~2h wide
+  const double evening = 0.25 * std::exp(-evening_dist * evening_dist);
+  double shape = base + evening;
+  if (shape < 0.0) shape = 0.0;
+  if (shape > 1.0) shape = 1.0;
+  return trough_fraction + (1.0 - trough_fraction) * shape;
+}
+
+}  // namespace ips

@@ -1,0 +1,81 @@
+// Workload generation: the production-traffic substitute. Consumer
+// recommendation traffic has three structural properties the evaluation
+// depends on — Zipf-skewed user popularity, a roughly 10:1 read:write ratio,
+// and strong diurnal load variation (Fig 16/19 were captured during the 2020
+// Spring Festival peak). The generator reproduces all three with seeded
+// determinism.
+#ifndef IPS_INGEST_WORKLOAD_H_
+#define IPS_INGEST_WORKLOAD_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/random.h"
+#include "core/types.h"
+#include "ingest/events.h"
+#include "query/query.h"
+#include "server/ips_instance.h"
+
+namespace ips {
+
+struct WorkloadOptions {
+  uint64_t num_users = 100'000;
+  double user_zipf_theta = 0.99;
+  uint64_t num_items = 1'000'000;
+  double item_zipf_theta = 0.8;
+  uint32_t num_slots = 8;
+  uint32_t types_per_slot = 16;
+  size_t num_actions = 4;
+  /// Probability that an action event of index i occurs given a click;
+  /// index 0 (click) is implicit.
+  std::vector<double> action_rates = {1.0, 0.15, 0.05, 0.03};
+  uint64_t seed = 42;
+};
+
+class WorkloadGenerator {
+ public:
+  explicit WorkloadGenerator(WorkloadOptions options);
+
+  /// A user id drawn from the Zipf popularity distribution.
+  ProfileId SampleUser();
+  /// An item and its categorization.
+  void SampleItem(FeatureId* item, SlotId* slot, TypeId* type);
+
+  /// One user-item interaction as an add record batch (write path).
+  std::vector<AddRecord> NextAddBatch(TimestampMs now_ms, ProfileId* uid);
+
+  /// One realistic feature query: random user, slot-scoped, common window
+  /// sizes (1h/1d/7d/30d), top-K with K in 10..100 (the paper's "10s to
+  /// 100s of features per request" is modelled as multiple such queries).
+  QuerySpec NextQuerySpec(ProfileId* uid);
+
+  /// Raw event triple for the stream-join path. Returns the number of
+  /// events written (impression always; feature always; 0+ actions).
+  struct EventTriple {
+    ImpressionEvent impression;
+    FeatureEvent feature;
+    std::vector<ActionEvent> actions;
+  };
+  EventTriple NextEventGroup(TimestampMs now_ms);
+
+  const WorkloadOptions& options() const { return options_; }
+  Rng& rng() { return rng_; }
+
+ private:
+  WorkloadOptions options_;
+  Rng rng_;
+  ZipfGenerator user_zipf_;
+  ZipfGenerator item_zipf_;
+  RequestId next_request_id_ = 1;
+};
+
+/// Diurnal load curve: a smooth day/night cycle with an evening peak,
+/// normalized so the value is in [trough_fraction, 1]. Multiply by the peak
+/// rate to get the instantaneous offered load (Fig 16/19's shape).
+double DiurnalLoadFactor(TimestampMs time_of_day_ms,
+                         double trough_fraction = 0.35);
+
+}  // namespace ips
+
+#endif  // IPS_INGEST_WORKLOAD_H_

@@ -1,0 +1,15 @@
+#include "kvstore/kv_store.h"
+
+namespace ips {
+
+void KvStore::MultiGet(const std::vector<std::string>& keys,
+                       std::vector<std::string>* values,
+                       std::vector<Status>* statuses) {
+  values->assign(keys.size(), std::string());
+  statuses->assign(keys.size(), Status::OK());
+  for (size_t i = 0; i < keys.size(); ++i) {
+    (*statuses)[i] = Get(keys[i], &(*values)[i]);
+  }
+}
+
+}  // namespace ips

@@ -1,0 +1,62 @@
+// Durable key-value store interface (Section III-E). Production IPS persists
+// to HBase through exactly this surface: whole-value set/get for bulk mode,
+// plus version-checked xset/xget for the fine-grained slice persistence
+// protocol of Fig 14. The in-memory implementation simulates storage latency
+// and failures so the cache layer above behaves as it would against a real
+// remote store.
+#ifndef IPS_KVSTORE_KV_STORE_H_
+#define IPS_KVSTORE_KV_STORE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace ips {
+
+/// Monotonic per-key version ("generation" in Fig 13/14). Version 0 means
+/// "key never written"; xset with expected_version 0 is a create.
+using KvVersion = uint64_t;
+
+struct KvEntry {
+  std::string value;
+  KvVersion version = 0;
+};
+
+class KvStore {
+ public:
+  virtual ~KvStore() = default;
+
+  /// Unconditional write; bumps the key's version.
+  virtual Status Set(std::string_view key, std::string_view value) = 0;
+
+  /// Point read. NotFound when absent.
+  virtual Status Get(std::string_view key, std::string* value) = 0;
+
+  virtual Status Delete(std::string_view key) = 0;
+
+  /// Versioned read: returns value + current version (Fig 14 xget).
+  virtual Status XGet(std::string_view key, KvEntry* entry) = 0;
+
+  /// Versioned conditional write (Fig 14 xset): succeeds only when the key's
+  /// current version equals `expected_version` (0 = must not exist), and
+  /// returns the new version through `new_version`. On mismatch returns
+  /// Aborted — the caller must reload before retrying.
+  virtual Status XSet(std::string_view key, std::string_view value,
+                      KvVersion expected_version, KvVersion* new_version) = 0;
+
+  /// Batched point reads; outputs align with `keys`, missing keys yield
+  /// NotFound in `statuses`.
+  virtual void MultiGet(const std::vector<std::string>& keys,
+                        std::vector<std::string>* values,
+                        std::vector<Status>* statuses);
+
+  /// Approximate number of keys (observability).
+  virtual size_t KeyCount() const = 0;
+};
+
+}  // namespace ips
+
+#endif  // IPS_KVSTORE_KV_STORE_H_

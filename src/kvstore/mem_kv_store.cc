@@ -1,0 +1,193 @@
+#include "kvstore/mem_kv_store.h"
+
+#include <thread>
+
+#include "common/hash.h"
+
+namespace ips {
+
+namespace {
+
+// Sleeps `us` microseconds: OS sleep for millisecond-scale waits, spin for
+// sub-millisecond ones (OS sleep granularity would distort the simulated
+// distribution).
+void BurnMicros(int64_t us) {
+  if (us <= 0) return;
+  if (us >= 1000) {
+    std::this_thread::sleep_for(std::chrono::microseconds(us));
+    return;
+  }
+  const int64_t deadline = MonotonicNanos() + us * 1000;
+  while (MonotonicNanos() < deadline) {
+    // spin
+  }
+}
+
+}  // namespace
+
+MemKvStore::MemKvStore(MemKvOptions options) : options_(options) {
+  size_t n = options_.num_shards;
+  if (n == 0) n = 1;
+  // Round up to a power of two for mask-based routing.
+  while ((n & (n - 1)) != 0) ++n;
+  options_.num_shards = n;
+  shards_.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    auto shard = std::make_unique<Shard>();
+    shard->rng.Seed(options_.seed * 0x9E3779B97F4A7C15ULL + i);
+    shard->failure_probability = options_.failure_probability;
+    shards_.push_back(std::move(shard));
+  }
+}
+
+MemKvStore::Shard& MemKvStore::ShardFor(std::string_view key) {
+  return *shards_[Fnv1a(key) & (options_.num_shards - 1)];
+}
+
+const MemKvStore::Shard& MemKvStore::ShardFor(std::string_view key) const {
+  return *shards_[Fnv1a(key) & (options_.num_shards - 1)];
+}
+
+Status MemKvStore::SimulateOp(Shard& shard, size_t payload_bytes) {
+  if (down_.load(std::memory_order_relaxed)) {
+    return Status::Unavailable("kv store down");
+  }
+  int64_t delay_us = 0;
+  bool fail = false;
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    if (shard.failure_probability > 0.0 &&
+        shard.rng.Bernoulli(shard.failure_probability)) {
+      fail = true;
+    }
+    if (options_.base_latency_us > 0 || options_.tail_latency_us > 0) {
+      delay_us = options_.base_latency_us;
+      if (options_.tail_latency_us > 0) {
+        delay_us += static_cast<int64_t>(shard.rng.Exponential(
+            static_cast<double>(options_.tail_latency_us)));
+      }
+    }
+    if (options_.per_kib_us > 0) {
+      delay_us += options_.per_kib_us *
+                  static_cast<int64_t>(payload_bytes / 1024);
+    }
+  }
+  BurnMicros(delay_us);
+  if (fail) return Status::Unavailable("injected kv failure");
+  return Status::OK();
+}
+
+Status MemKvStore::Set(std::string_view key, std::string_view value) {
+  Shard& shard = ShardFor(key);
+  IPS_RETURN_IF_ERROR(SimulateOp(shard, value.size()));
+  std::lock_guard<std::mutex> lock(shard.mu);
+  KvEntry& entry = shard.map[std::string(key)];
+  entry.value.assign(value.data(), value.size());
+  ++entry.version;
+  bytes_written_.fetch_add(static_cast<int64_t>(value.size()),
+                           std::memory_order_relaxed);
+  return Status::OK();
+}
+
+Status MemKvStore::Get(std::string_view key, std::string* value) {
+  Shard& shard = ShardFor(key);
+  size_t payload = 0;
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.map.find(std::string(key));
+    if (it == shard.map.end()) {
+      // Misses still pay the round trip.
+      payload = 0;
+    } else {
+      payload = it->second.value.size();
+    }
+  }
+  IPS_RETURN_IF_ERROR(SimulateOp(shard, payload));
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.map.find(std::string(key));
+  if (it == shard.map.end()) {
+    return Status::NotFound("key: " + std::string(key));
+  }
+  *value = it->second.value;
+  return Status::OK();
+}
+
+Status MemKvStore::Delete(std::string_view key) {
+  Shard& shard = ShardFor(key);
+  IPS_RETURN_IF_ERROR(SimulateOp(shard, 0));
+  std::lock_guard<std::mutex> lock(shard.mu);
+  shard.map.erase(std::string(key));
+  return Status::OK();
+}
+
+Status MemKvStore::XGet(std::string_view key, KvEntry* entry) {
+  Shard& shard = ShardFor(key);
+  IPS_RETURN_IF_ERROR(SimulateOp(shard, 0));
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.map.find(std::string(key));
+  if (it == shard.map.end()) {
+    return Status::NotFound("key: " + std::string(key));
+  }
+  *entry = it->second;
+  return Status::OK();
+}
+
+Status MemKvStore::XSet(std::string_view key, std::string_view value,
+                        KvVersion expected_version, KvVersion* new_version) {
+  Shard& shard = ShardFor(key);
+  IPS_RETURN_IF_ERROR(SimulateOp(shard, value.size()));
+  std::lock_guard<std::mutex> lock(shard.mu);
+  const std::string k(key);
+  auto it = shard.map.find(k);
+  const KvVersion current = it == shard.map.end() ? 0 : it->second.version;
+  if (current != expected_version) {
+    return Status::Aborted("version mismatch: held " +
+                           std::to_string(expected_version) + " current " +
+                           std::to_string(current));
+  }
+  KvEntry& entry = shard.map[k];
+  entry.value.assign(value.data(), value.size());
+  entry.version = current + 1;
+  if (new_version != nullptr) *new_version = entry.version;
+  bytes_written_.fetch_add(static_cast<int64_t>(value.size()),
+                           std::memory_order_relaxed);
+  return Status::OK();
+}
+
+size_t MemKvStore::KeyCount() const {
+  size_t total = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    total += shard->map.size();
+  }
+  return total;
+}
+
+void MemKvStore::SetFailureProbability(double p) {
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    shard->failure_probability = p;
+  }
+}
+
+size_t MemKvStore::TotalValueBytes() const {
+  size_t total = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    for (const auto& [key, entry] : shard->map) {
+      total += key.size() + entry.value.size();
+    }
+  }
+  return total;
+}
+
+void MemKvStore::ForEach(
+    const std::function<void(const std::string&, const KvEntry&)>& fn)
+    const {
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    for (const auto& [key, entry] : shard->map) fn(key, entry);
+  }
+}
+
+}  // namespace ips

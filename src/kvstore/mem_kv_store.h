@@ -1,0 +1,99 @@
+// In-memory KvStore with simulated remote-storage behaviour: configurable
+// latency distribution (base + exponential tail, scaled by payload size) and
+// failure injection (transient unavailability, hard down state). This is the
+// HBase substitute — the cache layer's hit/miss latency split (Table II) and
+// the availability experiments (Fig 17) depend on these two knobs.
+#ifndef IPS_KVSTORE_MEM_KV_STORE_H_
+#define IPS_KVSTORE_MEM_KV_STORE_H_
+
+#include <atomic>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/random.h"
+#include "kvstore/kv_store.h"
+
+namespace ips {
+
+struct MemKvOptions {
+  /// Fixed cost per operation in microseconds (network round trip + store
+  /// work). Zero disables latency simulation entirely (unit tests).
+  int64_t base_latency_us = 0;
+  /// Mean of the additional exponential tail in microseconds.
+  int64_t tail_latency_us = 0;
+  /// Extra microseconds per KiB transferred (payload-proportional cost; the
+  /// paper notes network overhead "grows proportionally to the response
+  /// size").
+  int64_t per_kib_us = 0;
+  /// Probability that any single operation fails with Unavailable.
+  double failure_probability = 0.0;
+  /// Shards for the key map.
+  size_t num_shards = 16;
+  /// RNG seed for latency/failure draws.
+  uint64_t seed = 1;
+};
+
+class MemKvStore final : public KvStore {
+ public:
+  explicit MemKvStore(MemKvOptions options = {});
+
+  Status Set(std::string_view key, std::string_view value) override;
+  Status Get(std::string_view key, std::string* value) override;
+  Status Delete(std::string_view key) override;
+  Status XGet(std::string_view key, KvEntry* entry) override;
+  Status XSet(std::string_view key, std::string_view value,
+              KvVersion expected_version, KvVersion* new_version) override;
+  size_t KeyCount() const override;
+
+  /// Marks the store down/up. While down every operation returns
+  /// Unavailable — the region-failure lever of the availability bench.
+  void SetDown(bool down) { down_.store(down, std::memory_order_relaxed); }
+  bool IsDown() const { return down_.load(std::memory_order_relaxed); }
+
+  /// Reconfigures failure probability at runtime.
+  void SetFailureProbability(double p);
+
+  /// Total bytes of stored values (memory observability).
+  size_t TotalValueBytes() const;
+
+  /// Cumulative value bytes accepted by Set/XSet since construction — the
+  /// write-traffic counter the persistence-mode ablation measures.
+  int64_t TotalBytesWritten() const {
+    return bytes_written_.load(std::memory_order_relaxed);
+  }
+
+  /// Visits every (key, entry) pair; used by replication catch-up and by
+  /// the batch-import simulation.
+  void ForEach(
+      const std::function<void(const std::string&, const KvEntry&)>& fn)
+      const;
+
+ private:
+  struct Shard {
+    mutable std::mutex mu;
+    std::unordered_map<std::string, KvEntry> map;
+    Rng rng{1};
+    double failure_probability = 0.0;
+  };
+
+  Shard& ShardFor(std::string_view key);
+  const Shard& ShardFor(std::string_view key) const;
+
+  /// Simulates the operation's latency and draws failure; returns
+  /// Unavailable when the op should fail.
+  Status SimulateOp(Shard& shard, size_t payload_bytes);
+
+  MemKvOptions options_;
+  std::atomic<bool> down_{false};
+  std::atomic<int64_t> bytes_written_{0};
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+}  // namespace ips
+
+#endif  // IPS_KVSTORE_MEM_KV_STORE_H_

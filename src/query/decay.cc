@@ -1,0 +1,83 @@
+#include "query/decay.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/config.h"
+
+namespace ips {
+
+double DecaySpec::WeightForAge(int64_t age_ms) const {
+  if (function == DecayFunction::kNone || age_ms <= 0) return 1.0;
+  const double age_units =
+      static_cast<double>(age_ms) / static_cast<double>(unit_ms);
+  switch (function) {
+    case DecayFunction::kNone:
+      return 1.0;
+    case DecayFunction::kExponential:
+      return std::pow(factor, age_units);
+    case DecayFunction::kLinear:
+      return std::max(0.0, 1.0 - factor * age_units);
+    case DecayFunction::kStep:
+      return age_units < 1.0 ? 1.0 : factor;
+  }
+  return 1.0;
+}
+
+Status DecaySpec::Validate() const {
+  if (unit_ms <= 0) return Status::InvalidArgument("decay unit must be > 0");
+  switch (function) {
+    case DecayFunction::kNone:
+      return Status::OK();
+    case DecayFunction::kExponential:
+      if (factor <= 0.0 || factor > 1.0) {
+        return Status::InvalidArgument(
+            "exponential decay factor must be in (0, 1]");
+      }
+      return Status::OK();
+    case DecayFunction::kLinear:
+      if (factor < 0.0) {
+        return Status::InvalidArgument("linear decay factor must be >= 0");
+      }
+      return Status::OK();
+    case DecayFunction::kStep:
+      if (factor < 0.0 || factor > 1.0) {
+        return Status::InvalidArgument("step decay factor must be in [0, 1]");
+      }
+      return Status::OK();
+  }
+  return Status::InvalidArgument("unknown decay function");
+}
+
+std::string DecaySpec::ToString() const {
+  const char* name = "NONE";
+  switch (function) {
+    case DecayFunction::kNone:
+      name = "NONE";
+      break;
+    case DecayFunction::kExponential:
+      name = "EXP";
+      break;
+    case DecayFunction::kLinear:
+      name = "LINEAR";
+      break;
+    case DecayFunction::kStep:
+      name = "STEP";
+      break;
+  }
+  return std::string(name) + "(factor=" + std::to_string(factor) +
+         ", unit=" + FormatDurationMs(unit_ms) + ")";
+}
+
+Result<DecayFunction> ParseDecayFunction(std::string_view name) {
+  if (name == "NONE") return DecayFunction::kNone;
+  if (name == "EXP" || name == "EXPONENTIAL") {
+    return DecayFunction::kExponential;
+  }
+  if (name == "LINEAR") return DecayFunction::kLinear;
+  if (name == "STEP") return DecayFunction::kStep;
+  return Status::InvalidArgument("unknown decay function: " +
+                                 std::string(name));
+}
+
+}  // namespace ips

@@ -1,0 +1,45 @@
+// Decay functions for get_profile_decay (Section II-B): weight feature
+// counts by the age of the slice they came from so recent behaviour
+// dominates.
+#ifndef IPS_QUERY_DECAY_H_
+#define IPS_QUERY_DECAY_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/clock.h"
+#include "common/status.h"
+
+namespace ips {
+
+enum class DecayFunction : int {
+  kNone = 0,
+  /// weight = decay_factor ^ (age / unit). factor in (0, 1].
+  kExponential = 1,
+  /// weight = max(0, 1 - decay_factor * age / unit).
+  kLinear = 2,
+  /// weight = 1 for age < unit, decay_factor otherwise (two-step).
+  kStep = 3,
+};
+
+/// Decay specification: the function, its factor, and the time unit an "age
+/// of 1" corresponds to (e.g. one day).
+struct DecaySpec {
+  DecayFunction function = DecayFunction::kNone;
+  double factor = 1.0;
+  int64_t unit_ms = kMillisPerDay;
+
+  /// Weight for data of the given age. Ages <= 0 weigh 1.
+  double WeightForAge(int64_t age_ms) const;
+
+  /// Validates factor/unit ranges for the chosen function.
+  Status Validate() const;
+
+  std::string ToString() const;
+};
+
+Result<DecayFunction> ParseDecayFunction(std::string_view name);
+
+}  // namespace ips
+
+#endif  // IPS_QUERY_DECAY_H_

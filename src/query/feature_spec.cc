@@ -1,0 +1,180 @@
+#include "query/feature_spec.h"
+
+namespace ips {
+
+namespace {
+
+Result<ActionIndex> ResolveAction(const ConfigValue& value,
+                                  const TableSchema* schema) {
+  if (value.is_number()) {
+    const int64_t index = value.AsInt();
+    if (index < 0) return Status::InvalidArgument("negative action index");
+    if (schema != nullptr &&
+        index >= static_cast<int64_t>(schema->actions.size())) {
+      return Status::InvalidArgument("action index out of schema range");
+    }
+    return static_cast<ActionIndex>(index);
+  }
+  if (value.is_string()) {
+    if (schema == nullptr) {
+      return Status::InvalidArgument(
+          "action name '" + value.AsString() +
+          "' needs a table schema to resolve");
+    }
+    const int index = schema->ActionIndex(value.AsString());
+    if (index < 0) {
+      return Status::InvalidArgument("unknown action: " + value.AsString());
+    }
+    return static_cast<ActionIndex>(index);
+  }
+  return Status::InvalidArgument("action must be an index or a name");
+}
+
+Result<TimeRange> ParseWindow(const ConfigValue& doc) {
+  const std::string& kind = doc.Get("kind").AsString();
+  if (kind == "ABSOLUTE") {
+    if (!doc.Has("from") || !doc.Has("to")) {
+      return Status::InvalidArgument("ABSOLUTE window needs from/to");
+    }
+    return TimeRange::Absolute(doc.Get("from").AsInt(), doc.Get("to").AsInt());
+  }
+  IPS_ASSIGN_OR_RETURN(const int64_t span,
+                       ParseDurationMs(doc.Get("span").AsString()));
+  if (kind.empty() || kind == "CURRENT") return TimeRange::Current(span);
+  if (kind == "RELATIVE") return TimeRange::Relative(span);
+  return Status::InvalidArgument("unknown window kind: " + kind);
+}
+
+Result<FilterSpec> ParseFilter(const ConfigValue& doc,
+                               const TableSchema* schema) {
+  FilterSpec filter;
+  const std::string& op = doc.Get("op").AsString();
+  if (op == "count_at_least") {
+    filter.op = FilterOp::kCountAtLeast;
+  } else if (op == "count_less") {
+    filter.op = FilterOp::kCountLess;
+  } else if (op == "fid_in") {
+    filter.op = FilterOp::kFidIn;
+  } else if (op == "fid_not_in") {
+    filter.op = FilterOp::kFidNotIn;
+  } else {
+    return Status::InvalidArgument("unknown filter op: " + op);
+  }
+  if (filter.op == FilterOp::kCountAtLeast ||
+      filter.op == FilterOp::kCountLess) {
+    IPS_ASSIGN_OR_RETURN(filter.action,
+                         ResolveAction(doc.Get("action"), schema));
+    filter.operand = doc.Get("operand").AsInt();
+  } else {
+    for (const auto& fid : doc.Get("fids").items()) {
+      filter.fids.push_back(static_cast<FeatureId>(fid.AsInt()));
+    }
+    if (filter.fids.empty()) {
+      return Status::InvalidArgument("fid filter needs a non-empty list");
+    }
+  }
+  return filter;
+}
+
+}  // namespace
+
+Result<FeatureSpec> ParseFeatureSpec(const ConfigValue& doc,
+                                     const TableSchema* schema) {
+  if (!doc.is_object()) {
+    return Status::InvalidArgument("feature spec must be an object");
+  }
+  FeatureSpec spec;
+  spec.name = doc.Get("name").AsString();
+  if (spec.name.empty()) {
+    return Status::InvalidArgument("feature spec needs a name");
+  }
+  spec.table = doc.Get("table").AsString();
+  if (spec.table.empty()) {
+    return Status::InvalidArgument("feature spec needs a table");
+  }
+  if (schema != nullptr && schema->name != spec.table) {
+    return Status::InvalidArgument("schema/table mismatch for feature " +
+                                   spec.name);
+  }
+
+  if (!doc.Has("slot")) {
+    return Status::InvalidArgument("feature spec needs a slot");
+  }
+  spec.query.slot = static_cast<SlotId>(doc.Get("slot").AsInt());
+  if (doc.Has("type")) {
+    spec.query.type = static_cast<TypeId>(doc.Get("type").AsInt());
+  }
+
+  if (doc.Has("window")) {
+    IPS_ASSIGN_OR_RETURN(spec.query.time_range,
+                         ParseWindow(doc.Get("window")));
+  }
+
+  const ConfigValue& sort = doc.Get("sort");
+  if (sort.is_object()) {
+    const std::string& by = sort.Get("by").AsString();
+    if (by.empty() || by == "count") {
+      spec.query.sort_by = SortBy::kActionCount;
+      if (sort.Has("action")) {
+        IPS_ASSIGN_OR_RETURN(spec.query.sort_action,
+                             ResolveAction(sort.Get("action"), schema));
+      }
+    } else if (by == "time") {
+      spec.query.sort_by = SortBy::kTimestamp;
+    } else if (by == "fid") {
+      spec.query.sort_by = SortBy::kFeatureId;
+    } else {
+      return Status::InvalidArgument("unknown sort key: " + by);
+    }
+  }
+
+  spec.query.k = static_cast<size_t>(doc.Get("k").AsInt(0));
+
+  const ConfigValue& decay = doc.Get("decay");
+  if (decay.is_object()) {
+    IPS_ASSIGN_OR_RETURN(spec.query.decay.function,
+                         ParseDecayFunction(decay.Get("function").AsString()));
+    spec.query.decay.factor = decay.Get("factor").AsDouble(1.0);
+    if (decay.Has("unit")) {
+      IPS_ASSIGN_OR_RETURN(spec.query.decay.unit_ms,
+                           ParseDurationMs(decay.Get("unit").AsString()));
+    }
+    IPS_RETURN_IF_ERROR(spec.query.decay.Validate());
+  }
+
+  const ConfigValue& filter = doc.Get("filter");
+  if (filter.is_object()) {
+    IPS_ASSIGN_OR_RETURN(spec.query.filter, ParseFilter(filter, schema));
+  }
+  return spec;
+}
+
+Result<FeatureSpec> ParseFeatureSpecJson(std::string_view json,
+                                         const TableSchema* schema) {
+  IPS_ASSIGN_OR_RETURN(ConfigValue doc, ParseConfig(json));
+  return ParseFeatureSpec(doc, schema);
+}
+
+Result<std::vector<FeatureSpec>> ParseFeatureSet(const ConfigValue& doc,
+                                                 const TableSchema* schema) {
+  const ConfigValue& list = doc.Get("features");
+  if (!list.is_array() || list.size() == 0) {
+    return Status::InvalidArgument(
+        "feature set needs a non-empty 'features' array");
+  }
+  std::vector<FeatureSpec> specs;
+  specs.reserve(list.size());
+  for (const auto& item : list.items()) {
+    IPS_ASSIGN_OR_RETURN(FeatureSpec spec, ParseFeatureSpec(item, schema));
+    for (const auto& existing : specs) {
+      if (existing.name == spec.name) {
+        return Status::InvalidArgument("duplicate feature name: " +
+                                       spec.name);
+      }
+    }
+    specs.push_back(std::move(spec));
+  }
+  return specs;
+}
+
+}  // namespace ips

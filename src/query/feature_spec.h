@@ -1,0 +1,55 @@
+// Config-driven feature definitions (Section V-a): after early adopters
+// struggled with low-level APIs, IPS grew higher-level, hot-reloadable
+// feature templates. A FeatureSpec names one feature-engineering query —
+// table, scope, window, sort/decay/filter — and is parsed from the same
+// JSON configuration channel as table schemas, so machine-learning engineers
+// iterate on features without recompiling or restarting anything.
+//
+// Example document:
+// {
+//   "name": "top_sports_7d",
+//   "table": "user_profile",
+//   "slot": 1, "type": 10,            // type optional; omit = whole slot
+//   "window": {"kind": "CURRENT", "span": "7d"},
+//   "sort": {"by": "count", "action": "like"},
+//   "k": 20,
+//   "decay": {"function": "EXP", "factor": 0.9, "unit": "1d"},
+//   "filter": {"op": "count_at_least", "action": "click", "operand": 2}
+// }
+#ifndef IPS_QUERY_FEATURE_SPEC_H_
+#define IPS_QUERY_FEATURE_SPEC_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/config.h"
+#include "common/status.h"
+#include "core/table_schema.h"
+#include "query/query.h"
+
+namespace ips {
+
+/// A named, fully-resolved feature query.
+struct FeatureSpec {
+  std::string name;
+  std::string table;
+  QuerySpec query;
+};
+
+/// Parses one feature document. `schema`, when provided, resolves action
+/// *names* ("like") to indices and validates them; without it, only numeric
+/// action indices are accepted.
+Result<FeatureSpec> ParseFeatureSpec(const ConfigValue& doc,
+                                     const TableSchema* schema = nullptr);
+Result<FeatureSpec> ParseFeatureSpecJson(std::string_view json,
+                                         const TableSchema* schema = nullptr);
+
+/// Parses a document of the form {"features": [<spec>, ...]} — the unit of
+/// hot reload for a product's whole feature set.
+Result<std::vector<FeatureSpec>> ParseFeatureSet(
+    const ConfigValue& doc, const TableSchema* schema = nullptr);
+
+}  // namespace ips
+
+#endif  // IPS_QUERY_FEATURE_SPEC_H_

@@ -1,0 +1,67 @@
+#include "query/merger.h"
+
+#include <algorithm>
+#include <queue>
+
+namespace ips {
+
+namespace {
+
+struct HeapEntry {
+  FeatureId fid;
+  size_t run;
+  size_t index;
+};
+
+struct HeapGreater {
+  bool operator()(const HeapEntry& a, const HeapEntry& b) const {
+    if (a.fid != b.fid) return a.fid > b.fid;
+    return a.run > b.run;
+  }
+};
+
+}  // namespace
+
+IndexedFeatureStats MergeSortedRuns(
+    const std::vector<const IndexedFeatureStats*>& runs, ReduceFn reduce) {
+  IndexedFeatureStats out;
+  if (runs.empty()) return out;
+  if (runs.size() == 1) {
+    out = *runs[0];
+    return out;
+  }
+
+  std::priority_queue<HeapEntry, std::vector<HeapEntry>, HeapGreater> heap;
+  for (size_t r = 0; r < runs.size(); ++r) {
+    if (!runs[r]->empty()) {
+      heap.push(HeapEntry{runs[r]->stats()[0].fid, r, 0});
+    }
+  }
+
+  while (!heap.empty()) {
+    const HeapEntry top = heap.top();
+    heap.pop();
+    const FeatureStat& src = runs[top.run]->stats()[top.index];
+    if (!out.empty() && out.stats().back().fid == src.fid) {
+      // Same fid as the previously emitted entry: combine in place.
+      FeatureStat& dst = *out.MutableBack();
+      switch (reduce) {
+        case ReduceFn::kSum:
+          dst.counts.AccumulateSum(src.counts);
+          break;
+        case ReduceFn::kMax:
+          dst.counts.AccumulateMax(src.counts);
+          break;
+      }
+    } else {
+      out.AppendSortedUnchecked(src);
+    }
+    const size_t next = top.index + 1;
+    if (next < runs[top.run]->size()) {
+      heap.push(HeapEntry{runs[top.run]->stats()[next].fid, top.run, next});
+    }
+  }
+  return out;
+}
+
+}  // namespace ips

@@ -1,0 +1,24 @@
+// K-way merge over sorted IndexedFeatureStats runs. The hash-based
+// accumulator in query.cc is the default serving path; this heap merger is
+// the alternative that exploits the per-slice fid ordering (the reason the
+// data model keeps stats sorted — Section III-B's fid_index). Compaction uses
+// it to merge many slices without rehashing, and bench_micro compares the
+// two strategies.
+#ifndef IPS_QUERY_MERGER_H_
+#define IPS_QUERY_MERGER_H_
+
+#include <vector>
+
+#include "core/feature_stat.h"
+#include "core/types.h"
+
+namespace ips {
+
+/// Merges any number of sorted-by-fid stat runs into one sorted run,
+/// combining same-fid entries with `reduce`. Inputs must satisfy IsSorted().
+IndexedFeatureStats MergeSortedRuns(
+    const std::vector<const IndexedFeatureStats*>& runs, ReduceFn reduce);
+
+}  // namespace ips
+
+#endif  // IPS_QUERY_MERGER_H_

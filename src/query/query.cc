@@ -1,0 +1,213 @@
+#include "query/query.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace ips {
+
+namespace {
+
+// Accumulator keyed by fid during the multi-way merge. A hash map (rather
+// than a k-way heap over sorted runs) keeps the implementation simple while
+// preserving the sorted-per-slice inputs for the heap variant benchmarked in
+// bench_micro; slices overlapping a window are few (the compaction ladder
+// bounds them) so both are fast.
+struct Accumulator {
+  CountVector counts;
+  std::vector<double> weighted;
+  TimestampMs newest_ms = 0;
+  bool initialized = false;
+};
+
+void Accumulate(Accumulator& acc, const FeatureStat& stat, double weight,
+                TimestampMs slice_end_ms, ReduceFn reduce) {
+  if (!acc.initialized) {
+    acc.counts = stat.counts;
+    acc.weighted.assign(stat.counts.size(), 0.0);
+    for (size_t i = 0; i < stat.counts.size(); ++i) {
+      acc.weighted[i] = static_cast<double>(stat.counts[i]) * weight;
+    }
+    acc.newest_ms = slice_end_ms;
+    acc.initialized = true;
+    return;
+  }
+  switch (reduce) {
+    case ReduceFn::kSum:
+      acc.counts.AccumulateSum(stat.counts);
+      break;
+    case ReduceFn::kMax:
+      acc.counts.AccumulateMax(stat.counts);
+      break;
+  }
+  if (acc.weighted.size() < stat.counts.size()) {
+    acc.weighted.resize(stat.counts.size(), 0.0);
+  }
+  for (size_t i = 0; i < stat.counts.size(); ++i) {
+    const double contribution = static_cast<double>(stat.counts[i]) * weight;
+    if (reduce == ReduceFn::kSum) {
+      acc.weighted[i] += contribution;
+    } else {
+      acc.weighted[i] = std::max(acc.weighted[i], contribution);
+    }
+  }
+  acc.newest_ms = std::max(acc.newest_ms, slice_end_ms);
+}
+
+bool PassesFilter(const FilterSpec& filter, const FeatureResult& feature) {
+  switch (filter.op) {
+    case FilterOp::kNone:
+      return true;
+    case FilterOp::kCountAtLeast:
+      return feature.counts.At(filter.action) >= filter.operand;
+    case FilterOp::kCountLess:
+      return feature.counts.At(filter.action) < filter.operand;
+    case FilterOp::kFidIn:
+      return std::binary_search(filter.fids.begin(), filter.fids.end(),
+                                feature.fid);
+    case FilterOp::kFidNotIn:
+      return !std::binary_search(filter.fids.begin(), filter.fids.end(),
+                                 feature.fid);
+  }
+  return true;
+}
+
+// Strict-weak ordering for the final sort. Weighted values are used for the
+// count sort so decay queries rank by decayed score, as the API intends.
+bool ResultLess(const FeatureResult& a, const FeatureResult& b, SortBy sort_by,
+                ActionIndex action) {
+  switch (sort_by) {
+    case SortBy::kActionCount: {
+      const double wa = a.WeightedAt(action);
+      const double wb = b.WeightedAt(action);
+      if (wa != wb) return wa > wb;  // descending by score
+      return a.fid < b.fid;         // deterministic tie-break
+    }
+    case SortBy::kTimestamp:
+      if (a.newest_ms != b.newest_ms) return a.newest_ms > b.newest_ms;
+      return a.fid < b.fid;
+    case SortBy::kFeatureId:
+      return a.fid < b.fid;
+  }
+  return a.fid < b.fid;
+}
+
+}  // namespace
+
+Result<QueryResult> ExecuteQuery(const ProfileData& profile,
+                                 const QuerySpec& spec, TimestampMs now_ms) {
+  IPS_RETURN_IF_ERROR(spec.decay.Validate());
+  IPS_ASSIGN_OR_RETURN(auto window, spec.time_range.Resolve(profile, now_ms));
+  const auto [from_ms, to_ms] = window;
+
+  FilterSpec filter = spec.filter;
+  std::sort(filter.fids.begin(), filter.fids.end());
+
+  QueryResult result;
+  std::unordered_map<FeatureId, Accumulator> merged;
+
+  // Step 1 (paper II-B): locate the slices overlapping the window. The slice
+  // list is newest-first; once a slice ends at or before `from` every older
+  // slice is out of range too.
+  for (const auto& slice : profile.slices()) {
+    if (slice.start_ms() >= to_ms) continue;  // newer than the window
+    if (slice.end_ms() <= from_ms) break;     // older; list is sorted
+    const InstanceSet* set = slice.FindSlot(spec.slot);
+    if (set == nullptr) continue;
+    ++result.slices_scanned;
+
+    // Decay weight depends on the age of the slice midpoint relative to the
+    // window end (recent slices weigh ~1).
+    const TimestampMs mid = slice.start_ms() + slice.DurationMs() / 2;
+    const double weight = spec.decay.WeightForAge(to_ms - mid);
+
+    // Step 2: merge and aggregate feature counts under the scope.
+    auto merge_stats = [&](const IndexedFeatureStats& stats) {
+      for (const auto& stat : stats.stats()) {
+        Accumulate(merged[stat.fid], stat, weight, slice.end_ms(),
+                   spec.reduce);
+      }
+    };
+    if (spec.type.has_value()) {
+      const IndexedFeatureStats* stats = set->Find(*spec.type);
+      if (stats != nullptr) merge_stats(*stats);
+    } else {
+      for (const auto& [type, stats] : set->types()) merge_stats(stats);
+    }
+  }
+
+  result.features_merged = merged.size();
+  result.features.reserve(merged.size());
+  for (auto& [fid, acc] : merged) {
+    FeatureResult feature;
+    feature.fid = fid;
+    feature.counts = std::move(acc.counts);
+    feature.weighted = std::move(acc.weighted);
+    feature.newest_ms = acc.newest_ms;
+    if (PassesFilter(filter, feature)) {
+      result.features.push_back(std::move(feature));
+    }
+  }
+
+  // Step 3: final sort (+ top-K truncation). partial_sort keeps the serving
+  // cost at O(n log k) for the common small-k case.
+  auto less = [&](const FeatureResult& a, const FeatureResult& b) {
+    return ResultLess(a, b, spec.sort_by, spec.sort_action);
+  };
+  if (spec.k > 0 && spec.k < result.features.size()) {
+    std::partial_sort(result.features.begin(),
+                      result.features.begin() + spec.k,
+                      result.features.end(), less);
+    result.features.resize(spec.k);
+  } else {
+    std::sort(result.features.begin(), result.features.end(), less);
+  }
+  return result;
+}
+
+Result<QueryResult> GetProfileTopK(const ProfileData& profile, SlotId slot,
+                                   std::optional<TypeId> type,
+                                   const TimeRange& range, SortBy sort_by,
+                                   ActionIndex sort_action, size_t k,
+                                   TimestampMs now_ms, ReduceFn reduce) {
+  QuerySpec spec;
+  spec.slot = slot;
+  spec.type = type;
+  spec.time_range = range;
+  spec.sort_by = sort_by;
+  spec.sort_action = sort_action;
+  spec.k = k;
+  spec.reduce = reduce;
+  return ExecuteQuery(profile, spec, now_ms);
+}
+
+Result<QueryResult> GetProfileFilter(const ProfileData& profile, SlotId slot,
+                                     std::optional<TypeId> type,
+                                     const TimeRange& range,
+                                     const FilterSpec& filter,
+                                     TimestampMs now_ms, ReduceFn reduce) {
+  QuerySpec spec;
+  spec.slot = slot;
+  spec.type = type;
+  spec.time_range = range;
+  spec.filter = filter;
+  spec.sort_by = SortBy::kFeatureId;
+  spec.reduce = reduce;
+  return ExecuteQuery(profile, spec, now_ms);
+}
+
+Result<QueryResult> GetProfileDecay(const ProfileData& profile, SlotId slot,
+                                    std::optional<TypeId> type,
+                                    const TimeRange& range,
+                                    const DecaySpec& decay,
+                                    TimestampMs now_ms, ReduceFn reduce) {
+  QuerySpec spec;
+  spec.slot = slot;
+  spec.type = type;
+  spec.time_range = range;
+  spec.decay = decay;
+  spec.sort_by = SortBy::kActionCount;
+  spec.reduce = reduce;
+  return ExecuteQuery(profile, spec, now_ms);
+}
+
+}  // namespace ips

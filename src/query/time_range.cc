@@ -1,0 +1,75 @@
+#include "query/time_range.h"
+
+#include "common/config.h"
+
+namespace ips {
+
+TimeRange TimeRange::Current(int64_t span_ms) {
+  TimeRange r;
+  r.kind_ = TimeRangeKind::kCurrent;
+  r.span_ms_ = span_ms;
+  return r;
+}
+
+TimeRange TimeRange::Relative(int64_t span_ms) {
+  TimeRange r;
+  r.kind_ = TimeRangeKind::kRelative;
+  r.span_ms_ = span_ms;
+  return r;
+}
+
+TimeRange TimeRange::Absolute(TimestampMs from_ms, TimestampMs to_ms) {
+  TimeRange r;
+  r.kind_ = TimeRangeKind::kAbsolute;
+  r.from_ms_ = from_ms;
+  r.to_ms_ = to_ms;
+  return r;
+}
+
+Result<std::pair<TimestampMs, TimestampMs>> TimeRange::Resolve(
+    const ProfileData& profile, TimestampMs now_ms) const {
+  TimestampMs from = 0, to = 0;
+  switch (kind_) {
+    case TimeRangeKind::kCurrent:
+      if (span_ms_ <= 0) {
+        return Status::InvalidArgument("CURRENT span must be positive");
+      }
+      to = now_ms;
+      from = now_ms - span_ms_;
+      break;
+    case TimeRangeKind::kRelative: {
+      if (span_ms_ <= 0) {
+        return Status::InvalidArgument("RELATIVE span must be positive");
+      }
+      const TimestampMs anchor =
+          profile.LastActionMs() > 0 ? profile.LastActionMs()
+                                     : profile.NewestMs();
+      to = anchor + 1;  // inclusive of the anchoring action
+      from = anchor - span_ms_;
+      break;
+    }
+    case TimeRangeKind::kAbsolute:
+      from = from_ms_;
+      to = to_ms_;
+      if (from >= to) {
+        return Status::InvalidArgument("ABSOLUTE window inverted or empty");
+      }
+      break;
+  }
+  return std::make_pair(from, to);
+}
+
+std::string TimeRange::ToString() const {
+  switch (kind_) {
+    case TimeRangeKind::kCurrent:
+      return "CURRENT(" + FormatDurationMs(span_ms_) + ")";
+    case TimeRangeKind::kRelative:
+      return "RELATIVE(" + FormatDurationMs(span_ms_) + ")";
+    case TimeRangeKind::kAbsolute:
+      return "ABSOLUTE[" + std::to_string(from_ms_) + "," +
+             std::to_string(to_ms_) + ")";
+  }
+  return "?";
+}
+
+}  // namespace ips

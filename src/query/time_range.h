@@ -1,0 +1,53 @@
+// Time-range specification for read APIs (Section II-B). Three kinds:
+//   CURRENT  — window ending "now": [now - span, now)
+//   RELATIVE — window anchored at the profile's most recent action:
+//              [last_action - span, last_action]
+//   ABSOLUTE — explicit [from, to) in history.
+#ifndef IPS_QUERY_TIME_RANGE_H_
+#define IPS_QUERY_TIME_RANGE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/clock.h"
+#include "common/status.h"
+#include "core/profile_data.h"
+
+namespace ips {
+
+enum class TimeRangeKind : int {
+  kCurrent = 0,
+  kRelative = 1,
+  kAbsolute = 2,
+};
+
+class TimeRange {
+ public:
+  /// CURRENT window of the given span.
+  static TimeRange Current(int64_t span_ms);
+  /// RELATIVE window of the given span anchored on the most recent action.
+  static TimeRange Relative(int64_t span_ms);
+  /// ABSOLUTE window [from_ms, to_ms).
+  static TimeRange Absolute(TimestampMs from_ms, TimestampMs to_ms);
+
+  TimeRangeKind kind() const { return kind_; }
+  int64_t span_ms() const { return span_ms_; }
+
+  /// Materializes the closed-open window [from, to) against a concrete
+  /// profile and the current time. Returns InvalidArgument for empty or
+  /// inverted windows.
+  Result<std::pair<TimestampMs, TimestampMs>> Resolve(
+      const ProfileData& profile, TimestampMs now_ms) const;
+
+  std::string ToString() const;
+
+ private:
+  TimeRangeKind kind_ = TimeRangeKind::kCurrent;
+  int64_t span_ms_ = 0;
+  TimestampMs from_ms_ = 0;
+  TimestampMs to_ms_ = 0;
+};
+
+}  // namespace ips
+
+#endif  // IPS_QUERY_TIME_RANGE_H_

@@ -1,0 +1,160 @@
+#include "server/feature_assembler.h"
+
+#include "codec/coding.h"
+#include "common/logging.h"
+
+namespace ips {
+
+size_t AssembledSample::TotalValues() const {
+  size_t total = 0;
+  for (const auto& group : features) total += group.fids.size();
+  return total;
+}
+
+std::string EncodeSample(const AssembledSample& sample) {
+  std::string out;
+  PutVarint64(&out, sample.uid);
+  PutVarintSigned64(&out, sample.assembled_at_ms);
+  PutVarint64(&out, sample.features.size());
+  for (const auto& group : sample.features) {
+    PutLengthPrefixed(&out, group.name);
+    PutVarint64(&out, group.fids.size());
+    for (size_t i = 0; i < group.fids.size(); ++i) {
+      PutVarint64(&out, group.fids[i]);
+      // Fixed-point millis preserve rank order and enough precision for
+      // decayed scores.
+      PutVarintSigned64(&out,
+                        static_cast<int64_t>(group.values[i] * 1000.0));
+    }
+  }
+  return out;
+}
+
+bool DecodeSample(const std::string& data, AssembledSample* sample) {
+  Decoder dec(data);
+  uint64_t num_groups;
+  if (!dec.GetVarint64(&sample->uid) ||
+      !dec.GetVarintSigned64(&sample->assembled_at_ms) ||
+      !dec.GetVarint64(&num_groups)) {
+    return false;
+  }
+  if (num_groups > 1u << 16) return false;
+  sample->features.clear();
+  sample->features.reserve(num_groups);
+  for (uint64_t g = 0; g < num_groups; ++g) {
+    AssembledFeature group;
+    std::string_view name;
+    uint64_t n;
+    if (!dec.GetLengthPrefixed(&name) || !dec.GetVarint64(&n)) return false;
+    if (n > 1u << 20) return false;
+    group.name.assign(name.data(), name.size());
+    group.fids.reserve(n);
+    group.values.reserve(n);
+    for (uint64_t i = 0; i < n; ++i) {
+      uint64_t fid;
+      int64_t value_milli;
+      if (!dec.GetVarint64(&fid) || !dec.GetVarintSigned64(&value_milli)) {
+        return false;
+      }
+      group.fids.push_back(fid);
+      group.values.push_back(static_cast<double>(value_milli) / 1000.0);
+    }
+    sample->features.push_back(std::move(group));
+  }
+  return dec.Empty();
+}
+
+FeatureAssembler::FeatureAssembler(FeatureAssemblerOptions options,
+                                   IpsInstance* instance,
+                                   MessageLog* training_log)
+    : options_(std::move(options)),
+      instance_(instance),
+      training_log_(training_log),
+      specs_(std::make_shared<const std::vector<FeatureSpec>>()) {}
+
+Status FeatureAssembler::LoadFeatureSet(std::vector<FeatureSpec> specs) {
+  for (const auto& spec : specs) {
+    if (!instance_->HasTable(spec.table)) {
+      return Status::NotFound("feature " + spec.name +
+                              " references unknown table " + spec.table);
+    }
+    IPS_RETURN_IF_ERROR(spec.query.decay.Validate());
+  }
+  auto snapshot =
+      std::make_shared<const std::vector<FeatureSpec>>(std::move(specs));
+  std::lock_guard<std::mutex> lock(mu_);
+  specs_ = std::move(snapshot);
+  return Status::OK();
+}
+
+Status FeatureAssembler::LoadFeatureSetJson(std::string_view json,
+                                            const TableSchema* schema) {
+  IPS_ASSIGN_OR_RETURN(ConfigValue doc, ParseConfig(json));
+  IPS_ASSIGN_OR_RETURN(std::vector<FeatureSpec> specs,
+                       ParseFeatureSet(doc, schema));
+  return LoadFeatureSet(std::move(specs));
+}
+
+void FeatureAssembler::AttachConfigRegistry(ConfigRegistry* registry,
+                                            const std::string& key,
+                                            const TableSchema* schema) {
+  // The schema pointer must outlive the subscription; callers pass the
+  // long-lived schema owned by their setup code.
+  registry->Subscribe(key, [this, schema](const ConfigValue& doc) {
+    Result<std::vector<FeatureSpec>> specs = ParseFeatureSet(doc, schema);
+    if (!specs.ok()) {
+      IPS_LOG(Warn) << "rejected feature set: "
+                    << specs.status().ToString();
+      return;
+    }
+    Status status = LoadFeatureSet(std::move(specs).value());
+    if (!status.ok()) {
+      IPS_LOG(Warn) << "feature set load failed: " << status.ToString();
+    }
+  });
+}
+
+Result<AssembledSample> FeatureAssembler::Assemble(ProfileId uid) {
+  std::shared_ptr<const std::vector<FeatureSpec>> specs;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    specs = specs_;
+  }
+
+  AssembledSample sample;
+  sample.uid = uid;
+  for (const auto& spec : *specs) {
+    AssembledFeature group;
+    group.name = spec.name;
+    Result<QueryResult> result =
+        instance_->Query(options_.caller, spec.table, uid, spec.query);
+    if (result.ok()) {
+      group.fids.reserve(result->features.size());
+      group.values.reserve(result->features.size());
+      for (const auto& f : result->features) {
+        group.fids.push_back(f.fid);
+        group.values.push_back(f.WeightedAt(spec.query.sort_action));
+      }
+      sample.assembled_at_ms =
+          std::max(sample.assembled_at_ms, TimestampMs{0});
+    } else if (result.status().IsResourceExhausted()) {
+      return result.status();  // quota: the whole request is rejected
+    }
+    // Other per-feature failures leave the group empty: a degraded sample
+    // beats a failed recommendation request.
+    sample.features.push_back(std::move(group));
+  }
+
+  if (training_log_ != nullptr && !options_.training_topic.empty()) {
+    training_log_->Append(options_.training_topic, uid,
+                          EncodeSample(sample));
+  }
+  return sample;
+}
+
+size_t FeatureAssembler::FeatureCount() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return specs_->size();
+}
+
+}  // namespace ips

@@ -1,0 +1,89 @@
+// Feature assembly (Section I): recommendation requests extract tens to
+// hundreds of features per user; with IPS they are computed in one place,
+// assembled into a flat sample for model serving, and the *same* assembled
+// sample is flushed to the training stream — "in parallel, to avoid
+// training-serving skew". The assembler owns a hot-reloadable set of named
+// FeatureSpecs and runs them against an IpsInstance.
+#ifndef IPS_SERVER_FEATURE_ASSEMBLER_H_
+#define IPS_SERVER_FEATURE_ASSEMBLER_H_
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/config.h"
+#include "common/status.h"
+#include "ingest/message_log.h"
+#include "query/feature_spec.h"
+#include "server/ips_instance.h"
+
+namespace ips {
+
+/// One assembled feature group: the spec's name plus the fids/values the
+/// query produced, in rank order.
+struct AssembledFeature {
+  std::string name;
+  std::vector<FeatureId> fids;
+  /// Weighted value of the spec's sort action per fid (what a model embeds).
+  std::vector<double> values;
+};
+
+/// A complete sample for one (user, request).
+struct AssembledSample {
+  ProfileId uid = 0;
+  TimestampMs assembled_at_ms = 0;
+  std::vector<AssembledFeature> features;
+
+  /// Total features across groups.
+  size_t TotalValues() const;
+};
+
+/// Serialization for the training stream.
+std::string EncodeSample(const AssembledSample& sample);
+bool DecodeSample(const std::string& data, AssembledSample* sample);
+
+struct FeatureAssemblerOptions {
+  std::string caller = "feature-assembler";
+  /// When set, every assembled sample is also appended to this topic —
+  /// the training-data flush that keeps serving and training identical.
+  std::string training_topic;
+};
+
+class FeatureAssembler {
+ public:
+  /// `training_log` may be null when no training flush is wanted.
+  FeatureAssembler(FeatureAssemblerOptions options, IpsInstance* instance,
+                   MessageLog* training_log = nullptr);
+
+  /// Replaces the active feature set. Invalid sets are rejected atomically
+  /// (the previous set stays live) — the hot-reload contract.
+  Status LoadFeatureSet(std::vector<FeatureSpec> specs);
+  Status LoadFeatureSetJson(std::string_view json,
+                            const TableSchema* schema = nullptr);
+
+  /// Subscribes to `registry` under `key`; published documents of the form
+  /// {"features": [...]} replace the active set.
+  void AttachConfigRegistry(ConfigRegistry* registry, const std::string& key,
+                            const TableSchema* schema = nullptr);
+
+  /// Runs every active spec for `uid` and returns the assembled sample,
+  /// flushing it to the training topic when configured. Individual feature
+  /// failures are tolerated (the group is emitted empty) so one bad spec
+  /// cannot break serving; hard failures (quota) propagate.
+  Result<AssembledSample> Assemble(ProfileId uid);
+
+  size_t FeatureCount() const;
+
+ private:
+  FeatureAssemblerOptions options_;
+  IpsInstance* instance_;
+  MessageLog* training_log_;
+
+  mutable std::mutex mu_;
+  std::shared_ptr<const std::vector<FeatureSpec>> specs_;
+};
+
+}  // namespace ips
+
+#endif  // IPS_SERVER_FEATURE_ASSEMBLER_H_

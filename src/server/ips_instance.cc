@@ -1,0 +1,465 @@
+#include "server/ips_instance.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace ips {
+
+IpsInstance::IpsInstance(IpsInstanceOptions options, KvStore* kv, Clock* clock,
+                         MetricsRegistry* metrics)
+    : options_(options),
+      kv_(kv),
+      clock_(clock),
+      metrics_(metrics != nullptr ? metrics : &owned_metrics_),
+      quota_(clock, options.default_caller_qps) {
+  isolation_enabled_.store(options_.isolation_enabled,
+                           std::memory_order_relaxed);
+  if (options_.start_background_threads) {
+    merger_thread_ = std::thread([this] { MergerLoop(); });
+  }
+}
+
+IpsInstance::~IpsInstance() {
+  shutdown_.store(true, std::memory_order_relaxed);
+  merger_cv_.notify_all();
+  if (merger_thread_.joinable()) merger_thread_.join();
+  if (config_registry_ != nullptr) {
+    for (int64_t id : config_subscriptions_) {
+      config_registry_->Unsubscribe(id);
+    }
+  }
+  // Drain pending writes, then persist the caches.
+  MergeWriteTablesOnce();
+  DrainCompactions();
+  FlushAll();
+}
+
+Status IpsInstance::CreateTable(const TableSchema& schema) {
+  IPS_RETURN_IF_ERROR(schema.Validate());
+  auto table = std::make_unique<Table>();
+  table->schema = schema;
+  table->persister = std::make_unique<Persister>(schema.name, kv_,
+                                                 options_.persistence);
+  Persister* persister = table->persister.get();
+
+  GCacheOptions cache_options = options_.cache;
+  cache_options.write_granularity_ms = schema.write_granularity_ms;
+  FlushFn flush_fn;
+  if (options_.persist_writes) {
+    flush_fn = [persister](ProfileId pid, const ProfileData& profile) {
+      return persister->Flush(pid, profile);
+    };
+  } else {
+    // Non-primary region: durability is the primary region's job; evictions
+    // and flushes simply drop the dirty bit.
+    flush_fn = [](ProfileId, const ProfileData&) { return Status::OK(); };
+  }
+  table->cache = std::make_unique<GCache>(
+      cache_options, clock_, std::move(flush_fn),
+      [persister](ProfileId pid) { return persister->Load(pid); }, metrics_);
+
+  table->compactor = std::make_unique<Compactor>(&table->schema);
+  Table* raw = table.get();
+  table->compaction = std::make_unique<CompactionManager>(
+      options_.compaction, clock_,
+      [this, raw](ProfileId pid, bool full) {
+        raw->cache
+            ->WithProfileMutable(
+                pid,
+                [&](ProfileData& profile) {
+                  std::lock_guard<std::mutex> schema_lock(raw->schema_mu);
+                  const CompactionStats stats =
+                      full ? raw->compactor->FullCompact(profile,
+                                                         clock_->NowMs())
+                           : raw->compactor->PartialCompact(profile,
+                                                            clock_->NowMs());
+                  if (stats.AnyWork()) {
+                    metrics_->GetCounter("compaction.slices_merged")
+                        ->Increment(stats.slices_merged);
+                    metrics_->GetCounter("compaction.slices_truncated")
+                        ->Increment(stats.slices_truncated);
+                    metrics_->GetCounter("compaction.features_shrunk")
+                        ->Increment(stats.features_shrunk);
+                  }
+                })
+            .ok();
+      },
+      metrics_);
+
+  table->write_table = std::make_unique<ProfileTable>(schema, /*shards=*/8);
+
+  std::lock_guard<std::mutex> lock(tables_mu_);
+  auto [it, inserted] = tables_.try_emplace(schema.name, std::move(table));
+  if (!inserted) {
+    return Status::AlreadyExists("table " + schema.name);
+  }
+  return Status::OK();
+}
+
+bool IpsInstance::HasTable(const std::string& table) const {
+  std::lock_guard<std::mutex> lock(tables_mu_);
+  return tables_.find(table) != tables_.end();
+}
+
+Status IpsInstance::ReconfigureTable(const TableSchema& schema) {
+  IPS_RETURN_IF_ERROR(schema.Validate());
+  Table* t = FindTable(schema.name);
+  if (t == nullptr) return Status::NotFound("table " + schema.name);
+  std::lock_guard<std::mutex> lock(t->schema_mu);
+  if (schema.actions != t->schema.actions) {
+    return Status::InvalidArgument(
+        "hot reload cannot change the action schema");
+  }
+  if (schema.write_granularity_ms != t->schema.write_granularity_ms) {
+    return Status::InvalidArgument(
+        "hot reload cannot change the write granularity");
+  }
+  t->schema.reduce = schema.reduce;
+  t->schema.time_dimensions = schema.time_dimensions;
+  t->schema.truncate = schema.truncate;
+  t->schema.shrink = schema.shrink;
+  metrics_->GetCounter("config.table_reload")->Increment();
+  return Status::OK();
+}
+
+IpsInstance::Table* IpsInstance::FindTable(const std::string& table) {
+  std::lock_guard<std::mutex> lock(tables_mu_);
+  auto it = tables_.find(table);
+  return it == tables_.end() ? nullptr : it->second.get();
+}
+
+const IpsInstance::Table* IpsInstance::FindTable(
+    const std::string& table) const {
+  std::lock_guard<std::mutex> lock(tables_mu_);
+  auto it = tables_.find(table);
+  return it == tables_.end() ? nullptr : it->second.get();
+}
+
+Status IpsInstance::AddProfile(const std::string& caller,
+                               const std::string& table, ProfileId pid,
+                               TimestampMs timestamp, SlotId slot, TypeId type,
+                               FeatureId fid, const CountVector& counts) {
+  AddRecord record;
+  record.timestamp = timestamp;
+  record.slot = slot;
+  record.type = type;
+  record.fid = fid;
+  record.counts = counts;
+  return AddProfiles(caller, table, pid, {record});
+}
+
+Status IpsInstance::AddProfiles(const std::string& caller,
+                                const std::string& table, ProfileId pid,
+                                const std::vector<AddRecord>& records) {
+  IPS_RETURN_IF_ERROR(quota_.Check(caller));
+  if (records.empty()) {
+    return Status::InvalidArgument("empty record batch");
+  }
+  Table* t = FindTable(table);
+  if (t == nullptr) return Status::NotFound("table " + table);
+
+  const int64_t begin_ns = MonotonicNanos();
+  Status status = isolation_enabled_.load(std::memory_order_relaxed)
+                      ? AddIsolated(*t, pid, records)
+                      : AddDirect(*t, pid, records);
+  metrics_->GetHistogram("server.add_micros")
+      ->Record((MonotonicNanos() - begin_ns) / 1000);
+  if (status.ok()) {
+    metrics_->GetCounter("server.adds")->Increment(records.size());
+  } else {
+    metrics_->GetCounter("server.add_errors")->Increment();
+  }
+  return status;
+}
+
+Status IpsInstance::AddDirect(Table& t, ProfileId pid,
+                              const std::vector<AddRecord>& records) {
+  Status status = t.cache->WithProfileMutable(pid, [&](ProfileData& profile) {
+    std::lock_guard<std::mutex> schema_lock(t.schema_mu);
+    for (const auto& r : records) {
+      profile.Add(r.timestamp, r.slot, r.type, r.fid, r.counts,
+                  t.schema.reduce)
+          .ok();
+    }
+  });
+  if (status.ok()) t.compaction->MaybeTrigger(pid);
+  return status;
+}
+
+Status IpsInstance::AddIsolated(Table& t, ProfileId pid,
+                                const std::vector<AddRecord>& records) {
+  // Hard cap on the write table's memory (Section III-F): if the buffer is
+  // full, fall back to the direct path rather than grow without bound.
+  if (t.write_table_bytes.load(std::memory_order_relaxed) >
+      options_.isolation_memory_limit_bytes) {
+    metrics_->GetCounter("isolation.overflow")->Increment();
+    return AddDirect(t, pid, records);
+  }
+  size_t added_bytes = 0;
+  t.write_table->WithProfileMutable(pid, [&](ProfileData& profile) {
+    const size_t before = profile.ApproximateBytes();
+    for (const auto& r : records) {
+      profile.Add(r.timestamp, r.slot, r.type, r.fid, r.counts,
+                  t.schema.reduce)
+          .ok();
+    }
+    added_bytes = profile.ApproximateBytes() - before;
+  });
+  t.write_table_bytes.fetch_add(added_bytes, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+size_t IpsInstance::MergeWriteTable(Table& t) {
+  // Swap out the accumulated buffer, then fold it into the cached profiles
+  // using the table's aggregate function. The swap keeps the write path
+  // available during the merge.
+  std::vector<std::pair<ProfileId, ProfileData>> pending;
+  t.write_table->ForEach([&](ProfileId pid, ProfileData& profile) {
+    pending.emplace_back(pid, std::move(profile));
+  });
+  t.write_table->Clear();
+  t.write_table_bytes.store(0, std::memory_order_relaxed);
+
+  for (auto& [pid, buffered] : pending) {
+    t.cache
+        ->WithProfileMutable(pid,
+                             [&](ProfileData& profile) {
+                               std::lock_guard<std::mutex> schema_lock(
+                                   t.schema_mu);
+                               profile.MergeProfile(buffered,
+                                                    t.schema.reduce);
+                             })
+        .ok();
+    t.compaction->MaybeTrigger(pid);
+  }
+  return pending.size();
+}
+
+size_t IpsInstance::MergeWriteTablesOnce() {
+  std::vector<Table*> tables;
+  {
+    std::lock_guard<std::mutex> lock(tables_mu_);
+    tables.reserve(tables_.size());
+    for (auto& [name, t] : tables_) tables.push_back(t.get());
+  }
+  size_t merged = 0;
+  for (Table* t : tables) merged += MergeWriteTable(*t);
+  if (merged > 0) {
+    metrics_->GetCounter("isolation.merged_profiles")->Increment(merged);
+  }
+  return merged;
+}
+
+Result<QueryResult> IpsInstance::Query(const std::string& caller,
+                                       const std::string& table,
+                                       ProfileId pid, const QuerySpec& spec) {
+  IPS_RETURN_IF_ERROR(quota_.Check(caller));
+  Table* t = FindTable(table);
+  if (t == nullptr) return Status::NotFound("table " + table);
+
+  QuerySpec effective = spec;
+  {
+    std::lock_guard<std::mutex> schema_lock(t->schema_mu);
+    effective.reduce = t->schema.reduce;
+  }
+
+  const int64_t begin_ns = MonotonicNanos();
+  Result<QueryResult> query_result = Status::NotFound("unset");
+  bool was_hit = false;
+  Status status = t->cache->WithProfile(
+      pid,
+      [&](const ProfileData& profile) {
+        query_result = ExecuteQuery(profile, effective, clock_->NowMs());
+      },
+      &was_hit);
+
+  const int64_t micros = (MonotonicNanos() - begin_ns) / 1000;
+  metrics_->GetHistogram("server.query_micros")->Record(micros);
+  metrics_->GetHistogram(was_hit ? "server.query_micros_hit"
+                                 : "server.query_micros_miss")
+      ->Record(micros);
+
+  if (status.IsNotFound()) {
+    // Unknown profile: an empty result, not an error — recommendation
+    // callers treat new users as empty profiles.
+    metrics_->GetCounter("server.queries")->Increment();
+    return QueryResult{};
+  }
+  IPS_RETURN_IF_ERROR(status);
+  if (query_result.ok()) {
+    metrics_->GetCounter("server.queries")->Increment();
+    t->compaction->MaybeTrigger(pid);
+  } else {
+    metrics_->GetCounter("server.query_errors")->Increment();
+  }
+  return query_result;
+}
+
+Result<QueryResult> IpsInstance::GetProfileTopK(
+    const std::string& caller, const std::string& table, ProfileId pid,
+    SlotId slot, std::optional<TypeId> type, const TimeRange& range,
+    SortBy sort_by, ActionIndex sort_action, size_t k) {
+  QuerySpec spec;
+  spec.slot = slot;
+  spec.type = type;
+  spec.time_range = range;
+  spec.sort_by = sort_by;
+  spec.sort_action = sort_action;
+  spec.k = k;
+  return Query(caller, table, pid, spec);
+}
+
+Result<QueryResult> IpsInstance::GetProfileFilter(
+    const std::string& caller, const std::string& table, ProfileId pid,
+    SlotId slot, std::optional<TypeId> type, const TimeRange& range,
+    const FilterSpec& filter) {
+  QuerySpec spec;
+  spec.slot = slot;
+  spec.type = type;
+  spec.time_range = range;
+  spec.filter = filter;
+  spec.sort_by = SortBy::kFeatureId;
+  return Query(caller, table, pid, spec);
+}
+
+Result<QueryResult> IpsInstance::GetProfileDecay(
+    const std::string& caller, const std::string& table, ProfileId pid,
+    SlotId slot, std::optional<TypeId> type, const TimeRange& range,
+    const DecaySpec& decay) {
+  QuerySpec spec;
+  spec.slot = slot;
+  spec.type = type;
+  spec.time_range = range;
+  spec.decay = decay;
+  return Query(caller, table, pid, spec);
+}
+
+void IpsInstance::SetIsolationEnabled(bool enabled) {
+  const bool was =
+      isolation_enabled_.exchange(enabled, std::memory_order_relaxed);
+  if (was && !enabled) {
+    // Turning isolation off: drain buffered writes immediately so nothing
+    // sits invisible in the write tables.
+    MergeWriteTablesOnce();
+  }
+  metrics_->GetCounter("isolation.switch")->Increment();
+}
+
+void IpsInstance::FlushAll() {
+  std::vector<Table*> tables;
+  {
+    std::lock_guard<std::mutex> lock(tables_mu_);
+    for (auto& [name, t] : tables_) tables.push_back(t.get());
+  }
+  for (Table* t : tables) t->cache->FlushAll();
+}
+
+void IpsInstance::DrainCompactions() {
+  std::vector<Table*> tables;
+  {
+    std::lock_guard<std::mutex> lock(tables_mu_);
+    for (auto& [name, t] : tables_) tables.push_back(t.get());
+  }
+  for (Table* t : tables) t->compaction->Drain();
+}
+
+void IpsInstance::SetCompactionEnabled(bool enabled) {
+  std::lock_guard<std::mutex> lock(tables_mu_);
+  for (auto& [name, t] : tables_) t->compaction->SetEnabled(enabled);
+}
+
+Result<size_t> IpsInstance::CompactTableNow(const std::string& table) {
+  Table* t = FindTable(table);
+  if (t == nullptr) return Status::NotFound("table " + table);
+  const std::vector<ProfileId> ids = t->cache->CachedIds();
+  for (ProfileId pid : ids) {
+    t->cache
+        ->WithProfileMutable(pid,
+                             [&](ProfileData& profile) {
+                               std::lock_guard<std::mutex> schema_lock(
+                                   t->schema_mu);
+                               t->compactor->FullCompact(profile,
+                                                         clock_->NowMs());
+                             })
+        .ok();
+  }
+  return ids.size();
+}
+
+Result<IpsInstance::TableStats> IpsInstance::GetTableStats(
+    const std::string& table) const {
+  const Table* t = FindTable(table);
+  if (t == nullptr) return Status::NotFound("table " + table);
+  TableStats stats;
+  stats.cached_profiles = t->cache->EntryCount();
+  stats.cache_bytes = t->cache->MemoryBytes();
+  stats.hit_ratio = t->cache->HitRatio();
+  stats.memory_usage_ratio = t->cache->MemoryUsageRatio();
+  stats.write_table_profiles = t->write_table->ProfileCount();
+  stats.write_table_bytes =
+      t->write_table_bytes.load(std::memory_order_relaxed);
+  return stats;
+}
+
+void IpsInstance::AttachConfigRegistry(ConfigRegistry* registry) {
+  config_registry_ = registry;
+
+  // Per-caller quotas (Section V-b): a document {"caller": qps, ...};
+  // callers absent from the document keep their current quota, a qps of 0
+  // removes the explicit quota.
+  config_subscriptions_.push_back(registry->Subscribe(
+      "ips/" + options_.instance_id + "/quotas",
+      [this](const ConfigValue& doc) {
+        if (!doc.is_object()) return;
+        for (const auto& [caller, qps] : doc.members()) {
+          const double rate = qps.AsDouble(0);
+          if (rate <= 0) {
+            quota_.RemoveQuota(caller);
+          } else {
+            quota_.SetQuota(caller, rate);
+          }
+        }
+        metrics_->GetCounter("config.quota_reload")->Increment();
+      }));
+
+  std::vector<std::string> names;
+  {
+    std::lock_guard<std::mutex> lock(tables_mu_);
+    for (auto& [name, t] : tables_) names.push_back(name);
+  }
+  for (const auto& name : names) {
+    const std::string key =
+        "ips/" + options_.instance_id + "/tables/" + name;
+    config_subscriptions_.push_back(
+        registry->Subscribe(key, [this](const ConfigValue& doc) {
+          Result<TableSchema> schema = ParseTableSchema(doc);
+          if (!schema.ok()) {
+            IPS_LOG(Warn) << "rejected table config: "
+                          << schema.status().ToString();
+            return;
+          }
+          Status status = ReconfigureTable(*schema);
+          if (!status.ok()) {
+            IPS_LOG(Warn) << "table reconfigure failed: "
+                          << status.ToString();
+          }
+        }));
+  }
+}
+
+void IpsInstance::MergerLoop() {
+  std::unique_lock<std::mutex> lock(merger_mu_);
+  while (!shutdown_.load(std::memory_order_relaxed)) {
+    merger_cv_.wait_for(
+        lock,
+        std::chrono::milliseconds(options_.isolation_merge_interval_ms));
+    if (shutdown_.load(std::memory_order_relaxed)) return;
+    if (!isolation_enabled_.load(std::memory_order_relaxed)) continue;
+    lock.unlock();
+    MergeWriteTablesOnce();
+    lock.lock();
+  }
+}
+
+}  // namespace ips

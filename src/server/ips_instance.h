@@ -1,0 +1,218 @@
+// IpsInstance: one server of the compute-cache layer (Section III). It owns
+// a set of profile tables, each backed by the GCache write-back cache over a
+// persistent key-value store, with asynchronous compaction, per-caller
+// quotas, read-write isolation, and hot-reloadable table configuration.
+//
+// Read-write isolation (Section III-F): when enabled, add_profile requests
+// land in a lightweight write-only ProfileTable; a merger thread folds the
+// write table into the main (cached) table every few seconds with the
+// table's aggregate function. This keeps write traffic off the main table's
+// entry locks at the cost of a small data-visibility delay and extra memory,
+// both bounded by configuration. A hot switch toggles the feature at runtime.
+#ifndef IPS_SERVER_IPS_INSTANCE_H_
+#define IPS_SERVER_IPS_INSTANCE_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "cache/gcache.h"
+#include "common/clock.h"
+#include "common/config.h"
+#include "common/metrics.h"
+#include "common/status.h"
+#include "compaction/compactor.h"
+#include "compaction/manager.h"
+#include "core/profile_table.h"
+#include "core/table_schema.h"
+#include "kvstore/kv_store.h"
+#include "query/query.h"
+#include "server/persistence.h"
+#include "server/quota.h"
+
+namespace ips {
+
+struct IpsInstanceOptions {
+  /// Instance identity (service discovery registration).
+  std::string instance_id = "ips-0";
+  GCacheOptions cache;
+  CompactionManagerOptions compaction;
+  PersisterOptions persistence;
+  /// Read-write isolation initial state + merge cadence + memory cap.
+  bool isolation_enabled = true;
+  int64_t isolation_merge_interval_ms = 2000;
+  size_t isolation_memory_limit_bytes = 32 << 20;
+  /// Default per-caller QPS when no explicit quota is set (0 = unlimited).
+  double default_caller_qps = 0;
+  /// When false the instance never writes to the KV store (Section III-G:
+  /// in a multi-region deployment only the primary region's instances
+  /// persist to the master cluster; the others only read their local
+  /// slave). Dirty entries are marked clean without I/O.
+  bool persist_writes = true;
+  /// When false, no merger thread starts; tests call MergeWriteTablesOnce().
+  bool start_background_threads = true;
+};
+
+/// One write of the batched add API.
+struct AddRecord {
+  TimestampMs timestamp = 0;
+  SlotId slot = 0;
+  TypeId type = 0;
+  FeatureId fid = 0;
+  CountVector counts;
+};
+
+class IpsInstance {
+ public:
+  IpsInstance(IpsInstanceOptions options, KvStore* kv, Clock* clock,
+              MetricsRegistry* metrics = nullptr);
+  ~IpsInstance();
+
+  IpsInstance(const IpsInstance&) = delete;
+  IpsInstance& operator=(const IpsInstance&) = delete;
+
+  /// Creates a table. AlreadyExists when the name is taken.
+  Status CreateTable(const TableSchema& schema);
+  bool HasTable(const std::string& table) const;
+  /// Replaces the compaction/truncate/shrink parts of a table's schema at
+  /// runtime (the hot-reload path of Section V-b). Actions and granularity
+  /// cannot change live.
+  Status ReconfigureTable(const TableSchema& schema);
+
+  // --- Write APIs (Section II-B) -------------------------------------
+
+  Status AddProfile(const std::string& caller, const std::string& table,
+                    ProfileId pid, TimestampMs timestamp, SlotId slot,
+                    TypeId type, FeatureId fid, const CountVector& counts);
+
+  /// Batched variant; one quota charge per record batch.
+  Status AddProfiles(const std::string& caller, const std::string& table,
+                     ProfileId pid, const std::vector<AddRecord>& records);
+
+  // --- Read APIs (Section II-B) --------------------------------------
+
+  Result<QueryResult> GetProfileTopK(const std::string& caller,
+                                     const std::string& table, ProfileId pid,
+                                     SlotId slot, std::optional<TypeId> type,
+                                     const TimeRange& range, SortBy sort_by,
+                                     ActionIndex sort_action, size_t k);
+
+  Result<QueryResult> GetProfileFilter(const std::string& caller,
+                                       const std::string& table,
+                                       ProfileId pid, SlotId slot,
+                                       std::optional<TypeId> type,
+                                       const TimeRange& range,
+                                       const FilterSpec& filter);
+
+  Result<QueryResult> GetProfileDecay(const std::string& caller,
+                                      const std::string& table, ProfileId pid,
+                                      SlotId slot, std::optional<TypeId> type,
+                                      const TimeRange& range,
+                                      const DecaySpec& decay);
+
+  /// Fully general query.
+  Result<QueryResult> Query(const std::string& caller,
+                            const std::string& table, ProfileId pid,
+                            const QuerySpec& spec);
+
+  // --- Operations -----------------------------------------------------
+
+  QuotaManager& quota() { return quota_; }
+
+  /// Hot switch for read-write isolation (Section III-F / V-b).
+  void SetIsolationEnabled(bool enabled);
+  bool IsolationEnabled() const {
+    return isolation_enabled_.load(std::memory_order_relaxed);
+  }
+
+  /// Merges all tables' write tables into their main tables; returns
+  /// profiles merged. Normally driven by the background merger thread.
+  size_t MergeWriteTablesOnce();
+
+  /// Flushes every dirty cache entry (shutdown / controlled failover).
+  void FlushAll();
+
+  /// Waits for queued compactions.
+  void DrainCompactions();
+
+  /// Ops sweep: synchronously runs a full compaction over every cached
+  /// profile of `table` (back-fill cleanup, pre-benchmark steady-state).
+  /// Returns profiles compacted.
+  Result<size_t> CompactTableNow(const std::string& table);
+
+  /// Kill switch for traffic-triggered compaction across all tables (ops:
+  /// pause during heavy back-fill, re-enable afterwards).
+  void SetCompactionEnabled(bool enabled);
+
+  /// Cache statistics for one table.
+  struct TableStats {
+    size_t cached_profiles = 0;
+    size_t cache_bytes = 0;
+    double hit_ratio = 0.0;
+    double memory_usage_ratio = 0.0;
+    size_t write_table_profiles = 0;
+    size_t write_table_bytes = 0;
+  };
+  Result<TableStats> GetTableStats(const std::string& table) const;
+
+  const std::string& instance_id() const { return options_.instance_id; }
+  MetricsRegistry* metrics() { return metrics_; }
+
+  /// Subscribes the instance to `registry` under key
+  /// "ips/<instance_id>/tables/<table>": published schema documents are
+  /// applied via ReconfigureTable.
+  void AttachConfigRegistry(ConfigRegistry* registry);
+
+ private:
+  struct Table {
+    TableSchema schema;
+    std::mutex schema_mu;  // guards schema replacement on hot reload
+    std::unique_ptr<Persister> persister;
+    std::unique_ptr<GCache> cache;
+    std::unique_ptr<Compactor> compactor;
+    std::unique_ptr<CompactionManager> compaction;
+    /// Isolation write buffer (few shards: it is short-lived and small).
+    std::unique_ptr<ProfileTable> write_table;
+    std::atomic<size_t> write_table_bytes{0};
+  };
+
+  Table* FindTable(const std::string& table);
+  const Table* FindTable(const std::string& table) const;
+
+  Status AddDirect(Table& t, ProfileId pid,
+                   const std::vector<AddRecord>& records);
+  Status AddIsolated(Table& t, ProfileId pid,
+                     const std::vector<AddRecord>& records);
+  size_t MergeWriteTable(Table& t);
+
+  void MergerLoop();
+
+  IpsInstanceOptions options_;
+  KvStore* kv_;
+  Clock* clock_;
+  MetricsRegistry* metrics_;
+  MetricsRegistry owned_metrics_;  // used when none injected
+  QuotaManager quota_;
+
+  mutable std::mutex tables_mu_;
+  std::unordered_map<std::string, std::unique_ptr<Table>> tables_;
+
+  std::atomic<bool> isolation_enabled_{true};
+  std::atomic<bool> shutdown_{false};
+  std::mutex merger_mu_;
+  std::condition_variable merger_cv_;
+  std::thread merger_thread_;
+
+  std::vector<int64_t> config_subscriptions_;
+  ConfigRegistry* config_registry_ = nullptr;
+};
+
+}  // namespace ips
+
+#endif  // IPS_SERVER_IPS_INSTANCE_H_

@@ -1,0 +1,222 @@
+#include "server/persistence.h"
+
+#include <algorithm>
+#include "common/hash.h"
+
+#include "codec/compress.h"
+
+namespace ips {
+
+Persister::Persister(std::string table_name, KvStore* kv,
+                     PersisterOptions options)
+    : table_name_(std::move(table_name)), kv_(kv), options_(options) {}
+
+std::string Persister::BulkKey(ProfileId pid) const {
+  return table_name_ + "/p/" + std::to_string(pid);
+}
+
+std::string Persister::MetaKey(ProfileId pid) const {
+  return table_name_ + "/m/" + std::to_string(pid);
+}
+
+std::string Persister::SliceKey(ProfileId pid, uint64_t slice_key) const {
+  return table_name_ + "/s/" + std::to_string(pid) + "/" +
+         std::to_string(slice_key);
+}
+
+KvVersion Persister::HeldVersion(ProfileId pid) {
+  std::lock_guard<std::mutex> lock(version_mu_);
+  auto it = held_versions_.find(pid);
+  return it == held_versions_.end() ? 0 : it->second;
+}
+
+void Persister::RememberVersion(ProfileId pid, KvVersion version) {
+  std::lock_guard<std::mutex> lock(version_mu_);
+  held_versions_[pid] = version;
+}
+
+void Persister::ForgetVersion(ProfileId pid) {
+  std::lock_guard<std::mutex> lock(version_mu_);
+  held_versions_.erase(pid);
+}
+
+Status Persister::Flush(ProfileId pid, const ProfileData& profile) {
+  if (options_.mode == PersistenceMode::kBulk) {
+    return FlushBulk(pid, profile);
+  }
+  if (options_.split_threshold_bytes > 0 &&
+      EncodedProfileSizeUncompressed(profile) <
+          options_.split_threshold_bytes) {
+    // Small profile: bulk representation, and retire any split leftovers so
+    // a later load cannot observe a stale meta shadowing the fresh bulk.
+    IPS_RETURN_IF_ERROR(FlushBulk(pid, profile));
+    std::string ignored;
+    if (kv_->Get(MetaKey(pid), &ignored).ok()) {
+      IPS_RETURN_IF_ERROR(kv_->Delete(MetaKey(pid)));
+      ForgetVersion(pid);
+    }
+    return Status::OK();
+  }
+  return FlushSplit(pid, profile);
+}
+
+Status Persister::FlushBulk(ProfileId pid, const ProfileData& profile) {
+  std::string encoded;
+  EncodeProfile(profile, &encoded);
+  return kv_->Set(BulkKey(pid), encoded);
+}
+
+Status Persister::FlushSplit(ProfileId pid, const ProfileData& profile) {
+  // Fig 14 ordering: slice values first, meta last, so a reader that sees
+  // the new meta is guaranteed to find every slice it references.
+  SliceMeta meta;
+  meta.write_granularity_ms = profile.write_granularity_ms();
+  meta.last_action_ms = profile.LastActionMs();
+
+  std::unordered_map<uint64_t, uint32_t> prior;
+  {
+    std::lock_guard<std::mutex> lock(version_mu_);
+    auto it = last_slices_.find(pid);
+    if (it != last_slices_.end()) prior = it->second;
+  }
+
+  // Only changed slices are rewritten — the granularity benefit the slice
+  // split exists for: steady-state traffic touches the newest slice, so a
+  // flush ships one slice value plus the meta instead of the whole profile.
+  std::unordered_map<uint64_t, uint32_t> new_sums;
+  for (const auto& slice : profile.slices()) {
+    SliceMetaEntry entry;
+    entry.slice_key = static_cast<uint64_t>(slice.start_ms());
+    entry.start_ms = slice.start_ms();
+    entry.end_ms = slice.end_ms();
+    meta.entries.push_back(entry);
+
+    std::string raw;
+    EncodeSlice(slice, &raw);
+    std::string compressed;
+    BlockCompress(raw, &compressed);
+    const uint32_t sum = Checksum32(compressed.data(), compressed.size());
+    new_sums[entry.slice_key] = sum;
+    auto prior_it = prior.find(entry.slice_key);
+    if (prior_it != prior.end() && prior_it->second == sum) {
+      continue;  // unchanged since the last successful flush
+    }
+    IPS_RETURN_IF_ERROR(kv_->Set(SliceKey(pid, entry.slice_key), compressed));
+  }
+
+  std::string meta_value;
+  EncodeSliceMeta(meta, &meta_value);
+
+  // Version-checked meta update; a mismatch means another node wrote this
+  // profile since we last loaded, so refresh the version and retry once.
+  KvVersion held = HeldVersion(pid);
+  KvVersion new_version = 0;
+  Status status = kv_->XSet(MetaKey(pid), meta_value, held, &new_version);
+  if (status.IsAborted()) {
+    KvEntry current;
+    Status get_status = kv_->XGet(MetaKey(pid), &current);
+    KvVersion refreshed = 0;
+    if (get_status.ok()) {
+      refreshed = current.version;
+    } else if (!get_status.IsNotFound()) {
+      return get_status;
+    }
+    status = kv_->XSet(MetaKey(pid), meta_value, refreshed, &new_version);
+  }
+  IPS_RETURN_IF_ERROR(status);
+  RememberVersion(pid, new_version);
+
+  // Garbage-collect slice values no longer referenced (compacted/truncated
+  // away). Done after the meta switch so readers never dangle.
+  std::vector<uint64_t> stale;
+  {
+    std::lock_guard<std::mutex> lock(version_mu_);
+    for (const auto& [key, sum] : prior) {
+      if (new_sums.find(key) == new_sums.end()) stale.push_back(key);
+    }
+    last_slices_[pid] = std::move(new_sums);
+  }
+  for (uint64_t key : stale) {
+    kv_->Delete(SliceKey(pid, key)).ok();  // best effort
+  }
+
+  // The bulk representation, if any, is now stale.
+  std::string ignored;
+  if (kv_->Get(BulkKey(pid), &ignored).ok()) {
+    kv_->Delete(BulkKey(pid)).ok();
+  }
+  return Status::OK();
+}
+
+Result<ProfileData> Persister::Load(ProfileId pid) {
+  if (options_.mode == PersistenceMode::kSliceSplit) {
+    KvEntry meta_entry;
+    Status status = kv_->XGet(MetaKey(pid), &meta_entry);
+    if (status.ok()) {
+      RememberVersion(pid, meta_entry.version);
+      return LoadSplit(pid, meta_entry.value);
+    }
+    if (!status.IsNotFound()) return status;
+    // Fall through: the profile may exist in bulk form (threshold mode or a
+    // mode migration).
+  }
+  return LoadBulk(pid);
+}
+
+Result<ProfileData> Persister::LoadBulk(ProfileId pid) {
+  std::string encoded;
+  IPS_RETURN_IF_ERROR(kv_->Get(BulkKey(pid), &encoded));
+  ProfileData profile;
+  IPS_RETURN_IF_ERROR(DecodeProfile(encoded, &profile));
+  return profile;
+}
+
+Result<ProfileData> Persister::LoadSplit(ProfileId pid,
+                                         const std::string& meta_value) {
+  SliceMeta meta;
+  IPS_RETURN_IF_ERROR(DecodeSliceMeta(meta_value, &meta));
+  ProfileData profile(meta.write_granularity_ms);
+  profile.set_last_action_ms(meta.last_action_ms);
+  std::unordered_map<uint64_t, uint32_t> loaded_sums;
+  loaded_sums.reserve(meta.entries.size());
+  for (const auto& entry : meta.entries) {
+    std::string compressed;
+    IPS_RETURN_IF_ERROR(kv_->Get(SliceKey(pid, entry.slice_key), &compressed));
+    loaded_sums[entry.slice_key] =
+        Checksum32(compressed.data(), compressed.size());
+    std::string raw;
+    IPS_RETURN_IF_ERROR(BlockUncompress(compressed, &raw));
+    Slice slice;
+    IPS_RETURN_IF_ERROR(DecodeSlice(raw, &slice));
+    profile.mutable_slices().push_back(std::move(slice));
+  }
+  {
+    std::lock_guard<std::mutex> lock(version_mu_);
+    last_slices_[pid] = std::move(loaded_sums);
+  }
+  if (!profile.CheckInvariants()) {
+    return Status::Corruption("loaded profile violates slice invariants");
+  }
+  profile.RecomputeBytes();  // slices were attached directly
+  return profile;
+}
+
+Status Persister::Erase(ProfileId pid) {
+  IPS_RETURN_IF_ERROR(kv_->Delete(BulkKey(pid)));
+  KvEntry meta_entry;
+  Status status = kv_->XGet(MetaKey(pid), &meta_entry);
+  if (status.IsNotFound()) return Status::OK();
+  IPS_RETURN_IF_ERROR(status);
+  SliceMeta meta;
+  IPS_RETURN_IF_ERROR(DecodeSliceMeta(meta_entry.value, &meta));
+  for (const auto& entry : meta.entries) {
+    IPS_RETURN_IF_ERROR(kv_->Delete(SliceKey(pid, entry.slice_key)));
+  }
+  IPS_RETURN_IF_ERROR(kv_->Delete(MetaKey(pid)));
+  ForgetVersion(pid);
+  std::lock_guard<std::mutex> lock(version_mu_);
+  last_slices_.erase(pid);
+  return Status::OK();
+}
+
+}  // namespace ips

@@ -1,0 +1,92 @@
+// Profile persistence strategies (Section III-E).
+//
+// Bulk mode (Fig 12): the whole profile is serialized, compressed and stored
+// under one key. Simple, but very large profiles make every flush/load pay
+// serialization and network cost proportional to the full profile.
+//
+// Slice-split mode (Fig 13/14): the profile is stored as a slice-meta record
+// plus one value per slice, so flushes only rewrite changed slices and loads
+// can be partial. Meta and slice values are not updated atomically, so a
+// version (generation) protocol orders the operations: slice values are
+// written before the meta that references them, and every meta update is a
+// version-checked xset — a stale writer gets Aborted and must reload.
+#ifndef IPS_SERVER_PERSISTENCE_H_
+#define IPS_SERVER_PERSISTENCE_H_
+
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "codec/profile_codec.h"
+#include "common/status.h"
+#include "core/profile_data.h"
+#include "core/types.h"
+#include "kvstore/kv_store.h"
+
+namespace ips {
+
+enum class PersistenceMode : int {
+  kBulk = 0,
+  kSliceSplit = 1,
+};
+
+struct PersisterOptions {
+  PersistenceMode mode = PersistenceMode::kBulk;
+  /// In slice-split mode, profiles whose encoded size is under this bound
+  /// still use bulk storage (split only pays off for large values).
+  size_t split_threshold_bytes = 0;
+};
+
+/// Persists/loads profiles for one table against a KvStore. Thread-safe; the
+/// version cache (slice-split mode) is internally synchronized.
+class Persister {
+ public:
+  Persister(std::string table_name, KvStore* kv, PersisterOptions options);
+
+  /// Writes the profile using the configured mode.
+  Status Flush(ProfileId pid, const ProfileData& profile);
+
+  /// Reads the profile back. NotFound when the profile was never persisted.
+  Result<ProfileData> Load(ProfileId pid);
+
+  /// Removes all stored values for the profile.
+  Status Erase(ProfileId pid);
+
+  const std::string& table_name() const { return table_name_; }
+  PersistenceMode mode() const { return options_.mode; }
+
+  /// Key helpers exposed for tests.
+  std::string BulkKey(ProfileId pid) const;
+  std::string MetaKey(ProfileId pid) const;
+  std::string SliceKey(ProfileId pid, uint64_t slice_key) const;
+
+ private:
+  Status FlushBulk(ProfileId pid, const ProfileData& profile);
+  Status FlushSplit(ProfileId pid, const ProfileData& profile);
+  Result<ProfileData> LoadBulk(ProfileId pid);
+  Result<ProfileData> LoadSplit(ProfileId pid, const std::string& meta_value);
+
+  /// Remembered meta version per profile (Fig 14 "holds a valid version").
+  KvVersion HeldVersion(ProfileId pid);
+  void RememberVersion(ProfileId pid, KvVersion version);
+  void ForgetVersion(ProfileId pid);
+
+  std::string table_name_;
+  KvStore* kv_;
+  PersisterOptions options_;
+
+  std::mutex version_mu_;
+  std::unordered_map<ProfileId, KvVersion> held_versions_;
+  /// Checksums of the slice values referenced by the last flushed/loaded
+  /// meta, keyed by slice key. Serves two purposes: GC of slice values
+  /// dropped by compaction, and — the point of the slice split — skipping
+  /// the rewrite of unchanged slices so a steady-state flush only ships the
+  /// slices that actually changed. Guarded by version_mu_.
+  std::unordered_map<ProfileId, std::unordered_map<uint64_t, uint32_t>>
+      last_slices_;
+};
+
+}  // namespace ips
+
+#endif  // IPS_SERVER_PERSISTENCE_H_

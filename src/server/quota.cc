@@ -1,0 +1,49 @@
+#include "server/quota.h"
+
+namespace ips {
+
+QuotaManager::QuotaManager(Clock* clock, double default_qps)
+    : clock_(clock), default_qps_(default_qps) {}
+
+void QuotaManager::SetQuota(const std::string& caller, double qps,
+                            double burst) {
+  if (burst <= 0) burst = qps;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = buckets_.find(caller);
+  if (it != buckets_.end()) {
+    it->second->Reconfigure(qps, burst);
+  } else {
+    buckets_[caller] = std::make_unique<TokenBucket>(qps, burst, clock_);
+  }
+}
+
+void QuotaManager::RemoveQuota(const std::string& caller) {
+  std::lock_guard<std::mutex> lock(mu_);
+  buckets_.erase(caller);
+}
+
+Status QuotaManager::Check(const std::string& caller, double cost) {
+  TokenBucket* bucket = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = buckets_.find(caller);
+    if (it == buckets_.end()) {
+      if (default_qps_ <= 0) return Status::OK();  // unlimited by default
+      buckets_[caller] = std::make_unique<TokenBucket>(
+          default_qps_, default_qps_, clock_);
+      it = buckets_.find(caller);
+    }
+    bucket = it->second.get();
+  }
+  if (bucket->TryAcquire(cost)) return Status::OK();
+  return Status::ResourceExhausted("quota exceeded for caller " + caller);
+}
+
+double QuotaManager::QuotaFor(const std::string& caller) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = buckets_.find(caller);
+  if (it == buckets_.end()) return default_qps_;
+  return it->second->rate_per_sec();
+}
+
+}  // namespace ips

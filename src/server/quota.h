@@ -1,0 +1,48 @@
+// Per-caller QPS quota enforcement (Sections IV opening and V-b): IPS
+// clusters are multi-tenant; each upstream application is identified by a
+// caller name and holds a QPS quota. Requests above the quota are rejected
+// with ResourceExhausted until usage falls back under the limit. Quotas are
+// hot-reconfigurable.
+#ifndef IPS_SERVER_QUOTA_H_
+#define IPS_SERVER_QUOTA_H_
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "common/clock.h"
+#include "common/rate_limiter.h"
+#include "common/status.h"
+
+namespace ips {
+
+class QuotaManager {
+ public:
+  /// `default_qps` applies to callers without an explicit quota; 0 means
+  /// unlimited for unknown callers.
+  QuotaManager(Clock* clock, double default_qps = 0);
+
+  /// Sets (or replaces) a caller's quota. Burst defaults to one second of
+  /// traffic.
+  void SetQuota(const std::string& caller, double qps, double burst = 0);
+
+  void RemoveQuota(const std::string& caller);
+
+  /// Admission check for one request (optionally weighted, e.g. batched
+  /// writes). OK or ResourceExhausted.
+  Status Check(const std::string& caller, double cost = 1.0);
+
+  /// Current configured QPS for a caller (default when unset).
+  double QuotaFor(const std::string& caller) const;
+
+ private:
+  Clock* clock_;
+  double default_qps_;
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, std::unique_ptr<TokenBucket>> buckets_;
+};
+
+}  // namespace ips
+
+#endif  // IPS_SERVER_QUOTA_H_

@@ -1,0 +1,161 @@
+#include "baseline/lambda_profile.h"
+
+#include <gtest/gtest.h>
+
+#include "common/clock.h"
+#include "kvstore/mem_kv_store.h"
+
+namespace ips {
+namespace {
+
+constexpr int64_t kDay = kMillisPerDay;
+constexpr int64_t kHour = kMillisPerHour;
+
+class LambdaTest : public ::testing::Test {
+ protected:
+  LambdaTest()
+      : clock_(100 * kDay), service_(Options(), &kv_, &content_, &clock_) {
+    // A tiny content catalog: items 1-10 in slot 1, 11-20 in slot 2.
+    for (FeatureId item = 1; item <= 10; ++item) content_.Put(item, 1, 1);
+    for (FeatureId item = 11; item <= 20; ++item) content_.Put(item, 2, 1);
+  }
+
+  static LambdaOptions Options() {
+    LambdaOptions options;
+    options.long_term_top_n = 5;
+    options.short_term_capacity = 10;
+    options.num_actions = 2;
+    return options;
+  }
+
+  ManualClock clock_;
+  MemKvStore kv_;
+  ContentStore content_;
+  LambdaProfileService service_;
+};
+
+TEST_F(LambdaTest, ContentStoreLookup) {
+  SlotId slot;
+  TypeId type;
+  ASSERT_TRUE(content_.Lookup(5, &slot, &type).ok());
+  EXPECT_EQ(slot, 1u);
+  EXPECT_TRUE(content_.Lookup(999, &slot, &type).IsNotFound());
+  EXPECT_EQ(content_.size(), 20u);
+}
+
+TEST_F(LambdaTest, LongTermEmptyBeforeBatch) {
+  ASSERT_TRUE(service_
+                  .RecordAction(1, 5, clock_.NowMs(), CountVector{1, 0})
+                  .ok());
+  // The defining weakness: nothing visible until the daily batch runs.
+  auto result = service_.QueryLongTerm(1, 1, 10);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->empty());
+  EXPECT_EQ(service_.pending_log_records(), 1u);
+}
+
+TEST_F(LambdaTest, BatchMakesLongTermVisible) {
+  ASSERT_TRUE(service_
+                  .RecordAction(1, 5, clock_.NowMs(), CountVector{3, 1})
+                  .ok());
+  EXPECT_EQ(service_.RunDailyBatch(clock_.NowMs()), 1u);
+  EXPECT_EQ(service_.pending_log_records(), 0u);
+  auto result = service_.QueryLongTerm(1, 1, 10);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->size(), 1u);
+  EXPECT_EQ((*result)[0].fid, 5u);
+  EXPECT_EQ((*result)[0].counts[0], 3);
+}
+
+TEST_F(LambdaTest, BatchAccumulatesAcrossDays) {
+  service_.RecordAction(1, 5, clock_.NowMs(), CountVector{1, 0}).ok();
+  service_.RunDailyBatch(clock_.NowMs());
+  clock_.AdvanceMs(kDay);
+  service_.RecordAction(1, 5, clock_.NowMs(), CountVector{2, 0}).ok();
+  service_.RunDailyBatch(clock_.NowMs());
+  auto result = service_.QueryLongTerm(1, 1, 10);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->size(), 1u);
+  EXPECT_EQ((*result)[0].counts[0], 3);
+}
+
+TEST_F(LambdaTest, LongTermTopNTruncatesPerSlot) {
+  for (FeatureId item = 1; item <= 10; ++item) {
+    service_
+        .RecordAction(1, item, clock_.NowMs(),
+                      CountVector{static_cast<int64_t>(item), 0})
+        .ok();
+  }
+  service_.RunDailyBatch(clock_.NowMs());
+  auto result = service_.QueryLongTerm(1, 1, 100);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->size(), 5u);  // top_n = 5
+  EXPECT_EQ((*result)[0].fid, 10u);
+  EXPECT_EQ((*result)[4].fid, 6u);
+}
+
+TEST_F(LambdaTest, ShortTermFreshButCostsLookups) {
+  for (FeatureId item : {1, 2, 1, 15, 1}) {
+    service_.RecordAction(7, item, clock_.NowMs(), CountVector{1, 0}).ok();
+  }
+  size_t lookups = 0;
+  auto result = service_.QueryShortTerm(7, 1, 10, &lookups);
+  ASSERT_TRUE(result.ok());
+  // Fresh without any batch run — but it cost one content lookup per recent
+  // click (including the slot-2 item that gets filtered).
+  EXPECT_EQ(lookups, 5u);
+  ASSERT_EQ(result->size(), 2u);
+  EXPECT_EQ((*result)[0].fid, 1u);
+  EXPECT_EQ((*result)[0].counts[0], 3);
+}
+
+TEST_F(LambdaTest, ShortTermCapacityEvictsOldest) {
+  for (FeatureId item = 1; item <= 10; ++item) {
+    service_.RecordAction(3, 1, clock_.NowMs(), CountVector{1, 0}).ok();
+  }
+  // Capacity is 10; push two more, the oldest two fall off.
+  service_.RecordAction(3, 2, clock_.NowMs(), CountVector{1, 0}).ok();
+  service_.RecordAction(3, 2, clock_.NowMs(), CountVector{1, 0}).ok();
+  auto result = service_.QueryShortTerm(3, 1, 10, nullptr);
+  ASSERT_TRUE(result.ok());
+  int64_t total = 0;
+  for (const auto& f : *result) total += f.counts[0];
+  EXPECT_EQ(total, 10);  // never more than capacity
+}
+
+TEST_F(LambdaTest, UnknownUserQueriesAreEmpty) {
+  auto lt = service_.QueryLongTerm(999, 1, 10);
+  ASSERT_TRUE(lt.ok());
+  EXPECT_TRUE(lt->empty());
+  auto st = service_.QueryShortTerm(999, 1, 10, nullptr);
+  ASSERT_TRUE(st.ok());
+  EXPECT_TRUE(st->empty());
+}
+
+TEST_F(LambdaTest, FreshnessGapIsADay) {
+  // Demonstrates the staleness window the paper's IPS removes: an action at
+  // 09:00 is invisible to long-term queries until the next batch.
+  const TimestampMs morning = clock_.NowMs();
+  service_.RecordAction(1, 5, morning, CountVector{1, 0}).ok();
+  clock_.AdvanceMs(12 * kHour);  // same day, still no batch
+  auto result = service_.QueryLongTerm(1, 1, 10);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->empty());
+  clock_.AdvanceMs(12 * kHour);  // midnight batch
+  service_.RunDailyBatch(clock_.NowMs());
+  result = service_.QueryLongTerm(1, 1, 10);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->size(), 1u);
+  EXPECT_EQ(clock_.NowMs() - morning, kDay);
+}
+
+TEST_F(LambdaTest, ActionsOnUnknownContentDropped) {
+  service_.RecordAction(1, 9999, clock_.NowMs(), CountVector{1, 0}).ok();
+  service_.RunDailyBatch(clock_.NowMs());
+  auto result = service_.QueryLongTerm(1, 1, 10);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->empty());
+}
+
+}  // namespace
+}  // namespace ips

@@ -1,0 +1,417 @@
+#include "cluster/client.h"
+#include "cluster/consistent_hash.h"
+#include "cluster/deployment.h"
+#include "cluster/discovery.h"
+#include "cluster/rpc.h"
+
+#include <map>
+#include <optional>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "common/clock.h"
+#include "common/random.h"
+
+namespace ips {
+namespace {
+
+constexpr int64_t kMinute = kMillisPerMinute;
+constexpr int64_t kDay = kMillisPerDay;
+
+// ------------------------------------------------------- ConsistentHash ---
+
+TEST(ConsistentHashTest, EmptyRingReturnsEmpty) {
+  ConsistentHashRing ring;
+  EXPECT_EQ(ring.Lookup(123), "");
+  EXPECT_TRUE(ring.LookupN(123, 3).empty());
+}
+
+TEST(ConsistentHashTest, SingleNodeOwnsEverything) {
+  ConsistentHashRing ring;
+  ring.AddNode("n1");
+  for (ProfileId pid = 0; pid < 100; ++pid) {
+    EXPECT_EQ(ring.Lookup(pid), "n1");
+  }
+}
+
+TEST(ConsistentHashTest, LookupIsDeterministic) {
+  ConsistentHashRing a, b;
+  for (const char* n : {"n1", "n2", "n3"}) {
+    a.AddNode(n);
+    b.AddNode(n);
+  }
+  for (ProfileId pid = 0; pid < 1000; ++pid) {
+    EXPECT_EQ(a.Lookup(pid), b.Lookup(pid));
+  }
+}
+
+TEST(ConsistentHashTest, LoadSpreadsAcrossNodes) {
+  ConsistentHashRing ring(/*virtual_nodes=*/128);
+  for (int i = 0; i < 8; ++i) ring.AddNode("node-" + std::to_string(i));
+  std::map<std::string, int> counts;
+  Rng rng(5);
+  const int n = 100'000;
+  for (int i = 0; i < n; ++i) ++counts[ring.Lookup(rng.Next())];
+  ASSERT_EQ(counts.size(), 8u);
+  for (const auto& [node, count] : counts) {
+    // Each node owns roughly 1/8 of keys; allow generous imbalance.
+    EXPECT_GT(count, n / 8 / 3) << node;
+    EXPECT_LT(count, n / 8 * 3) << node;
+  }
+}
+
+TEST(ConsistentHashTest, NodeRemovalMovesOnlyItsKeys) {
+  ConsistentHashRing ring;
+  for (int i = 0; i < 8; ++i) ring.AddNode("node-" + std::to_string(i));
+  std::map<ProfileId, std::string> before;
+  for (ProfileId pid = 0; pid < 10'000; ++pid) before[pid] = ring.Lookup(pid);
+  ring.RemoveNode("node-3");
+  int moved = 0;
+  for (const auto& [pid, owner] : before) {
+    const std::string& now = ring.Lookup(pid);
+    if (owner == "node-3") {
+      EXPECT_NE(now, "node-3");
+    } else {
+      if (now != owner) ++moved;
+    }
+  }
+  EXPECT_EQ(moved, 0) << "keys not owned by the removed node must not move";
+}
+
+TEST(ConsistentHashTest, LookupNReturnsDistinctSuccessors) {
+  ConsistentHashRing ring;
+  for (int i = 0; i < 5; ++i) ring.AddNode("node-" + std::to_string(i));
+  const auto targets = ring.LookupN(42, 3);
+  ASSERT_EQ(targets.size(), 3u);
+  std::set<std::string> unique(targets.begin(), targets.end());
+  EXPECT_EQ(unique.size(), 3u);
+  EXPECT_EQ(targets[0], ring.Lookup(42));
+  // Requesting more than the membership returns all members.
+  EXPECT_EQ(ring.LookupN(42, 10).size(), 5u);
+}
+
+TEST(ConsistentHashTest, SetMembersReplacesView) {
+  ConsistentHashRing ring;
+  ring.AddNode("old");
+  ring.SetMembers({"a", "b"});
+  EXPECT_FALSE(ring.HasNode("old"));
+  EXPECT_TRUE(ring.HasNode("a"));
+  EXPECT_EQ(ring.NodeCount(), 2u);
+}
+
+// ------------------------------------------------------------ Discovery ---
+
+TEST(DiscoveryTest, RegisterSnapshotDeregister) {
+  ManualClock clock(0);
+  DiscoveryService discovery(&clock, /*ttl_ms=*/1000);
+  discovery.Register("i1", "region-a", 0);
+  discovery.Register("i2", "region-b", 1);
+  EXPECT_EQ(discovery.Snapshot().size(), 2u);
+  EXPECT_EQ(discovery.Snapshot("region-a").size(), 1u);
+  discovery.Deregister("i1");
+  EXPECT_EQ(discovery.Snapshot().size(), 1u);
+}
+
+TEST(DiscoveryTest, EntriesExpireWithoutHeartbeat) {
+  ManualClock clock(0);
+  DiscoveryService discovery(&clock, /*ttl_ms=*/1000);
+  discovery.Register("i1", "r", 0);
+  clock.AdvanceMs(500);
+  EXPECT_EQ(discovery.Snapshot().size(), 1u);
+  clock.AdvanceMs(600);  // past TTL
+  EXPECT_TRUE(discovery.Snapshot().empty());
+  // A heartbeat revives within TTL.
+  discovery.Register("i2", "r", 0);
+  clock.AdvanceMs(900);
+  discovery.Heartbeat("i2");
+  clock.AdvanceMs(900);
+  EXPECT_EQ(discovery.Snapshot().size(), 1u);
+}
+
+// ------------------------------------------------------------- Channel ---
+
+TEST(ChannelTest, DeliversCalls) {
+  Channel channel(ChannelOptions{});
+  int calls = 0;
+  Status status = channel.Call(100, 100, [&] {
+    ++calls;
+    return Status::OK();
+  });
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(ChannelTest, PartitionBlocksCalls) {
+  Channel channel(ChannelOptions{});
+  channel.SetPartitioned(true);
+  int calls = 0;
+  Status status = channel.Call(0, 0, [&] {
+    ++calls;
+    return Status::OK();
+  });
+  EXPECT_TRUE(status.IsUnavailable());
+  EXPECT_EQ(calls, 0);
+  channel.SetPartitioned(false);
+  EXPECT_TRUE(channel.Call(0, 0, [] { return Status::OK(); }).ok());
+}
+
+TEST(ChannelTest, DropProbabilityDropsSomeCalls) {
+  ChannelOptions options;
+  options.drop_probability = 0.5;
+  options.seed = 11;
+  Channel channel(options);
+  int delivered = 0;
+  for (int i = 0; i < 200; ++i) {
+    if (channel.Call(0, 0, [] { return Status::OK(); }).ok()) ++delivered;
+  }
+  EXPECT_GT(delivered, 50);
+  EXPECT_LT(delivered, 150);
+  channel.SetDropProbability(0.0);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_TRUE(channel.Call(0, 0, [] { return Status::OK(); }).ok());
+  }
+}
+
+TEST(ChannelTest, LatencySimulationAddsDelay) {
+  ChannelOptions options;
+  options.base_latency_us = 2000;  // 2 ms each way
+  Channel channel(options);
+  const int64_t begin = MonotonicNanos();
+  channel.Call(0, 0, [] { return Status::OK(); }).ok();
+  const int64_t elapsed_us = (MonotonicNanos() - begin) / 1000;
+  EXPECT_GE(elapsed_us, 3500);  // ~4 ms round trip, scheduling slop allowed
+}
+
+// ----------------------------------------------------------- Deployment ---
+
+DeploymentOptions TwoRegionOptions() {
+  DeploymentOptions options;
+  options.regions = {{"lf", 2, /*is_primary=*/true},
+                     {"hl", 2, /*is_primary=*/false}};
+  options.instance.start_background_threads = false;
+  options.instance.cache.start_background_threads = false;
+  options.instance.compaction.synchronous = true;
+  options.instance.isolation_enabled = false;
+  options.instance.cache.write_granularity_ms = kMinute;
+  options.kv.replication_lag_ms = 100;
+  return options;
+}
+
+TableSchema ClusterSchema() {
+  TableSchema schema = DefaultTableSchema("profiles");
+  schema.write_granularity_ms = kMinute;
+  return schema;
+}
+
+class DeploymentTest : public ::testing::Test {
+ protected:
+  DeploymentTest()
+      : clock_(100 * kDay), deployment_(TwoRegionOptions(), &clock_) {
+    EXPECT_TRUE(deployment_.CreateTableEverywhere(ClusterSchema()).ok());
+  }
+
+  IpsClientOptions LocalClientOptions(const std::string& region) {
+    IpsClientOptions options;
+    options.caller = "test";
+    options.local_region = region;
+    for (const auto& r : deployment_.region_names()) {
+      if (r != region) options.failover_regions.push_back(r);
+    }
+    return options;
+  }
+
+  ManualClock clock_;
+  Deployment deployment_;
+};
+
+TEST_F(DeploymentTest, TopologyIsBuilt) {
+  EXPECT_EQ(deployment_.region_names().size(), 2u);
+  EXPECT_EQ(deployment_.NodesInRegion("lf").size(), 2u);
+  EXPECT_EQ(deployment_.NodesInRegion("hl").size(), 2u);
+  EXPECT_EQ(deployment_.discovery().LiveCount(), 4u);
+  EXPECT_NE(deployment_.FindNode("lf/ips-0"), nullptr);
+  EXPECT_EQ(deployment_.FindNode("nope"), nullptr);
+}
+
+TEST_F(DeploymentTest, WriteGoesToAllRegionsReadStaysLocal) {
+  IpsClient client(LocalClientOptions("lf"), &deployment_);
+  const TimestampMs now = clock_.NowMs();
+  ASSERT_TRUE(
+      client.AddProfile("profiles", 1, now - kMinute, 1, 1, 42, CountVector{1})
+          .ok());
+  // Readable from both regions (each got its own copy).
+  for (const std::string region : {"lf", "hl"}) {
+    IpsClient reader(LocalClientOptions(region), &deployment_);
+    auto result = reader.GetProfileTopK("profiles", 1, 1, std::nullopt,
+                                        TimeRange::Current(kDay),
+                                        SortBy::kActionCount, 0, 10);
+    ASSERT_TRUE(result.ok()) << region;
+    ASSERT_EQ(result->features.size(), 1u) << region;
+    EXPECT_EQ(result->features[0].fid, 42u);
+  }
+}
+
+TEST_F(DeploymentTest, NodeFailureRetriesOnSuccessor) {
+  IpsClient client(LocalClientOptions("lf"), &deployment_);
+  const TimestampMs now = clock_.NowMs();
+  // Write enough profiles that both lf nodes own some.
+  for (ProfileId pid = 1; pid <= 20; ++pid) {
+    ASSERT_TRUE(client
+                    .AddProfile("profiles", pid, now - kMinute, 1, 1, pid,
+                                CountVector{1})
+                    .ok());
+  }
+  // Persist the write-back caches so the downed node's data is reachable
+  // from the shared region KV (a crash before flush loses cache-only data —
+  // the weak-consistency trade-off the paper accepts).
+  for (auto* node : deployment_.NodesInRegion("lf")) {
+    node->instance().FlushAll();
+  }
+  // Kill one lf node; reads must still succeed via the ring successor or
+  // failover region.
+  deployment_.FindNode("lf/ips-0")->SetDown(true);
+  int successes = 0;
+  for (ProfileId pid = 1; pid <= 20; ++pid) {
+    auto result = client.GetProfileTopK("profiles", pid, 1, std::nullopt,
+                                        TimeRange::Current(kDay),
+                                        SortBy::kActionCount, 0, 10);
+    if (result.ok() && !result->features.empty()) ++successes;
+  }
+  EXPECT_EQ(successes, 20);
+}
+
+TEST_F(DeploymentTest, RegionFailoverServesFromOtherRegion) {
+  IpsClient client(LocalClientOptions("lf"), &deployment_);
+  const TimestampMs now = clock_.NowMs();
+  for (ProfileId pid = 1; pid <= 10; ++pid) {
+    ASSERT_TRUE(client
+                    .AddProfile("profiles", pid, now - kMinute, 1, 1, pid,
+                                CountVector{1})
+                    .ok());
+  }
+  deployment_.FailRegion("lf");
+  client.RefreshView();
+  int successes = 0;
+  for (ProfileId pid = 1; pid <= 10; ++pid) {
+    auto result = client.GetProfileTopK("profiles", pid, 1, std::nullopt,
+                                        TimeRange::Current(kDay),
+                                        SortBy::kActionCount, 0, 10);
+    if (result.ok() && !result->features.empty()) ++successes;
+  }
+  EXPECT_EQ(successes, 10);
+
+  deployment_.RecoverRegion("lf");
+  client.RefreshView();
+  auto result = client.GetProfileTopK("profiles", 1, 1, std::nullopt,
+                                      TimeRange::Current(kDay),
+                                      SortBy::kActionCount, 0, 10);
+  EXPECT_TRUE(result.ok());
+}
+
+TEST_F(DeploymentTest, AllRegionsDownReportsUnavailable) {
+  IpsClient client(LocalClientOptions("lf"), &deployment_);
+  deployment_.FailRegion("lf");
+  deployment_.FailRegion("hl");
+  client.RefreshView();
+  auto result = client.GetProfileTopK("profiles", 1, 1, std::nullopt,
+                                      TimeRange::Current(kDay),
+                                      SortBy::kActionCount, 0, 10);
+  EXPECT_TRUE(result.status().IsUnavailable());
+  EXPECT_GT(client.errors(), 0);
+  EXPECT_GT(client.ErrorRate(), 0.0);
+}
+
+TEST_F(DeploymentTest, WriteToleratesSingleRegionFailure) {
+  IpsClient client(LocalClientOptions("lf"), &deployment_);
+  deployment_.FailRegion("hl");
+  client.RefreshView();
+  const TimestampMs now = clock_.NowMs();
+  // Weak consistency contract: one region acknowledging suffices.
+  EXPECT_TRUE(
+      client.AddProfile("profiles", 5, now - kMinute, 1, 1, 1, CountVector{1})
+          .ok());
+}
+
+TEST_F(DeploymentTest, QuotaRejectionSurfacesWithoutRetryStorm) {
+  auto nodes = deployment_.NodesInRegion("lf");
+  for (auto* node : nodes) {
+    node->instance().quota().SetQuota("test", 0.001);
+    // Exhaust the tiny budget.
+    node->instance().quota().Check("test").ok();
+  }
+  IpsClientOptions options = LocalClientOptions("lf");
+  options.failover_regions.clear();  // keep it within the throttled region
+  IpsClient client(options, &deployment_);
+  auto result = client.GetProfileTopK("profiles", 1, 1, std::nullopt,
+                                      TimeRange::Current(kDay),
+                                      SortBy::kActionCount, 0, 10);
+  EXPECT_TRUE(result.status().IsResourceExhausted());
+}
+
+TEST_F(DeploymentTest, ColdSecondaryNodeServesStaleDataWithinLag) {
+  // The weak-consistency scenario of Section III-G, end to end: a profile
+  // is updated on the primary region and flushed to the master KV; a cold
+  // node in the secondary region loads from its lagging slave, serving the
+  // old value until replication catches up.
+  const TimestampMs now = clock_.NowMs();
+  auto lf_nodes = deployment_.NodesInRegion("lf");
+  auto hl_nodes = deployment_.NodesInRegion("hl");
+
+  // Write v1 to the owning primary node only (e.g. the hl copy of the
+  // multi-region write was lost — the failure the paper tolerates), flush,
+  // and replicate.
+  ASSERT_TRUE(lf_nodes[0]
+                  ->instance()
+                  .AddProfile("w", "profiles", 501, now - 2 * kMinute, 1, 1,
+                              7, CountVector{1})
+                  .ok());
+  lf_nodes[0]->instance().FlushAll();
+  deployment_.kv().CatchUpAll();
+
+  // Write v2 (more counts) to the same node, flush — but do NOT let
+  // replication catch up.
+  ASSERT_TRUE(lf_nodes[0]
+                  ->instance()
+                  .AddProfile("w", "profiles", 501, now - kMinute, 1, 1, 7,
+                              CountVector{9})
+                  .ok());
+  lf_nodes[0]->instance().FlushAll();
+
+  // A cold hl node loads from the slave: sees v1 (count 1, not 10).
+  auto stale = hl_nodes[0]->instance().GetProfileTopK(
+      "r", "profiles", 501, 1, std::nullopt, TimeRange::Current(kDay),
+      SortBy::kActionCount, 0, 10);
+  ASSERT_TRUE(stale.ok());
+  ASSERT_EQ(stale->features.size(), 1u);
+  EXPECT_EQ(stale->features[0].counts[0], 1);  // the stale value
+
+  // After replication catches up, convergence follows.
+  deployment_.kv().CatchUpAll();
+  // A different hl node (still cold) sees the fresh value immediately.
+  auto fresh = hl_nodes[1]->instance().GetProfileTopK(
+      "r", "profiles", 501, 1, std::nullopt, TimeRange::Current(kDay),
+      SortBy::kActionCount, 0, 10);
+  ASSERT_TRUE(fresh.ok());
+  ASSERT_EQ(fresh->features.size(), 1u);
+  EXPECT_EQ(fresh->features[0].counts[0], 10);  // 1 + 9 aggregated
+}
+
+TEST_F(DeploymentTest, StaleViewStopsRoutingToDeregisteredNode) {
+  IpsClient client(LocalClientOptions("lf"), &deployment_);
+  deployment_.FailRegion("lf");
+  // Without refresh the client still holds the stale view: calls fail over.
+  const TimestampMs now = clock_.NowMs();
+  EXPECT_TRUE(
+      client.AddProfile("profiles", 3, now - kMinute, 1, 1, 1, CountVector{1})
+          .ok());
+  client.RefreshView();
+  // After refresh, lf has no members; reads go straight to hl.
+  auto result = client.GetProfileTopK("profiles", 3, 1, std::nullopt,
+                                      TimeRange::Current(kDay),
+                                      SortBy::kActionCount, 0, 10);
+  EXPECT_TRUE(result.ok());
+}
+
+}  // namespace
+}  // namespace ips

@@ -1,0 +1,165 @@
+#include "codec/coding.h"
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace ips {
+namespace {
+
+TEST(CodingTest, Fixed32RoundTrip) {
+  std::string buf;
+  PutFixed32(&buf, 0);
+  PutFixed32(&buf, 0xDEADBEEF);
+  PutFixed32(&buf, std::numeric_limits<uint32_t>::max());
+  Decoder dec(buf);
+  uint32_t a, b, c;
+  ASSERT_TRUE(dec.GetFixed32(&a));
+  ASSERT_TRUE(dec.GetFixed32(&b));
+  ASSERT_TRUE(dec.GetFixed32(&c));
+  EXPECT_EQ(a, 0u);
+  EXPECT_EQ(b, 0xDEADBEEF);
+  EXPECT_EQ(c, std::numeric_limits<uint32_t>::max());
+  EXPECT_TRUE(dec.Empty());
+}
+
+TEST(CodingTest, Fixed64RoundTrip) {
+  std::string buf;
+  PutFixed64(&buf, 0x0123456789ABCDEFULL);
+  Decoder dec(buf);
+  uint64_t v;
+  ASSERT_TRUE(dec.GetFixed64(&v));
+  EXPECT_EQ(v, 0x0123456789ABCDEFULL);
+}
+
+TEST(CodingTest, Fixed32IsLittleEndian) {
+  std::string buf;
+  PutFixed32(&buf, 0x04030201);
+  ASSERT_EQ(buf.size(), 4u);
+  EXPECT_EQ(static_cast<unsigned char>(buf[0]), 0x01);
+  EXPECT_EQ(static_cast<unsigned char>(buf[3]), 0x04);
+}
+
+class VarintTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(VarintTest, RoundTrips) {
+  std::string buf;
+  PutVarint64(&buf, GetParam());
+  Decoder dec(buf);
+  uint64_t v;
+  ASSERT_TRUE(dec.GetVarint64(&v));
+  EXPECT_EQ(v, GetParam());
+  EXPECT_TRUE(dec.Empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Boundaries, VarintTest,
+    ::testing::Values(0ULL, 1ULL, 127ULL, 128ULL, 16383ULL, 16384ULL,
+                      (1ULL << 21) - 1, 1ULL << 21, (1ULL << 28) - 1,
+                      1ULL << 35, 1ULL << 42, 1ULL << 49, 1ULL << 56,
+                      1ULL << 63, std::numeric_limits<uint64_t>::max()));
+
+TEST(VarintTest, EncodedLengthMatchesMagnitude) {
+  std::string buf;
+  PutVarint64(&buf, 127);
+  EXPECT_EQ(buf.size(), 1u);
+  buf.clear();
+  PutVarint64(&buf, 128);
+  EXPECT_EQ(buf.size(), 2u);
+  buf.clear();
+  PutVarint64(&buf, std::numeric_limits<uint64_t>::max());
+  EXPECT_EQ(buf.size(), 10u);
+}
+
+class SignedVarintTest : public ::testing::TestWithParam<int64_t> {};
+
+TEST_P(SignedVarintTest, RoundTrips) {
+  std::string buf;
+  PutVarintSigned64(&buf, GetParam());
+  Decoder dec(buf);
+  int64_t v;
+  ASSERT_TRUE(dec.GetVarintSigned64(&v));
+  EXPECT_EQ(v, GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Boundaries, SignedVarintTest,
+    ::testing::Values(int64_t{0}, int64_t{1}, int64_t{-1}, int64_t{63},
+                      int64_t{-64}, int64_t{1} << 40, -(int64_t{1} << 40),
+                      std::numeric_limits<int64_t>::max(),
+                      std::numeric_limits<int64_t>::min()));
+
+TEST(ZigZagTest, SmallMagnitudesStaySmall) {
+  EXPECT_EQ(ZigZagEncode(0), 0u);
+  EXPECT_EQ(ZigZagEncode(-1), 1u);
+  EXPECT_EQ(ZigZagEncode(1), 2u);
+  EXPECT_EQ(ZigZagEncode(-2), 3u);
+  EXPECT_EQ(ZigZagDecode(ZigZagEncode(-12345)), -12345);
+}
+
+TEST(CodingTest, LengthPrefixedRoundTrips) {
+  std::string buf;
+  PutLengthPrefixed(&buf, "");
+  PutLengthPrefixed(&buf, "abc");
+  const std::string big(100'000, 'x');
+  PutLengthPrefixed(&buf, big);
+  Decoder dec(buf);
+  std::string_view a, b, c;
+  ASSERT_TRUE(dec.GetLengthPrefixed(&a));
+  ASSERT_TRUE(dec.GetLengthPrefixed(&b));
+  ASSERT_TRUE(dec.GetLengthPrefixed(&c));
+  EXPECT_EQ(a, "");
+  EXPECT_EQ(b, "abc");
+  EXPECT_EQ(c, big);
+  EXPECT_TRUE(dec.Empty());
+}
+
+TEST(CodingTest, TruncatedInputsFailCleanly) {
+  std::string buf;
+  PutVarint64(&buf, 1ULL << 40);
+  for (size_t cut = 0; cut < buf.size(); ++cut) {
+    Decoder dec(std::string_view(buf).substr(0, cut));
+    uint64_t v;
+    EXPECT_FALSE(dec.GetVarint64(&v)) << cut;
+  }
+  Decoder dec(std::string_view("ab"));
+  uint32_t v32;
+  EXPECT_FALSE(dec.GetFixed32(&v32));
+  std::string_view sv;
+  Decoder dec2(std::string_view("\x05" "ab"));  // claims 5 bytes, has 2
+  EXPECT_FALSE(dec2.GetLengthPrefixed(&sv));
+}
+
+TEST(CodingTest, UnterminatedVarintFails) {
+  // Eleven continuation bytes: longer than any valid varint64.
+  std::string buf(11, '\x80');
+  Decoder dec(buf);
+  uint64_t v;
+  EXPECT_FALSE(dec.GetVarint64(&v));
+}
+
+TEST(CodingTest, RandomSequenceRoundTrips) {
+  Rng rng(99);
+  std::vector<uint64_t> values;
+  std::string buf;
+  for (int i = 0; i < 1000; ++i) {
+    const uint64_t v = rng.Next() >> (rng.Uniform(64));
+    values.push_back(v);
+    PutVarint64(&buf, v);
+  }
+  Decoder dec(buf);
+  for (uint64_t expected : values) {
+    uint64_t v;
+    ASSERT_TRUE(dec.GetVarint64(&v));
+    EXPECT_EQ(v, expected);
+  }
+  EXPECT_TRUE(dec.Empty());
+}
+
+}  // namespace
+}  // namespace ips

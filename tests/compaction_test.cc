@@ -1,0 +1,430 @@
+#include "compaction/compactor.h"
+#include "compaction/manager.h"
+
+#include <atomic>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/clock.h"
+#include "common/random.h"
+#include "query/query.h"
+
+namespace ips {
+namespace {
+
+constexpr int64_t kMinute = kMillisPerMinute;
+constexpr int64_t kHour = kMillisPerHour;
+constexpr int64_t kDay = kMillisPerDay;
+
+CountVector One() { return CountVector{1}; }
+
+TableSchema MinuteLadderSchema() {
+  TableSchema schema;
+  schema.name = "t";
+  schema.actions = {"click"};
+  schema.write_granularity_ms = kMinute;
+  // Fig 10 / Listing 2 shape: raw minutes for the last 10 minutes, then
+  // 10-minute windows out to an hour, then hourly.
+  schema.time_dimensions = {
+      {kMinute, 0, 10 * kMinute},
+      {10 * kMinute, 10 * kMinute, kHour},
+      {kHour, kHour, kDay},
+  };
+  return schema;
+}
+
+TEST(CompactorTest, Figure10StyleMerge) {
+  TableSchema schema = MinuteLadderSchema();
+  Compactor compactor(&schema);
+  ProfileData profile(kMinute);
+  // Six consecutive minute-slices, all 20..25 minutes old: they fall into
+  // the 10-minute rung and should consolidate into wider windows.
+  const TimestampMs base = 100 * kHour;
+  for (int i = 0; i < 6; ++i) {
+    ASSERT_TRUE(profile
+                    .Add(base + i * kMinute, 1, 1,
+                         static_cast<FeatureId>(i + 1), One())
+                    .ok());
+  }
+  ASSERT_EQ(profile.SliceCount(), 6u);
+  const TimestampMs now = base + 25 * kMinute;
+  const size_t merged = compactor.Compact(profile, now);
+  EXPECT_GT(merged, 0u);
+  EXPECT_LT(profile.SliceCount(), 6u);
+  EXPECT_TRUE(profile.CheckInvariants());
+  // No data lost: all six features still present.
+  EXPECT_EQ(profile.TotalFeatures(), 6u);
+}
+
+TEST(CompactorTest, CompactAggregatesSameFeature) {
+  TableSchema schema = MinuteLadderSchema();
+  Compactor compactor(&schema);
+  ProfileData profile(kMinute);
+  const TimestampMs base = 100 * kHour;
+  // Same feature in adjacent minute slices.
+  ASSERT_TRUE(profile.Add(base, 1, 1, 7, CountVector{2}).ok());
+  ASSERT_TRUE(profile.Add(base + kMinute, 1, 1, 7, CountVector{3}).ok());
+  compactor.Compact(profile, base + 30 * kMinute);
+  ASSERT_EQ(profile.SliceCount(), 1u);
+  EXPECT_EQ(profile.slices().front().FindSlot(1)->Find(1)->Find(7)->counts[0],
+            5);
+}
+
+TEST(CompactorTest, FreshSlicesNotMerged) {
+  TableSchema schema = MinuteLadderSchema();
+  Compactor compactor(&schema);
+  ProfileData profile(kMinute);
+  const TimestampMs now = 100 * kHour;
+  // Two slices 2 and 3 minutes old: still in the raw-minute rung.
+  ASSERT_TRUE(profile.Add(now - 2 * kMinute, 1, 1, 1, One()).ok());
+  ASSERT_TRUE(profile.Add(now - 3 * kMinute, 1, 1, 2, One()).ok());
+  EXPECT_EQ(compactor.Compact(profile, now), 0u);
+  EXPECT_EQ(profile.SliceCount(), 2u);
+}
+
+TEST(CompactorTest, MergedWindowNeverExceedsRungGranularity) {
+  TableSchema schema = MinuteLadderSchema();
+  Compactor compactor(&schema);
+  ProfileData profile(kMinute);
+  const TimestampMs base = 200 * kHour;
+  for (int i = 0; i < 120; ++i) {
+    ASSERT_TRUE(profile
+                    .Add(base + i * kMinute, 1, 1,
+                         static_cast<FeatureId>(i + 1), One())
+                    .ok());
+  }
+  const TimestampMs now = base + 121 * kMinute + kDay;
+  compactor.Compact(profile, now);
+  EXPECT_TRUE(profile.CheckInvariants());
+  for (const auto& slice : profile.slices()) {
+    // Everything is >1h old here, so the widest allowed window is 1h.
+    EXPECT_LE(slice.DurationMs(), kHour);
+  }
+}
+
+TEST(CompactorTest, TruncateByAge) {
+  TableSchema schema = MinuteLadderSchema();
+  schema.truncate.max_age_ms = kHour;
+  Compactor compactor(&schema);
+  ProfileData profile(kMinute);
+  const TimestampMs now = 100 * kHour;
+  ASSERT_TRUE(profile.Add(now - 2 * kHour, 1, 1, 1, One()).ok());   // old
+  ASSERT_TRUE(profile.Add(now - 90 * kMinute, 1, 1, 2, One()).ok());  // old
+  ASSERT_TRUE(profile.Add(now - 10 * kMinute, 1, 1, 3, One()).ok());  // keep
+  EXPECT_EQ(compactor.Truncate(profile, now), 2u);
+  EXPECT_EQ(profile.SliceCount(), 1u);
+  EXPECT_NE(profile.slices().front().FindSlot(1)->Find(1)->Find(3), nullptr);
+}
+
+TEST(CompactorTest, TruncateByCountKeepsNewest) {
+  // The Fig 11 "truncate by count" example: keep the first five slices.
+  TableSchema schema = MinuteLadderSchema();
+  schema.truncate.max_slices = 5;
+  Compactor compactor(&schema);
+  ProfileData profile(kMinute);
+  const TimestampMs base = 100 * kHour;
+  for (int i = 0; i < 9; ++i) {
+    ASSERT_TRUE(profile
+                    .Add(base + i * kMinute, 1, 1,
+                         static_cast<FeatureId>(i + 1), One())
+                    .ok());
+  }
+  EXPECT_EQ(compactor.Truncate(profile, base + 10 * kMinute), 4u);
+  EXPECT_EQ(profile.SliceCount(), 5u);
+  // The newest five features (5..9) survive.
+  EXPECT_EQ(profile.TotalFeatures(), 5u);
+  EXPECT_TRUE(profile.slices().front().Contains(base + 8 * kMinute));
+}
+
+TEST(CompactorTest, TruncateNoPolicyNoOp) {
+  TableSchema schema = MinuteLadderSchema();
+  Compactor compactor(&schema);
+  ProfileData profile(kMinute);
+  ASSERT_TRUE(profile.Add(1000, 1, 1, 1, One()).ok());
+  EXPECT_EQ(compactor.Truncate(profile, 100 * kDay), 0u);
+}
+
+TEST(CompactorTest, ShrinkKeepsTopFeaturesByWeightedScore) {
+  TableSchema schema = MinuteLadderSchema();
+  schema.shrink.default_retain = 3;
+  schema.shrink.action_weights = {1.0, 10.0};  // second action dominates
+  schema.shrink.freshness_horizon_ms = kMinute;
+  Compactor compactor(&schema);
+  ProfileData profile(kMinute);
+  const TimestampMs base = 100 * kHour;
+  // Feature 1 has many clicks; features 2-4 have one heavily-weighted like.
+  ASSERT_TRUE(profile.Add(base, 1, 1, 1, CountVector{5, 0}).ok());
+  ASSERT_TRUE(profile.Add(base, 1, 1, 2, CountVector{0, 1}).ok());
+  ASSERT_TRUE(profile.Add(base, 1, 1, 3, CountVector{0, 1}).ok());
+  ASSERT_TRUE(profile.Add(base, 1, 1, 4, CountVector{0, 1}).ok());
+  ASSERT_TRUE(profile.Add(base, 1, 1, 5, CountVector{1, 0}).ok());
+  const TimestampMs now = base + kHour;
+  EXPECT_EQ(compactor.Shrink(profile, now), 2u);
+  const auto* stats = profile.slices().front().FindSlot(1)->Find(1);
+  ASSERT_NE(stats, nullptr);
+  EXPECT_EQ(stats->size(), 3u);
+  // Weighted scores: f2-4 = 10, f1 = 5, f5 = 1 -> f5 and one of f1 gone;
+  // exact survivors: 2, 3, 4.
+  EXPECT_EQ(stats->Find(5), nullptr);
+  EXPECT_EQ(stats->Find(1), nullptr);
+  EXPECT_NE(stats->Find(2), nullptr);
+}
+
+TEST(CompactorTest, ShrinkSparesFreshSlices) {
+  TableSchema schema = MinuteLadderSchema();
+  schema.shrink.default_retain = 1;
+  schema.shrink.freshness_horizon_ms = kHour;
+  Compactor compactor(&schema);
+  ProfileData profile(kMinute);
+  const TimestampMs now = 100 * kHour;
+  // Recent slice with many features: inside the freshness horizon.
+  for (FeatureId fid = 1; fid <= 5; ++fid) {
+    ASSERT_TRUE(profile.Add(now - 2 * kMinute, 1, 1, fid, One()).ok());
+  }
+  EXPECT_EQ(compactor.Shrink(profile, now), 0u);
+  EXPECT_EQ(profile.TotalFeatures(), 5u);
+}
+
+TEST(CompactorTest, ShrinkPerSlotBudgets) {
+  TableSchema schema = MinuteLadderSchema();
+  schema.shrink.default_retain = 1;
+  schema.shrink.retain_per_slot[2] = 10;  // slot 2 keeps everything
+  schema.shrink.freshness_horizon_ms = 0;
+  Compactor compactor(&schema);
+  ProfileData profile(kMinute);
+  const TimestampMs base = 100 * kHour;
+  for (FeatureId fid = 1; fid <= 4; ++fid) {
+    ASSERT_TRUE(profile.Add(base, 1, 1, fid, One()).ok());
+    ASSERT_TRUE(profile.Add(base, 2, 1, fid, One()).ok());
+  }
+  compactor.Shrink(profile, base + kDay);
+  const auto& slice = profile.slices().front();
+  EXPECT_EQ(slice.FindSlot(1)->TotalFeatures(), 1u);
+  EXPECT_EQ(slice.FindSlot(2)->TotalFeatures(), 4u);
+}
+
+TEST(CompactorTest, ShrinkBudgetAcrossTypesInSlot) {
+  TableSchema schema = MinuteLadderSchema();
+  schema.shrink.default_retain = 2;
+  schema.shrink.freshness_horizon_ms = 0;
+  Compactor compactor(&schema);
+  ProfileData profile(kMinute);
+  const TimestampMs base = 100 * kHour;
+  // Two types in slot 1: budget applies to the slot as a whole.
+  ASSERT_TRUE(profile.Add(base, 1, 1, 1, CountVector{9}).ok());
+  ASSERT_TRUE(profile.Add(base, 1, 2, 2, CountVector{8}).ok());
+  ASSERT_TRUE(profile.Add(base, 1, 1, 3, CountVector{1}).ok());
+  ASSERT_TRUE(profile.Add(base, 1, 2, 4, CountVector{1}).ok());
+  compactor.Shrink(profile, base + kDay);
+  EXPECT_EQ(profile.slices().front().FindSlot(1)->TotalFeatures(), 2u);
+  EXPECT_NE(profile.slices().front().FindSlot(1)->Find(1)->Find(1), nullptr);
+  EXPECT_NE(profile.slices().front().FindSlot(1)->Find(2)->Find(2), nullptr);
+}
+
+TEST(CompactorTest, FullCompactReducesBytes) {
+  TableSchema schema = MinuteLadderSchema();
+  schema.truncate.max_age_ms = kDay;
+  schema.shrink.default_retain = 10;
+  schema.shrink.freshness_horizon_ms = kHour;
+  Compactor compactor(&schema);
+  ProfileData profile(kMinute);
+  Rng rng(4);
+  const TimestampMs now = 100 * kDay;
+  for (int i = 0; i < 2000; ++i) {
+    const TimestampMs ts = now - static_cast<TimestampMs>(
+                                     rng.Uniform(2 * kDay));
+    ASSERT_TRUE(profile
+                    .Add(ts, static_cast<SlotId>(rng.Uniform(4)), 1,
+                         rng.Uniform(500) + 1, One())
+                    .ok());
+  }
+  const CompactionStats stats = compactor.FullCompact(profile, now);
+  EXPECT_TRUE(stats.AnyWork());
+  EXPECT_LT(stats.bytes_after, stats.bytes_before);
+  EXPECT_TRUE(profile.CheckInvariants());
+}
+
+TEST(CompactorTest, PartialCompactBoundsMerges) {
+  TableSchema schema = MinuteLadderSchema();
+  Compactor compactor(&schema);
+  ProfileData profile(kMinute);
+  const TimestampMs base = 100 * kHour;
+  for (int i = 0; i < 40; ++i) {
+    ASSERT_TRUE(profile
+                    .Add(base + i * kMinute, 1, 1,
+                         static_cast<FeatureId>(i + 1), One())
+                    .ok());
+  }
+  const TimestampMs now = base + 41 * kMinute + kDay;
+  const CompactionStats stats = compactor.PartialCompact(profile, now);
+  EXPECT_LE(stats.slices_merged, 4u);  // the partial merge budget
+  EXPECT_TRUE(profile.CheckInvariants());
+}
+
+TEST(CompactorTest, ImportanceScoreUsesWeights) {
+  TableSchema schema = MinuteLadderSchema();
+  schema.shrink.action_weights = {1.0, 2.0, 3.0};
+  Compactor compactor(&schema);
+  EXPECT_DOUBLE_EQ(compactor.ImportanceScore(CountVector{1, 1, 1}), 6.0);
+  EXPECT_DOUBLE_EQ(compactor.ImportanceScore(CountVector{2, 0, 0}), 2.0);
+  // Missing weights default to 1.
+  EXPECT_DOUBLE_EQ(compactor.ImportanceScore(CountVector{0, 0, 0, 4}), 4.0);
+}
+
+// Property: compaction at any moment preserves total counts (Compact is
+// lossless in counts) when no truncate/shrink configured.
+class CompactionPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(CompactionPropertyTest, CompactPreservesTotals) {
+  TableSchema schema = MinuteLadderSchema();
+  Compactor compactor(&schema);
+  Rng rng(GetParam());
+  ProfileData profile(kMinute);
+  const TimestampMs now = 100 * kDay;
+  int64_t total_written = 0;
+  for (int i = 0; i < 500; ++i) {
+    const TimestampMs ts = now - static_cast<TimestampMs>(
+                                     rng.Uniform(3 * kDay));
+    const int64_t count = static_cast<int64_t>(rng.Uniform(4)) + 1;
+    total_written += count;
+    ASSERT_TRUE(profile
+                    .Add(ts, static_cast<SlotId>(rng.Uniform(3)),
+                         static_cast<TypeId>(rng.Uniform(3)),
+                         rng.Uniform(50) + 1, CountVector{count})
+                    .ok());
+    if (i % 50 == 49) compactor.Compact(profile, now);
+  }
+  compactor.Compact(profile, now);
+  ASSERT_TRUE(profile.CheckInvariants());
+  int64_t total_stored = 0;
+  for (const auto& slice : profile.slices()) {
+    for (const auto& [slot, set] : slice.slots()) {
+      for (const auto& [type, stats] : set.types()) {
+        for (const auto& stat : stats.stats()) {
+          total_stored += stat.counts.Total();
+        }
+      }
+    }
+  }
+  EXPECT_EQ(total_stored, total_written);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CompactionPropertyTest,
+                         ::testing::Values(2, 8, 21, 55));
+
+// Property: over a whole-history window, query results are identical before
+// and after Compact — the paper's claim that compaction "does not drop any
+// data" and only reduces time precision (which a full-history window cannot
+// observe).
+class CompactQueryEquivalenceTest
+    : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(CompactQueryEquivalenceTest, FullWindowResultsUnchanged) {
+  TableSchema schema = MinuteLadderSchema();
+  Compactor compactor(&schema);
+  Rng rng(GetParam());
+  ProfileData profile(kMinute);
+  const TimestampMs now = 50 * kDay;
+  for (int i = 0; i < 600; ++i) {
+    ASSERT_TRUE(profile
+                    .Add(now - static_cast<TimestampMs>(
+                                   rng.Uniform(10 * kDay)),
+                         static_cast<SlotId>(rng.Uniform(3)),
+                         static_cast<TypeId>(rng.Uniform(3)),
+                         rng.Uniform(80) + 1,
+                         CountVector{static_cast<int64_t>(rng.Uniform(3)) +
+                                     1})
+                    .ok());
+  }
+  const TimeRange window = TimeRange::Absolute(0, now + kDay);
+  auto before = GetProfileTopK(profile, 1, std::nullopt, window,
+                               SortBy::kFeatureId, 0, 0, now);
+  ASSERT_TRUE(before.ok());
+
+  compactor.Compact(profile, now);
+  ASSERT_TRUE(profile.CheckInvariants());
+
+  auto after = GetProfileTopK(profile, 1, std::nullopt, window,
+                              SortBy::kFeatureId, 0, 0, now);
+  ASSERT_TRUE(after.ok());
+  ASSERT_EQ(after->features.size(), before->features.size());
+  for (size_t i = 0; i < after->features.size(); ++i) {
+    EXPECT_EQ(after->features[i].fid, before->features[i].fid);
+    EXPECT_EQ(after->features[i].counts, before->features[i].counts);
+  }
+  // And the scan got cheaper: fewer slices cover the same history.
+  EXPECT_LT(after->slices_scanned, before->slices_scanned);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CompactQueryEquivalenceTest,
+                         ::testing::Values(3, 14, 41));
+
+// ------------------------------------------------------ CompactionManager ---
+
+TEST(CompactionManagerTest, SynchronousModeRunsInline) {
+  ManualClock clock(0);
+  CompactionManagerOptions options;
+  options.synchronous = true;
+  options.min_interval_ms = 1000;
+  std::atomic<int> runs{0};
+  CompactionManager manager(options, &clock,
+                            [&](ProfileId, bool full) {
+                              EXPECT_TRUE(full);
+                              runs.fetch_add(1);
+                            });
+  EXPECT_TRUE(manager.MaybeTrigger(1));
+  EXPECT_EQ(runs.load(), 1);
+}
+
+TEST(CompactionManagerTest, RateLimitsPerProfile) {
+  ManualClock clock(0);
+  CompactionManagerOptions options;
+  options.synchronous = true;
+  options.min_interval_ms = 1000;
+  std::atomic<int> runs{0};
+  CompactionManager manager(options, &clock,
+                            [&](ProfileId, bool) { runs.fetch_add(1); });
+  EXPECT_TRUE(manager.MaybeTrigger(1));
+  EXPECT_FALSE(manager.MaybeTrigger(1));  // too soon
+  EXPECT_TRUE(manager.MaybeTrigger(2));   // different profile OK
+  clock.AdvanceMs(1001);
+  EXPECT_TRUE(manager.MaybeTrigger(1));
+  EXPECT_EQ(runs.load(), 3);
+}
+
+TEST(CompactionManagerTest, AsyncExecutesAllTriggers) {
+  ManualClock clock(0);
+  CompactionManagerOptions options;
+  options.num_threads = 2;
+  options.min_interval_ms = 0;
+  std::atomic<int> runs{0};
+  CompactionManager manager(options, &clock,
+                            [&](ProfileId, bool) { runs.fetch_add(1); });
+  for (ProfileId pid = 1; pid <= 50; ++pid) {
+    manager.MaybeTrigger(pid);
+  }
+  manager.Drain();
+  EXPECT_EQ(runs.load(), 50);
+}
+
+TEST(CompactionManagerTest, DedupesInFlightProfile) {
+  ManualClock clock(0);
+  CompactionManagerOptions options;
+  options.num_threads = 1;
+  options.min_interval_ms = 0;
+  std::atomic<int> runs{0};
+  std::atomic<bool> block{true};
+  CompactionManager manager(options, &clock, [&](ProfileId, bool) {
+    while (block.load()) std::this_thread::yield();
+    runs.fetch_add(1);
+  });
+  EXPECT_TRUE(manager.MaybeTrigger(1));
+  EXPECT_FALSE(manager.MaybeTrigger(1));  // in flight
+  block.store(false);
+  manager.Drain();
+  EXPECT_EQ(runs.load(), 1);
+}
+
+}  // namespace
+}  // namespace ips

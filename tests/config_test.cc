@@ -1,0 +1,194 @@
+#include "common/config.h"
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/clock.h"
+
+namespace ips {
+namespace {
+
+TEST(ConfigParseTest, ParsesScalars) {
+  auto v = ParseConfig("42");
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->AsInt(), 42);
+
+  v = ParseConfig("-3.5");
+  ASSERT_TRUE(v.ok());
+  EXPECT_DOUBLE_EQ(v->AsDouble(), -3.5);
+
+  v = ParseConfig("true");
+  ASSERT_TRUE(v.ok());
+  EXPECT_TRUE(v->AsBool());
+
+  v = ParseConfig("\"hello\\nworld\"");
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->AsString(), "hello\nworld");
+
+  v = ParseConfig("null");
+  ASSERT_TRUE(v.ok());
+  EXPECT_TRUE(v->is_null());
+}
+
+TEST(ConfigParseTest, ParsesListingTwoTimeDimensionConfig) {
+  // The exact shape of the paper's Listing 2/3 config.
+  const char* doc = R"({
+    "time_dimension": {
+      "1s": ["0s", "1m"],
+      "1m": ["1m", "1h"],
+      "1h": ["1h", "24h"],
+      "1d": ["24h", "30d"],
+      "30d": ["30d", "365d"]
+    }
+  })";
+  auto v = ParseConfig(doc);
+  ASSERT_TRUE(v.ok());
+  const ConfigValue& dims = v->Get("time_dimension");
+  ASSERT_TRUE(dims.is_object());
+  EXPECT_EQ(dims.size(), 5u);
+  ASSERT_EQ(dims.Get("1h").size(), 2u);
+  EXPECT_EQ(dims.Get("1h").items()[0].AsString(), "1h");
+  EXPECT_EQ(dims.Get("1h").items()[1].AsString(), "24h");
+}
+
+TEST(ConfigParseTest, NestedArraysAndObjects) {
+  auto v = ParseConfig(R"({"a": [1, [2, 3], {"b": 4}], "c": {}})");
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->Get("a").items()[1].items()[1].AsInt(), 3);
+  EXPECT_EQ(v->Get("a").items()[2].Get("b").AsInt(), 4);
+  EXPECT_TRUE(v->Get("c").is_object());
+}
+
+TEST(ConfigParseTest, DumpRoundTrips) {
+  const std::string doc =
+      R"({"arr":[1,2.5,"x"],"flag":true,"nested":{"k":"v"},"n":null})";
+  auto v = ParseConfig(doc);
+  ASSERT_TRUE(v.ok());
+  auto round = ParseConfig(v->Dump());
+  ASSERT_TRUE(round.ok());
+  EXPECT_EQ(round->Dump(), v->Dump());
+}
+
+class ConfigRejectTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(ConfigRejectTest, MalformedInputRejected) {
+  auto v = ParseConfig(GetParam());
+  EXPECT_FALSE(v.ok()) << GetParam();
+  EXPECT_TRUE(v.status().IsInvalidArgument());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    BadDocs, ConfigRejectTest,
+    ::testing::Values("", "{", "}", "[1,", "{\"a\":}", "{\"a\" 1}",
+                      "tru", "\"unterminated", "{\"a\":1} trailing",
+                      "[1 2]", "{1: 2}", "nul", "--5", "1.2.3"));
+
+struct DurationCase {
+  const char* text;
+  int64_t expected_ms;
+};
+
+class DurationTest : public ::testing::TestWithParam<DurationCase> {};
+
+TEST_P(DurationTest, Parses) {
+  auto ms = ParseDurationMs(GetParam().text);
+  ASSERT_TRUE(ms.ok()) << GetParam().text;
+  EXPECT_EQ(*ms, GetParam().expected_ms);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Durations, DurationTest,
+    ::testing::Values(DurationCase{"0s", 0}, DurationCase{"500ms", 500},
+                      DurationCase{"1s", 1000}, DurationCase{"10", 10'000},
+                      DurationCase{"1m", 60'000},
+                      DurationCase{"10m", 600'000},
+                      DurationCase{"1h", 3'600'000},
+                      DurationCase{"24h", 86'400'000},
+                      DurationCase{"1d", 86'400'000},
+                      DurationCase{"30d", 30LL * 86'400'000},
+                      DurationCase{"365d", 365LL * 86'400'000}));
+
+TEST(DurationTest, RejectsGarbage) {
+  EXPECT_FALSE(ParseDurationMs("").ok());
+  EXPECT_FALSE(ParseDurationMs("m").ok());
+  EXPECT_FALSE(ParseDurationMs("5x").ok());
+  EXPECT_FALSE(ParseDurationMs("-").ok());
+}
+
+TEST(DurationTest, FormatPicksCompactUnit) {
+  EXPECT_EQ(FormatDurationMs(0), "0ms");
+  EXPECT_EQ(FormatDurationMs(500), "500ms");
+  EXPECT_EQ(FormatDurationMs(1000), "1s");
+  EXPECT_EQ(FormatDurationMs(90'000), "90s");
+  EXPECT_EQ(FormatDurationMs(kMillisPerHour * 2), "2h");
+  EXPECT_EQ(FormatDurationMs(kMillisPerDay * 30), "30d");
+}
+
+TEST(DurationTest, FormatParseRoundTrip) {
+  for (int64_t ms : {int64_t{1}, int64_t{999}, int64_t{1000},
+                     kMillisPerMinute, kMillisPerHour, kMillisPerDay,
+                     7 * kMillisPerDay}) {
+    auto parsed = ParseDurationMs(FormatDurationMs(ms));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(*parsed, ms);
+  }
+}
+
+TEST(ConfigRegistryTest, SubscribersSeePublishes) {
+  ConfigRegistry registry;
+  int calls = 0;
+  int64_t last = 0;
+  registry.Subscribe("key", [&](const ConfigValue& v) {
+    ++calls;
+    last = v.AsInt();
+  });
+  EXPECT_EQ(calls, 0);  // nothing published yet
+  registry.Publish("key", ConfigValue::Int(5));
+  EXPECT_EQ(calls, 1);
+  EXPECT_EQ(last, 5);
+  registry.Publish("key", ConfigValue::Int(9));
+  EXPECT_EQ(calls, 2);
+  EXPECT_EQ(last, 9);
+}
+
+TEST(ConfigRegistryTest, LateSubscriberGetsCurrentValue) {
+  ConfigRegistry registry;
+  registry.Publish("key", ConfigValue::Int(1));
+  int64_t seen = 0;
+  registry.Subscribe("key", [&](const ConfigValue& v) { seen = v.AsInt(); });
+  EXPECT_EQ(seen, 1);
+}
+
+TEST(ConfigRegistryTest, MalformedJsonRejectedOldValueStays) {
+  ConfigRegistry registry;
+  ASSERT_TRUE(registry.PublishJson("key", R"({"v": 1})").ok());
+  EXPECT_FALSE(registry.PublishJson("key", "{broken").ok());
+  EXPECT_EQ(registry.Current("key").Get("v").AsInt(), 1);
+}
+
+TEST(ConfigRegistryTest, UnsubscribeStopsDelivery) {
+  ConfigRegistry registry;
+  int calls = 0;
+  const int64_t id =
+      registry.Subscribe("key", [&](const ConfigValue&) { ++calls; });
+  registry.Publish("key", ConfigValue::Int(1));
+  EXPECT_EQ(calls, 1);
+  registry.Unsubscribe(id);
+  registry.Publish("key", ConfigValue::Int(2));
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(ConfigRegistryTest, KeysAreIndependent) {
+  ConfigRegistry registry;
+  int a_calls = 0, b_calls = 0;
+  registry.Subscribe("a", [&](const ConfigValue&) { ++a_calls; });
+  registry.Subscribe("b", [&](const ConfigValue&) { ++b_calls; });
+  registry.Publish("a", ConfigValue::Int(1));
+  EXPECT_EQ(a_calls, 1);
+  EXPECT_EQ(b_calls, 0);
+}
+
+}  // namespace
+}  // namespace ips

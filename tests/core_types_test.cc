@@ -1,0 +1,151 @@
+#include "core/types.h"
+
+#include <utility>
+
+#include <gtest/gtest.h>
+
+namespace ips {
+namespace {
+
+TEST(CountVectorTest, DefaultIsEmpty) {
+  CountVector v;
+  EXPECT_TRUE(v.empty());
+  EXPECT_EQ(v.size(), 0u);
+  EXPECT_EQ(v.Total(), 0);
+}
+
+TEST(CountVectorTest, InitializerList) {
+  CountVector v{1, 2, 3};
+  EXPECT_EQ(v.size(), 3u);
+  EXPECT_EQ(v[0], 1);
+  EXPECT_EQ(v[2], 3);
+  EXPECT_EQ(v.Total(), 6);
+}
+
+TEST(CountVectorTest, AtReturnsZeroOutOfRange) {
+  CountVector v{5};
+  EXPECT_EQ(v.At(0), 5);
+  EXPECT_EQ(v.At(1), 0);
+  EXPECT_EQ(v.At(100), 0);
+}
+
+TEST(CountVectorTest, ResizeGrowsWithZeros) {
+  CountVector v{1};
+  v.Resize(3);
+  EXPECT_EQ(v.size(), 3u);
+  EXPECT_EQ(v[0], 1);
+  EXPECT_EQ(v[1], 0);
+  EXPECT_EQ(v[2], 0);
+}
+
+TEST(CountVectorTest, InlineToHeapTransition) {
+  CountVector v;
+  v.Resize(CountVector::kInlineCapacity);
+  for (size_t i = 0; i < v.size(); ++i) v[i] = static_cast<int64_t>(i + 1);
+  // Cross the inline boundary.
+  v.Resize(CountVector::kInlineCapacity + 3);
+  EXPECT_EQ(v.size(), CountVector::kInlineCapacity + 3);
+  for (size_t i = 0; i < CountVector::kInlineCapacity; ++i) {
+    EXPECT_EQ(v[i], static_cast<int64_t>(i + 1));
+  }
+  EXPECT_EQ(v[CountVector::kInlineCapacity], 0);
+}
+
+TEST(CountVectorTest, HeapToInlineShrink) {
+  CountVector v(10);
+  for (size_t i = 0; i < 10; ++i) v[i] = static_cast<int64_t>(i);
+  v.Resize(2);
+  EXPECT_EQ(v.size(), 2u);
+  EXPECT_EQ(v[0], 0);
+  EXPECT_EQ(v[1], 1);
+}
+
+TEST(CountVectorTest, CopySemantics) {
+  CountVector a{1, 2, 3, 4, 5, 6};  // heap-backed
+  CountVector b = a;
+  b[0] = 99;
+  EXPECT_EQ(a[0], 1);
+  EXPECT_EQ(b[0], 99);
+  EXPECT_EQ(b.size(), 6u);
+}
+
+TEST(CountVectorTest, MoveSemantics) {
+  CountVector a{1, 2, 3, 4, 5, 6};
+  CountVector b = std::move(a);
+  EXPECT_EQ(b.size(), 6u);
+  EXPECT_EQ(b[5], 6);
+  EXPECT_TRUE(a.empty());  // NOLINT(bugprone-use-after-move): documented reset
+
+  CountVector c{7, 8};  // inline
+  CountVector d = std::move(c);
+  EXPECT_EQ(d.size(), 2u);
+  EXPECT_EQ(d[1], 8);
+}
+
+TEST(CountVectorTest, AccumulateSum) {
+  CountVector a{1, 2};
+  CountVector b{10, 20, 30};
+  a.AccumulateSum(b);
+  EXPECT_EQ(a.size(), 3u);
+  EXPECT_EQ(a[0], 11);
+  EXPECT_EQ(a[1], 22);
+  EXPECT_EQ(a[2], 30);
+}
+
+TEST(CountVectorTest, AccumulateMax) {
+  CountVector a{5, 1};
+  CountVector b{3, 9};
+  a.AccumulateMax(b);
+  EXPECT_EQ(a[0], 5);
+  EXPECT_EQ(a[1], 9);
+}
+
+TEST(CountVectorTest, AccumulateSumIntoEmpty) {
+  CountVector a;
+  CountVector b{4, 5};
+  a.AccumulateSum(b);
+  EXPECT_EQ(a.size(), 2u);
+  EXPECT_EQ(a[0], 4);
+}
+
+TEST(CountVectorTest, Equality) {
+  EXPECT_EQ(CountVector({1, 2}), CountVector({1, 2}));
+  EXPECT_FALSE(CountVector({1, 2}) == CountVector({1, 3}));
+  EXPECT_FALSE(CountVector({1, 2}) == CountVector({1, 2, 0}));
+  EXPECT_EQ(CountVector(), CountVector());
+}
+
+TEST(CountVectorTest, NegativeCountsSupported) {
+  // MAX-reduced tables can hold e.g. bid prices; deltas may be negative.
+  CountVector a{-5, 10};
+  CountVector b{-7, -1};
+  a.AccumulateSum(b);
+  EXPECT_EQ(a[0], -12);
+  EXPECT_EQ(a[1], 9);
+}
+
+TEST(CountVectorTest, ApproximateBytesGrowsWithHeap) {
+  CountVector inline_v{1, 2};
+  CountVector heap_v(32);
+  EXPECT_GT(heap_v.ApproximateBytes(), inline_v.ApproximateBytes());
+}
+
+class CountVectorSizeTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(CountVectorSizeTest, RoundTripThroughResizeAndCopy) {
+  const size_t n = GetParam();
+  CountVector v(n);
+  for (size_t i = 0; i < n; ++i) v[i] = static_cast<int64_t>(i * i);
+  CountVector copy = v;
+  ASSERT_EQ(copy.size(), n);
+  for (size_t i = 0; i < n; ++i) {
+    ASSERT_EQ(copy[i], static_cast<int64_t>(i * i));
+  }
+  EXPECT_EQ(copy, v);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, CountVectorSizeTest,
+                         ::testing::Values(0, 1, 2, 3, 4, 5, 6, 8, 16, 64));
+
+}  // namespace
+}  // namespace ips

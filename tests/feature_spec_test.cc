@@ -1,0 +1,165 @@
+#include "query/feature_spec.h"
+
+#include <gtest/gtest.h>
+
+#include "common/clock.h"
+
+namespace ips {
+namespace {
+
+TableSchema Schema() {
+  TableSchema schema = DefaultTableSchema("user_profile");
+  schema.actions = {"click", "like", "share"};
+  return schema;
+}
+
+TEST(FeatureSpecTest, ParsesFullSpecWithNamedActions) {
+  TableSchema schema = Schema();
+  auto spec = ParseFeatureSpecJson(R"({
+    "name": "top_sports_7d",
+    "table": "user_profile",
+    "slot": 1,
+    "type": 10,
+    "window": {"kind": "CURRENT", "span": "7d"},
+    "sort": {"by": "count", "action": "like"},
+    "k": 20,
+    "decay": {"function": "EXP", "factor": 0.9, "unit": "1d"},
+    "filter": {"op": "count_at_least", "action": "click", "operand": 2}
+  })",
+                                   &schema);
+  ASSERT_TRUE(spec.ok()) << spec.status().ToString();
+  EXPECT_EQ(spec->name, "top_sports_7d");
+  EXPECT_EQ(spec->table, "user_profile");
+  EXPECT_EQ(spec->query.slot, 1u);
+  ASSERT_TRUE(spec->query.type.has_value());
+  EXPECT_EQ(*spec->query.type, 10u);
+  EXPECT_EQ(spec->query.time_range.kind(), TimeRangeKind::kCurrent);
+  EXPECT_EQ(spec->query.time_range.span_ms(), 7 * kMillisPerDay);
+  EXPECT_EQ(spec->query.sort_by, SortBy::kActionCount);
+  EXPECT_EQ(spec->query.sort_action, 1u);  // "like"
+  EXPECT_EQ(spec->query.k, 20u);
+  EXPECT_EQ(spec->query.decay.function, DecayFunction::kExponential);
+  EXPECT_DOUBLE_EQ(spec->query.decay.factor, 0.9);
+  EXPECT_EQ(spec->query.filter.op, FilterOp::kCountAtLeast);
+  EXPECT_EQ(spec->query.filter.action, 0u);  // "click"
+  EXPECT_EQ(spec->query.filter.operand, 2);
+}
+
+TEST(FeatureSpecTest, MinimalSpecDefaults) {
+  auto spec = ParseFeatureSpecJson(
+      R"({"name": "f", "table": "t", "slot": 3})");
+  ASSERT_TRUE(spec.ok());
+  EXPECT_FALSE(spec->query.type.has_value());  // whole slot
+  EXPECT_EQ(spec->query.k, 0u);                // unlimited
+  EXPECT_EQ(spec->query.decay.function, DecayFunction::kNone);
+  EXPECT_EQ(spec->query.filter.op, FilterOp::kNone);
+}
+
+TEST(FeatureSpecTest, RelativeAndAbsoluteWindows) {
+  auto relative = ParseFeatureSpecJson(R"({
+    "name": "f", "table": "t", "slot": 1,
+    "window": {"kind": "RELATIVE", "span": "30d"}})");
+  ASSERT_TRUE(relative.ok());
+  EXPECT_EQ(relative->query.time_range.kind(), TimeRangeKind::kRelative);
+
+  auto absolute = ParseFeatureSpecJson(R"({
+    "name": "f", "table": "t", "slot": 1,
+    "window": {"kind": "ABSOLUTE", "from": 1000, "to": 2000}})");
+  ASSERT_TRUE(absolute.ok());
+  EXPECT_EQ(absolute->query.time_range.kind(), TimeRangeKind::kAbsolute);
+}
+
+TEST(FeatureSpecTest, SortVariants) {
+  auto by_time = ParseFeatureSpecJson(R"({
+    "name": "f", "table": "t", "slot": 1, "sort": {"by": "time"}})");
+  ASSERT_TRUE(by_time.ok());
+  EXPECT_EQ(by_time->query.sort_by, SortBy::kTimestamp);
+
+  auto by_fid = ParseFeatureSpecJson(R"({
+    "name": "f", "table": "t", "slot": 1, "sort": {"by": "fid"}})");
+  ASSERT_TRUE(by_fid.ok());
+  EXPECT_EQ(by_fid->query.sort_by, SortBy::kFeatureId);
+}
+
+TEST(FeatureSpecTest, FidFilters) {
+  auto spec = ParseFeatureSpecJson(R"({
+    "name": "f", "table": "t", "slot": 1,
+    "filter": {"op": "fid_in", "fids": [5, 3, 9]}})");
+  ASSERT_TRUE(spec.ok());
+  EXPECT_EQ(spec->query.filter.op, FilterOp::kFidIn);
+  EXPECT_EQ(spec->query.filter.fids.size(), 3u);
+}
+
+class FeatureSpecRejectTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(FeatureSpecRejectTest, MalformedSpecRejected) {
+  TableSchema schema = Schema();
+  auto spec = ParseFeatureSpecJson(GetParam(), &schema);
+  EXPECT_FALSE(spec.ok()) << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    BadSpecs, FeatureSpecRejectTest,
+    ::testing::Values(
+        R"({"table": "user_profile", "slot": 1})",             // no name
+        R"({"name": "f", "slot": 1})",                         // no table
+        R"({"name": "f", "table": "user_profile"})",           // no slot
+        R"({"name": "f", "table": "other", "slot": 1})",       // wrong table
+        R"({"name": "f", "table": "user_profile", "slot": 1,
+            "sort": {"by": "count", "action": "bogus"}})",     // bad action
+        R"({"name": "f", "table": "user_profile", "slot": 1,
+            "sort": {"by": "zorp"}})",                          // bad sort
+        R"({"name": "f", "table": "user_profile", "slot": 1,
+            "window": {"kind": "SOMETIMES", "span": "1d"}})",   // bad window
+        R"({"name": "f", "table": "user_profile", "slot": 1,
+            "decay": {"function": "EXP", "factor": 7.0}})",     // bad decay
+        R"({"name": "f", "table": "user_profile", "slot": 1,
+            "filter": {"op": "fid_in", "fids": []}})",          // empty fids
+        R"({"name": "f", "table": "user_profile", "slot": 1,
+            "filter": {"op": "contains"}})"));                  // bad op
+
+TEST(FeatureSpecTest, ActionNameWithoutSchemaRejected) {
+  auto spec = ParseFeatureSpecJson(R"({
+    "name": "f", "table": "t", "slot": 1,
+    "sort": {"by": "count", "action": "like"}})");
+  EXPECT_FALSE(spec.ok());
+  // Numeric indices always work.
+  auto numeric = ParseFeatureSpecJson(R"({
+    "name": "f", "table": "t", "slot": 1,
+    "sort": {"by": "count", "action": 1}})");
+  EXPECT_TRUE(numeric.ok());
+}
+
+TEST(FeatureSpecTest, ActionIndexOutOfRangeRejectedWithSchema) {
+  TableSchema schema = Schema();  // 3 actions
+  auto spec = ParseFeatureSpecJson(R"({
+    "name": "f", "table": "user_profile", "slot": 1,
+    "sort": {"by": "count", "action": 9}})",
+                                   &schema);
+  EXPECT_FALSE(spec.ok());
+}
+
+TEST(FeatureSpecTest, FeatureSetParsesAndRejectsDuplicates) {
+  auto good = ParseConfig(R"({"features": [
+    {"name": "a", "table": "t", "slot": 1},
+    {"name": "b", "table": "t", "slot": 2}
+  ]})");
+  ASSERT_TRUE(good.ok());
+  auto specs = ParseFeatureSet(*good);
+  ASSERT_TRUE(specs.ok());
+  EXPECT_EQ(specs->size(), 2u);
+
+  auto dup = ParseConfig(R"({"features": [
+    {"name": "a", "table": "t", "slot": 1},
+    {"name": "a", "table": "t", "slot": 2}
+  ]})");
+  ASSERT_TRUE(dup.ok());
+  EXPECT_FALSE(ParseFeatureSet(*dup).ok());
+
+  auto empty = ParseConfig(R"({"features": []})");
+  ASSERT_TRUE(empty.ok());
+  EXPECT_FALSE(ParseFeatureSet(*empty).ok());
+}
+
+}  // namespace
+}  // namespace ips

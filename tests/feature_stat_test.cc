@@ -1,0 +1,148 @@
+#include "core/feature_stat.h"
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace ips {
+namespace {
+
+TEST(IndexedFeatureStatsTest, UpsertInsertsSorted) {
+  IndexedFeatureStats stats;
+  stats.Upsert(30, CountVector{1});
+  stats.Upsert(10, CountVector{2});
+  stats.Upsert(20, CountVector{3});
+  ASSERT_EQ(stats.size(), 3u);
+  EXPECT_TRUE(stats.IsSorted());
+  EXPECT_EQ(stats.stats()[0].fid, 10u);
+  EXPECT_EQ(stats.stats()[1].fid, 20u);
+  EXPECT_EQ(stats.stats()[2].fid, 30u);
+}
+
+TEST(IndexedFeatureStatsTest, UpsertAggregatesSameFidWithSum) {
+  IndexedFeatureStats stats;
+  stats.Upsert(5, CountVector{1, 2});
+  stats.Upsert(5, CountVector{10, 20}, ReduceFn::kSum);
+  ASSERT_EQ(stats.size(), 1u);
+  EXPECT_EQ(stats.stats()[0].counts[0], 11);
+  EXPECT_EQ(stats.stats()[0].counts[1], 22);
+}
+
+TEST(IndexedFeatureStatsTest, UpsertAggregatesSameFidWithMax) {
+  IndexedFeatureStats stats;
+  stats.Upsert(5, CountVector{7, 1});
+  stats.Upsert(5, CountVector{3, 9}, ReduceFn::kMax);
+  ASSERT_EQ(stats.size(), 1u);
+  EXPECT_EQ(stats.stats()[0].counts[0], 7);
+  EXPECT_EQ(stats.stats()[0].counts[1], 9);
+}
+
+TEST(IndexedFeatureStatsTest, FindHitsAndMisses) {
+  IndexedFeatureStats stats;
+  stats.Upsert(42, CountVector{1});
+  EXPECT_NE(stats.Find(42), nullptr);
+  EXPECT_EQ(stats.Find(41), nullptr);
+  EXPECT_EQ(stats.Find(43), nullptr);
+  EXPECT_EQ(stats.Find(42)->counts[0], 1);
+}
+
+TEST(IndexedFeatureStatsTest, MergeFromDisjoint) {
+  IndexedFeatureStats a, b;
+  a.Upsert(1, CountVector{1});
+  a.Upsert(3, CountVector{3});
+  b.Upsert(2, CountVector{2});
+  b.Upsert(4, CountVector{4});
+  a.MergeFrom(b, ReduceFn::kSum);
+  ASSERT_EQ(a.size(), 4u);
+  EXPECT_TRUE(a.IsSorted());
+  EXPECT_EQ(a.stats()[1].fid, 2u);
+}
+
+TEST(IndexedFeatureStatsTest, MergeFromOverlappingSums) {
+  IndexedFeatureStats a, b;
+  a.Upsert(1, CountVector{1, 0});
+  a.Upsert(2, CountVector{2, 0});
+  b.Upsert(2, CountVector{0, 5});
+  b.Upsert(3, CountVector{3, 0});
+  a.MergeFrom(b, ReduceFn::kSum);
+  ASSERT_EQ(a.size(), 3u);
+  EXPECT_EQ(a.Find(2)->counts[0], 2);
+  EXPECT_EQ(a.Find(2)->counts[1], 5);
+}
+
+TEST(IndexedFeatureStatsTest, MergeIntoEmpty) {
+  IndexedFeatureStats a, b;
+  b.Upsert(7, CountVector{7});
+  a.MergeFrom(b, ReduceFn::kSum);
+  EXPECT_EQ(a.size(), 1u);
+  a.MergeFrom(IndexedFeatureStats(), ReduceFn::kSum);  // no-op
+  EXPECT_EQ(a.size(), 1u);
+}
+
+TEST(IndexedFeatureStatsTest, RetainFilters) {
+  IndexedFeatureStats stats;
+  for (FeatureId fid = 0; fid < 10; ++fid) {
+    stats.Upsert(fid, CountVector{static_cast<int64_t>(fid)});
+  }
+  stats.Retain([](const FeatureStat& s) { return s.counts[0] >= 5; });
+  EXPECT_EQ(stats.size(), 5u);
+  EXPECT_TRUE(stats.IsSorted());
+  EXPECT_EQ(stats.stats()[0].fid, 5u);
+}
+
+TEST(IndexedFeatureStatsTest, RetainAllAndNone) {
+  IndexedFeatureStats stats;
+  stats.Upsert(1, CountVector{1});
+  stats.Retain([](const FeatureStat&) { return true; });
+  EXPECT_EQ(stats.size(), 1u);
+  stats.Retain([](const FeatureStat&) { return false; });
+  EXPECT_TRUE(stats.empty());
+}
+
+// Property: a random interleaving of upserts across two sets, then a merge,
+// equals a reference accumulation in a std::map.
+class FeatureStatPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(FeatureStatPropertyTest, MergeMatchesReferenceModel) {
+  Rng rng(GetParam());
+  IndexedFeatureStats a, b;
+  std::map<FeatureId, int64_t> reference;
+  for (int i = 0; i < 500; ++i) {
+    const FeatureId fid = rng.Uniform(50);
+    const int64_t count = static_cast<int64_t>(rng.Uniform(10)) + 1;
+    if (rng.Bernoulli(0.5)) {
+      a.Upsert(fid, CountVector{count});
+    } else {
+      b.Upsert(fid, CountVector{count});
+    }
+    reference[fid] += count;
+  }
+  a.MergeFrom(b, ReduceFn::kSum);
+  EXPECT_TRUE(a.IsSorted());
+  ASSERT_EQ(a.size(), reference.size());
+  for (const auto& [fid, total] : reference) {
+    const FeatureStat* stat = a.Find(fid);
+    ASSERT_NE(stat, nullptr) << fid;
+    EXPECT_EQ(stat->counts[0], total) << fid;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FeatureStatPropertyTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 11, 29, 71));
+
+TEST(FeatureStatTest, ApproximateBytesAccountsEntries) {
+  IndexedFeatureStats small, large;
+  small.Upsert(1, CountVector{1});
+  for (FeatureId fid = 0; fid < 100; ++fid) {
+    large.Upsert(fid, CountVector{1, 2, 3, 4});
+  }
+  EXPECT_GT(large.ApproximateBytes(), small.ApproximateBytes());
+  EXPECT_GT(large.ApproximateBytes(), 100 * sizeof(FeatureStat));
+}
+
+}  // namespace
+}  // namespace ips

@@ -1,0 +1,459 @@
+#include "cache/gcache.h"
+
+#include <atomic>
+#include <map>
+#include <mutex>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/clock.h"
+
+namespace ips {
+namespace {
+
+constexpr int64_t kMinute = kMillisPerMinute;
+
+// A deterministic in-memory "persistent store" for the cache callbacks.
+class FakeStore {
+ public:
+  FlushFn Flusher() {
+    return [this](ProfileId pid, const ProfileData& profile) {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (fail_flushes_) return Status::Unavailable("injected flush failure");
+      stored_[pid] = profile;  // deep copy
+      ++flush_count_;
+      return Status::OK();
+    };
+  }
+
+  LoadFn Loader() {
+    return [this](ProfileId pid) -> Result<ProfileData> {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++load_count_;
+      auto it = stored_.find(pid);
+      if (it == stored_.end()) {
+        return Status::NotFound("no profile " + std::to_string(pid));
+      }
+      return it->second;
+    };
+  }
+
+  void SetFailFlushes(bool fail) {
+    std::lock_guard<std::mutex> lock(mu_);
+    fail_flushes_ = fail;
+  }
+  int flush_count() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return flush_count_;
+  }
+  int load_count() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return load_count_;
+  }
+  bool Has(ProfileId pid) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return stored_.find(pid) != stored_.end();
+  }
+  ProfileData Get(ProfileId pid) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return stored_.at(pid);
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::map<ProfileId, ProfileData> stored_;
+  bool fail_flushes_ = false;
+  int flush_count_ = 0;
+  int load_count_ = 0;
+};
+
+GCacheOptions ManualOptions() {
+  GCacheOptions options;
+  options.start_background_threads = false;  // tests drive swap/flush
+  options.lru_shards = 4;
+  options.dirty_shards = 2;
+  options.memory_limit_bytes = 1 << 20;
+  options.write_granularity_ms = kMinute;
+  return options;
+}
+
+TEST(GCacheTest, MissOnUnknownProfileReturnsNotFound) {
+  FakeStore store;
+  GCache cache(ManualOptions(), SystemClock::Instance(), store.Flusher(),
+               store.Loader());
+  bool hit = true;
+  Status status =
+      cache.WithProfile(1, [](const ProfileData&) {}, &hit);
+  EXPECT_TRUE(status.IsNotFound());
+  EXPECT_FALSE(hit);
+  EXPECT_EQ(cache.EntryCount(), 0u);
+}
+
+TEST(GCacheTest, WriteCreatesEntryAndMarksDirty) {
+  FakeStore store;
+  GCache cache(ManualOptions(), SystemClock::Instance(), store.Flusher(),
+               store.Loader());
+  ASSERT_TRUE(cache
+                  .WithProfileMutable(1,
+                                      [](ProfileData& profile) {
+                                        profile
+                                            .Add(kMinute, 1, 1, 7,
+                                                 CountVector{1})
+                                            .ok();
+                                      })
+                  .ok());
+  EXPECT_EQ(cache.EntryCount(), 1u);
+  EXPECT_EQ(cache.DirtyCount(), 1u);
+  EXPECT_FALSE(store.Has(1));  // write-back: not persisted yet
+  EXPECT_EQ(cache.FlushOnce(), 1u);
+  EXPECT_TRUE(store.Has(1));
+  EXPECT_EQ(cache.DirtyCount(), 0u);
+}
+
+TEST(GCacheTest, SecondReadIsHit) {
+  FakeStore store;
+  GCache cache(ManualOptions(), SystemClock::Instance(), store.Flusher(),
+               store.Loader());
+  cache.WithProfileMutable(1, [](ProfileData&) {}).ok();
+  bool hit = false;
+  ASSERT_TRUE(cache.WithProfile(1, [](const ProfileData&) {}, &hit).ok());
+  EXPECT_TRUE(hit);
+  EXPECT_GT(cache.HitRatio(), 0.0);
+}
+
+TEST(GCacheTest, MissLoadsFromStore) {
+  FakeStore store;
+  {
+    // Populate the store through a first cache.
+    GCache cache(ManualOptions(), SystemClock::Instance(), store.Flusher(),
+                 store.Loader());
+    cache
+        .WithProfileMutable(42,
+                            [](ProfileData& profile) {
+                              profile.Add(kMinute, 1, 1, 9, CountVector{5})
+                                  .ok();
+                            })
+        .ok();
+    cache.FlushAll();
+  }
+  // Fresh cache: the read must load from the store.
+  GCache cache(ManualOptions(), SystemClock::Instance(), store.Flusher(),
+               store.Loader());
+  bool hit = true;
+  int64_t count = 0;
+  ASSERT_TRUE(cache
+                  .WithProfile(42,
+                               [&](const ProfileData& profile) {
+                                 count = profile.slices()
+                                             .front()
+                                             .FindSlot(1)
+                                             ->Find(1)
+                                             ->Find(9)
+                                             ->counts[0];
+                               },
+                               &hit)
+                  .ok());
+  EXPECT_FALSE(hit);
+  EXPECT_EQ(count, 5);
+}
+
+TEST(GCacheTest, EvictionKeepsMemoryUnderWatermark) {
+  FakeStore store;
+  GCacheOptions options = ManualOptions();
+  options.memory_limit_bytes = 64 << 10;
+  options.high_watermark = 0.85;
+  options.low_watermark = 0.7;
+  GCache cache(options, SystemClock::Instance(), store.Flusher(),
+               store.Loader());
+  // Write until well past the limit.
+  for (ProfileId pid = 1; pid <= 200; ++pid) {
+    cache
+        .WithProfileMutable(pid,
+                            [&](ProfileData& profile) {
+                              for (int i = 0; i < 20; ++i) {
+                                profile
+                                    .Add(kMinute * (i + 1), 1, 1,
+                                         static_cast<FeatureId>(i + 1),
+                                         CountVector{1, 2, 3})
+                                    .ok();
+                              }
+                            })
+        .ok();
+  }
+  ASSERT_GT(cache.MemoryBytes(), options.memory_limit_bytes);
+  const size_t evicted = cache.SwapOnce();
+  EXPECT_GT(evicted, 0u);
+  EXPECT_LE(cache.MemoryUsageRatio(), options.high_watermark + 0.01);
+  // Write-back: every evicted dirty profile must have been persisted.
+  for (ProfileId pid = 1; pid <= 200; ++pid) {
+    bool cached = cache.WithProfile(pid, [](const ProfileData&) {}).ok();
+    EXPECT_TRUE(cached || store.Has(pid)) << pid;
+  }
+}
+
+TEST(GCacheTest, EvictedDataReloadsIntact) {
+  FakeStore store;
+  GCacheOptions options = ManualOptions();
+  options.memory_limit_bytes = 32 << 10;
+  GCache cache(options, SystemClock::Instance(), store.Flusher(),
+               store.Loader());
+  for (ProfileId pid = 1; pid <= 100; ++pid) {
+    cache
+        .WithProfileMutable(pid,
+                            [&](ProfileData& profile) {
+                              profile
+                                  .Add(kMinute, 1, 1, pid * 10,
+                                       CountVector{static_cast<int64_t>(pid)})
+                                  .ok();
+                            })
+        .ok();
+    cache.SwapOnce();
+  }
+  cache.FlushAll();
+  // All data readable with correct contents regardless of cache state.
+  for (ProfileId pid = 1; pid <= 100; ++pid) {
+    int64_t count = 0;
+    ASSERT_TRUE(cache
+                    .WithProfile(pid,
+                                 [&](const ProfileData& profile) {
+                                   count = profile.slices()
+                                               .front()
+                                               .FindSlot(1)
+                                               ->Find(1)
+                                               ->Find(pid * 10)
+                                               ->counts[0];
+                                 })
+                    .ok())
+        << pid;
+    EXPECT_EQ(count, static_cast<int64_t>(pid));
+  }
+}
+
+TEST(GCacheTest, FlushFailureKeepsEntryDirty) {
+  FakeStore store;
+  GCache cache(ManualOptions(), SystemClock::Instance(), store.Flusher(),
+               store.Loader());
+  cache.WithProfileMutable(1, [](ProfileData&) {}).ok();
+  store.SetFailFlushes(true);
+  EXPECT_EQ(cache.FlushOnce(), 0u);
+  EXPECT_EQ(cache.DirtyCount(), 1u);  // requeued
+  store.SetFailFlushes(false);
+  EXPECT_EQ(cache.FlushOnce(), 1u);
+  EXPECT_EQ(cache.DirtyCount(), 0u);
+  EXPECT_TRUE(store.Has(1));
+}
+
+TEST(GCacheTest, InvalidateFlushesDirtyEntry) {
+  FakeStore store;
+  GCache cache(ManualOptions(), SystemClock::Instance(), store.Flusher(),
+               store.Loader());
+  cache
+      .WithProfileMutable(7,
+                          [](ProfileData& profile) {
+                            profile.Add(kMinute, 1, 1, 1, CountVector{1})
+                                .ok();
+                          })
+      .ok();
+  ASSERT_TRUE(cache.Invalidate(7).ok());
+  EXPECT_EQ(cache.EntryCount(), 0u);
+  EXPECT_TRUE(store.Has(7));  // flushed before drop
+}
+
+TEST(GCacheTest, RepeatedMutationsOnlyOneDirtyEntry) {
+  FakeStore store;
+  GCache cache(ManualOptions(), SystemClock::Instance(), store.Flusher(),
+               store.Loader());
+  for (int i = 0; i < 10; ++i) {
+    cache
+        .WithProfileMutable(1,
+                            [&](ProfileData& profile) {
+                              profile
+                                  .Add(kMinute * (i + 1), 1, 1, 1,
+                                       CountVector{1})
+                                  .ok();
+                            })
+        .ok();
+  }
+  EXPECT_EQ(cache.DirtyCount(), 1u);
+  EXPECT_EQ(cache.FlushOnce(), 1u);
+  EXPECT_EQ(store.flush_count(), 1);
+}
+
+TEST(GCacheTest, HitRatioTracksAccessPattern) {
+  FakeStore store;
+  GCache cache(ManualOptions(), SystemClock::Instance(), store.Flusher(),
+               store.Loader());
+  cache.WithProfileMutable(1, [](ProfileData&) {}).ok();  // miss (create)
+  for (int i = 0; i < 9; ++i) {
+    cache.WithProfile(1, [](const ProfileData&) {}).ok();  // 9 hits
+  }
+  EXPECT_NEAR(cache.HitRatio(), 0.9, 0.01);
+}
+
+TEST(GCacheTest, BackgroundThreadsFlushAndSwap) {
+  FakeStore store;
+  GCacheOptions options = ManualOptions();
+  options.start_background_threads = true;
+  options.flush_interval_ms = 10;
+  options.swap_interval_ms = 10;
+  {
+    GCache cache(options, SystemClock::Instance(), store.Flusher(),
+                 store.Loader());
+    cache
+        .WithProfileMutable(5,
+                            [](ProfileData& profile) {
+                              profile.Add(kMinute, 1, 1, 1, CountVector{1})
+                                  .ok();
+                            })
+        .ok();
+    // Wait for a background flush.
+    for (int i = 0; i < 200 && !store.Has(5); ++i) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    EXPECT_TRUE(store.Has(5));
+  }
+  // Destructor joined threads and flushed; no crash = pass.
+}
+
+TEST(GCacheTest, ConcurrentMixedTrafficIsSafe) {
+  FakeStore store;
+  GCacheOptions options = ManualOptions();
+  options.memory_limit_bytes = 256 << 10;
+  GCache cache(options, SystemClock::Instance(), store.Flusher(),
+               store.Loader());
+  std::atomic<bool> stop{false};
+  std::atomic<int> writes{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < 500; ++i) {
+        const ProfileId pid = (t * 131 + i * 7) % 50 + 1;
+        if (i % 3 == 0) {
+          cache
+              .WithProfileMutable(pid,
+                                  [&](ProfileData& profile) {
+                                    profile
+                                        .Add(kMinute * (i % 100 + 1), 1, 1,
+                                             pid, CountVector{1})
+                                        .ok();
+                                  })
+              .ok();
+          writes.fetch_add(1);
+        } else {
+          cache.WithProfile(pid, [](const ProfileData&) {}).ok();
+        }
+      }
+    });
+  }
+  threads.emplace_back([&] {
+    while (!stop.load()) {
+      cache.SwapOnce();
+      cache.FlushOnce();
+      std::this_thread::yield();
+    }
+  });
+  for (int t = 0; t < 4; ++t) threads[t].join();
+  stop.store(true);
+  threads.back().join();
+  cache.FlushAll();
+  EXPECT_GT(writes.load(), 0);
+  // Every touched profile is either cached or persisted.
+  for (ProfileId pid = 1; pid <= 50; ++pid) {
+    bool cached = cache.WithProfile(pid, [](const ProfileData&) {}).ok();
+    EXPECT_TRUE(cached || store.Has(pid)) << pid;
+  }
+}
+
+TEST(GCacheTest, SwapCannotEvictWhenStoreDown) {
+  // All entries dirty + flush failing: eviction must refuse to drop data
+  // (write-back means dropping an unflushed entry loses acknowledged
+  // writes), so memory stays over the watermark until the store recovers.
+  FakeStore store;
+  GCacheOptions options = ManualOptions();
+  options.memory_limit_bytes = 16 << 10;
+  GCache cache(options, SystemClock::Instance(), store.Flusher(),
+               store.Loader());
+  store.SetFailFlushes(true);
+  for (ProfileId pid = 1; pid <= 60; ++pid) {
+    cache
+        .WithProfileMutable(pid,
+                            [&](ProfileData& profile) {
+                              for (int i = 0; i < 10; ++i) {
+                                profile
+                                    .Add(kMinute * (i + 1), 1, 1,
+                                         static_cast<FeatureId>(i + 1),
+                                         CountVector{1, 2, 3})
+                                    .ok();
+                              }
+                            })
+        .ok();
+  }
+  ASSERT_GT(cache.MemoryBytes(), options.memory_limit_bytes);
+  EXPECT_EQ(cache.SwapOnce(), 0u);
+  EXPECT_EQ(cache.EntryCount(), 60u);  // nothing lost
+  // Store recovers: the same pass now flushes and evicts.
+  store.SetFailFlushes(false);
+  EXPECT_GT(cache.SwapOnce(), 0u);
+  for (ProfileId pid = 1; pid <= 60; ++pid) {
+    bool cached = cache.WithProfile(pid, [](const ProfileData&) {}).ok();
+    EXPECT_TRUE(cached || store.Has(pid)) << pid;
+  }
+}
+
+TEST(GCacheTest, LoaderFailurePropagatesWithoutCachingGarbage) {
+  FakeStore store;
+  int fail_loads = 0;
+  GCache cache(
+      ManualOptions(), SystemClock::Instance(), store.Flusher(),
+      [&](ProfileId pid) -> Result<ProfileData> {
+        if (fail_loads > 0) {
+          --fail_loads;
+          return Status::Unavailable("storage flaking");
+        }
+        return store.Loader()(pid);
+      });
+  // Populate the store via a throwaway cache write + flush, then start
+  // injecting load failures.
+  cache.WithProfileMutable(5, [](ProfileData& p) {
+    p.Add(kMinute, 1, 1, 1, CountVector{4}).ok();
+  }).ok();
+  cache.FlushAll();
+  cache.Invalidate(5).ok();
+  fail_loads = 2;
+
+  // Two failed loads surface the storage error; the third succeeds.
+  EXPECT_TRUE(
+      cache.WithProfile(5, [](const ProfileData&) {}).IsUnavailable());
+  EXPECT_TRUE(
+      cache.WithProfile(5, [](const ProfileData&) {}).IsUnavailable());
+  int64_t count = 0;
+  ASSERT_TRUE(cache
+                  .WithProfile(5,
+                               [&](const ProfileData& p) {
+                                 count = p.slices()
+                                             .front()
+                                             .FindSlot(1)
+                                             ->Find(1)
+                                             ->Find(1)
+                                             ->counts[0];
+                               })
+                  .ok());
+  EXPECT_EQ(count, 4);
+}
+
+TEST(GCacheTest, FlushThreadsRoundedToShardMultiple) {
+  FakeStore store;
+  GCacheOptions options = ManualOptions();
+  options.dirty_shards = 4;
+  options.flush_threads = 5;  // not a multiple; must round up to 8
+  GCache cache(options, SystemClock::Instance(), store.Flusher(),
+               store.Loader());
+  EXPECT_EQ(cache.options().flush_threads % cache.options().dirty_shards, 0u);
+  EXPECT_GE(cache.options().flush_threads, 5u);
+}
+
+}  // namespace
+}  // namespace ips

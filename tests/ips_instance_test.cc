@@ -1,0 +1,396 @@
+#include "server/ips_instance.h"
+
+#include <optional>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+#include "common/clock.h"
+#include "kvstore/mem_kv_store.h"
+
+namespace ips {
+namespace {
+
+constexpr int64_t kMinute = kMillisPerMinute;
+constexpr int64_t kDay = kMillisPerDay;
+
+IpsInstanceOptions ManualInstanceOptions() {
+  IpsInstanceOptions options;
+  options.start_background_threads = false;
+  options.cache.start_background_threads = false;
+  options.cache.write_granularity_ms = kMinute;
+  options.compaction.synchronous = true;
+  options.compaction.min_interval_ms = 0;
+  options.isolation_enabled = false;
+  return options;
+}
+
+TableSchema TestSchema(const std::string& name = "profiles") {
+  TableSchema schema = DefaultTableSchema(name);
+  schema.write_granularity_ms = kMinute;
+  return schema;
+}
+
+class IpsInstanceTest : public ::testing::Test {
+ protected:
+  IpsInstanceTest()
+      : clock_(100 * kDay),
+        instance_(ManualInstanceOptions(), &kv_, &clock_) {
+    EXPECT_TRUE(instance_.CreateTable(TestSchema()).ok());
+  }
+
+  Result<QueryResult> TopK(ProfileId pid, SlotId slot, size_t k,
+                           int64_t window = kDay) {
+    return instance_.GetProfileTopK("test", "profiles", pid, slot,
+                                    std::nullopt, TimeRange::Current(window),
+                                    SortBy::kActionCount, 0, k);
+  }
+
+  MemKvStore kv_;
+  ManualClock clock_;
+  IpsInstance instance_;
+};
+
+TEST_F(IpsInstanceTest, CreateTableTwiceFails) {
+  EXPECT_TRUE(instance_.CreateTable(TestSchema()).IsAlreadyExists());
+  EXPECT_TRUE(instance_.HasTable("profiles"));
+  EXPECT_FALSE(instance_.HasTable("nope"));
+}
+
+TEST_F(IpsInstanceTest, AddToUnknownTableFails) {
+  EXPECT_TRUE(instance_
+                  .AddProfile("test", "nope", 1, clock_.NowMs(), 1, 1, 1,
+                              CountVector{1})
+                  .IsNotFound());
+}
+
+TEST_F(IpsInstanceTest, AddThenQueryRoundTrips) {
+  const TimestampMs now = clock_.NowMs();
+  ASSERT_TRUE(instance_
+                  .AddProfile("test", "profiles", 7, now - kMinute, 1, 2,
+                              1001, CountVector{3, 1})
+                  .ok());
+  auto result = TopK(7, 1, 10);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_EQ(result->features.size(), 1u);
+  EXPECT_EQ(result->features[0].fid, 1001u);
+  EXPECT_EQ(result->features[0].counts[0], 3);
+}
+
+TEST_F(IpsInstanceTest, QueryUnknownProfileIsEmptyNotError) {
+  auto result = TopK(424242, 1, 10);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->features.empty());
+}
+
+TEST_F(IpsInstanceTest, BatchedAddAllRecorded) {
+  const TimestampMs now = clock_.NowMs();
+  std::vector<AddRecord> records;
+  for (int i = 0; i < 10; ++i) {
+    AddRecord r;
+    r.timestamp = now - (i + 1) * kMinute;
+    r.slot = 1;
+    r.type = 1;
+    r.fid = static_cast<FeatureId>(i + 1);
+    r.counts = CountVector{1};
+    records.push_back(r);
+  }
+  ASSERT_TRUE(instance_.AddProfiles("test", "profiles", 5, records).ok());
+  auto result = TopK(5, 1, 100);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->features.size(), 10u);
+}
+
+TEST_F(IpsInstanceTest, EmptyBatchRejected) {
+  EXPECT_TRUE(
+      instance_.AddProfiles("test", "profiles", 1, {}).IsInvalidArgument());
+}
+
+TEST_F(IpsInstanceTest, QuotaRejectsOverLimit) {
+  instance_.quota().SetQuota("greedy", 5.0);
+  const TimestampMs now = clock_.NowMs();
+  int ok_count = 0;
+  for (int i = 0; i < 20; ++i) {
+    if (instance_
+            .AddProfile("greedy", "profiles", 1, now, 1, 1, 1,
+                        CountVector{1})
+            .ok()) {
+      ++ok_count;
+    }
+  }
+  EXPECT_EQ(ok_count, 5);
+  // Other callers unaffected.
+  EXPECT_TRUE(instance_
+                  .AddProfile("polite", "profiles", 1, now, 1, 1, 1,
+                              CountVector{1})
+                  .ok());
+}
+
+TEST_F(IpsInstanceTest, IsolationDelaysVisibilityUntilMerge) {
+  instance_.SetIsolationEnabled(true);
+  const TimestampMs now = clock_.NowMs();
+  ASSERT_TRUE(instance_
+                  .AddProfile("test", "profiles", 9, now - kMinute, 1, 1,
+                              77, CountVector{1})
+                  .ok());
+  // Not yet merged: invisible to queries.
+  auto before = TopK(9, 1, 10);
+  ASSERT_TRUE(before.ok());
+  EXPECT_TRUE(before->features.empty());
+  auto stats = instance_.GetTableStats("profiles");
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->write_table_profiles, 1u);
+
+  EXPECT_EQ(instance_.MergeWriteTablesOnce(), 1u);
+  auto after = TopK(9, 1, 10);
+  ASSERT_TRUE(after.ok());
+  ASSERT_EQ(after->features.size(), 1u);
+  EXPECT_EQ(after->features[0].fid, 77u);
+  stats = instance_.GetTableStats("profiles");
+  EXPECT_EQ(stats->write_table_profiles, 0u);
+}
+
+TEST_F(IpsInstanceTest, IsolationHotSwitchOffDrainsBuffer) {
+  instance_.SetIsolationEnabled(true);
+  const TimestampMs now = clock_.NowMs();
+  ASSERT_TRUE(instance_
+                  .AddProfile("test", "profiles", 3, now - kMinute, 1, 1,
+                              55, CountVector{1})
+                  .ok());
+  instance_.SetIsolationEnabled(false);  // must merge synchronously
+  auto result = TopK(3, 1, 10);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->features.size(), 1u);
+}
+
+TEST_F(IpsInstanceTest, IsolationAggregatesAcrossMerge) {
+  instance_.SetIsolationEnabled(true);
+  const TimestampMs now = clock_.NowMs();
+  // Write the same (slot, type, fid) twice pre-merge and once post-merge.
+  ASSERT_TRUE(instance_
+                  .AddProfile("test", "profiles", 4, now - kMinute, 1, 1, 8,
+                              CountVector{1})
+                  .ok());
+  ASSERT_TRUE(instance_
+                  .AddProfile("test", "profiles", 4, now - kMinute, 1, 1, 8,
+                              CountVector{2})
+                  .ok());
+  instance_.MergeWriteTablesOnce();
+  ASSERT_TRUE(instance_
+                  .AddProfile("test", "profiles", 4, now - kMinute, 1, 1, 8,
+                              CountVector{4})
+                  .ok());
+  instance_.MergeWriteTablesOnce();
+  auto result = TopK(4, 1, 10);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->features.size(), 1u);
+  EXPECT_EQ(result->features[0].counts[0], 7);
+}
+
+TEST_F(IpsInstanceTest, DataSurvivesRestartThroughKv) {
+  const TimestampMs now = clock_.NowMs();
+  ASSERT_TRUE(instance_
+                  .AddProfile("test", "profiles", 11, now - kMinute, 2, 1,
+                              99, CountVector{6})
+                  .ok());
+  instance_.FlushAll();
+  // A new instance over the same KV (restart / failover takeover).
+  IpsInstance fresh(ManualInstanceOptions(), &kv_, &clock_);
+  ASSERT_TRUE(fresh.CreateTable(TestSchema()).ok());
+  auto result = fresh.GetProfileTopK("test", "profiles", 11, 2, std::nullopt,
+                                     TimeRange::Current(kDay),
+                                     SortBy::kActionCount, 0, 10);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->features.size(), 1u);
+  EXPECT_EQ(result->features[0].fid, 99u);
+  EXPECT_EQ(result->features[0].counts[0], 6);
+}
+
+TEST_F(IpsInstanceTest, HotReloadChangesCompactionPolicy) {
+  TableSchema updated = TestSchema();
+  updated.truncate.max_slices = 3;
+  ASSERT_TRUE(instance_.ReconfigureTable(updated).ok());
+  // Action schema changes are rejected.
+  TableSchema bad = TestSchema();
+  bad.actions.push_back("extra");
+  EXPECT_TRUE(instance_.ReconfigureTable(bad).IsInvalidArgument());
+  // Granularity changes rejected.
+  TableSchema bad2 = TestSchema();
+  bad2.write_granularity_ms = 5 * kMinute;
+  EXPECT_TRUE(instance_.ReconfigureTable(bad2).IsInvalidArgument());
+  // Unknown table.
+  TableSchema other = TestSchema("other");
+  EXPECT_TRUE(instance_.ReconfigureTable(other).IsNotFound());
+}
+
+TEST_F(IpsInstanceTest, ConfigRegistryDrivesHotReload) {
+  ConfigRegistry registry;
+  instance_.AttachConfigRegistry(&registry);
+  const std::string key =
+      "ips/" + instance_.instance_id() + "/tables/profiles";
+  // Valid reload.
+  ASSERT_TRUE(registry
+                  .PublishJson(key, R"({
+                    "name": "profiles",
+                    "actions": ["click", "like", "share", "comment"],
+                    "write_granularity": "1m",
+                    "truncate": {"max_slices": 7}
+                  })")
+                  .ok());
+  EXPECT_GE(instance_.metrics()->GetCounter("config.table_reload")->Value(),
+            1);
+  // Malformed reload: rejected, old config stays.
+  ASSERT_TRUE(registry.PublishJson(key, R"({"name": "profiles"})").ok());
+  // (rejected internally: empty actions mismatch; reload count unchanged)
+  EXPECT_EQ(instance_.metrics()->GetCounter("config.table_reload")->Value(),
+            1);
+}
+
+TEST_F(IpsInstanceTest, QuotaHotReloadViaConfigRegistry) {
+  ConfigRegistry registry;
+  instance_.AttachConfigRegistry(&registry);
+  const std::string key = "ips/" + instance_.instance_id() + "/quotas";
+  ASSERT_TRUE(registry.PublishJson(key, R"({"feed": 3, "ads": 50})").ok());
+  EXPECT_DOUBLE_EQ(instance_.quota().QuotaFor("feed"), 3.0);
+  EXPECT_DOUBLE_EQ(instance_.quota().QuotaFor("ads"), 50.0);
+  // The new quota is live: "feed" gets 3 requests then rejections.
+  const TimestampMs now = clock_.NowMs();
+  int ok_count = 0;
+  for (int i = 0; i < 10; ++i) {
+    if (instance_
+            .AddProfile("feed", "profiles", 1, now, 1, 1, 1, CountVector{1})
+            .ok()) {
+      ++ok_count;
+    }
+  }
+  EXPECT_EQ(ok_count, 3);
+  // Publishing 0 removes the explicit quota (back to unlimited default).
+  ASSERT_TRUE(registry.PublishJson(key, R"({"feed": 0})").ok());
+  EXPECT_TRUE(instance_
+                  .AddProfile("feed", "profiles", 1, now, 1, 1, 1,
+                              CountVector{1})
+                  .ok());
+}
+
+TEST_F(IpsInstanceTest, CompactionTriggeredByTraffic) {
+  const TimestampMs base = clock_.NowMs() - 2 * kDay;
+  for (int i = 0; i < 200; ++i) {
+    ASSERT_TRUE(instance_
+                    .AddProfile("test", "profiles", 20, base + i * kMinute,
+                                1, 1, static_cast<FeatureId>(i % 10 + 1),
+                                CountVector{1})
+                    .ok());
+  }
+  instance_.DrainCompactions();
+  // The ladder must have consolidated day-old minute slices.
+  auto stats = instance_.GetTableStats("profiles");
+  ASSERT_TRUE(stats.ok());
+  const int64_t merged =
+      instance_.metrics()->GetCounter("compaction.slices_merged")->Value();
+  EXPECT_GT(merged, 0);
+}
+
+TEST_F(IpsInstanceTest, CompactTableNowSweepsEveryCachedProfile) {
+  const TimestampMs base = clock_.NowMs() - 2 * kDay;
+  for (ProfileId pid = 1; pid <= 3; ++pid) {
+    for (int i = 0; i < 90; ++i) {
+      ASSERT_TRUE(instance_
+                      .AddProfile("test", "profiles", pid,
+                                  base + i * kMinute, 1, 1,
+                                  static_cast<FeatureId>(i + 1),
+                                  CountVector{1})
+                      .ok());
+    }
+  }
+  // Pause traffic-triggered compaction so the sweep does the work.
+  instance_.SetCompactionEnabled(false);
+  auto swept = instance_.CompactTableNow("profiles");
+  ASSERT_TRUE(swept.ok());
+  EXPECT_EQ(*swept, 3u);
+  // Day-old minute slices must have been consolidated by the ladder.
+  auto result = TopK(1, 1, 0, 30 * kDay);
+  ASSERT_TRUE(result.ok());
+  EXPECT_LT(result->slices_scanned, 30u);
+  EXPECT_TRUE(instance_.CompactTableNow("nope").status().IsNotFound());
+}
+
+TEST_F(IpsInstanceTest, CompactionKillSwitchStopsTriggers) {
+  instance_.SetCompactionEnabled(false);
+  const TimestampMs base = clock_.NowMs() - 2 * kDay;
+  for (int i = 0; i < 120; ++i) {
+    ASSERT_TRUE(instance_
+                    .AddProfile("test", "profiles", 8, base + i * kMinute,
+                                1, 1, static_cast<FeatureId>(i + 1),
+                                CountVector{1})
+                    .ok());
+  }
+  instance_.DrainCompactions();
+  EXPECT_EQ(
+      instance_.metrics()->GetCounter("compaction.slices_merged")->Value(),
+      0);
+  // Re-enable: the next touch triggers consolidation again.
+  instance_.SetCompactionEnabled(true);
+  TopK(8, 1, 0, 30 * kDay).ok();
+  instance_.DrainCompactions();
+  EXPECT_GT(
+      instance_.metrics()->GetCounter("compaction.slices_merged")->Value(),
+      0);
+}
+
+TEST_F(IpsInstanceTest, TableStatsReflectCache) {
+  const TimestampMs now = clock_.NowMs();
+  for (ProfileId pid = 1; pid <= 5; ++pid) {
+    ASSERT_TRUE(instance_
+                    .AddProfile("test", "profiles", pid, now - kMinute, 1, 1,
+                                1, CountVector{1})
+                    .ok());
+  }
+  auto stats = instance_.GetTableStats("profiles");
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->cached_profiles, 5u);
+  EXPECT_GT(stats->cache_bytes, 0u);
+  EXPECT_TRUE(instance_.GetTableStats("nope").status().IsNotFound());
+}
+
+TEST_F(IpsInstanceTest, ServerLatencyMetricsSplitHitMiss) {
+  const TimestampMs now = clock_.NowMs();
+  ASSERT_TRUE(instance_
+                  .AddProfile("test", "profiles", 1, now - kMinute, 1, 1, 1,
+                              CountVector{1})
+                  .ok());
+  TopK(1, 1, 10).ok();  // hit (just written)
+  instance_.FlushAll();
+  EXPECT_GT(
+      instance_.metrics()->GetHistogram("server.query_micros_hit")->count(),
+      0);
+}
+
+TEST(IpsInstanceBackgroundTest, MergerThreadRunsAutomatically) {
+  MemKvStore kv;
+  SystemClock* clock = SystemClock::Instance();
+  IpsInstanceOptions options;
+  options.cache.start_background_threads = false;
+  options.compaction.synchronous = true;
+  options.isolation_enabled = true;
+  options.isolation_merge_interval_ms = 20;
+  options.start_background_threads = true;
+  IpsInstance instance(options, &kv, clock);
+  TableSchema schema = DefaultTableSchema("t");
+  ASSERT_TRUE(instance.CreateTable(schema).ok());
+  const TimestampMs now = clock->NowMs();
+  ASSERT_TRUE(
+      instance.AddProfile("c", "t", 1, now, 1, 1, 5, CountVector{1}).ok());
+  // Wait for the background merge to surface the write.
+  bool visible = false;
+  for (int i = 0; i < 200 && !visible; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    auto result = instance.GetProfileTopK("c", "t", 1, 1, std::nullopt,
+                                          TimeRange::Current(kDay),
+                                          SortBy::kActionCount, 0, 10);
+    visible = result.ok() && !result->features.empty();
+  }
+  EXPECT_TRUE(visible);
+}
+
+}  // namespace
+}  // namespace ips

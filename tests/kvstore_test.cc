@@ -1,0 +1,237 @@
+#include "kvstore/mem_kv_store.h"
+#include "kvstore/replicated_kv.h"
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "common/clock.h"
+
+namespace ips {
+namespace {
+
+TEST(MemKvStoreTest, SetGetDelete) {
+  MemKvStore kv;
+  EXPECT_TRUE(kv.Set("k1", "v1").ok());
+  std::string value;
+  ASSERT_TRUE(kv.Get("k1", &value).ok());
+  EXPECT_EQ(value, "v1");
+  EXPECT_TRUE(kv.Set("k1", "v2").ok());
+  ASSERT_TRUE(kv.Get("k1", &value).ok());
+  EXPECT_EQ(value, "v2");
+  EXPECT_TRUE(kv.Delete("k1").ok());
+  EXPECT_TRUE(kv.Get("k1", &value).IsNotFound());
+}
+
+TEST(MemKvStoreTest, GetMissingIsNotFound) {
+  MemKvStore kv;
+  std::string value;
+  EXPECT_TRUE(kv.Get("missing", &value).IsNotFound());
+}
+
+TEST(MemKvStoreTest, KeyCountAndBytes) {
+  MemKvStore kv;
+  EXPECT_EQ(kv.KeyCount(), 0u);
+  kv.Set("a", "xx").ok();
+  kv.Set("b", std::string(100, 'y')).ok();
+  EXPECT_EQ(kv.KeyCount(), 2u);
+  EXPECT_GE(kv.TotalValueBytes(), 102u);
+}
+
+TEST(MemKvStoreTest, VersionsIncreaseMonotonically) {
+  MemKvStore kv;
+  kv.Set("k", "v1").ok();
+  KvEntry entry;
+  ASSERT_TRUE(kv.XGet("k", &entry).ok());
+  const KvVersion v1 = entry.version;
+  EXPECT_GE(v1, 1u);
+  kv.Set("k", "v2").ok();
+  ASSERT_TRUE(kv.XGet("k", &entry).ok());
+  EXPECT_GT(entry.version, v1);
+}
+
+TEST(MemKvStoreTest, XSetCreateRequiresVersionZero) {
+  MemKvStore kv;
+  KvVersion version = 0;
+  EXPECT_TRUE(kv.XSet("k", "v", 0, &version).ok());
+  EXPECT_EQ(version, 1u);
+  // A second create must conflict.
+  EXPECT_TRUE(kv.XSet("k", "v2", 0, &version).IsAborted());
+}
+
+TEST(MemKvStoreTest, XSetDetectsStaleWriter) {
+  // The Fig 14 protocol: two writers hold version 1; the slower one must be
+  // rejected and reload.
+  MemKvStore kv;
+  KvVersion v = 0;
+  ASSERT_TRUE(kv.XSet("meta", "a", 0, &v).ok());  // v=1
+  KvVersion writer_a = v, writer_b = v;
+  ASSERT_TRUE(kv.XSet("meta", "b", writer_a, &v).ok());  // a wins, v=2
+  KvVersion unused;
+  EXPECT_TRUE(kv.XSet("meta", "c", writer_b, &unused).IsAborted());
+  // b reloads and retries.
+  KvEntry entry;
+  ASSERT_TRUE(kv.XGet("meta", &entry).ok());
+  EXPECT_EQ(entry.value, "b");
+  EXPECT_TRUE(kv.XSet("meta", "c", entry.version, &unused).ok());
+}
+
+TEST(MemKvStoreTest, XGetMissingIsNotFound) {
+  MemKvStore kv;
+  KvEntry entry;
+  EXPECT_TRUE(kv.XGet("nope", &entry).IsNotFound());
+}
+
+TEST(MemKvStoreTest, DownStoreRejectsEverything) {
+  MemKvStore kv;
+  kv.Set("k", "v").ok();
+  kv.SetDown(true);
+  std::string value;
+  EXPECT_TRUE(kv.Get("k", &value).IsUnavailable());
+  EXPECT_TRUE(kv.Set("k", "v2").IsUnavailable());
+  EXPECT_TRUE(kv.Delete("k").IsUnavailable());
+  kv.SetDown(false);
+  EXPECT_TRUE(kv.Get("k", &value).ok());
+  EXPECT_EQ(value, "v");  // the failed Set did not land
+}
+
+TEST(MemKvStoreTest, FailureInjectionProducesUnavailable) {
+  MemKvOptions options;
+  options.failure_probability = 0.5;
+  options.seed = 3;
+  MemKvStore kv(options);
+  int failures = 0;
+  for (int i = 0; i < 200; ++i) {
+    if (kv.Set("k" + std::to_string(i), "v").IsUnavailable()) ++failures;
+  }
+  EXPECT_GT(failures, 50);
+  EXPECT_LT(failures, 150);
+  kv.SetFailureProbability(0.0);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_TRUE(kv.Set("x" + std::to_string(i), "v").ok());
+  }
+}
+
+TEST(MemKvStoreTest, MultiGetAlignsOutputs) {
+  MemKvStore kv;
+  kv.Set("a", "1").ok();
+  kv.Set("c", "3").ok();
+  std::vector<std::string> values;
+  std::vector<Status> statuses;
+  kv.MultiGet({"a", "b", "c"}, &values, &statuses);
+  ASSERT_EQ(values.size(), 3u);
+  EXPECT_TRUE(statuses[0].ok());
+  EXPECT_EQ(values[0], "1");
+  EXPECT_TRUE(statuses[1].IsNotFound());
+  EXPECT_TRUE(statuses[2].ok());
+  EXPECT_EQ(values[2], "3");
+}
+
+TEST(MemKvStoreTest, ForEachVisitsEverything) {
+  MemKvStore kv;
+  for (int i = 0; i < 20; ++i) {
+    kv.Set("k" + std::to_string(i), "v").ok();
+  }
+  int visited = 0;
+  kv.ForEach([&](const std::string&, const KvEntry&) { ++visited; });
+  EXPECT_EQ(visited, 20);
+}
+
+// ------------------------------------------------------------ Replicated ---
+
+TEST(ReplicatedKvTest, SlaveSeesWriteAfterLag) {
+  ManualClock clock(0);
+  ReplicatedKvOptions options;
+  options.num_slaves = 2;
+  options.replication_lag_ms = 1000;
+  ReplicatedKv kv(options, &clock);
+
+  ASSERT_TRUE(kv.master()->Set("k", "v").ok());
+  std::string value;
+  // Immediately: master has it, slaves do not.
+  EXPECT_TRUE(kv.master()->Get("k", &value).ok());
+  EXPECT_TRUE(kv.slave(0)->Get("k", &value).IsNotFound());
+  EXPECT_EQ(kv.PendingMutations(0), 1u);
+
+  clock.AdvanceMs(999);
+  EXPECT_TRUE(kv.slave(0)->Get("k", &value).IsNotFound());
+  clock.AdvanceMs(2);
+  ASSERT_TRUE(kv.slave(0)->Get("k", &value).ok());
+  EXPECT_EQ(value, "v");
+  ASSERT_TRUE(kv.slave(1)->Get("k", &value).ok());
+}
+
+TEST(ReplicatedKvTest, SlavesAreReadOnly) {
+  ManualClock clock(0);
+  ReplicatedKv kv({}, &clock);
+  EXPECT_TRUE(kv.slave(0)->Set("k", "v").IsUnavailable());
+  EXPECT_TRUE(kv.slave(0)->Delete("k").IsUnavailable());
+  KvVersion v;
+  EXPECT_TRUE(kv.slave(0)->XSet("k", "v", 0, &v).IsUnavailable());
+}
+
+TEST(ReplicatedKvTest, DeleteReplicates) {
+  ManualClock clock(0);
+  ReplicatedKvOptions options;
+  options.replication_lag_ms = 100;
+  ReplicatedKv kv(options, &clock);
+  kv.master()->Set("k", "v").ok();
+  clock.AdvanceMs(200);
+  std::string value;
+  ASSERT_TRUE(kv.slave(0)->Get("k", &value).ok());
+  kv.master()->Delete("k").ok();
+  clock.AdvanceMs(200);
+  EXPECT_TRUE(kv.slave(0)->Get("k", &value).IsNotFound());
+}
+
+TEST(ReplicatedKvTest, CatchUpAllIgnoresLag) {
+  ManualClock clock(0);
+  ReplicatedKvOptions options;
+  options.replication_lag_ms = 1'000'000;
+  ReplicatedKv kv(options, &clock);
+  kv.master()->Set("k", "v").ok();
+  std::string value;
+  EXPECT_TRUE(kv.slave(0)->Get("k", &value).IsNotFound());
+  kv.CatchUpAll();
+  ASSERT_TRUE(kv.slave(0)->Get("k", &value).ok());
+  EXPECT_EQ(value, "v");
+  EXPECT_EQ(kv.PendingMutations(0), 0u);
+}
+
+TEST(ReplicatedKvTest, StaleReadWindowIsObservable) {
+  // The weak-consistency scenario of Section III-G: a value updated on the
+  // master reads stale from a slave until the lag elapses.
+  ManualClock clock(0);
+  ReplicatedKvOptions options;
+  options.replication_lag_ms = 500;
+  ReplicatedKv kv(options, &clock);
+  kv.master()->Set("profile", "old").ok();
+  clock.AdvanceMs(600);
+  std::string value;
+  ASSERT_TRUE(kv.slave(0)->Get("profile", &value).ok());
+  ASSERT_EQ(value, "old");
+
+  kv.master()->Set("profile", "new").ok();
+  ASSERT_TRUE(kv.slave(0)->Get("profile", &value).ok());
+  EXPECT_EQ(value, "old");  // stale
+  clock.AdvanceMs(600);
+  ASSERT_TRUE(kv.slave(0)->Get("profile", &value).ok());
+  EXPECT_EQ(value, "new");
+}
+
+TEST(ReplicatedKvTest, OrderingPreservedThroughReplication) {
+  ManualClock clock(0);
+  ReplicatedKvOptions options;
+  options.replication_lag_ms = 10;
+  ReplicatedKv kv(options, &clock);
+  for (int i = 0; i < 50; ++i) {
+    kv.master()->Set("k", "v" + std::to_string(i)).ok();
+  }
+  clock.AdvanceMs(20);
+  std::string value;
+  ASSERT_TRUE(kv.slave(0)->Get("k", &value).ok());
+  EXPECT_EQ(value, "v49");
+}
+
+}  // namespace
+}  // namespace ips

@@ -1,0 +1,86 @@
+#include "query/merger.h"
+
+#include <map>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace ips {
+namespace {
+
+TEST(MergerTest, EmptyInputs) {
+  EXPECT_TRUE(MergeSortedRuns({}, ReduceFn::kSum).empty());
+  IndexedFeatureStats empty;
+  EXPECT_TRUE(MergeSortedRuns({&empty, &empty}, ReduceFn::kSum).empty());
+}
+
+TEST(MergerTest, SingleRunCopied) {
+  IndexedFeatureStats run;
+  run.Upsert(1, CountVector{1});
+  run.Upsert(5, CountVector{5});
+  IndexedFeatureStats merged = MergeSortedRuns({&run}, ReduceFn::kSum);
+  ASSERT_EQ(merged.size(), 2u);
+  EXPECT_EQ(merged.Find(5)->counts[0], 5);
+}
+
+TEST(MergerTest, TwoRunsWithOverlap) {
+  IndexedFeatureStats a, b;
+  a.Upsert(1, CountVector{1});
+  a.Upsert(3, CountVector{3});
+  b.Upsert(3, CountVector{30});
+  b.Upsert(4, CountVector{4});
+  IndexedFeatureStats merged = MergeSortedRuns({&a, &b}, ReduceFn::kSum);
+  ASSERT_EQ(merged.size(), 3u);
+  EXPECT_TRUE(merged.IsSorted());
+  EXPECT_EQ(merged.Find(3)->counts[0], 33);
+}
+
+TEST(MergerTest, MaxReduce) {
+  IndexedFeatureStats a, b;
+  a.Upsert(7, CountVector{10, 1});
+  b.Upsert(7, CountVector{3, 9});
+  IndexedFeatureStats merged = MergeSortedRuns({&a, &b}, ReduceFn::kMax);
+  ASSERT_EQ(merged.size(), 1u);
+  EXPECT_EQ(merged.Find(7)->counts[0], 10);
+  EXPECT_EQ(merged.Find(7)->counts[1], 9);
+}
+
+class MergerPropertyTest
+    : public ::testing::TestWithParam<std::tuple<uint64_t, int>> {};
+
+TEST_P(MergerPropertyTest, ManyRunsMatchReference) {
+  const auto [seed, num_runs] = GetParam();
+  Rng rng(seed);
+  std::vector<IndexedFeatureStats> runs(num_runs);
+  std::map<FeatureId, int64_t> reference;
+  for (auto& run : runs) {
+    const int entries = static_cast<int>(rng.Uniform(60));
+    for (int i = 0; i < entries; ++i) {
+      const FeatureId fid = rng.Uniform(100);
+      const int64_t count = static_cast<int64_t>(rng.Uniform(9)) + 1;
+      run.Upsert(fid, CountVector{count});
+      reference[fid] += count;
+    }
+    ASSERT_TRUE(run.IsSorted());
+  }
+  std::vector<const IndexedFeatureStats*> run_ptrs;
+  for (const auto& run : runs) run_ptrs.push_back(&run);
+  IndexedFeatureStats merged = MergeSortedRuns(run_ptrs, ReduceFn::kSum);
+  EXPECT_TRUE(merged.IsSorted());
+  ASSERT_EQ(merged.size(), reference.size());
+  for (const auto& [fid, total] : reference) {
+    const FeatureStat* stat = merged.Find(fid);
+    ASSERT_NE(stat, nullptr);
+    EXPECT_EQ(stat->counts[0], total);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, MergerPropertyTest,
+    ::testing::Combine(::testing::Values(1u, 5u, 9u),
+                       ::testing::Values(2, 3, 8, 16)));
+
+}  // namespace
+}  // namespace ips

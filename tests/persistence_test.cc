@@ -1,0 +1,258 @@
+#include "server/persistence.h"
+
+#include <gtest/gtest.h>
+
+#include "common/clock.h"
+#include "common/random.h"
+#include "kvstore/mem_kv_store.h"
+
+namespace ips {
+namespace {
+
+constexpr int64_t kMinute = kMillisPerMinute;
+
+ProfileData MakeProfile(int slices, int features_per_slice) {
+  ProfileData profile(kMinute);
+  const TimestampMs base = 100 * kMillisPerDay;
+  for (int s = 0; s < slices; ++s) {
+    for (int f = 0; f < features_per_slice; ++f) {
+      EXPECT_TRUE(profile
+                      .Add(base + s * kMinute, 1, 1,
+                           static_cast<FeatureId>(f + 1),
+                           CountVector{1, 2})
+                      .ok());
+    }
+  }
+  return profile;
+}
+
+int64_t ReadCount(const ProfileData& profile, TimestampMs ts, FeatureId fid) {
+  for (const auto& slice : profile.slices()) {
+    if (slice.Contains(ts)) {
+      const auto* stats = slice.FindSlot(1)->Find(1);
+      const auto* stat = stats->Find(fid);
+      return stat == nullptr ? -1 : stat->counts[0];
+    }
+  }
+  return -1;
+}
+
+class PersisterModeTest : public ::testing::TestWithParam<PersistenceMode> {};
+
+TEST_P(PersisterModeTest, FlushLoadRoundTrips) {
+  MemKvStore kv;
+  PersisterOptions options;
+  options.mode = GetParam();
+  Persister persister("t", &kv, options);
+  ProfileData profile = MakeProfile(10, 8);
+  ASSERT_TRUE(persister.Flush(42, profile).ok());
+  auto loaded = persister.Load(42);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->SliceCount(), profile.SliceCount());
+  EXPECT_EQ(loaded->TotalFeatures(), profile.TotalFeatures());
+  EXPECT_EQ(loaded->LastActionMs(), profile.LastActionMs());
+  EXPECT_EQ(ReadCount(*loaded, 100 * kMillisPerDay, 3), 1);
+}
+
+TEST_P(PersisterModeTest, LoadMissingIsNotFound) {
+  MemKvStore kv;
+  PersisterOptions options;
+  options.mode = GetParam();
+  Persister persister("t", &kv, options);
+  EXPECT_TRUE(persister.Load(999).status().IsNotFound());
+}
+
+TEST_P(PersisterModeTest, EraseRemovesEverything) {
+  MemKvStore kv;
+  PersisterOptions options;
+  options.mode = GetParam();
+  Persister persister("t", &kv, options);
+  ASSERT_TRUE(persister.Flush(1, MakeProfile(5, 5)).ok());
+  ASSERT_GT(kv.KeyCount(), 0u);
+  ASSERT_TRUE(persister.Erase(1).ok());
+  EXPECT_EQ(kv.KeyCount(), 0u);
+  EXPECT_TRUE(persister.Load(1).status().IsNotFound());
+}
+
+INSTANTIATE_TEST_SUITE_P(Modes, PersisterModeTest,
+                         ::testing::Values(PersistenceMode::kBulk,
+                                           PersistenceMode::kSliceSplit));
+
+TEST(PersisterTest, BulkModeUsesOneKey) {
+  MemKvStore kv;
+  Persister persister("t", &kv, {});
+  ASSERT_TRUE(persister.Flush(1, MakeProfile(20, 5)).ok());
+  EXPECT_EQ(kv.KeyCount(), 1u);
+}
+
+TEST(PersisterTest, SplitModeUsesMetaPlusSliceKeys) {
+  MemKvStore kv;
+  PersisterOptions options;
+  options.mode = PersistenceMode::kSliceSplit;
+  Persister persister("t", &kv, options);
+  ASSERT_TRUE(persister.Flush(1, MakeProfile(20, 5)).ok());
+  EXPECT_EQ(kv.KeyCount(), 21u);  // 20 slices + meta
+  std::string value;
+  EXPECT_TRUE(kv.Get(persister.MetaKey(1), &value).ok());
+}
+
+TEST(PersisterTest, SplitThresholdKeepsSmallProfilesBulk) {
+  MemKvStore kv;
+  PersisterOptions options;
+  options.mode = PersistenceMode::kSliceSplit;
+  options.split_threshold_bytes = 1 << 20;  // everything is "small"
+  Persister persister("t", &kv, options);
+  ASSERT_TRUE(persister.Flush(1, MakeProfile(5, 5)).ok());
+  EXPECT_EQ(kv.KeyCount(), 1u);  // bulk key only
+  auto loaded = persister.Load(1);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->SliceCount(), 5u);
+}
+
+TEST(PersisterTest, GrowingProfileMigratesBulkToSplit) {
+  MemKvStore kv;
+  PersisterOptions options;
+  options.mode = PersistenceMode::kSliceSplit;
+  options.split_threshold_bytes = 600;
+  Persister persister("t", &kv, options);
+  // Small profile: bulk.
+  ASSERT_TRUE(persister.Flush(1, MakeProfile(2, 2)).ok());
+  EXPECT_EQ(kv.KeyCount(), 1u);
+  // Grown profile: split; the stale bulk key must be retired.
+  ASSERT_TRUE(persister.Flush(1, MakeProfile(30, 10)).ok());
+  std::string value;
+  EXPECT_TRUE(kv.Get(persister.BulkKey(1), &value).IsNotFound());
+  auto loaded = persister.Load(1);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->SliceCount(), 30u);
+}
+
+TEST(PersisterTest, ShrinkingProfileMigratesSplitToBulk) {
+  MemKvStore kv;
+  PersisterOptions options;
+  options.mode = PersistenceMode::kSliceSplit;
+  options.split_threshold_bytes = 600;
+  Persister persister("t", &kv, options);
+  ASSERT_TRUE(persister.Flush(1, MakeProfile(30, 10)).ok());
+  ASSERT_GT(kv.KeyCount(), 1u);
+  // After heavy compaction the profile is small again.
+  ASSERT_TRUE(persister.Flush(1, MakeProfile(1, 2)).ok());
+  auto loaded = persister.Load(1);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->SliceCount(), 1u);
+  std::string value;
+  EXPECT_TRUE(kv.Get(persister.MetaKey(1), &value).IsNotFound());
+}
+
+TEST(PersisterTest, SplitGarbageCollectsDroppedSlices) {
+  MemKvStore kv;
+  PersisterOptions options;
+  options.mode = PersistenceMode::kSliceSplit;
+  Persister persister("t", &kv, options);
+  ASSERT_TRUE(persister.Flush(1, MakeProfile(20, 3)).ok());
+  const size_t keys_before = kv.KeyCount();
+  // Compaction shrank the slice list to 4.
+  ASSERT_TRUE(persister.Flush(1, MakeProfile(4, 3)).ok());
+  EXPECT_LT(kv.KeyCount(), keys_before);
+  EXPECT_EQ(kv.KeyCount(), 5u);  // 4 slices + meta
+}
+
+TEST(PersisterTest, ConcurrentWritersResolveViaVersionProtocol) {
+  // Two Persister instances (two IPS nodes) write the same profile; the
+  // version-checked meta update forces the stale writer through the reload
+  // path and both eventually succeed (Fig 14).
+  MemKvStore kv;
+  PersisterOptions options;
+  options.mode = PersistenceMode::kSliceSplit;
+  Persister node_a("t", &kv, options);
+  Persister node_b("t", &kv, options);
+
+  ASSERT_TRUE(node_a.Flush(1, MakeProfile(3, 3)).ok());
+  // b never loaded; its held version is 0 — stale. The retry logic must
+  // recover without caller intervention.
+  ASSERT_TRUE(node_b.Flush(1, MakeProfile(5, 3)).ok());
+  auto loaded = node_a.Load(1);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->SliceCount(), 5u);
+  // a's held version is now stale in turn; flushing must still work.
+  ASSERT_TRUE(node_a.Flush(1, MakeProfile(2, 3)).ok());
+  auto final_load = node_b.Load(1);
+  ASSERT_TRUE(final_load.ok());
+  EXPECT_EQ(final_load->SliceCount(), 2u);
+}
+
+TEST(PersisterTest, SplitSkipsUnchangedSlices) {
+  MemKvStore kv;
+  PersisterOptions options;
+  options.mode = PersistenceMode::kSliceSplit;
+  Persister persister("t", &kv, options);
+  ProfileData profile = MakeProfile(60, 40);
+  ASSERT_TRUE(persister.Flush(1, profile).ok());
+  const int64_t after_initial = kv.TotalBytesWritten();
+
+  // Touch only the newest slice; the re-flush must rewrite just that slice
+  // plus the meta record — the point of the fine-grained mode.
+  ASSERT_TRUE(
+      profile.Add(profile.NewestMs() - 1, 1, 1, 9999, CountVector{1}).ok());
+  ASSERT_TRUE(persister.Flush(1, profile).ok());
+  const int64_t steady_delta = kv.TotalBytesWritten() - after_initial;
+  // Reference: a persister without checksum memory rewrites everything.
+  Persister amnesiac("t", &kv, options);
+  const int64_t before_full = kv.TotalBytesWritten();
+  ASSERT_TRUE(amnesiac.Flush(1, profile).ok());
+  const int64_t full_delta = kv.TotalBytesWritten() - before_full;
+  EXPECT_LT(steady_delta, full_delta / 2);
+
+  // An identical flush writes only the meta (no slice changed).
+  const int64_t before_noop = kv.TotalBytesWritten();
+  ASSERT_TRUE(persister.Flush(1, profile).ok());
+  const int64_t noop_delta = kv.TotalBytesWritten() - before_noop;
+  EXPECT_LT(noop_delta, steady_delta);
+
+  // Everything still loads back correctly after skipped writes.
+  auto loaded = persister.Load(1);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->TotalFeatures(), profile.TotalFeatures());
+}
+
+TEST(PersisterTest, SplitSkipStateSurvivesReload) {
+  // A fresh Persister (process restart) has no checksum memory: it must
+  // rebuild it from a Load and still converge to skipping.
+  MemKvStore kv;
+  PersisterOptions options;
+  options.mode = PersistenceMode::kSliceSplit;
+  {
+    Persister persister("t", &kv, options);
+    ASSERT_TRUE(persister.Flush(1, MakeProfile(10, 5)).ok());
+  }
+  Persister restarted("t", &kv, options);
+  auto loaded = restarted.Load(1);
+  ASSERT_TRUE(loaded.ok());
+  const int64_t before = kv.TotalBytesWritten();
+  ASSERT_TRUE(restarted.Flush(1, *loaded).ok());
+  // All slices unchanged since the load: only the meta is rewritten.
+  const int64_t delta = kv.TotalBytesWritten() - before;
+  EXPECT_LT(delta, 200);
+}
+
+TEST(PersisterTest, KeysAreNamespacedByTable) {
+  MemKvStore kv;
+  Persister a("table_a", &kv, {});
+  Persister b("table_b", &kv, {});
+  ASSERT_TRUE(a.Flush(1, MakeProfile(1, 1)).ok());
+  EXPECT_TRUE(b.Load(1).status().IsNotFound());
+  EXPECT_NE(a.BulkKey(1), b.BulkKey(1));
+}
+
+TEST(PersisterTest, SurvivesKvFailuresWithErrorNotCorruption) {
+  MemKvOptions kv_options;
+  kv_options.failure_probability = 1.0;
+  MemKvStore kv(kv_options);
+  Persister persister("t", &kv, {});
+  Status status = persister.Flush(1, MakeProfile(2, 2));
+  EXPECT_TRUE(status.IsUnavailable());
+  EXPECT_TRUE(persister.Load(1).status().IsUnavailable());
+}
+
+}  // namespace
+}  // namespace ips

@@ -1,0 +1,458 @@
+#include "query/query.h"
+
+#include <map>
+#include <optional>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/clock.h"
+#include "common/random.h"
+#include "core/profile_data.h"
+
+namespace ips {
+namespace {
+
+constexpr int64_t kDay = kMillisPerDay;
+constexpr SlotId kSports = 1;
+constexpr SlotId kNews = 2;
+constexpr TypeId kBasketball = 10;
+constexpr TypeId kSoccer = 11;
+constexpr FeatureId kLakers = 1001;
+constexpr FeatureId kWarriors = 1002;
+
+// Count vector layout in these tests: [like, comment, share].
+enum Action : ActionIndex { kLike = 0, kComment = 1, kShare = 2 };
+
+// The motivating example of Section II-A (Table I): Alice liked, commented
+// and shared one Lakers video ten days ago, and liked two Warriors videos
+// two days ago.
+ProfileData AliceProfile(TimestampMs now) {
+  ProfileData profile(kMillisPerMinute);
+  EXPECT_TRUE(profile
+                  .Add(now - 10 * kDay, kSports, kBasketball, kLakers,
+                       CountVector{1, 1, 1})
+                  .ok());
+  EXPECT_TRUE(profile
+                  .Add(now - 2 * kDay, kSports, kBasketball, kWarriors,
+                       CountVector{2, 0, 0})
+                  .ok());
+  return profile;
+}
+
+TEST(QueryTest, MotivatingExampleTopLikedBasketballTeam) {
+  const TimestampMs now = 100 * kDay;
+  ProfileData alice = AliceProfile(now);
+  // "Alice's most liked basketball team over the last 10 days" — the
+  // Listing 1 SQL. The 10-day window includes both actions (the Lakers
+  // action sits exactly at the boundary; use 11d to include it fully).
+  auto result = GetProfileTopK(alice, kSports, kBasketball,
+                               TimeRange::Current(11 * kDay),
+                               SortBy::kActionCount, kLike, 1, now);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_EQ(result->features.size(), 1u);
+  EXPECT_EQ(result->features[0].fid, kWarriors);  // 2 likes > 1 like
+  EXPECT_EQ(result->features[0].counts[kLike], 2);
+}
+
+TEST(QueryTest, NarrowWindowExcludesOldAction) {
+  const TimestampMs now = 100 * kDay;
+  ProfileData alice = AliceProfile(now);
+  // Only the last 3 days: the Lakers action is out of range.
+  auto result = GetProfileTopK(alice, kSports, kBasketball,
+                               TimeRange::Current(3 * kDay),
+                               SortBy::kActionCount, kLike, 10, now);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->features.size(), 1u);
+  EXPECT_EQ(result->features[0].fid, kWarriors);
+}
+
+TEST(QueryTest, CommentSortFindsLakers) {
+  const TimestampMs now = 100 * kDay;
+  ProfileData alice = AliceProfile(now);
+  auto result = GetProfileTopK(alice, kSports, kBasketball,
+                               TimeRange::Current(11 * kDay),
+                               SortBy::kActionCount, kComment, 1, now);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->features.size(), 1u);
+  EXPECT_EQ(result->features[0].fid, kLakers);
+}
+
+TEST(QueryTest, SlotScopedQueryIgnoresOtherSlots) {
+  const TimestampMs now = 100 * kDay;
+  ProfileData profile = AliceProfile(now);
+  ASSERT_TRUE(
+      profile.Add(now - kDay, kNews, 1, 5000, CountVector{100, 0, 0}).ok());
+  auto result = GetProfileTopK(profile, kSports, std::nullopt,
+                               TimeRange::Current(30 * kDay),
+                               SortBy::kActionCount, kLike, 10, now);
+  ASSERT_TRUE(result.ok());
+  for (const auto& f : result->features) EXPECT_NE(f.fid, 5000u);
+  EXPECT_EQ(result->features.size(), 2u);
+}
+
+TEST(QueryTest, TypeWildcardMergesAcrossTypes) {
+  const TimestampMs now = 100 * kDay;
+  ProfileData profile(kMillisPerMinute);
+  ASSERT_TRUE(profile
+                  .Add(now - kDay, kSports, kBasketball, 1, CountVector{5})
+                  .ok());
+  ASSERT_TRUE(
+      profile.Add(now - kDay, kSports, kSoccer, 2, CountVector{9}).ok());
+  auto result =
+      GetProfileTopK(profile, kSports, std::nullopt,
+                     TimeRange::Current(2 * kDay), SortBy::kActionCount,
+                     kLike, 10, now);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->features.size(), 2u);
+  EXPECT_EQ(result->features[0].fid, 2u);  // 9 likes first
+}
+
+TEST(QueryTest, AggregatesSameFeatureAcrossSlices) {
+  const TimestampMs now = 100 * kDay;
+  ProfileData profile(kMillisPerMinute);
+  for (int d = 1; d <= 5; ++d) {
+    ASSERT_TRUE(profile
+                    .Add(now - d * kDay, kSports, kBasketball, kLakers,
+                         CountVector{1, 0, 0})
+                    .ok());
+  }
+  auto result = GetProfileTopK(profile, kSports, kBasketball,
+                               TimeRange::Current(10 * kDay),
+                               SortBy::kActionCount, kLike, 1, now);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->features.size(), 1u);
+  EXPECT_EQ(result->features[0].counts[kLike], 5);
+  EXPECT_EQ(result->slices_scanned, 5u);
+}
+
+TEST(QueryTest, TopKTruncatesAndOrders) {
+  const TimestampMs now = 100 * kDay;
+  ProfileData profile(kMillisPerMinute);
+  for (FeatureId fid = 1; fid <= 20; ++fid) {
+    ASSERT_TRUE(profile
+                    .Add(now - kDay, kSports, kBasketball, fid,
+                         CountVector{static_cast<int64_t>(fid)})
+                    .ok());
+  }
+  auto result = GetProfileTopK(profile, kSports, kBasketball,
+                               TimeRange::Current(2 * kDay),
+                               SortBy::kActionCount, kLike, 5, now);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->features.size(), 5u);
+  for (size_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(result->features[i].fid, 20 - i);
+  }
+  EXPECT_EQ(result->features_merged, 20u);
+}
+
+TEST(QueryTest, SortByFeatureId) {
+  const TimestampMs now = 100 * kDay;
+  ProfileData profile(kMillisPerMinute);
+  for (FeatureId fid : {30, 10, 20}) {
+    ASSERT_TRUE(
+        profile.Add(now - kDay, kSports, kBasketball, fid, CountVector{1})
+            .ok());
+  }
+  auto result = GetProfileTopK(profile, kSports, kBasketball,
+                               TimeRange::Current(2 * kDay),
+                               SortBy::kFeatureId, 0, 0, now);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->features.size(), 3u);
+  EXPECT_EQ(result->features[0].fid, 10u);
+  EXPECT_EQ(result->features[2].fid, 30u);
+}
+
+TEST(QueryTest, SortByTimestampPrefersRecent) {
+  const TimestampMs now = 100 * kDay;
+  ProfileData profile(kMillisPerMinute);
+  ASSERT_TRUE(
+      profile.Add(now - 5 * kDay, kSports, kBasketball, 1, CountVector{100})
+          .ok());
+  ASSERT_TRUE(
+      profile.Add(now - 1 * kDay, kSports, kBasketball, 2, CountVector{1})
+          .ok());
+  auto result = GetProfileTopK(profile, kSports, kBasketball,
+                               TimeRange::Current(10 * kDay),
+                               SortBy::kTimestamp, 0, 0, now);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->features.size(), 2u);
+  EXPECT_EQ(result->features[0].fid, 2u);  // most recent first
+}
+
+TEST(QueryTest, RelativeWindowAnchorsOnLastAction) {
+  const TimestampMs now = 100 * kDay;
+  ProfileData profile(kMillisPerMinute);
+  // User inactive for 50 days; last action at now-50d.
+  ASSERT_TRUE(profile
+                  .Add(now - 51 * kDay, kSports, kBasketball, 1,
+                       CountVector{1})
+                  .ok());
+  ASSERT_TRUE(profile
+                  .Add(now - 50 * kDay, kSports, kBasketball, 2,
+                       CountVector{1})
+                  .ok());
+  // CURRENT 2d finds nothing; RELATIVE 2d finds both.
+  auto current = GetProfileTopK(profile, kSports, kBasketball,
+                                TimeRange::Current(2 * kDay),
+                                SortBy::kActionCount, 0, 10, now);
+  ASSERT_TRUE(current.ok());
+  EXPECT_TRUE(current->features.empty());
+
+  auto relative = GetProfileTopK(profile, kSports, kBasketball,
+                                 TimeRange::Relative(2 * kDay),
+                                 SortBy::kActionCount, 0, 10, now);
+  ASSERT_TRUE(relative.ok());
+  EXPECT_EQ(relative->features.size(), 2u);
+}
+
+TEST(QueryTest, AbsoluteWindowSelectsExactRange) {
+  const TimestampMs now = 100 * kDay;
+  ProfileData profile(kMillisPerMinute);
+  for (int d = 1; d <= 10; ++d) {
+    ASSERT_TRUE(profile
+                    .Add(now - d * kDay, kSports, kBasketball,
+                         static_cast<FeatureId>(d), CountVector{1})
+                    .ok());
+  }
+  auto result = GetProfileTopK(
+      profile, kSports, kBasketball,
+      TimeRange::Absolute(now - 7 * kDay, now - 3 * kDay),
+      SortBy::kFeatureId, 0, 0, now);
+  ASSERT_TRUE(result.ok());
+  // Days 4..7 land inside [now-7d, now-3d); day 3's write is at exactly
+  // now-3d which is excluded (closed-open).
+  ASSERT_EQ(result->features.size(), 4u);
+  EXPECT_EQ(result->features.front().fid, 4u);
+  EXPECT_EQ(result->features.back().fid, 7u);
+}
+
+TEST(QueryTest, InvalidRangesRejected) {
+  ProfileData profile(kMillisPerMinute);
+  auto bad_current = GetProfileTopK(profile, 1, std::nullopt,
+                                    TimeRange::Current(0), SortBy::kFeatureId,
+                                    0, 1, 1000);
+  EXPECT_TRUE(bad_current.status().IsInvalidArgument());
+  auto bad_abs = GetProfileTopK(profile, 1, std::nullopt,
+                                TimeRange::Absolute(100, 100),
+                                SortBy::kFeatureId, 0, 1, 1000);
+  EXPECT_TRUE(bad_abs.status().IsInvalidArgument());
+}
+
+TEST(QueryTest, FilterCountAtLeast) {
+  const TimestampMs now = 100 * kDay;
+  ProfileData profile(kMillisPerMinute);
+  for (FeatureId fid = 1; fid <= 10; ++fid) {
+    ASSERT_TRUE(profile
+                    .Add(now - kDay, kSports, kBasketball, fid,
+                         CountVector{static_cast<int64_t>(fid)})
+                    .ok());
+  }
+  FilterSpec filter;
+  filter.op = FilterOp::kCountAtLeast;
+  filter.action = kLike;
+  filter.operand = 8;
+  auto result = GetProfileFilter(profile, kSports, kBasketball,
+                                 TimeRange::Current(2 * kDay), filter, now);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->features.size(), 3u);  // fids 8, 9, 10
+}
+
+TEST(QueryTest, FilterFidIn) {
+  const TimestampMs now = 100 * kDay;
+  ProfileData profile(kMillisPerMinute);
+  for (FeatureId fid = 1; fid <= 10; ++fid) {
+    ASSERT_TRUE(
+        profile.Add(now - kDay, kSports, kBasketball, fid, CountVector{1})
+            .ok());
+  }
+  FilterSpec filter;
+  filter.op = FilterOp::kFidIn;
+  filter.fids = {9, 3, 5};  // deliberately unsorted
+  auto result = GetProfileFilter(profile, kSports, kBasketball,
+                                 TimeRange::Current(2 * kDay), filter, now);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->features.size(), 3u);
+  EXPECT_EQ(result->features[0].fid, 3u);
+  EXPECT_EQ(result->features[1].fid, 5u);
+  EXPECT_EQ(result->features[2].fid, 9u);
+}
+
+TEST(QueryTest, FilterFidNotIn) {
+  const TimestampMs now = 100 * kDay;
+  ProfileData profile(kMillisPerMinute);
+  for (FeatureId fid = 1; fid <= 5; ++fid) {
+    ASSERT_TRUE(
+        profile.Add(now - kDay, kSports, kBasketball, fid, CountVector{1})
+            .ok());
+  }
+  FilterSpec filter;
+  filter.op = FilterOp::kFidNotIn;
+  filter.fids = {2, 4};
+  auto result = GetProfileFilter(profile, kSports, kBasketball,
+                                 TimeRange::Current(2 * kDay), filter, now);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->features.size(), 3u);
+}
+
+TEST(QueryTest, ExponentialDecayRanksRecentHigher) {
+  const TimestampMs now = 100 * kDay;
+  ProfileData profile(kMillisPerMinute);
+  // Old feature has more raw likes; recent one should win after decay.
+  ASSERT_TRUE(
+      profile.Add(now - 20 * kDay, kSports, kBasketball, 1, CountVector{10})
+          .ok());
+  ASSERT_TRUE(
+      profile.Add(now - 1 * kDay, kSports, kBasketball, 2, CountVector{4})
+          .ok());
+  DecaySpec decay;
+  decay.function = DecayFunction::kExponential;
+  decay.factor = 0.8;  // 0.8^20 * 10 ≈ 0.12 << 0.8^1 * 4 = 3.2
+  decay.unit_ms = kDay;
+  auto result = GetProfileDecay(profile, kSports, kBasketball,
+                                TimeRange::Current(30 * kDay), decay, now);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->features.size(), 2u);
+  EXPECT_EQ(result->features[0].fid, 2u);
+  // Raw counts stay unweighted.
+  EXPECT_EQ(result->features[1].counts[0], 10);
+  EXPECT_LT(result->features[1].WeightedAt(0), 1.0);
+}
+
+TEST(QueryTest, NoDecayKeepsWeightsEqualToCounts) {
+  const TimestampMs now = 100 * kDay;
+  ProfileData profile(kMillisPerMinute);
+  ASSERT_TRUE(
+      profile.Add(now - kDay, kSports, kBasketball, 1, CountVector{7}).ok());
+  auto result = GetProfileTopK(profile, kSports, kBasketball,
+                               TimeRange::Current(2 * kDay),
+                               SortBy::kActionCount, 0, 1, now);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->features.size(), 1u);
+  EXPECT_DOUBLE_EQ(result->features[0].WeightedAt(0), 7.0);
+}
+
+TEST(QueryTest, InvalidDecayRejected) {
+  ProfileData profile(kMillisPerMinute);
+  DecaySpec decay;
+  decay.function = DecayFunction::kExponential;
+  decay.factor = 1.5;  // out of (0, 1]
+  auto result = GetProfileDecay(profile, 1, std::nullopt,
+                                TimeRange::Current(kDay), decay, 10 * kDay);
+  EXPECT_TRUE(result.status().IsInvalidArgument());
+}
+
+TEST(DecaySpecTest, WeightCurves) {
+  DecaySpec exp{DecayFunction::kExponential, 0.5, kDay};
+  EXPECT_DOUBLE_EQ(exp.WeightForAge(0), 1.0);
+  EXPECT_DOUBLE_EQ(exp.WeightForAge(kDay), 0.5);
+  EXPECT_DOUBLE_EQ(exp.WeightForAge(2 * kDay), 0.25);
+
+  DecaySpec linear{DecayFunction::kLinear, 0.25, kDay};
+  EXPECT_DOUBLE_EQ(linear.WeightForAge(2 * kDay), 0.5);
+  EXPECT_DOUBLE_EQ(linear.WeightForAge(10 * kDay), 0.0);  // floored
+
+  DecaySpec step{DecayFunction::kStep, 0.1, kDay};
+  EXPECT_DOUBLE_EQ(step.WeightForAge(kDay / 2), 1.0);
+  EXPECT_DOUBLE_EQ(step.WeightForAge(3 * kDay), 0.1);
+}
+
+TEST(DecaySpecTest, ParseNames) {
+  EXPECT_TRUE(ParseDecayFunction("EXP").ok());
+  EXPECT_TRUE(ParseDecayFunction("LINEAR").ok());
+  EXPECT_TRUE(ParseDecayFunction("STEP").ok());
+  EXPECT_TRUE(ParseDecayFunction("NONE").ok());
+  EXPECT_FALSE(ParseDecayFunction("QUADRATIC").ok());
+}
+
+TEST(QueryTest, EmptyProfileYieldsEmptyResult) {
+  ProfileData profile(kMillisPerMinute);
+  auto result =
+      GetProfileTopK(profile, 1, std::nullopt, TimeRange::Current(kDay),
+                     SortBy::kActionCount, 0, 10, 50 * kDay);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->features.empty());
+  EXPECT_EQ(result->slices_scanned, 0u);
+}
+
+TEST(QueryTest, MaxReduceTakesMaxAcrossSlices) {
+  const TimestampMs now = 100 * kDay;
+  ProfileData profile(kMillisPerMinute);
+  ASSERT_TRUE(
+      profile.Add(now - 3 * kDay, 1, 1, 7, CountVector{50}).ok());
+  ASSERT_TRUE(
+      profile.Add(now - 1 * kDay, 1, 1, 7, CountVector{30}).ok());
+  auto result = GetProfileTopK(profile, 1, 1, TimeRange::Current(5 * kDay),
+                               SortBy::kActionCount, 0, 1, now,
+                               ReduceFn::kMax);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->features.size(), 1u);
+  EXPECT_EQ(result->features[0].counts[0], 50);  // max, not 80
+}
+
+// Property: ExecuteQuery's aggregation equals a brute-force reference over
+// random profiles and windows.
+class QueryPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(QueryPropertyTest, MatchesBruteForceReference) {
+  Rng rng(GetParam());
+  const TimestampMs now = 200 * kDay;
+  ProfileData profile(kMillisPerMinute);
+  struct Write {
+    TimestampMs ts;
+    SlotId slot;
+    TypeId type;
+    FeatureId fid;
+    int64_t count;
+  };
+  std::vector<Write> writes;
+  for (int i = 0; i < 300; ++i) {
+    Write w;
+    w.ts = now - static_cast<TimestampMs>(rng.Uniform(30 * kDay));
+    w.slot = static_cast<SlotId>(rng.Uniform(3));
+    w.type = static_cast<TypeId>(rng.Uniform(3));
+    w.fid = rng.Uniform(40) + 1;
+    w.count = static_cast<int64_t>(rng.Uniform(5)) + 1;
+    writes.push_back(w);
+    ASSERT_TRUE(
+        profile.Add(w.ts, w.slot, w.type, w.fid, CountVector{w.count}).ok());
+  }
+
+  for (int trial = 0; trial < 20; ++trial) {
+    const SlotId slot = static_cast<SlotId>(rng.Uniform(3));
+    const TimestampMs from =
+        now - static_cast<TimestampMs>(rng.Uniform(30 * kDay)) - kDay;
+    const TimestampMs to = from + static_cast<TimestampMs>(
+                                      rng.Uniform(20 * kDay)) + kDay;
+
+    // Reference: sum counts of writes whose *slice* overlaps the window —
+    // IPS aggregates at slice granularity, so find each write's slice.
+    std::map<FeatureId, int64_t> expected;
+    for (const auto& w : writes) {
+      if (w.slot != slot) continue;
+      for (const auto& slice : profile.slices()) {
+        if (slice.Contains(w.ts)) {
+          if (slice.Overlaps(from, to)) expected[w.fid] += w.count;
+          break;
+        }
+      }
+    }
+
+    auto result = GetProfileTopK(profile, slot, std::nullopt,
+                                 TimeRange::Absolute(from, to),
+                                 SortBy::kFeatureId, 0, 0, now);
+    ASSERT_TRUE(result.ok());
+    ASSERT_EQ(result->features.size(), expected.size()) << "trial " << trial;
+    for (const auto& f : result->features) {
+      auto it = expected.find(f.fid);
+      ASSERT_NE(it, expected.end());
+      EXPECT_EQ(f.counts[0], it->second) << "fid " << f.fid;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, QueryPropertyTest,
+                         ::testing::Values(3, 17, 23, 57, 101));
+
+}  // namespace
+}  // namespace ips

@@ -1,0 +1,101 @@
+#include "server/quota.h"
+
+#include <gtest/gtest.h>
+
+#include "common/clock.h"
+
+namespace ips {
+namespace {
+
+TEST(QuotaManagerTest, UnknownCallerUnlimitedByDefault) {
+  ManualClock clock(0);
+  QuotaManager quota(&clock, /*default_qps=*/0);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_TRUE(quota.Check("anyone").ok());
+  }
+}
+
+TEST(QuotaManagerTest, ExplicitQuotaEnforced) {
+  ManualClock clock(0);
+  QuotaManager quota(&clock);
+  quota.SetQuota("feed", 100.0);
+  int granted = 0;
+  for (int i = 0; i < 500; ++i) {
+    if (quota.Check("feed").ok()) ++granted;
+  }
+  EXPECT_EQ(granted, 100);  // burst = one second of traffic
+  Status rejected = quota.Check("feed");
+  EXPECT_TRUE(rejected.IsResourceExhausted());
+}
+
+TEST(QuotaManagerTest, UsageRecoversAfterFallingUnderLimit) {
+  // Section V-b: requests rejected "until its usage falls below the limit".
+  ManualClock clock(0);
+  QuotaManager quota(&clock);
+  quota.SetQuota("ads", 10.0);
+  while (quota.Check("ads").ok()) {
+  }
+  clock.AdvanceMs(500);  // 5 tokens back
+  int granted = 0;
+  while (quota.Check("ads").ok()) ++granted;
+  EXPECT_EQ(granted, 5);
+}
+
+TEST(QuotaManagerTest, CallersAreIndependent) {
+  ManualClock clock(0);
+  QuotaManager quota(&clock);
+  quota.SetQuota("a", 1.0);
+  quota.SetQuota("b", 100.0);
+  EXPECT_TRUE(quota.Check("a").ok());
+  EXPECT_TRUE(quota.Check("a").IsResourceExhausted());
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_TRUE(quota.Check("b").ok()) << i;
+  }
+}
+
+TEST(QuotaManagerTest, DefaultQpsAppliesToUnknownCallers) {
+  ManualClock clock(0);
+  QuotaManager quota(&clock, /*default_qps=*/5.0);
+  int granted = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (quota.Check("stranger").ok()) ++granted;
+  }
+  EXPECT_EQ(granted, 5);
+}
+
+TEST(QuotaManagerTest, HotReconfigureTakesEffect) {
+  ManualClock clock(0);
+  QuotaManager quota(&clock);
+  quota.SetQuota("feed", 2.0);
+  EXPECT_TRUE(quota.Check("feed").ok());
+  EXPECT_TRUE(quota.Check("feed").ok());
+  EXPECT_FALSE(quota.Check("feed").ok());
+  quota.SetQuota("feed", 1000.0);  // ops bumps the quota live
+  clock.AdvanceMs(1000);
+  int granted = 0;
+  while (quota.Check("feed").ok()) ++granted;
+  EXPECT_EQ(granted, 1000);
+  EXPECT_DOUBLE_EQ(quota.QuotaFor("feed"), 1000.0);
+}
+
+TEST(QuotaManagerTest, RemoveQuotaRestoresDefault) {
+  ManualClock clock(0);
+  QuotaManager quota(&clock, /*default_qps=*/0);
+  quota.SetQuota("x", 1.0);
+  quota.Check("x").ok();
+  EXPECT_TRUE(quota.Check("x").IsResourceExhausted());
+  quota.RemoveQuota("x");
+  EXPECT_TRUE(quota.Check("x").ok());  // unlimited again
+}
+
+TEST(QuotaManagerTest, WeightedBatchCost) {
+  ManualClock clock(0);
+  QuotaManager quota(&clock);
+  quota.SetQuota("batch", 10.0);
+  EXPECT_TRUE(quota.Check("batch", 8.0).ok());
+  EXPECT_TRUE(quota.Check("batch", 8.0).IsResourceExhausted());
+  EXPECT_TRUE(quota.Check("batch", 2.0).ok());
+}
+
+}  // namespace
+}  // namespace ips

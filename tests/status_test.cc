@@ -1,0 +1,131 @@
+#include "common/status.h"
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace ips {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::NotFound("profile 42");
+  EXPECT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsNotFound());
+  EXPECT_EQ(s.message(), "profile 42");
+  EXPECT_EQ(s.ToString(), "NOT_FOUND: profile 42");
+}
+
+TEST(StatusTest, EqualityComparesCodeOnly) {
+  EXPECT_EQ(Status::NotFound("a"), Status::NotFound("b"));
+  EXPECT_FALSE(Status::NotFound("a") == Status::Aborted("a"));
+}
+
+struct CodePredicateCase {
+  Status status;
+  StatusCode code;
+  std::string_view name;
+};
+
+class StatusCodeTest : public ::testing::TestWithParam<CodePredicateCase> {};
+
+TEST_P(StatusCodeTest, CodeAndNameAgree) {
+  const auto& param = GetParam();
+  EXPECT_EQ(param.status.code(), param.code);
+  EXPECT_EQ(StatusCodeToString(param.status.code()), param.name);
+  EXPECT_FALSE(param.status.ok());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCodes, StatusCodeTest,
+    ::testing::Values(
+        CodePredicateCase{Status::NotFound("x"), StatusCode::kNotFound,
+                          "NOT_FOUND"},
+        CodePredicateCase{Status::InvalidArgument("x"),
+                          StatusCode::kInvalidArgument, "INVALID_ARGUMENT"},
+        CodePredicateCase{Status::AlreadyExists("x"),
+                          StatusCode::kAlreadyExists, "ALREADY_EXISTS"},
+        CodePredicateCase{Status::ResourceExhausted("x"),
+                          StatusCode::kResourceExhausted,
+                          "RESOURCE_EXHAUSTED"},
+        CodePredicateCase{Status::Unavailable("x"), StatusCode::kUnavailable,
+                          "UNAVAILABLE"},
+        CodePredicateCase{Status::DeadlineExceeded("x"),
+                          StatusCode::kDeadlineExceeded, "DEADLINE_EXCEEDED"},
+        CodePredicateCase{Status::Aborted("x"), StatusCode::kAborted,
+                          "ABORTED"},
+        CodePredicateCase{Status::Corruption("x"), StatusCode::kCorruption,
+                          "CORRUPTION"},
+        CodePredicateCase{Status::Internal("x"), StatusCode::kInternal,
+                          "INTERNAL"},
+        CodePredicateCase{Status::Unimplemented("x"),
+                          StatusCode::kUnimplemented, "UNIMPLEMENTED"}));
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 7;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 7);
+  EXPECT_EQ(r.value_or(9), 7);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status::NotFound("gone");
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsNotFound());
+  EXPECT_EQ(r.value_or(9), 9);
+}
+
+TEST(ResultTest, MoveOnlyValue) {
+  Result<std::unique_ptr<int>> r = std::make_unique<int>(3);
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> v = std::move(r).value();
+  EXPECT_EQ(*v, 3);
+}
+
+TEST(ResultTest, ArrowOperator) {
+  Result<std::string> r = std::string("hello");
+  EXPECT_EQ(r->size(), 5u);
+}
+
+Status FailWhenNegative(int v) {
+  if (v < 0) return Status::InvalidArgument("negative");
+  return Status::OK();
+}
+
+Status UseReturnIfError(int v) {
+  IPS_RETURN_IF_ERROR(FailWhenNegative(v));
+  return Status::OK();
+}
+
+TEST(StatusMacrosTest, ReturnIfErrorPropagates) {
+  EXPECT_TRUE(UseReturnIfError(1).ok());
+  EXPECT_TRUE(UseReturnIfError(-1).IsInvalidArgument());
+}
+
+Result<int> Half(int v) {
+  if (v % 2 != 0) return Status::InvalidArgument("odd");
+  return v / 2;
+}
+
+Result<int> Quarter(int v) {
+  IPS_ASSIGN_OR_RETURN(int half, Half(v));
+  IPS_ASSIGN_OR_RETURN(int quarter, Half(half));
+  return quarter;
+}
+
+TEST(StatusMacrosTest, AssignOrReturnChains) {
+  Result<int> r = Quarter(8);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 2);
+  EXPECT_TRUE(Quarter(6).status().IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace ips

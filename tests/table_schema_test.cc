@@ -1,0 +1,123 @@
+#include "core/table_schema.h"
+
+#include <gtest/gtest.h>
+
+#include "common/clock.h"
+
+namespace ips {
+namespace {
+
+TEST(TableSchemaTest, ParsesFullDocument) {
+  const char* doc = R"({
+    "name": "user_profile",
+    "actions": ["click", "like", "share"],
+    "reduce": "SUM",
+    "write_granularity": "1m",
+    "time_dimension": {
+      "1m": ["0s", "1h"],
+      "1h": ["1h", "24h"],
+      "1d": ["24h", "30d"],
+      "30d": ["30d", "365d"]
+    },
+    "truncate": {"max_age": "365d", "max_slices": 120},
+    "shrink": {
+      "default_retain": 50,
+      "slots": {"3": 100, "7": 20},
+      "action_weights": [1.0, 2.0, 3.0],
+      "freshness": "1h"
+    }
+  })";
+  auto schema = ParseTableSchemaJson(doc);
+  ASSERT_TRUE(schema.ok()) << schema.status().ToString();
+  EXPECT_EQ(schema->name, "user_profile");
+  ASSERT_EQ(schema->actions.size(), 3u);
+  EXPECT_EQ(schema->ActionIndex("like"), 1);
+  EXPECT_EQ(schema->ActionIndex("bogus"), -1);
+  EXPECT_EQ(schema->reduce, ReduceFn::kSum);
+  EXPECT_EQ(schema->write_granularity_ms, kMillisPerMinute);
+  ASSERT_EQ(schema->time_dimensions.size(), 4u);
+  // Ladder sorted by age, contiguous.
+  EXPECT_EQ(schema->time_dimensions[0].granularity_ms, kMillisPerMinute);
+  EXPECT_EQ(schema->time_dimensions[0].from_age_ms, 0);
+  EXPECT_EQ(schema->time_dimensions[3].granularity_ms, 30 * kMillisPerDay);
+  EXPECT_EQ(schema->time_dimensions[3].to_age_ms, 365 * kMillisPerDay);
+  EXPECT_EQ(schema->truncate.max_age_ms, 365 * kMillisPerDay);
+  EXPECT_EQ(schema->truncate.max_slices, 120);
+  EXPECT_EQ(schema->shrink.default_retain, 50);
+  EXPECT_EQ(schema->shrink.retain_per_slot.at(3), 100);
+  EXPECT_EQ(schema->shrink.retain_per_slot.at(7), 20);
+  ASSERT_EQ(schema->shrink.action_weights.size(), 3u);
+  EXPECT_DOUBLE_EQ(schema->shrink.action_weights[2], 3.0);
+  EXPECT_EQ(schema->shrink.freshness_horizon_ms, kMillisPerHour);
+}
+
+TEST(TableSchemaTest, ParsesMaxReduce) {
+  auto schema = ParseTableSchemaJson(
+      R"({"name": "bids", "actions": ["price"], "reduce": "MAX"})");
+  ASSERT_TRUE(schema.ok());
+  EXPECT_EQ(schema->reduce, ReduceFn::kMax);
+}
+
+TEST(TableSchemaTest, RejectsUnknownReduce) {
+  auto schema = ParseTableSchemaJson(
+      R"({"name": "t", "actions": ["a"], "reduce": "AVG"})");
+  EXPECT_FALSE(schema.ok());
+}
+
+TEST(TableSchemaTest, RejectsEmptyName) {
+  auto schema = ParseTableSchemaJson(R"({"actions": ["a"]})");
+  EXPECT_FALSE(schema.ok());
+}
+
+TEST(TableSchemaTest, RejectsGappedLadder) {
+  auto schema = ParseTableSchemaJson(R"({
+    "name": "t", "actions": ["a"],
+    "time_dimension": {"1m": ["0s", "1h"], "1d": ["24h", "30d"]}
+  })");
+  EXPECT_FALSE(schema.ok());  // hole between 1h and 24h
+}
+
+TEST(TableSchemaTest, RejectsInvertedRange) {
+  auto schema = ParseTableSchemaJson(R"({
+    "name": "t", "actions": ["a"],
+    "time_dimension": {"1m": ["1h", "0s"]}
+  })");
+  EXPECT_FALSE(schema.ok());
+}
+
+TEST(TableSchemaTest, RejectsNonObject) {
+  auto schema = ParseTableSchemaJson(R"([1, 2, 3])");
+  EXPECT_FALSE(schema.ok());
+}
+
+TEST(TableSchemaTest, DefaultSchemaValidates) {
+  TableSchema schema = DefaultTableSchema("feed");
+  EXPECT_TRUE(schema.Validate().ok());
+  EXPECT_EQ(schema.name, "feed");
+  EXPECT_EQ(schema.actions.size(), 4u);
+  EXPECT_FALSE(schema.time_dimensions.empty());
+  EXPECT_GT(schema.truncate.max_age_ms, 0);
+}
+
+TEST(TableSchemaTest, ValidateCatchesNegativeLimits) {
+  TableSchema schema = DefaultTableSchema("t");
+  schema.truncate.max_slices = -1;
+  EXPECT_FALSE(schema.Validate().ok());
+  schema = DefaultTableSchema("t");
+  schema.shrink.default_retain = -5;
+  EXPECT_FALSE(schema.Validate().ok());
+  schema = DefaultTableSchema("t");
+  schema.write_granularity_ms = 0;
+  EXPECT_FALSE(schema.Validate().ok());
+}
+
+TEST(TableSchemaTest, LadderMayBeEmpty) {
+  auto schema =
+      ParseTableSchemaJson(R"({"name": "t", "actions": ["a"]})");
+  ASSERT_TRUE(schema.ok());
+  EXPECT_TRUE(schema->time_dimensions.empty());
+  EXPECT_TRUE(schema->Validate().ok());
+}
+
+}  // namespace
+}  // namespace ips
