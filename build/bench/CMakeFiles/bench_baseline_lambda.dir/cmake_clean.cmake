@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_baseline_lambda.dir/bench_baseline_lambda.cc.o"
+  "CMakeFiles/bench_baseline_lambda.dir/bench_baseline_lambda.cc.o.d"
+  "bench_baseline_lambda"
+  "bench_baseline_lambda.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_baseline_lambda.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig17_availability.dir/bench_fig17_availability.cc.o"
+  "CMakeFiles/bench_fig17_availability.dir/bench_fig17_availability.cc.o.d"
+  "bench_fig17_availability"
+  "bench_fig17_availability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig17_availability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_isolation_ablation.dir/bench_isolation_ablation.cc.o"
+  "CMakeFiles/bench_isolation_ablation.dir/bench_isolation_ablation.cc.o.d"
+  "bench_isolation_ablation"
+  "bench_isolation_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_isolation_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

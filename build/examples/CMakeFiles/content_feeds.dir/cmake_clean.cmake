@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/content_feeds.dir/content_feeds.cpp.o"
+  "CMakeFiles/content_feeds.dir/content_feeds.cpp.o.d"
+  "content_feeds"
+  "content_feeds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/content_feeds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

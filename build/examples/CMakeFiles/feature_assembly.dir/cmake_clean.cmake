@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/feature_assembly.dir/feature_assembly.cpp.o"
+  "CMakeFiles/feature_assembly.dir/feature_assembly.cpp.o.d"
+  "feature_assembly"
+  "feature_assembly.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/feature_assembly.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_region_failover.dir/multi_region_failover.cpp.o"
+  "CMakeFiles/multi_region_failover.dir/multi_region_failover.cpp.o.d"
+  "multi_region_failover"
+  "multi_region_failover.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_region_failover.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

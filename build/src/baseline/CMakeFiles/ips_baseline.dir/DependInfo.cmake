@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baseline/lambda_profile.cc" "src/baseline/CMakeFiles/ips_baseline.dir/lambda_profile.cc.o" "gcc" "src/baseline/CMakeFiles/ips_baseline.dir/lambda_profile.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/kvstore/CMakeFiles/ips_kvstore.dir/DependInfo.cmake"
+  "/root/repo/build/src/codec/CMakeFiles/ips_codec.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/ips_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ips_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ips_baseline.dir/lambda_profile.cc.o"
+  "CMakeFiles/ips_baseline.dir/lambda_profile.cc.o.d"
+  "libips_baseline.a"
+  "libips_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ips_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

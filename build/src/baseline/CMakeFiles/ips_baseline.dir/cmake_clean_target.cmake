@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libips_baseline.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ips_cache.dir/gcache.cc.o"
+  "CMakeFiles/ips_cache.dir/gcache.cc.o.d"
+  "libips_cache.a"
+  "libips_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ips_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

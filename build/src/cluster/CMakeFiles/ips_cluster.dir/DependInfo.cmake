@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cluster/client.cc" "src/cluster/CMakeFiles/ips_cluster.dir/client.cc.o" "gcc" "src/cluster/CMakeFiles/ips_cluster.dir/client.cc.o.d"
+  "/root/repo/src/cluster/consistent_hash.cc" "src/cluster/CMakeFiles/ips_cluster.dir/consistent_hash.cc.o" "gcc" "src/cluster/CMakeFiles/ips_cluster.dir/consistent_hash.cc.o.d"
+  "/root/repo/src/cluster/deployment.cc" "src/cluster/CMakeFiles/ips_cluster.dir/deployment.cc.o" "gcc" "src/cluster/CMakeFiles/ips_cluster.dir/deployment.cc.o.d"
+  "/root/repo/src/cluster/discovery.cc" "src/cluster/CMakeFiles/ips_cluster.dir/discovery.cc.o" "gcc" "src/cluster/CMakeFiles/ips_cluster.dir/discovery.cc.o.d"
+  "/root/repo/src/cluster/rpc.cc" "src/cluster/CMakeFiles/ips_cluster.dir/rpc.cc.o" "gcc" "src/cluster/CMakeFiles/ips_cluster.dir/rpc.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/server/CMakeFiles/ips_server.dir/DependInfo.cmake"
+  "/root/repo/build/src/kvstore/CMakeFiles/ips_kvstore.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ips_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/ips_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/codec/CMakeFiles/ips_codec.dir/DependInfo.cmake"
+  "/root/repo/build/src/compaction/CMakeFiles/ips_compaction.dir/DependInfo.cmake"
+  "/root/repo/build/src/query/CMakeFiles/ips_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/ips_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/ingest/CMakeFiles/ips_msglog.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ips_cluster.dir/client.cc.o"
+  "CMakeFiles/ips_cluster.dir/client.cc.o.d"
+  "CMakeFiles/ips_cluster.dir/consistent_hash.cc.o"
+  "CMakeFiles/ips_cluster.dir/consistent_hash.cc.o.d"
+  "CMakeFiles/ips_cluster.dir/deployment.cc.o"
+  "CMakeFiles/ips_cluster.dir/deployment.cc.o.d"
+  "CMakeFiles/ips_cluster.dir/discovery.cc.o"
+  "CMakeFiles/ips_cluster.dir/discovery.cc.o.d"
+  "CMakeFiles/ips_cluster.dir/rpc.cc.o"
+  "CMakeFiles/ips_cluster.dir/rpc.cc.o.d"
+  "libips_cluster.a"
+  "libips_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ips_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

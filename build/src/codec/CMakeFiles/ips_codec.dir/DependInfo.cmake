@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/codec/coding.cc" "src/codec/CMakeFiles/ips_codec.dir/coding.cc.o" "gcc" "src/codec/CMakeFiles/ips_codec.dir/coding.cc.o.d"
+  "/root/repo/src/codec/compress.cc" "src/codec/CMakeFiles/ips_codec.dir/compress.cc.o" "gcc" "src/codec/CMakeFiles/ips_codec.dir/compress.cc.o.d"
+  "/root/repo/src/codec/profile_codec.cc" "src/codec/CMakeFiles/ips_codec.dir/profile_codec.cc.o" "gcc" "src/codec/CMakeFiles/ips_codec.dir/profile_codec.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ips_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/ips_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ips_codec.dir/coding.cc.o"
+  "CMakeFiles/ips_codec.dir/coding.cc.o.d"
+  "CMakeFiles/ips_codec.dir/compress.cc.o"
+  "CMakeFiles/ips_codec.dir/compress.cc.o.d"
+  "CMakeFiles/ips_codec.dir/profile_codec.cc.o"
+  "CMakeFiles/ips_codec.dir/profile_codec.cc.o.d"
+  "libips_codec.a"
+  "libips_codec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ips_codec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ips_common.dir/clock.cc.o"
+  "CMakeFiles/ips_common.dir/clock.cc.o.d"
+  "CMakeFiles/ips_common.dir/config.cc.o"
+  "CMakeFiles/ips_common.dir/config.cc.o.d"
+  "CMakeFiles/ips_common.dir/histogram.cc.o"
+  "CMakeFiles/ips_common.dir/histogram.cc.o.d"
+  "CMakeFiles/ips_common.dir/logging.cc.o"
+  "CMakeFiles/ips_common.dir/logging.cc.o.d"
+  "CMakeFiles/ips_common.dir/metrics.cc.o"
+  "CMakeFiles/ips_common.dir/metrics.cc.o.d"
+  "CMakeFiles/ips_common.dir/random.cc.o"
+  "CMakeFiles/ips_common.dir/random.cc.o.d"
+  "CMakeFiles/ips_common.dir/rate_limiter.cc.o"
+  "CMakeFiles/ips_common.dir/rate_limiter.cc.o.d"
+  "CMakeFiles/ips_common.dir/status.cc.o"
+  "CMakeFiles/ips_common.dir/status.cc.o.d"
+  "CMakeFiles/ips_common.dir/thread_pool.cc.o"
+  "CMakeFiles/ips_common.dir/thread_pool.cc.o.d"
+  "libips_common.a"
+  "libips_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ips_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

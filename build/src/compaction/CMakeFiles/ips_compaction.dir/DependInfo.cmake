@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/compaction/compactor.cc" "src/compaction/CMakeFiles/ips_compaction.dir/compactor.cc.o" "gcc" "src/compaction/CMakeFiles/ips_compaction.dir/compactor.cc.o.d"
+  "/root/repo/src/compaction/manager.cc" "src/compaction/CMakeFiles/ips_compaction.dir/manager.cc.o" "gcc" "src/compaction/CMakeFiles/ips_compaction.dir/manager.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/ips_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ips_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ips_compaction.dir/compactor.cc.o"
+  "CMakeFiles/ips_compaction.dir/compactor.cc.o.d"
+  "CMakeFiles/ips_compaction.dir/manager.cc.o"
+  "CMakeFiles/ips_compaction.dir/manager.cc.o.d"
+  "libips_compaction.a"
+  "libips_compaction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ips_compaction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/feature_stat.cc" "src/core/CMakeFiles/ips_core.dir/feature_stat.cc.o" "gcc" "src/core/CMakeFiles/ips_core.dir/feature_stat.cc.o.d"
+  "/root/repo/src/core/instance_set.cc" "src/core/CMakeFiles/ips_core.dir/instance_set.cc.o" "gcc" "src/core/CMakeFiles/ips_core.dir/instance_set.cc.o.d"
+  "/root/repo/src/core/profile_data.cc" "src/core/CMakeFiles/ips_core.dir/profile_data.cc.o" "gcc" "src/core/CMakeFiles/ips_core.dir/profile_data.cc.o.d"
+  "/root/repo/src/core/profile_table.cc" "src/core/CMakeFiles/ips_core.dir/profile_table.cc.o" "gcc" "src/core/CMakeFiles/ips_core.dir/profile_table.cc.o.d"
+  "/root/repo/src/core/slice.cc" "src/core/CMakeFiles/ips_core.dir/slice.cc.o" "gcc" "src/core/CMakeFiles/ips_core.dir/slice.cc.o.d"
+  "/root/repo/src/core/table_schema.cc" "src/core/CMakeFiles/ips_core.dir/table_schema.cc.o" "gcc" "src/core/CMakeFiles/ips_core.dir/table_schema.cc.o.d"
+  "/root/repo/src/core/types.cc" "src/core/CMakeFiles/ips_core.dir/types.cc.o" "gcc" "src/core/CMakeFiles/ips_core.dir/types.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ips_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ips_core.dir/feature_stat.cc.o"
+  "CMakeFiles/ips_core.dir/feature_stat.cc.o.d"
+  "CMakeFiles/ips_core.dir/instance_set.cc.o"
+  "CMakeFiles/ips_core.dir/instance_set.cc.o.d"
+  "CMakeFiles/ips_core.dir/profile_data.cc.o"
+  "CMakeFiles/ips_core.dir/profile_data.cc.o.d"
+  "CMakeFiles/ips_core.dir/profile_table.cc.o"
+  "CMakeFiles/ips_core.dir/profile_table.cc.o.d"
+  "CMakeFiles/ips_core.dir/slice.cc.o"
+  "CMakeFiles/ips_core.dir/slice.cc.o.d"
+  "CMakeFiles/ips_core.dir/table_schema.cc.o"
+  "CMakeFiles/ips_core.dir/table_schema.cc.o.d"
+  "CMakeFiles/ips_core.dir/types.cc.o"
+  "CMakeFiles/ips_core.dir/types.cc.o.d"
+  "libips_core.a"
+  "libips_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ips_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

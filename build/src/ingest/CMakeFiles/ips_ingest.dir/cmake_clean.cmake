@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ips_ingest.dir/bulk_import.cc.o"
+  "CMakeFiles/ips_ingest.dir/bulk_import.cc.o.d"
+  "CMakeFiles/ips_ingest.dir/events.cc.o"
+  "CMakeFiles/ips_ingest.dir/events.cc.o.d"
+  "CMakeFiles/ips_ingest.dir/ingestion_job.cc.o"
+  "CMakeFiles/ips_ingest.dir/ingestion_job.cc.o.d"
+  "CMakeFiles/ips_ingest.dir/stream_join.cc.o"
+  "CMakeFiles/ips_ingest.dir/stream_join.cc.o.d"
+  "CMakeFiles/ips_ingest.dir/workload.cc.o"
+  "CMakeFiles/ips_ingest.dir/workload.cc.o.d"
+  "libips_ingest.a"
+  "libips_ingest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ips_ingest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

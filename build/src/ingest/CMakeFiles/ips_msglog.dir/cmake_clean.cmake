@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ips_msglog.dir/message_log.cc.o"
+  "CMakeFiles/ips_msglog.dir/message_log.cc.o.d"
+  "libips_msglog.a"
+  "libips_msglog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ips_msglog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

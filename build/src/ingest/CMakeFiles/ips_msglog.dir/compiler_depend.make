@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for ips_msglog.
+# This may be replaced when dependencies are built.

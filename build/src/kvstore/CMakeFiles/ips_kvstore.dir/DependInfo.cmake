@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kvstore/kv_store.cc" "src/kvstore/CMakeFiles/ips_kvstore.dir/kv_store.cc.o" "gcc" "src/kvstore/CMakeFiles/ips_kvstore.dir/kv_store.cc.o.d"
+  "/root/repo/src/kvstore/mem_kv_store.cc" "src/kvstore/CMakeFiles/ips_kvstore.dir/mem_kv_store.cc.o" "gcc" "src/kvstore/CMakeFiles/ips_kvstore.dir/mem_kv_store.cc.o.d"
+  "/root/repo/src/kvstore/replicated_kv.cc" "src/kvstore/CMakeFiles/ips_kvstore.dir/replicated_kv.cc.o" "gcc" "src/kvstore/CMakeFiles/ips_kvstore.dir/replicated_kv.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ips_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ips_kvstore.dir/kv_store.cc.o"
+  "CMakeFiles/ips_kvstore.dir/kv_store.cc.o.d"
+  "CMakeFiles/ips_kvstore.dir/mem_kv_store.cc.o"
+  "CMakeFiles/ips_kvstore.dir/mem_kv_store.cc.o.d"
+  "CMakeFiles/ips_kvstore.dir/replicated_kv.cc.o"
+  "CMakeFiles/ips_kvstore.dir/replicated_kv.cc.o.d"
+  "libips_kvstore.a"
+  "libips_kvstore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ips_kvstore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

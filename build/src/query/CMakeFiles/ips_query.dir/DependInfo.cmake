@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/query/decay.cc" "src/query/CMakeFiles/ips_query.dir/decay.cc.o" "gcc" "src/query/CMakeFiles/ips_query.dir/decay.cc.o.d"
+  "/root/repo/src/query/feature_spec.cc" "src/query/CMakeFiles/ips_query.dir/feature_spec.cc.o" "gcc" "src/query/CMakeFiles/ips_query.dir/feature_spec.cc.o.d"
+  "/root/repo/src/query/merger.cc" "src/query/CMakeFiles/ips_query.dir/merger.cc.o" "gcc" "src/query/CMakeFiles/ips_query.dir/merger.cc.o.d"
+  "/root/repo/src/query/query.cc" "src/query/CMakeFiles/ips_query.dir/query.cc.o" "gcc" "src/query/CMakeFiles/ips_query.dir/query.cc.o.d"
+  "/root/repo/src/query/time_range.cc" "src/query/CMakeFiles/ips_query.dir/time_range.cc.o" "gcc" "src/query/CMakeFiles/ips_query.dir/time_range.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/ips_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ips_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ips_query.dir/decay.cc.o"
+  "CMakeFiles/ips_query.dir/decay.cc.o.d"
+  "CMakeFiles/ips_query.dir/feature_spec.cc.o"
+  "CMakeFiles/ips_query.dir/feature_spec.cc.o.d"
+  "CMakeFiles/ips_query.dir/merger.cc.o"
+  "CMakeFiles/ips_query.dir/merger.cc.o.d"
+  "CMakeFiles/ips_query.dir/query.cc.o"
+  "CMakeFiles/ips_query.dir/query.cc.o.d"
+  "CMakeFiles/ips_query.dir/time_range.cc.o"
+  "CMakeFiles/ips_query.dir/time_range.cc.o.d"
+  "libips_query.a"
+  "libips_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ips_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ips_server.dir/feature_assembler.cc.o"
+  "CMakeFiles/ips_server.dir/feature_assembler.cc.o.d"
+  "CMakeFiles/ips_server.dir/ips_instance.cc.o"
+  "CMakeFiles/ips_server.dir/ips_instance.cc.o.d"
+  "CMakeFiles/ips_server.dir/persistence.cc.o"
+  "CMakeFiles/ips_server.dir/persistence.cc.o.d"
+  "CMakeFiles/ips_server.dir/quota.cc.o"
+  "CMakeFiles/ips_server.dir/quota.cc.o.d"
+  "libips_server.a"
+  "libips_server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ips_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

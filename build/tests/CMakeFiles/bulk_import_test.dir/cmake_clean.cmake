@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bulk_import_test.dir/bulk_import_test.cc.o"
+  "CMakeFiles/bulk_import_test.dir/bulk_import_test.cc.o.d"
+  "bulk_import_test"
+  "bulk_import_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bulk_import_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core_types_test.cc" "tests/CMakeFiles/core_types_test.dir/core_types_test.cc.o" "gcc" "tests/CMakeFiles/core_types_test.dir/core_types_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/baseline/CMakeFiles/ips_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/ingest/CMakeFiles/ips_ingest.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/ips_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/server/CMakeFiles/ips_server.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/ips_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/compaction/CMakeFiles/ips_compaction.dir/DependInfo.cmake"
+  "/root/repo/build/src/query/CMakeFiles/ips_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/codec/CMakeFiles/ips_codec.dir/DependInfo.cmake"
+  "/root/repo/build/src/kvstore/CMakeFiles/ips_kvstore.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/ips_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ips_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/ingest/CMakeFiles/ips_msglog.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_types_test.dir/core_types_test.cc.o"
+  "CMakeFiles/core_types_test.dir/core_types_test.cc.o.d"
+  "core_types_test"
+  "core_types_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_types_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

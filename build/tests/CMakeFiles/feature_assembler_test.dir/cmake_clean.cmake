@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/feature_assembler_test.dir/feature_assembler_test.cc.o"
+  "CMakeFiles/feature_assembler_test.dir/feature_assembler_test.cc.o.d"
+  "feature_assembler_test"
+  "feature_assembler_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/feature_assembler_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/feature_spec_test.dir/feature_spec_test.cc.o"
+  "CMakeFiles/feature_spec_test.dir/feature_spec_test.cc.o.d"
+  "feature_spec_test"
+  "feature_spec_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/feature_spec_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

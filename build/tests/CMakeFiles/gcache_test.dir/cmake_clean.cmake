@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gcache_test.dir/gcache_test.cc.o"
+  "CMakeFiles/gcache_test.dir/gcache_test.cc.o.d"
+  "gcache_test"
+  "gcache_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gcache_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ips_instance_test.dir/ips_instance_test.cc.o"
+  "CMakeFiles/ips_instance_test.dir/ips_instance_test.cc.o.d"
+  "ips_instance_test"
+  "ips_instance_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ips_instance_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/profile_codec_test.dir/profile_codec_test.cc.o"
+  "CMakeFiles/profile_codec_test.dir/profile_codec_test.cc.o.d"
+  "profile_codec_test"
+  "profile_codec_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/profile_codec_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
