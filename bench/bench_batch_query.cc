@@ -1,0 +1,253 @@
+// Batch read path: sequential single-profile Query vs MultiQuery over the
+// same candidate list, at batch sizes {1, 16, 64, 256, 512}.
+//
+// A recommendation request scores hundreds of candidate profiles. The
+// sequential path pays one RPC round trip per candidate (and, on a cold
+// cache, one KV round trip per candidate); the batched path pays one RPC per
+// owning node and one KvStore::MultiGet per instance, amortizing the fixed
+// transport and storage costs over the batch (cf. Table II's network
+// overhead decomposition).
+//
+// Two phases isolate the two amortizations:
+//   * warm_rpc  — cluster with calibrated channel latency, caches warm:
+//                 measures pure RPC fan-out amortization through IpsClient.
+//   * cold_kv   — single instance over a calibrated KV store, cache cold:
+//                 measures KvStore::MultiGet coalescing (plus the op counts
+//                 proving one MultiGet per batch vs one per candidate).
+//
+// Emits BENCH_batch_query.json next to the table output.
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "server/ips_instance.h"
+
+namespace ips {
+namespace {
+
+constexpr int64_t kMinute = kMillisPerMinute;
+constexpr int64_t kDay = kMillisPerDay;
+const std::vector<size_t> kBatchSizes = {1, 16, 64, 256, 512};
+constexpr size_t kNumProfiles = 600;  // >= max batch size
+constexpr const char* kTable = "user_profile";
+
+struct Row {
+  size_t batch = 0;
+  double seq_ms = 0;
+  double batch_ms = 0;
+  int64_t kv_multigets_seq = -1;    // cold phase only
+  int64_t kv_multigets_batch = -1;  // cold phase only
+  double Speedup() const { return batch_ms > 0 ? seq_ms / batch_ms : 0; }
+};
+
+QuerySpec BenchSpec() {
+  QuerySpec spec;
+  spec.slot = 1;
+  spec.time_range = TimeRange::Current(kDay);
+  spec.sort_by = SortBy::kActionCount;
+  spec.k = 10;
+  return spec;
+}
+
+void AddBenchProfiles(IpsInstance& instance, TimestampMs now_ms) {
+  for (ProfileId pid = 1; pid <= kNumProfiles; ++pid) {
+    for (int i = 1; i <= 5; ++i) {
+      instance
+          .AddProfile("preload", kTable, pid, now_ms - i * kMinute, 1, 1,
+                      static_cast<FeatureId>(i), CountVector{1})
+          .ok();
+    }
+  }
+}
+
+std::vector<ProfileId> Candidates(size_t batch) {
+  std::vector<ProfileId> pids;
+  pids.reserve(batch);
+  for (size_t i = 0; i < batch; ++i) {
+    pids.push_back(static_cast<ProfileId>(1 + i % kNumProfiles));
+  }
+  return pids;
+}
+
+// Phase 1: warm caches, calibrated RPC channel, two-node region — the
+// sequential path pays the channel round trip per candidate, the batched
+// path pays it once per owning node.
+std::vector<Row> RunWarmRpc() {
+  ManualClock clock(500 * kDay);
+  DeploymentOptions options = bench::SingleRegion(/*calibrated=*/true);
+  options.regions[0].num_nodes = 2;  // exercise the scatter-gather split
+  options.kv.store_options = bench::FastKv();  // isolate the RPC effect
+  options.discovery_ttl_ms = 365 * kDay;
+  Deployment deployment(options, &clock);
+  if (!deployment.CreateTableEverywhere(DefaultTableSchema(kTable)).ok()) {
+    return {};
+  }
+  for (auto* node : deployment.NodesInRegion("lf")) {
+    AddBenchProfiles(node->instance(), clock.NowMs());
+  }
+
+  IpsClientOptions client_options;
+  client_options.caller = "ranker";
+  client_options.local_region = "lf";
+  IpsClient client(client_options, &deployment);
+  const QuerySpec spec = BenchSpec();
+
+  std::vector<Row> rows;
+  for (size_t batch : kBatchSizes) {
+    const std::vector<ProfileId> pids = Candidates(batch);
+    Row row;
+    row.batch = batch;
+
+    int64_t begin = MonotonicNanos();
+    for (ProfileId pid : pids) client.Query(kTable, pid, spec).ok();
+    row.seq_ms = static_cast<double>(MonotonicNanos() - begin) / 1e6;
+
+    begin = MonotonicNanos();
+    auto result = client.MultiQuery(kTable, pids, spec);
+    row.batch_ms = static_cast<double>(MonotonicNanos() - begin) / 1e6;
+    if (!result.ok()) std::printf("warm MultiQuery failed at %zu\n", batch);
+    rows.push_back(row);
+  }
+  return rows;
+}
+
+// Phase 2: cold cache over a calibrated KV store — the sequential path pays
+// one storage round trip per candidate, the batched path coalesces every
+// miss into one KvStore::MultiGet.
+std::vector<Row> RunColdKv() {
+  ManualClock clock(500 * kDay);
+  IpsInstanceOptions instance_options;
+  instance_options.isolation_enabled = false;
+
+  // Preload through a zero-latency store, then copy the persisted bytes
+  // into the calibrated store so cold loads pay realistic latency.
+  MemKvStore fast_kv(bench::FastKv());
+  {
+    IpsInstance preload(instance_options, &fast_kv, &clock);
+    preload.CreateTable(DefaultTableSchema(kTable)).ok();
+    AddBenchProfiles(preload, clock.NowMs());
+    preload.FlushAll();
+  }
+  MemKvStore kv(bench::CalibratedKv());
+  fast_kv.ForEach([&](const std::string& key, const KvEntry& entry) {
+    kv.Set(key, entry.value).ok();
+  });
+
+  const QuerySpec spec = BenchSpec();
+  std::vector<Row> rows;
+  for (size_t batch : kBatchSizes) {
+    const std::vector<ProfileId> pids = Candidates(batch);
+    Row row;
+    row.batch = batch;
+
+    {
+      IpsInstance cold(instance_options, &kv, &clock);
+      cold.CreateTable(DefaultTableSchema(kTable)).ok();
+      const int64_t ops_before = kv.MultiGetCalls();
+      const int64_t begin = MonotonicNanos();
+      for (ProfileId pid : pids) {
+        cold.Query("ranker", kTable, pid, spec).ok();
+      }
+      row.seq_ms = static_cast<double>(MonotonicNanos() - begin) / 1e6;
+      row.kv_multigets_seq = kv.MultiGetCalls() - ops_before;
+    }
+    {
+      IpsInstance cold(instance_options, &kv, &clock);
+      cold.CreateTable(DefaultTableSchema(kTable)).ok();
+      const int64_t ops_before = kv.MultiGetCalls();
+      const int64_t begin = MonotonicNanos();
+      auto result = cold.MultiQuery("ranker", kTable, pids, spec);
+      row.batch_ms = static_cast<double>(MonotonicNanos() - begin) / 1e6;
+      row.kv_multigets_batch = kv.MultiGetCalls() - ops_before;
+      if (!result.ok()) std::printf("cold MultiQuery failed at %zu\n", batch);
+    }
+    rows.push_back(row);
+  }
+  return rows;
+}
+
+void PrintRows(const char* title, const std::vector<Row>& rows,
+               bool with_ops) {
+  std::printf("\n--- %s ---\n", title);
+  if (with_ops) {
+    bench::PrintHeader({"batch", "seq_ms", "multi_ms", "speedup", "kv_ops_seq",
+                        "kv_ops_multi"});
+  } else {
+    bench::PrintHeader({"batch", "seq_ms", "multi_ms", "speedup"});
+  }
+  for (const Row& row : rows) {
+    bench::PrintCell(static_cast<int64_t>(row.batch));
+    bench::PrintCell(row.seq_ms);
+    bench::PrintCell(row.batch_ms);
+    bench::PrintCell(row.Speedup());
+    if (with_ops) {
+      bench::PrintCell(row.kv_multigets_seq);
+      bench::PrintCell(row.kv_multigets_batch);
+    }
+    bench::EndRow();
+  }
+}
+
+void WriteJson(const std::vector<Row>& warm, const std::vector<Row>& cold) {
+  std::FILE* f = std::fopen("BENCH_batch_query.json", "w");
+  if (f == nullptr) {
+    std::printf("could not write BENCH_batch_query.json\n");
+    return;
+  }
+  auto write_rows = [&](const char* name, const std::vector<Row>& rows,
+                        bool with_ops, const char* trailer) {
+    std::fprintf(f, "  \"%s\": [\n", name);
+    for (size_t i = 0; i < rows.size(); ++i) {
+      const Row& row = rows[i];
+      std::fprintf(f, "    {\"batch\": %zu, \"seq_ms\": %.3f, "
+                   "\"multi_ms\": %.3f, \"speedup\": %.2f",
+                   row.batch, row.seq_ms, row.batch_ms, row.Speedup());
+      if (with_ops) {
+        std::fprintf(f, ", \"kv_multigets_seq\": %lld, "
+                     "\"kv_multigets_multi\": %lld",
+                     static_cast<long long>(row.kv_multigets_seq),
+                     static_cast<long long>(row.kv_multigets_batch));
+      }
+      std::fprintf(f, "}%s\n", i + 1 < rows.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]%s\n", trailer);
+  };
+  std::fprintf(f, "{\n  \"bench\": \"batch_query\",\n");
+  write_rows("warm_rpc", warm, /*with_ops=*/false, ",");
+  write_rows("cold_kv", cold, /*with_ops=*/true, "");
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+  std::printf("\nwrote BENCH_batch_query.json\n");
+}
+
+void Run() {
+  std::printf(
+      "=== Batch read path: sequential Query vs MultiQuery ===\n"
+      "sequential pays one round trip per candidate; MultiQuery pays one\n"
+      "RPC per owning node and one KvStore::MultiGet per instance\n");
+
+  const std::vector<Row> warm = RunWarmRpc();
+  const std::vector<Row> cold = RunColdKv();
+  PrintRows("warm cache: RPC amortization (client, 2 nodes)", warm,
+            /*with_ops=*/false);
+  PrintRows("cold cache: KV round-trip amortization (instance)", cold,
+            /*with_ops=*/true);
+
+  for (const Row& row : warm) {
+    if (row.batch == 256) {
+      std::printf(
+          "\nshape check: batch=256 MultiQuery is %.1fx faster than 256 "
+          "sequential reads (must be > 1)\n",
+          row.Speedup());
+    }
+  }
+  WriteJson(warm, cold);
+}
+
+}  // namespace
+}  // namespace ips
+
+int main() {
+  ips::Run();
+  return 0;
+}

@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Tier-1 verification: configure, build, run the full test suite.
+#
+#   scripts/tier1.sh                 # plain Release build + ctest
+#   IPS_SANITIZE=thread scripts/tier1.sh    # same suite under TSan
+#   IPS_SANITIZE=address scripts/tier1.sh   # same suite under ASan
+#
+# Sanitized builds use a separate build directory so they don't thrash the
+# incremental plain build.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+SANITIZE="${IPS_SANITIZE:-}"
+BUILD_DIR="build"
+CMAKE_ARGS=()
+if [[ -n "${SANITIZE}" ]]; then
+  BUILD_DIR="build-${SANITIZE}"
+  CMAKE_ARGS+=("-DIPS_SANITIZE=${SANITIZE}")
+fi
+
+cmake -B "${BUILD_DIR}" -S . "${CMAKE_ARGS[@]}"
+cmake --build "${BUILD_DIR}" -j "$(nproc)"
+cd "${BUILD_DIR}"
+ctest --output-on-failure -j "$(nproc)"

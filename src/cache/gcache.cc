@@ -114,6 +114,12 @@ Result<std::pair<GCache::EntryPtr, bool>> GCache::GetOrLoad(
     }
   }
 
+  (void)found_in_store;
+  return std::make_pair(InsertLoaded(pid, std::move(loaded)), false);
+}
+
+GCache::EntryPtr GCache::InsertLoaded(ProfileId pid, ProfileData loaded) {
+  LruShard& shard = *lru_shards_[LruIndex(pid)];
   auto entry = std::make_shared<Entry>(pid, std::move(loaded));
   {
     std::lock_guard<std::mutex> entry_lock(entry->mu);
@@ -126,13 +132,91 @@ Result<std::pair<GCache::EntryPtr, bool>> GCache::GetOrLoad(
     // Lost a race with a concurrent loader; use the established entry and
     // drop ours. (Its loaded contents are equivalent.)
     TouchLru(shard, pid);
-    return std::make_pair(it->second, true);
+    return it->second;
   }
   TouchLru(shard, pid);
   shard.bytes.fetch_add(entry->bytes, std::memory_order_relaxed);
   memory_bytes_.fetch_add(entry->bytes, std::memory_order_relaxed);
-  (void)found_in_store;
-  return std::make_pair(entry, false);
+  return entry;
+}
+
+size_t GCache::WithProfiles(
+    const std::vector<ProfileId>& pids,
+    const std::function<void(size_t, const ProfileData&)>& fn,
+    std::vector<Status>* statuses) {
+  statuses->assign(pids.size(), Status::OK());
+  std::vector<EntryPtr> entries(pids.size());
+
+  // Phase 1: partition into hits and misses against the shard maps. Misses
+  // are coalesced so each unique pid is loaded once even when the incoming
+  // batch carries duplicates.
+  size_t hits = 0;
+  std::vector<ProfileId> miss_pids;
+  std::unordered_map<ProfileId, std::vector<size_t>> miss_indices;
+  for (size_t i = 0; i < pids.size(); ++i) {
+    const ProfileId pid = pids[i];
+    LruShard& shard = *lru_shards_[LruIndex(pid)];
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.map.find(pid);
+    if (it != shard.map.end()) {
+      TouchLru(shard, pid);
+      entries[i] = it->second;
+      ++hits;
+      continue;
+    }
+    auto [miss_it, first_miss] = miss_indices.try_emplace(pid);
+    if (first_miss) miss_pids.push_back(pid);
+    miss_it->second.push_back(i);
+  }
+  hits_.fetch_add(static_cast<int64_t>(hits), std::memory_order_relaxed);
+  misses_.fetch_add(static_cast<int64_t>(miss_pids.size()),
+                    std::memory_order_relaxed);
+  if (metrics_ != nullptr) {
+    if (hits > 0) {
+      metrics_->GetCounter("cache.hit")->Increment(
+          static_cast<int64_t>(hits));
+    }
+    if (!miss_pids.empty()) {
+      metrics_->GetCounter("cache.miss")->Increment(
+          static_cast<int64_t>(miss_pids.size()));
+      metrics_->GetCounter("cache.batch_loads")->Increment();
+    }
+  }
+
+  // Phase 2: one loader call covers every miss. Outside all shard locks —
+  // this is the storage round trip the whole refactor exists to coalesce.
+  if (!miss_pids.empty()) {
+    std::vector<Result<ProfileData>> loaded;
+    if (batch_load_) {
+      loaded = batch_load_(miss_pids);
+    } else {
+      loaded.reserve(miss_pids.size());
+      for (ProfileId pid : miss_pids) loaded.push_back(load_(pid));
+    }
+    for (size_t m = 0; m < miss_pids.size(); ++m) {
+      const auto& indices = miss_indices[miss_pids[m]];
+      if (m >= loaded.size() || !loaded[m].ok()) {
+        const Status status = m >= loaded.size()
+                                  ? Status::Internal("batch loader returned "
+                                                     "a short result list")
+                                  : loaded[m].status();
+        for (size_t i : indices) (*statuses)[i] = status;
+        continue;
+      }
+      EntryPtr entry =
+          InsertLoaded(miss_pids[m], std::move(loaded[m]).value());
+      for (size_t i : indices) entries[i] = entry;
+    }
+  }
+
+  // Phase 3: serve each present profile under its entry lock, in input
+  // order (entries are locked one at a time, so no lock-order concerns).
+  for (size_t i = 0; i < pids.size(); ++i) {
+    if (!entries[i]) continue;
+    std::lock_guard<std::mutex> lock(entries[i]->mu);
+    fn(i, entries[i]->profile);
+  }
+  return hits;
 }
 
 void GCache::UpdateAccounting(LruShard& shard, Entry& entry) {

@@ -65,6 +65,12 @@ struct GCacheOptions {
 using FlushFn = std::function<Status(ProfileId, const ProfileData&)>;
 /// Loads one profile on cache miss. NotFound means "no such profile yet".
 using LoadFn = std::function<Result<ProfileData>(ProfileId)>;
+/// Loads many profiles in one storage round trip (the batch-miss-coalescing
+/// step of the MultiQuery read path). Results align with the pid list;
+/// NotFound marks profiles that were never persisted.
+using BatchLoadFn =
+    std::function<std::vector<Result<ProfileData>>(
+        const std::vector<ProfileId>&)>;
 
 class GCache {
  public:
@@ -83,6 +89,24 @@ class GCache {
   Status WithProfile(ProfileId pid,
                      const std::function<void(const ProfileData&)>& fn,
                      bool* out_was_hit = nullptr);
+
+  /// Batch read path (the spine of MultiQuery): partitions `pids` into
+  /// cache hits and misses, satisfies ALL misses with one batch-loader call
+  /// (falling back to per-pid loads when no batch loader is installed),
+  /// then runs `fn(index, profile)` under the entry lock for every present
+  /// profile. `statuses` aligns with `pids`; unknown profiles get NotFound
+  /// and no callback. Duplicate pids are coalesced for loading but each
+  /// occurrence gets its own callback and status. Returns the number of
+  /// cache hits.
+  size_t WithProfiles(const std::vector<ProfileId>& pids,
+                      const std::function<void(size_t, const ProfileData&)>& fn,
+                      std::vector<Status>* statuses);
+
+  /// Installs the batch loader. Not thread-safe w.r.t. concurrent reads;
+  /// call during setup, right after construction.
+  void set_batch_loader(BatchLoadFn batch_load) {
+    batch_load_ = std::move(batch_load);
+  }
 
   /// Write path: runs `fn` with exclusive access, creating the profile when
   /// absent (after a load attempt), then marks the entry dirty.
@@ -112,6 +136,9 @@ class GCache {
     return memory_bytes_.load(std::memory_order_relaxed);
   }
   double MemoryUsageRatio() const {
+    // A zero limit means "unbounded" (degenerate test configs); report 0
+    // rather than dividing by zero.
+    if (options_.memory_limit_bytes == 0) return 0.0;
     return static_cast<double>(MemoryBytes()) /
            static_cast<double>(options_.memory_limit_bytes);
   }
@@ -181,10 +208,15 @@ class GCache {
   void SwapLoop();
   void FlushLoop(size_t thread_index);
 
+  /// Inserts a freshly loaded entry into its shard, or adopts the entry a
+  /// concurrent loader already established. Returns the entry to use.
+  EntryPtr InsertLoaded(ProfileId pid, ProfileData loaded);
+
   GCacheOptions options_;
   Clock* clock_;
   FlushFn flush_;
   LoadFn load_;
+  BatchLoadFn batch_load_;
   MetricsRegistry* metrics_;
 
   std::vector<std::unique_ptr<LruShard>> lru_shards_;

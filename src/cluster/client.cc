@@ -1,5 +1,10 @@
 #include "cluster/client.h"
 
+#include <atomic>
+#include <map>
+#include <thread>
+#include <unordered_set>
+
 namespace ips {
 
 IpsClient::IpsClient(IpsClientOptions options, Deployment* deployment)
@@ -148,6 +153,139 @@ Result<QueryResult> IpsClient::Query(const std::string& table, ProfileId pid,
   }
   metrics_->GetCounter("client.read_errors")->Increment();
   return last_error;
+}
+
+Result<MultiQueryResult> IpsClient::MultiQuery(const std::string& table,
+                                               std::span<const ProfileId> pids,
+                                               const QuerySpec& spec) {
+  if (pids.empty()) return Status::InvalidArgument("empty pid batch");
+  MaybeRefresh();
+  metrics_->GetCounter("client.multi_read_requests")->Increment();
+  metrics_->GetCounter("client.multi_read_pids")
+      ->Increment(static_cast<int64_t>(pids.size()));
+
+  // Deduplicate while preserving first-seen order: duplicate candidates cost
+  // one lookup and fan back out on reassembly.
+  std::vector<ProfileId> unique;
+  std::vector<size_t> slot_of(pids.size());
+  {
+    std::unordered_map<ProfileId, size_t> seen;
+    for (size_t i = 0; i < pids.size(); ++i) {
+      auto [it, inserted] = seen.try_emplace(pids[i], unique.size());
+      if (inserted) unique.push_back(pids[i]);
+      slot_of[i] = it->second;
+    }
+  }
+
+  struct SlotState {
+    bool done = false;
+    Status status = Status::Unavailable("no live instance");
+    QueryResult result;
+  };
+  std::vector<SlotState> slots(unique.size());
+  std::atomic<size_t> cache_hits{0};
+  bool quota_stop = false;
+
+  // Region preference: local first, then failover regions in order.
+  std::vector<std::string> regions;
+  if (!options_.local_region.empty()) regions.push_back(options_.local_region);
+  for (const auto& r : options_.failover_regions) regions.push_back(r);
+  if (regions.empty()) regions = deployment_->region_names();
+
+  for (const auto& region : regions) {
+    if (quota_stop) break;
+    // Ring candidates for every unfinished slot, computed once per region.
+    std::vector<std::vector<std::string>> candidates(unique.size());
+    for (size_t s = 0; s < unique.size(); ++s) {
+      if (!slots[s].done) {
+        candidates[s] =
+            ReadCandidates(unique[s], region, options_.max_read_attempts);
+      }
+    }
+    for (int attempt = 0; attempt < options_.max_read_attempts && !quota_stop;
+         ++attempt) {
+      // Group unfinished slots by this attempt's ring owner. std::map keeps
+      // the scatter order deterministic.
+      std::map<std::string, std::vector<size_t>> by_node;
+      for (size_t s = 0; s < unique.size(); ++s) {
+        if (slots[s].done) continue;
+        if (static_cast<size_t>(attempt) < candidates[s].size()) {
+          by_node[candidates[s][attempt]].push_back(s);
+        }
+      }
+      if (by_node.empty()) break;
+
+      // Scatter: one sub-batch RPC per owning node, in parallel. Each worker
+      // writes a disjoint set of slots, so no lock is needed.
+      std::atomic<bool> saw_quota{false};
+      std::vector<std::thread> workers;
+      workers.reserve(by_node.size());
+      for (auto& group : by_node) {
+        IpsNode* node = deployment_->FindNode(group.first);
+        if (node == nullptr) continue;
+        const std::vector<size_t>* slot_ids = &group.second;
+        workers.emplace_back([&, node, slot_ids] {
+          std::vector<ProfileId> sub;
+          sub.reserve(slot_ids->size());
+          for (size_t s : *slot_ids) sub.push_back(unique[s]);
+          Result<MultiQueryResult> batch = Status::Unavailable("unset");
+          Status call_status = node->Call(
+              options_.request_bytes + sub.size() * sizeof(ProfileId),
+              options_.response_bytes * sub.size(),
+              [&](IpsInstance& instance) {
+                batch = instance.MultiQuery(
+                    options_.caller, table,
+                    std::span<const ProfileId>(sub.data(), sub.size()), spec);
+                return batch.ok() ? Status::OK() : batch.status();
+              });
+          if (call_status.ok() && batch.ok()) {
+            cache_hits.fetch_add(batch->cache_hits,
+                                 std::memory_order_relaxed);
+            for (size_t j = 0; j < slot_ids->size(); ++j) {
+              SlotState& slot = slots[(*slot_ids)[j]];
+              slot.status = batch->statuses[j];
+              if (slot.status.ok()) {
+                slot.done = true;
+                slot.result = std::move(batch->results[j]);
+              }
+            }
+          } else {
+            // Batch-level failure (node down, quota, unknown table): every
+            // slot in the sub-batch shares the cause.
+            Status error = call_status.ok() ? batch.status() : call_status;
+            if (error.IsResourceExhausted()) {
+              saw_quota.store(true, std::memory_order_relaxed);
+            }
+            for (size_t s : *slot_ids) slots[s].status = error;
+          }
+        });
+      }
+      for (auto& worker : workers) worker.join();
+      // Quota rejections are not retried: the server told us to back off,
+      // and ring successors enforce the same per-caller budget.
+      if (saw_quota.load(std::memory_order_relaxed)) quota_stop = true;
+    }
+  }
+
+  // Gather: expand unique slots back to input order.
+  MultiQueryResult out;
+  out.results.resize(pids.size());
+  out.statuses.assign(pids.size(), Status::OK());
+  out.cache_hits = cache_hits.load(std::memory_order_relaxed);
+  int64_t failed = 0;
+  for (size_t i = 0; i < pids.size(); ++i) {
+    SlotState& slot = slots[slot_of[i]];
+    if (slot.done) {
+      out.results[i] = slot.result;
+    } else {
+      out.statuses[i] = slot.status;
+      ++failed;
+    }
+  }
+  if (failed > 0) {
+    metrics_->GetCounter("client.multi_read_errors")->Increment(failed);
+  }
+  return out;
 }
 
 Result<QueryResult> IpsClient::GetProfileTopK(

@@ -10,6 +10,7 @@
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <span>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -66,6 +67,17 @@ class IpsClient {
   /// regions.
   Result<QueryResult> Query(const std::string& table, ProfileId pid,
                             const QuerySpec& spec);
+
+  /// Batched read path (the serving hot path): pids are deduplicated,
+  /// grouped by owning instance on the consistent-hash ring, and each group
+  /// goes out as ONE MultiQuery RPC — sub-batches fan out to their owners in
+  /// parallel and reassemble in input order with per-pid statuses. Retries
+  /// regroup unfinished pids by ring successor, then failover regions, same
+  /// policy as single-profile Query. Duplicate pids share one lookup but
+  /// each occurrence gets its own result slot.
+  Result<MultiQueryResult> MultiQuery(const std::string& table,
+                                      std::span<const ProfileId> pids,
+                                      const QuerySpec& spec);
 
   Result<QueryResult> GetProfileTopK(const std::string& table, ProfileId pid,
                                      SlotId slot, std::optional<TypeId> type,

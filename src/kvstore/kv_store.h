@@ -48,7 +48,11 @@ class KvStore {
                       KvVersion expected_version, KvVersion* new_version) = 0;
 
   /// Batched point reads; outputs align with `keys`, missing keys yield
-  /// NotFound in `statuses`.
+  /// NotFound in `statuses`. Implementations with a remote cost model charge
+  /// one round trip per batch (HBase multi-get semantics), so the batch read
+  /// path pays transport latency once instead of once per key; keys may
+  /// still fail individually (partial batches). The default implementation
+  /// degrades to per-key Get.
   virtual void MultiGet(const std::vector<std::string>& keys,
                         std::vector<std::string>* values,
                         std::vector<Status>* statuses);

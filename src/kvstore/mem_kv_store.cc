@@ -90,6 +90,7 @@ Status MemKvStore::Set(std::string_view key, std::string_view value) {
 }
 
 Status MemKvStore::Get(std::string_view key, std::string* value) {
+  point_reads_.fetch_add(1, std::memory_order_relaxed);
   Shard& shard = ShardFor(key);
   size_t payload = 0;
   {
@@ -121,6 +122,7 @@ Status MemKvStore::Delete(std::string_view key) {
 }
 
 Status MemKvStore::XGet(std::string_view key, KvEntry* entry) {
+  point_reads_.fetch_add(1, std::memory_order_relaxed);
   Shard& shard = ShardFor(key);
   IPS_RETURN_IF_ERROR(SimulateOp(shard, 0));
   std::lock_guard<std::mutex> lock(shard.mu);
@@ -152,6 +154,62 @@ Status MemKvStore::XSet(std::string_view key, std::string_view value,
   bytes_written_.fetch_add(static_cast<int64_t>(value.size()),
                            std::memory_order_relaxed);
   return Status::OK();
+}
+
+void MemKvStore::MultiGet(const std::vector<std::string>& keys,
+                          std::vector<std::string>* values,
+                          std::vector<Status>* statuses) {
+  multi_get_calls_.fetch_add(1, std::memory_order_relaxed);
+  multi_get_keys_.fetch_add(static_cast<int64_t>(keys.size()),
+                            std::memory_order_relaxed);
+  values->assign(keys.size(), std::string());
+  statuses->assign(keys.size(), Status::OK());
+  if (keys.empty()) return;
+  if (down_.load(std::memory_order_relaxed)) {
+    statuses->assign(keys.size(), Status::Unavailable("kv store down"));
+    return;
+  }
+
+  // Resolve every key and draw its failure first, so the latency charge can
+  // cover the aggregate response size. Failures stay per-key: a multi-get
+  // spanning storage shards can lose some keys and still return the rest.
+  size_t total_payload = 0;
+  for (size_t i = 0; i < keys.size(); ++i) {
+    Shard& shard = ShardFor(keys[i]);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    if (shard.failure_probability > 0.0 &&
+        shard.rng.Bernoulli(shard.failure_probability)) {
+      (*statuses)[i] = Status::Unavailable("injected kv failure");
+      continue;
+    }
+    auto it = shard.map.find(keys[i]);
+    if (it == shard.map.end()) {
+      (*statuses)[i] = Status::NotFound("key: " + keys[i]);
+    } else {
+      (*values)[i] = it->second.value;
+      total_payload += it->second.value.size();
+    }
+  }
+
+  // One round trip for the whole batch: base + tail charged once, payload
+  // cost proportional to the combined response.
+  int64_t delay_us = 0;
+  {
+    Shard& shard = ShardFor(keys[0]);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    if (options_.base_latency_us > 0 || options_.tail_latency_us > 0) {
+      delay_us = options_.base_latency_us;
+      if (options_.tail_latency_us > 0) {
+        delay_us += static_cast<int64_t>(shard.rng.Exponential(
+            static_cast<double>(options_.tail_latency_us)));
+      }
+    }
+    if (options_.per_kib_us > 0) {
+      delay_us += options_.per_kib_us *
+                  static_cast<int64_t>(total_payload / 1024);
+    }
+  }
+  BurnMicros(delay_us);
 }
 
 size_t MemKvStore::KeyCount() const {

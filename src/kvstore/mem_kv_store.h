@@ -48,6 +48,13 @@ class MemKvStore final : public KvStore {
   Status XGet(std::string_view key, KvEntry* entry) override;
   Status XSet(std::string_view key, std::string_view value,
               KvVersion expected_version, KvVersion* new_version) override;
+  /// Batched read charging ONE simulated round trip for the whole batch
+  /// (base + tail once, payload cost over the aggregate response size).
+  /// Failures are still drawn per key, so a batch can partially succeed the
+  /// way a multi-get spanning region servers does.
+  void MultiGet(const std::vector<std::string>& keys,
+                std::vector<std::string>* values,
+                std::vector<Status>* statuses) override;
   size_t KeyCount() const override;
 
   /// Marks the store down/up. While down every operation returns
@@ -65,6 +72,18 @@ class MemKvStore final : public KvStore {
   /// write-traffic counter the persistence-mode ablation measures.
   int64_t TotalBytesWritten() const {
     return bytes_written_.load(std::memory_order_relaxed);
+  }
+
+  /// Read-op counters: single-key reads (Get/XGet) vs batched calls. The
+  /// batch-read tests assert "one MultiGet per owning shard" through these.
+  int64_t PointReadCalls() const {
+    return point_reads_.load(std::memory_order_relaxed);
+  }
+  int64_t MultiGetCalls() const {
+    return multi_get_calls_.load(std::memory_order_relaxed);
+  }
+  int64_t MultiGetKeys() const {
+    return multi_get_keys_.load(std::memory_order_relaxed);
   }
 
   /// Visits every (key, entry) pair; used by replication catch-up and by
@@ -91,6 +110,9 @@ class MemKvStore final : public KvStore {
   MemKvOptions options_;
   std::atomic<bool> down_{false};
   std::atomic<int64_t> bytes_written_{0};
+  std::atomic<int64_t> point_reads_{0};
+  std::atomic<int64_t> multi_get_calls_{0};
+  std::atomic<int64_t> multi_get_keys_{0};
   std::vector<std::unique_ptr<Shard>> shards_;
 };
 

@@ -36,6 +36,12 @@ class ReplicatedKv::MasterProxy final : public KvStore {
     return Status::OK();
   }
 
+  void MultiGet(const std::vector<std::string>& keys,
+                std::vector<std::string>* values,
+                std::vector<Status>* statuses) override {
+    parent_->master_->MultiGet(keys, values, statuses);
+  }
+
   size_t KeyCount() const override { return parent_->master_->KeyCount(); }
 
  private:
@@ -72,6 +78,14 @@ class ReplicatedKv::SlaveView final : public KvStore {
   Status XSet(std::string_view, std::string_view, KvVersion,
               KvVersion*) override {
     return Status::Unavailable("slave cluster is read-only");
+  }
+
+  void MultiGet(const std::vector<std::string>& keys,
+                std::vector<std::string>* values,
+                std::vector<Status>* statuses) override {
+    auto& slave = *parent_->slaves_[index_];
+    parent_->DrainSlave(slave, parent_->clock_->NowMs(), /*force=*/false);
+    slave.store->MultiGet(keys, values, statuses);
   }
 
   size_t KeyCount() const override {

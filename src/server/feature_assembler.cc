@@ -115,41 +115,60 @@ void FeatureAssembler::AttachConfigRegistry(ConfigRegistry* registry,
 }
 
 Result<AssembledSample> FeatureAssembler::Assemble(ProfileId uid) {
+  IPS_ASSIGN_OR_RETURN(
+      std::vector<AssembledSample> samples,
+      AssembleBatch(std::span<const ProfileId>(&uid, 1)));
+  return std::move(samples[0]);
+}
+
+Result<std::vector<AssembledSample>> FeatureAssembler::AssembleBatch(
+    std::span<const ProfileId> uids) {
   std::shared_ptr<const std::vector<FeatureSpec>> specs;
   {
     std::lock_guard<std::mutex> lock(mu_);
     specs = specs_;
   }
 
-  AssembledSample sample;
-  sample.uid = uid;
+  std::vector<AssembledSample> samples(uids.size());
+  for (size_t u = 0; u < uids.size(); ++u) {
+    samples[u].uid = uids[u];
+    samples[u].features.reserve(specs->size());
+  }
+  if (uids.empty()) return samples;
+
   for (const auto& spec : *specs) {
-    AssembledFeature group;
-    group.name = spec.name;
-    Result<QueryResult> result =
-        instance_->Query(options_.caller, spec.table, uid, spec.query);
-    if (result.ok()) {
-      group.fids.reserve(result->features.size());
-      group.values.reserve(result->features.size());
-      for (const auto& f : result->features) {
-        group.fids.push_back(f.fid);
-        group.values.push_back(f.WeightedAt(spec.query.sort_action));
-      }
-      sample.assembled_at_ms =
-          std::max(sample.assembled_at_ms, TimestampMs{0});
-    } else if (result.status().IsResourceExhausted()) {
-      return result.status();  // quota: the whole request is rejected
+    Result<MultiQueryResult> batch =
+        instance_->MultiQuery(options_.caller, spec.table, uids, spec.query);
+    if (!batch.ok() && batch.status().IsResourceExhausted()) {
+      return batch.status();  // quota: the whole request is rejected
     }
-    // Other per-feature failures leave the group empty: a degraded sample
-    // beats a failed recommendation request.
-    sample.features.push_back(std::move(group));
+    for (size_t u = 0; u < uids.size(); ++u) {
+      AssembledFeature group;
+      group.name = spec.name;
+      if (batch.ok() && batch->statuses[u].ok()) {
+        const QueryResult& result = batch->results[u];
+        group.fids.reserve(result.features.size());
+        group.values.reserve(result.features.size());
+        for (const auto& f : result.features) {
+          group.fids.push_back(f.fid);
+          group.values.push_back(f.WeightedAt(spec.query.sort_action));
+        }
+        samples[u].assembled_at_ms =
+            std::max(samples[u].assembled_at_ms, TimestampMs{0});
+      }
+      // Per-feature failures leave the group empty: a degraded sample beats
+      // a failed recommendation request.
+      samples[u].features.push_back(std::move(group));
+    }
   }
 
   if (training_log_ != nullptr && !options_.training_topic.empty()) {
-    training_log_->Append(options_.training_topic, uid,
-                          EncodeSample(sample));
+    for (const auto& sample : samples) {
+      training_log_->Append(options_.training_topic, sample.uid,
+                            EncodeSample(sample));
+    }
   }
-  return sample;
+  return samples;
 }
 
 size_t FeatureAssembler::FeatureCount() const {

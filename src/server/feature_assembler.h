@@ -9,6 +9,7 @@
 
 #include <memory>
 #include <mutex>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -70,8 +71,18 @@ class FeatureAssembler {
   /// Runs every active spec for `uid` and returns the assembled sample,
   /// flushing it to the training topic when configured. Individual feature
   /// failures are tolerated (the group is emitted empty) so one bad spec
-  /// cannot break serving; hard failures (quota) propagate.
+  /// cannot break serving; hard failures (quota) propagate. Implemented as
+  /// a batch of one over AssembleBatch.
   Result<AssembledSample> Assemble(ProfileId uid);
+
+  /// Batched assembly for a candidate list (ranking requests score tens to
+  /// hundreds of candidates at once): ONE MultiQuery per feature spec covers
+  /// every uid, so the storage round trips scale with the spec count, not
+  /// spec count x candidate count. Samples align with `uids`; per-uid
+  /// feature failures yield empty groups, quota rejections fail the whole
+  /// batch. Each sample is flushed to the training topic when configured.
+  Result<std::vector<AssembledSample>> AssembleBatch(
+      std::span<const ProfileId> uids);
 
   size_t FeatureCount() const;
 

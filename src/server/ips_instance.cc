@@ -24,11 +24,7 @@ IpsInstance::~IpsInstance() {
   shutdown_.store(true, std::memory_order_relaxed);
   merger_cv_.notify_all();
   if (merger_thread_.joinable()) merger_thread_.join();
-  if (config_registry_ != nullptr) {
-    for (int64_t id : config_subscriptions_) {
-      config_registry_->Unsubscribe(id);
-    }
-  }
+  DetachConfigRegistry();
   // Drain pending writes, then persist the caches.
   MergeWriteTablesOnce();
   DrainCompactions();
@@ -58,6 +54,12 @@ Status IpsInstance::CreateTable(const TableSchema& schema) {
   table->cache = std::make_unique<GCache>(
       cache_options, clock_, std::move(flush_fn),
       [persister](ProfileId pid) { return persister->Load(pid); }, metrics_);
+  // Batch misses load through the persister's coalesced path: one
+  // KvStore::MultiGet round trip for the whole miss set.
+  table->cache->set_batch_loader(
+      [persister](const std::vector<ProfileId>& pids) {
+        return persister->LoadBatch(pids);
+      });
 
   table->compactor = std::make_unique<Compactor>(&table->schema);
   Table* raw = table.get();
@@ -254,7 +256,28 @@ size_t IpsInstance::MergeWriteTablesOnce() {
 Result<QueryResult> IpsInstance::Query(const std::string& caller,
                                        const std::string& table,
                                        ProfileId pid, const QuerySpec& spec) {
+  const int64_t begin_ns = MonotonicNanos();
+  IPS_ASSIGN_OR_RETURN(
+      MultiQueryResult batch,
+      MultiQuery(caller, table, std::span<const ProfileId>(&pid, 1), spec));
+
+  const int64_t micros = (MonotonicNanos() - begin_ns) / 1000;
+  metrics_->GetHistogram("server.query_micros")->Record(micros);
+  metrics_->GetHistogram(batch.cache_hits > 0 ? "server.query_micros_hit"
+                                              : "server.query_micros_miss")
+      ->Record(micros);
+
+  IPS_RETURN_IF_ERROR(batch.statuses[0]);
+  return std::move(batch.results[0]);
+}
+
+Result<MultiQueryResult> IpsInstance::MultiQuery(
+    const std::string& caller, const std::string& table,
+    std::span<const ProfileId> pids, const QuerySpec& spec) {
+  // One quota charge per batch — a 500-candidate request is one admission
+  // decision, mirroring the batched write path.
   IPS_RETURN_IF_ERROR(quota_.Check(caller));
+  if (pids.empty()) return Status::InvalidArgument("empty pid batch");
   Table* t = FindTable(table);
   if (t == nullptr) return Status::NotFound("table " + table);
 
@@ -265,35 +288,60 @@ Result<QueryResult> IpsInstance::Query(const std::string& caller,
   }
 
   const int64_t begin_ns = MonotonicNanos();
-  Result<QueryResult> query_result = Status::NotFound("unset");
-  bool was_hit = false;
-  Status status = t->cache->WithProfile(
-      pid,
-      [&](const ProfileData& profile) {
-        query_result = ExecuteQuery(profile, effective, clock_->NowMs());
+  const TimestampMs now_ms = clock_->NowMs();
+  MultiQueryResult out;
+  out.results.resize(pids.size());
+  out.statuses.assign(pids.size(), Status::OK());
+
+  std::vector<ProfileId> pid_vec(pids.begin(), pids.end());
+  std::vector<Status> cache_statuses;
+  std::vector<Status> exec_statuses(pid_vec.size(), Status::OK());
+  out.cache_hits = t->cache->WithProfiles(
+      pid_vec,
+      [&](size_t i, const ProfileData& profile) {
+        Result<QueryResult> result = ExecuteQuery(profile, effective, now_ms);
+        if (result.ok()) {
+          out.results[i] = std::move(result).value();
+        } else {
+          exec_statuses[i] = result.status();
+        }
       },
-      &was_hit);
+      &cache_statuses);
+
+  int64_t ok_count = 0;
+  int64_t error_count = 0;
+  for (size_t i = 0; i < pid_vec.size(); ++i) {
+    if (cache_statuses[i].IsNotFound()) {
+      // Unknown profile: an empty result, not an error — recommendation
+      // callers treat new users as empty profiles.
+      ++ok_count;
+      continue;
+    }
+    if (!cache_statuses[i].ok()) {
+      out.statuses[i] = cache_statuses[i];
+      ++error_count;
+      continue;
+    }
+    if (!exec_statuses[i].ok()) {
+      out.statuses[i] = exec_statuses[i];
+      ++error_count;
+      continue;
+    }
+    ++ok_count;
+    t->compaction->MaybeTrigger(pid_vec[i]);
+  }
 
   const int64_t micros = (MonotonicNanos() - begin_ns) / 1000;
-  metrics_->GetHistogram("server.query_micros")->Record(micros);
-  metrics_->GetHistogram(was_hit ? "server.query_micros_hit"
-                                 : "server.query_micros_miss")
-      ->Record(micros);
-
-  if (status.IsNotFound()) {
-    // Unknown profile: an empty result, not an error — recommendation
-    // callers treat new users as empty profiles.
-    metrics_->GetCounter("server.queries")->Increment();
-    return QueryResult{};
+  metrics_->GetHistogram("server.multi_query_micros")->Record(micros);
+  metrics_->GetHistogram("server.multi_query_batch")
+      ->Record(static_cast<int64_t>(pid_vec.size()));
+  if (ok_count > 0) {
+    metrics_->GetCounter("server.queries")->Increment(ok_count);
   }
-  IPS_RETURN_IF_ERROR(status);
-  if (query_result.ok()) {
-    metrics_->GetCounter("server.queries")->Increment();
-    t->compaction->MaybeTrigger(pid);
-  } else {
-    metrics_->GetCounter("server.query_errors")->Increment();
+  if (error_count > 0) {
+    metrics_->GetCounter("server.query_errors")->Increment(error_count);
   }
-  return query_result;
+  return out;
 }
 
 Result<QueryResult> IpsInstance::GetProfileTopK(
@@ -400,6 +448,15 @@ Result<IpsInstance::TableStats> IpsInstance::GetTableStats(
   stats.write_table_bytes =
       t->write_table_bytes.load(std::memory_order_relaxed);
   return stats;
+}
+
+void IpsInstance::DetachConfigRegistry() {
+  if (config_registry_ == nullptr) return;
+  for (int64_t id : config_subscriptions_) {
+    config_registry_->Unsubscribe(id);
+  }
+  config_subscriptions_.clear();
+  config_registry_ = nullptr;
 }
 
 void IpsInstance::AttachConfigRegistry(ConfigRegistry* registry) {

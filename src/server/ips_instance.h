@@ -17,6 +17,7 @@
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <span>
 #include <string>
 #include <thread>
 #include <unordered_map>
@@ -68,6 +69,17 @@ struct AddRecord {
   CountVector counts;
 };
 
+/// Result of the batched read path. Entry i aligns with the i-th requested
+/// pid. Unknown profiles yield OK + an empty QueryResult, the same contract
+/// as single-profile Query (new users are empty profiles, not errors);
+/// per-pid statuses carry real failures (storage unavailable, corruption).
+struct MultiQueryResult {
+  std::vector<Status> statuses;
+  std::vector<QueryResult> results;
+  /// How many of the pids were served from cache (Table II-style split).
+  size_t cache_hits = 0;
+};
+
 class IpsInstance {
  public:
   IpsInstance(IpsInstanceOptions options, KvStore* kv, Clock* clock,
@@ -116,10 +128,20 @@ class IpsInstance {
                                       const TimeRange& range,
                                       const DecaySpec& decay);
 
-  /// Fully general query.
+  /// Fully general query. Implemented as a batch of one over MultiQuery.
   Result<QueryResult> Query(const std::string& caller,
                             const std::string& table, ProfileId pid,
                             const QuerySpec& spec);
+
+  /// Batched read path (the serving hot path): one quota charge for the
+  /// whole batch, hits/misses partitioned against the cache, and all misses
+  /// satisfied with a single KvStore::MultiGet. A recommendation request
+  /// with hundreds of candidate items pays one storage round trip instead
+  /// of one per candidate.
+  Result<MultiQueryResult> MultiQuery(const std::string& caller,
+                                      const std::string& table,
+                                      std::span<const ProfileId> pids,
+                                      const QuerySpec& spec);
 
   // --- Operations -----------------------------------------------------
 
@@ -166,8 +188,13 @@ class IpsInstance {
 
   /// Subscribes the instance to `registry` under key
   /// "ips/<instance_id>/tables/<table>": published schema documents are
-  /// applied via ReconfigureTable.
+  /// applied via ReconfigureTable. The registry must outlive the instance
+  /// unless DetachConfigRegistry is called first.
   void AttachConfigRegistry(ConfigRegistry* registry);
+
+  /// Drops every subscription made by AttachConfigRegistry. Required before
+  /// destroying a registry that does not outlive the instance.
+  void DetachConfigRegistry();
 
  private:
   struct Table {

@@ -175,14 +175,31 @@ Result<ProfileData> Persister::LoadSplit(ProfileId pid,
                                          const std::string& meta_value) {
   SliceMeta meta;
   IPS_RETURN_IF_ERROR(DecodeSliceMeta(meta_value, &meta));
+  // All referenced slice values in one batched read — a split profile load
+  // costs one meta read plus one multi-get, not one round trip per slice.
+  std::vector<std::string> keys;
+  keys.reserve(meta.entries.size());
+  for (const auto& entry : meta.entries) {
+    keys.push_back(SliceKey(pid, entry.slice_key));
+  }
+  std::vector<std::string> values;
+  std::vector<Status> statuses;
+  kv_->MultiGet(keys, &values, &statuses);
+  return AssembleSplit(pid, meta, values.data(), statuses.data());
+}
+
+Result<ProfileData> Persister::AssembleSplit(ProfileId pid,
+                                             const SliceMeta& meta,
+                                             const std::string* slice_values,
+                                             const Status* slice_statuses) {
   ProfileData profile(meta.write_granularity_ms);
   profile.set_last_action_ms(meta.last_action_ms);
   std::unordered_map<uint64_t, uint32_t> loaded_sums;
   loaded_sums.reserve(meta.entries.size());
-  for (const auto& entry : meta.entries) {
-    std::string compressed;
-    IPS_RETURN_IF_ERROR(kv_->Get(SliceKey(pid, entry.slice_key), &compressed));
-    loaded_sums[entry.slice_key] =
+  for (size_t i = 0; i < meta.entries.size(); ++i) {
+    IPS_RETURN_IF_ERROR(slice_statuses[i]);
+    const std::string& compressed = slice_values[i];
+    loaded_sums[meta.entries[i].slice_key] =
         Checksum32(compressed.data(), compressed.size());
     std::string raw;
     IPS_RETURN_IF_ERROR(BlockUncompress(compressed, &raw));
@@ -199,6 +216,90 @@ Result<ProfileData> Persister::LoadSplit(ProfileId pid,
   }
   profile.RecomputeBytes();  // slices were attached directly
   return profile;
+}
+
+std::vector<Result<ProfileData>> Persister::LoadBatch(
+    const std::vector<ProfileId>& pids) {
+  std::vector<Result<ProfileData>> out(
+      pids.size(), Result<ProfileData>(Status::NotFound("pending")));
+
+  if (options_.mode == PersistenceMode::kBulk) {
+    std::vector<std::string> keys;
+    keys.reserve(pids.size());
+    for (ProfileId pid : pids) keys.push_back(BulkKey(pid));
+    std::vector<std::string> values;
+    std::vector<Status> statuses;
+    kv_->MultiGet(keys, &values, &statuses);
+    for (size_t i = 0; i < pids.size(); ++i) {
+      if (!statuses[i].ok()) {
+        out[i] = statuses[i];
+        continue;
+      }
+      ProfileData profile;
+      Status decoded = DecodeProfile(values[i], &profile);
+      out[i] = decoded.ok() ? Result<ProfileData>(std::move(profile))
+                            : Result<ProfileData>(decoded);
+    }
+    return out;
+  }
+
+  // Slice-split mode: metas go through XGet (the version bookkeeping of the
+  // Fig 14 protocol needs them individually), then every referenced slice
+  // value across ALL profiles — plus bulk fallbacks for profiles without a
+  // meta — is fetched with a single MultiGet.
+  struct PendingSplit {
+    size_t index;
+    SliceMeta meta;
+    size_t first_key;  // offset of this profile's slice values in `keys`
+  };
+  std::vector<PendingSplit> splits;
+  std::vector<std::pair<size_t, size_t>> bulk_fallbacks;  // (index, key pos)
+  std::vector<std::string> keys;
+  for (size_t i = 0; i < pids.size(); ++i) {
+    KvEntry meta_entry;
+    Status status = kv_->XGet(MetaKey(pids[i]), &meta_entry);
+    if (status.ok()) {
+      RememberVersion(pids[i], meta_entry.version);
+      SliceMeta meta;
+      Status decoded = DecodeSliceMeta(meta_entry.value, &meta);
+      if (!decoded.ok()) {
+        out[i] = decoded;
+        continue;
+      }
+      PendingSplit pending{i, std::move(meta), keys.size()};
+      for (const auto& entry : pending.meta.entries) {
+        keys.push_back(SliceKey(pids[i], entry.slice_key));
+      }
+      splits.push_back(std::move(pending));
+    } else if (status.IsNotFound()) {
+      bulk_fallbacks.emplace_back(i, keys.size());
+      keys.push_back(BulkKey(pids[i]));
+    } else {
+      out[i] = status;
+    }
+  }
+
+  std::vector<std::string> values;
+  std::vector<Status> statuses;
+  if (!keys.empty()) kv_->MultiGet(keys, &values, &statuses);
+
+  for (auto& pending : splits) {
+    out[pending.index] =
+        AssembleSplit(pids[pending.index], pending.meta,
+                      values.data() + pending.first_key,
+                      statuses.data() + pending.first_key);
+  }
+  for (const auto& [index, key_pos] : bulk_fallbacks) {
+    if (!statuses[key_pos].ok()) {
+      out[index] = statuses[key_pos];
+      continue;
+    }
+    ProfileData profile;
+    Status decoded = DecodeProfile(values[key_pos], &profile);
+    out[index] = decoded.ok() ? Result<ProfileData>(std::move(profile))
+                              : Result<ProfileData>(decoded);
+  }
+  return out;
 }
 
 Status Persister::Erase(ProfileId pid) {

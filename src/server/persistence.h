@@ -50,6 +50,14 @@ class Persister {
   /// Reads the profile back. NotFound when the profile was never persisted.
   Result<ProfileData> Load(ProfileId pid);
 
+  /// Batched load: results align with `pids`. Bulk mode fetches every
+  /// profile's value with one KvStore::MultiGet; slice-split mode reads the
+  /// metas, then fetches ALL referenced slice values (plus bulk fallbacks
+  /// for meta-less profiles) in one MultiGet — the batch-miss-coalescing
+  /// step of the MultiQuery read path.
+  std::vector<Result<ProfileData>> LoadBatch(
+      const std::vector<ProfileId>& pids);
+
   /// Removes all stored values for the profile.
   Status Erase(ProfileId pid);
 
@@ -66,6 +74,13 @@ class Persister {
   Status FlushSplit(ProfileId pid, const ProfileData& profile);
   Result<ProfileData> LoadBulk(ProfileId pid);
   Result<ProfileData> LoadSplit(ProfileId pid, const std::string& meta_value);
+
+  /// Rebuilds a split profile from already-fetched compressed slice values,
+  /// aligned with `meta.entries` (both arrays have meta.entries.size()
+  /// elements). Updates the slice-checksum bookkeeping.
+  Result<ProfileData> AssembleSplit(ProfileId pid, const SliceMeta& meta,
+                                    const std::string* slice_values,
+                                    const Status* slice_statuses);
 
   /// Remembered meta version per profile (Fig 14 "holds a valid version").
   KvVersion HeldVersion(ProfileId pid);

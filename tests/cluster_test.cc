@@ -281,6 +281,101 @@ TEST_F(DeploymentTest, NodeFailureRetriesOnSuccessor) {
   EXPECT_EQ(successes, 20);
 }
 
+TEST_F(DeploymentTest, ClientMultiQueryReassemblesInInputOrder) {
+  IpsClient client(LocalClientOptions("lf"), &deployment_);
+  const TimestampMs now = clock_.NowMs();
+  for (ProfileId pid = 1; pid <= 8; ++pid) {
+    ASSERT_TRUE(client
+                    .AddProfile("profiles", pid, now - kMinute, 1, 1, pid * 10,
+                                CountVector{1})
+                    .ok());
+  }
+  QuerySpec spec;
+  spec.slot = 1;
+  spec.time_range = TimeRange::Current(kDay);
+  spec.k = 10;
+  // Out-of-order pids, one duplicate, one unknown.
+  const std::vector<ProfileId> pids = {5, 1, 424242, 3, 1};
+  auto batch = client.MultiQuery("profiles", pids, spec);
+  ASSERT_TRUE(batch.ok()) << batch.status().ToString();
+  ASSERT_EQ(batch->results.size(), pids.size());
+  for (const auto& status : batch->statuses) EXPECT_TRUE(status.ok());
+  ASSERT_EQ(batch->results[0].features.size(), 1u);
+  EXPECT_EQ(batch->results[0].features[0].fid, 50u);
+  ASSERT_EQ(batch->results[1].features.size(), 1u);
+  EXPECT_EQ(batch->results[1].features[0].fid, 10u);
+  EXPECT_TRUE(batch->results[2].features.empty());  // unknown: empty, not error
+  ASSERT_EQ(batch->results[3].features.size(), 1u);
+  EXPECT_EQ(batch->results[3].features[0].fid, 30u);
+  // The duplicate occurrence gets its own (identical) slot.
+  ASSERT_EQ(batch->results[4].features.size(), 1u);
+  EXPECT_EQ(batch->results[4].features[0].fid, 10u);
+}
+
+TEST_F(DeploymentTest, ClientMultiQuerySendsOneSubBatchPerOwningNode) {
+  IpsClient client(LocalClientOptions("lf"), &deployment_);
+  const TimestampMs now = clock_.NowMs();
+  std::vector<ProfileId> pids;
+  for (ProfileId pid = 1; pid <= 32; ++pid) {
+    ASSERT_TRUE(client
+                    .AddProfile("profiles", pid, now - kMinute, 1, 1, pid,
+                                CountVector{1})
+                    .ok());
+    pids.push_back(pid);
+  }
+  // Every sub-batch RPC records one server.multi_query_batch sample; the lf
+  // region has two nodes, so 32 pids must arrive in at most two sub-batches
+  // (exactly one per owning node) instead of 32 point RPCs.
+  Histogram* batches =
+      deployment_.metrics()->GetHistogram("server.multi_query_batch");
+  const int64_t rpcs_before = batches->count();
+  QuerySpec spec;
+  spec.slot = 1;
+  spec.time_range = TimeRange::Current(kDay);
+  spec.k = 10;
+  auto batch = client.MultiQuery("profiles", pids, spec);
+  ASSERT_TRUE(batch.ok());
+  for (size_t i = 0; i < pids.size(); ++i) {
+    ASSERT_TRUE(batch->statuses[i].ok());
+    ASSERT_EQ(batch->results[i].features.size(), 1u) << "pid " << pids[i];
+  }
+  const int64_t rpcs = batches->count() - rpcs_before;
+  EXPECT_GE(rpcs, 1);
+  EXPECT_LE(rpcs, 2);
+  EXPECT_EQ(
+      deployment_.metrics()->GetCounter("client.multi_read_errors")->Value(),
+      0);
+}
+
+TEST_F(DeploymentTest, ClientMultiQuerySurvivesNodeFailure) {
+  IpsClient client(LocalClientOptions("lf"), &deployment_);
+  const TimestampMs now = clock_.NowMs();
+  std::vector<ProfileId> pids;
+  for (ProfileId pid = 1; pid <= 20; ++pid) {
+    ASSERT_TRUE(client
+                    .AddProfile("profiles", pid, now - kMinute, 1, 1, pid,
+                                CountVector{1})
+                    .ok());
+    pids.push_back(pid);
+  }
+  for (auto* node : deployment_.NodesInRegion("lf")) {
+    node->instance().FlushAll();
+  }
+  deployment_.FindNode("lf/ips-0")->SetDown(true);
+  QuerySpec spec;
+  spec.slot = 1;
+  spec.time_range = TimeRange::Current(kDay);
+  spec.k = 10;
+  // The downed node's sub-batch regroups onto ring successors / failover
+  // regions; every pid still resolves.
+  auto batch = client.MultiQuery("profiles", pids, spec);
+  ASSERT_TRUE(batch.ok());
+  for (size_t i = 0; i < pids.size(); ++i) {
+    ASSERT_TRUE(batch->statuses[i].ok()) << batch->statuses[i].ToString();
+    EXPECT_EQ(batch->results[i].features.size(), 1u) << "pid " << pids[i];
+  }
+}
+
 TEST_F(DeploymentTest, RegionFailoverServesFromOtherRegion) {
   IpsClient client(LocalClientOptions("lf"), &deployment_);
   const TimestampMs now = clock_.NowMs();

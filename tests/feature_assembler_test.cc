@@ -120,6 +120,51 @@ TEST_F(FeatureAssemblerTest, TrainingSampleFlushedToTopic) {
   }
 }
 
+TEST_F(FeatureAssemblerTest, AssembleBatchOneMultiQueryPerSpec) {
+  FeatureAssembler assembler({}, &instance_);
+  ASSERT_TRUE(assembler.LoadFeatureSetJson(kFeatureSetJson, &schema_).ok());
+
+  Histogram* rpcs =
+      instance_.metrics()->GetHistogram("server.multi_query_batch");
+  const int64_t before = rpcs->count();
+  // A candidate list with a known user, an unknown one, and a duplicate.
+  const std::vector<ProfileId> uids = {1, 999999, 1};
+  auto samples = assembler.AssembleBatch(uids);
+  ASSERT_TRUE(samples.ok()) << samples.status().ToString();
+  // Two specs, one MultiQuery each — independent of the candidate count.
+  EXPECT_EQ(rpcs->count() - before, 2);
+
+  ASSERT_EQ(samples->size(), 3u);
+  const AssembledSample& known = (*samples)[0];
+  EXPECT_EQ(known.uid, 1u);
+  ASSERT_EQ(known.features.size(), 2u);
+  ASSERT_EQ(known.features[0].fids.size(), 3u);
+  EXPECT_EQ(known.features[0].fids[0], 5u);
+  const AssembledSample& unknown = (*samples)[1];
+  EXPECT_EQ(unknown.uid, 999999u);
+  ASSERT_EQ(unknown.features.size(), 2u);
+  EXPECT_TRUE(unknown.features[0].fids.empty());
+  EXPECT_TRUE(unknown.features[1].fids.empty());
+  // The duplicate candidate assembles the same sample as its first
+  // occurrence.
+  EXPECT_EQ((*samples)[2].TotalValues(), known.TotalValues());
+}
+
+TEST_F(FeatureAssemblerTest, AssembleBatchFlushesEverySampleToTraining) {
+  MessageLog log(2);
+  FeatureAssemblerOptions options;
+  options.training_topic = "training";
+  FeatureAssembler assembler(options, &instance_, &log);
+  ASSERT_TRUE(assembler.LoadFeatureSetJson(kFeatureSetJson, &schema_).ok());
+  auto samples = assembler.AssembleBatch(std::vector<ProfileId>{1, 2, 3});
+  ASSERT_TRUE(samples.ok());
+  size_t flushed = 0;
+  for (size_t partition = 0; partition < 2; ++partition) {
+    flushed += log.Read("training", partition, 0, 100).size();
+  }
+  EXPECT_EQ(flushed, 3u);
+}
+
 TEST_F(FeatureAssemblerTest, RejectsSetReferencingUnknownTable) {
   FeatureAssembler assembler({}, &instance_);
   Status status = assembler.LoadFeatureSetJson(R"({

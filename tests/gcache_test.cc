@@ -160,6 +160,144 @@ TEST(GCacheTest, MissLoadsFromStore) {
   EXPECT_EQ(count, 5);
 }
 
+TEST(GCacheTest, WithProfilesCoalescesMissesIntoOneBatchLoad) {
+  FakeStore store;
+  {
+    GCache seeding(ManualOptions(), SystemClock::Instance(), store.Flusher(),
+                   store.Loader());
+    for (ProfileId pid = 1; pid <= 4; ++pid) {
+      seeding
+          .WithProfileMutable(pid,
+                              [pid](ProfileData& profile) {
+                                profile
+                                    .Add(kMinute, 1, 1, pid * 100,
+                                         CountVector{1})
+                                    .ok();
+                              })
+          .ok();
+    }
+    seeding.FlushAll();
+  }
+
+  GCache cache(ManualOptions(), SystemClock::Instance(), store.Flusher(),
+               store.Loader());
+  std::atomic<int> batch_loads{0};
+  std::vector<std::vector<ProfileId>> batches;
+  std::mutex batches_mu;
+  LoadFn loader = store.Loader();
+  cache.set_batch_loader(
+      [&](const std::vector<ProfileId>& pids)
+          -> std::vector<Result<ProfileData>> {
+        ++batch_loads;
+        {
+          std::lock_guard<std::mutex> lock(batches_mu);
+          batches.push_back(pids);
+        }
+        std::vector<Result<ProfileData>> out;
+        out.reserve(pids.size());
+        for (ProfileId pid : pids) out.push_back(loader(pid));
+        return out;
+      });
+
+  // Warm pid 1 so the batch sees one hit, three misses, one unknown.
+  ASSERT_TRUE(cache.WithProfile(1, [](const ProfileData&) {}).ok());
+
+  const std::vector<ProfileId> pids = {1, 2, 3, 99, 4};
+  std::vector<ProfileId> seen;
+  std::vector<Status> statuses;
+  const size_t hits = cache.WithProfiles(
+      pids,
+      [&](size_t i, const ProfileData& profile) {
+        ASSERT_LT(i, pids.size());
+        EXPECT_EQ(profile.TotalFeatures(), 1u);
+        seen.push_back(pids[i]);
+      },
+      &statuses);
+
+  EXPECT_EQ(hits, 1u);
+  EXPECT_EQ(batch_loads.load(), 1);  // every miss in one loader call
+  ASSERT_EQ(batches.size(), 1u);
+  EXPECT_EQ(batches[0], (std::vector<ProfileId>{2, 3, 99, 4}));
+  ASSERT_EQ(statuses.size(), pids.size());
+  EXPECT_TRUE(statuses[0].ok());
+  EXPECT_TRUE(statuses[1].ok());
+  EXPECT_TRUE(statuses[2].ok());
+  EXPECT_TRUE(statuses[3].IsNotFound());  // unknown pid, no callback
+  EXPECT_TRUE(statuses[4].ok());
+  EXPECT_EQ(seen, (std::vector<ProfileId>{1, 2, 3, 4}));
+  EXPECT_EQ(cache.EntryCount(), 4u);  // loaded misses are now cached
+}
+
+TEST(GCacheTest, WithProfilesCoalescesDuplicatePids) {
+  FakeStore store;
+  {
+    GCache seeding(ManualOptions(), SystemClock::Instance(), store.Flusher(),
+                   store.Loader());
+    seeding
+        .WithProfileMutable(
+            7,
+            [](ProfileData& profile) {
+              profile.Add(kMinute, 1, 1, 700, CountVector{1}).ok();
+            })
+        .ok();
+    seeding.FlushAll();
+  }
+  GCache cache(ManualOptions(), SystemClock::Instance(), store.Flusher(),
+               store.Loader());
+  std::vector<std::vector<ProfileId>> batches;
+  LoadFn loader = store.Loader();
+  cache.set_batch_loader(
+      [&](const std::vector<ProfileId>& pids)
+          -> std::vector<Result<ProfileData>> {
+        batches.push_back(pids);
+        std::vector<Result<ProfileData>> out;
+        for (ProfileId pid : pids) out.push_back(loader(pid));
+        return out;
+      });
+
+  std::vector<Status> statuses;
+  int callbacks = 0;
+  cache.WithProfiles(
+      {7, 7, 7}, [&](size_t, const ProfileData&) { ++callbacks; }, &statuses);
+  // One load for the coalesced pid, but every occurrence gets its callback.
+  ASSERT_EQ(batches.size(), 1u);
+  EXPECT_EQ(batches[0], (std::vector<ProfileId>{7}));
+  EXPECT_EQ(callbacks, 3);
+  for (const auto& status : statuses) EXPECT_TRUE(status.ok());
+}
+
+TEST(GCacheTest, WithProfilesFallsBackToPerPidLoader) {
+  FakeStore store;
+  {
+    GCache seeding(ManualOptions(), SystemClock::Instance(), store.Flusher(),
+                   store.Loader());
+    seeding.WithProfileMutable(3, [](ProfileData&) {}).ok();
+    seeding.FlushAll();
+  }
+  // No batch loader installed: the per-pid loader serves each miss.
+  GCache cache(ManualOptions(), SystemClock::Instance(), store.Flusher(),
+               store.Loader());
+  std::vector<Status> statuses;
+  int callbacks = 0;
+  const size_t hits = cache.WithProfiles(
+      {3, 404}, [&](size_t, const ProfileData&) { ++callbacks; }, &statuses);
+  EXPECT_EQ(hits, 0u);
+  EXPECT_EQ(callbacks, 1);
+  EXPECT_TRUE(statuses[0].ok());
+  EXPECT_TRUE(statuses[1].IsNotFound());
+}
+
+TEST(GCacheTest, MemoryUsageRatioZeroLimitIsZeroNotNan) {
+  FakeStore store;
+  GCacheOptions options = ManualOptions();
+  options.memory_limit_bytes = 0;  // degenerate "unbounded" config
+  GCache cache(options, SystemClock::Instance(), store.Flusher(),
+               store.Loader());
+  EXPECT_EQ(cache.MemoryUsageRatio(), 0.0);
+  cache.WithProfileMutable(1, [](ProfileData&) {}).ok();
+  EXPECT_EQ(cache.MemoryUsageRatio(), 0.0);  // still well-defined
+}
+
 TEST(GCacheTest, EvictionKeepsMemoryUnderWatermark) {
   FakeStore store;
   GCacheOptions options = ManualOptions();

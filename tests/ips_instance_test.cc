@@ -126,6 +126,132 @@ TEST_F(IpsInstanceTest, QuotaRejectsOverLimit) {
                   .ok());
 }
 
+TEST_F(IpsInstanceTest, MultiQueryAlignsResultsWithPids) {
+  const TimestampMs now = clock_.NowMs();
+  ASSERT_TRUE(instance_
+                  .AddProfile("test", "profiles", 1, now - kMinute, 1, 1, 11,
+                              CountVector{1})
+                  .ok());
+  ASSERT_TRUE(instance_
+                  .AddProfile("test", "profiles", 2, now - kMinute, 1, 1, 22,
+                              CountVector{1})
+                  .ok());
+
+  QuerySpec spec;
+  spec.slot = 1;
+  spec.time_range = TimeRange::Current(kDay);
+  spec.k = 10;
+  const std::vector<ProfileId> pids = {1, 424242, 2};
+  auto batch = instance_.MultiQuery("test", "profiles", pids, spec);
+  ASSERT_TRUE(batch.ok()) << batch.status().ToString();
+  ASSERT_EQ(batch->results.size(), 3u);
+  ASSERT_EQ(batch->statuses.size(), 3u);
+  for (const auto& status : batch->statuses) EXPECT_TRUE(status.ok());
+  ASSERT_EQ(batch->results[0].features.size(), 1u);
+  EXPECT_EQ(batch->results[0].features[0].fid, 11u);
+  // Unknown profile: empty result, same contract as single-profile Query.
+  EXPECT_TRUE(batch->results[1].features.empty());
+  ASSERT_EQ(batch->results[2].features.size(), 1u);
+  EXPECT_EQ(batch->results[2].features[0].fid, 22u);
+}
+
+TEST_F(IpsInstanceTest, MultiQueryEmptyBatchRejected) {
+  QuerySpec spec;
+  spec.slot = 1;
+  spec.time_range = TimeRange::Current(kDay);
+  auto batch =
+      instance_.MultiQuery("test", "profiles", std::vector<ProfileId>{}, spec);
+  EXPECT_FALSE(batch.ok());
+  EXPECT_TRUE(batch.status().IsInvalidArgument());
+}
+
+TEST_F(IpsInstanceTest, MultiQueryColdCacheIssuesOneKvMultiGet) {
+  // The tentpole acceptance check: a 256-candidate batch on a cold cache
+  // costs exactly ONE KvStore::MultiGet and zero point reads (bulk mode).
+  const TimestampMs now = clock_.NowMs();
+  std::vector<ProfileId> pids;
+  for (ProfileId pid = 1; pid <= 256; ++pid) {
+    ASSERT_TRUE(instance_
+                    .AddProfile("test", "profiles", pid, now - kMinute, 1, 1,
+                                pid, CountVector{1})
+                    .ok());
+    pids.push_back(pid);
+  }
+  instance_.FlushAll();
+
+  // A fresh instance over the same KV store starts with a cold cache.
+  IpsInstance fresh(ManualInstanceOptions(), &kv_, &clock_);
+  ASSERT_TRUE(fresh.CreateTable(TestSchema()).ok());
+  const int64_t multi_gets_before = kv_.MultiGetCalls();
+  const int64_t point_reads_before = kv_.PointReadCalls();
+
+  QuerySpec spec;
+  spec.slot = 1;
+  spec.time_range = TimeRange::Current(kDay);
+  spec.k = 10;
+  auto batch = fresh.MultiQuery("test", "profiles", pids, spec);
+  ASSERT_TRUE(batch.ok()) << batch.status().ToString();
+  EXPECT_EQ(batch->cache_hits, 0u);
+  for (size_t i = 0; i < pids.size(); ++i) {
+    ASSERT_TRUE(batch->statuses[i].ok());
+    ASSERT_EQ(batch->results[i].features.size(), 1u);
+    EXPECT_EQ(batch->results[i].features[0].fid, pids[i]);
+  }
+  EXPECT_EQ(kv_.MultiGetCalls() - multi_gets_before, 1);
+  EXPECT_EQ(kv_.PointReadCalls() - point_reads_before, 0);
+
+  // The batch is now cached: a repeat is all hits and touches the KV store
+  // not at all.
+  const int64_t multi_gets_warm = kv_.MultiGetCalls();
+  auto warm = fresh.MultiQuery("test", "profiles", pids, spec);
+  ASSERT_TRUE(warm.ok());
+  EXPECT_EQ(warm->cache_hits, pids.size());
+  EXPECT_EQ(kv_.MultiGetCalls(), multi_gets_warm);
+}
+
+TEST_F(IpsInstanceTest, MultiQueryChargesQuotaOncePerBatch) {
+  instance_.quota().SetQuota("batcher", 3.0);
+  const TimestampMs now = clock_.NowMs();
+  for (ProfileId pid = 1; pid <= 10; ++pid) {
+    ASSERT_TRUE(instance_
+                    .AddProfile("test", "profiles", pid, now - kMinute, 1, 1,
+                                pid, CountVector{1})
+                    .ok());
+  }
+  QuerySpec spec;
+  spec.slot = 1;
+  spec.time_range = TimeRange::Current(kDay);
+  const std::vector<ProfileId> pids = {1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
+  // Each 10-pid batch is one admission decision: 3 batches fit a 3.0 quota,
+  // the 4th is rejected wholesale.
+  for (int i = 0; i < 3; ++i) {
+    auto batch = instance_.MultiQuery("batcher", "profiles", pids, spec);
+    EXPECT_TRUE(batch.ok()) << batch.status().ToString();
+  }
+  auto rejected = instance_.MultiQuery("batcher", "profiles", pids, spec);
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_TRUE(rejected.status().IsResourceExhausted());
+}
+
+TEST_F(IpsInstanceTest, MultiQueryDuplicatePidsEachGetResults) {
+  const TimestampMs now = clock_.NowMs();
+  ASSERT_TRUE(instance_
+                  .AddProfile("test", "profiles", 9, now - kMinute, 1, 1, 99,
+                              CountVector{1})
+                  .ok());
+  QuerySpec spec;
+  spec.slot = 1;
+  spec.time_range = TimeRange::Current(kDay);
+  const std::vector<ProfileId> pids = {9, 9, 9};
+  auto batch = instance_.MultiQuery("test", "profiles", pids, spec);
+  ASSERT_TRUE(batch.ok());
+  for (size_t i = 0; i < pids.size(); ++i) {
+    ASSERT_TRUE(batch->statuses[i].ok());
+    ASSERT_EQ(batch->results[i].features.size(), 1u);
+    EXPECT_EQ(batch->results[i].features[0].fid, 99u);
+  }
+}
+
 TEST_F(IpsInstanceTest, IsolationDelaysVisibilityUntilMerge) {
   instance_.SetIsolationEnabled(true);
   const TimestampMs now = clock_.NowMs();
@@ -244,6 +370,8 @@ TEST_F(IpsInstanceTest, ConfigRegistryDrivesHotReload) {
   // (rejected internally: empty actions mismatch; reload count unchanged)
   EXPECT_EQ(instance_.metrics()->GetCounter("config.table_reload")->Value(),
             1);
+  // The registry is a local and dies before the fixture's instance_.
+  instance_.DetachConfigRegistry();
 }
 
 TEST_F(IpsInstanceTest, QuotaHotReloadViaConfigRegistry) {
@@ -270,6 +398,8 @@ TEST_F(IpsInstanceTest, QuotaHotReloadViaConfigRegistry) {
                   .AddProfile("feed", "profiles", 1, now, 1, 1, 1,
                               CountVector{1})
                   .ok());
+  // The registry is a local and dies before the fixture's instance_.
+  instance_.DetachConfigRegistry();
 }
 
 TEST_F(IpsInstanceTest, CompactionTriggeredByTraffic) {

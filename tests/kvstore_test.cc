@@ -1,6 +1,7 @@
 #include "kvstore/mem_kv_store.h"
 #include "kvstore/replicated_kv.h"
 
+#include <chrono>
 #include <string>
 
 #include <gtest/gtest.h>
@@ -127,6 +128,115 @@ TEST(MemKvStoreTest, MultiGetAlignsOutputs) {
   EXPECT_EQ(values[2], "3");
 }
 
+TEST(MemKvStoreTest, MultiGetCountsOneBatchedCall) {
+  MemKvStore kv;
+  kv.Set("a", "1").ok();
+  kv.Set("b", "2").ok();
+  std::string value;
+  kv.Get("a", &value).ok();
+  KvEntry entry;
+  kv.XGet("a", &entry).ok();
+  std::vector<std::string> values;
+  std::vector<Status> statuses;
+  kv.MultiGet({"a", "b", "missing"}, &values, &statuses);
+  EXPECT_EQ(kv.PointReadCalls(), 2);  // the Get + the XGet
+  EXPECT_EQ(kv.MultiGetCalls(), 1);   // one batch, regardless of keys
+  EXPECT_EQ(kv.MultiGetKeys(), 3);
+}
+
+TEST(MemKvStoreTest, MultiGetChargesOneRoundTripPerBatch) {
+  // With a 2ms base latency, 50 point reads burn >= 100ms of simulated
+  // round trips while one 50-key MultiGet burns a single one. The margin is
+  // wide enough to survive a loaded test machine.
+  MemKvOptions options;
+  options.base_latency_us = 2000;
+  MemKvStore kv(options);
+  std::vector<std::string> keys;
+  for (int i = 0; i < 50; ++i) {
+    const std::string key = "k" + std::to_string(i);
+    kv.Set(key, "v").ok();
+    keys.push_back(key);
+  }
+
+  const auto sequential_start = std::chrono::steady_clock::now();
+  std::string value;
+  for (const auto& key : keys) {
+    ASSERT_TRUE(kv.Get(key, &value).ok());
+  }
+  const auto sequential_us =
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - sequential_start)
+          .count();
+
+  const auto batch_start = std::chrono::steady_clock::now();
+  std::vector<std::string> values;
+  std::vector<Status> statuses;
+  kv.MultiGet(keys, &values, &statuses);
+  const auto batch_us = std::chrono::duration_cast<std::chrono::microseconds>(
+                            std::chrono::steady_clock::now() - batch_start)
+                            .count();
+
+  for (const auto& status : statuses) EXPECT_TRUE(status.ok());
+  EXPECT_GE(sequential_us, 100'000);
+  EXPECT_LT(batch_us, sequential_us / 4);
+}
+
+TEST(MemKvStoreTest, MultiGetFailsPerKeyOnInjectedFailures) {
+  // Failure draws stay per key, so a batch partially succeeds the way a
+  // multi-get spanning region servers does.
+  MemKvOptions options;
+  options.failure_probability = 0.3;
+  options.seed = 7;
+  MemKvStore kv(options);
+  std::vector<std::string> keys;
+  for (int i = 0; i < 200; ++i) {
+    const std::string key = "k" + std::to_string(i);
+    keys.push_back(key);
+  }
+  kv.SetFailureProbability(0.0);
+  for (const auto& key : keys) ASSERT_TRUE(kv.Set(key, "v").ok());
+  kv.SetFailureProbability(0.3);
+
+  std::vector<std::string> values;
+  std::vector<Status> statuses;
+  kv.MultiGet(keys, &values, &statuses);
+  int ok = 0, unavailable = 0;
+  for (size_t i = 0; i < statuses.size(); ++i) {
+    if (statuses[i].ok()) {
+      ++ok;
+      EXPECT_EQ(values[i], "v");
+    } else {
+      EXPECT_TRUE(statuses[i].IsUnavailable());
+      ++unavailable;
+    }
+  }
+  EXPECT_GT(ok, 80);
+  EXPECT_GT(unavailable, 20);
+}
+
+TEST(MemKvStoreTest, MultiGetOnDownStoreIsAllUnavailable) {
+  MemKvStore kv;
+  kv.Set("a", "1").ok();
+  kv.SetDown(true);
+  std::vector<std::string> values;
+  std::vector<Status> statuses;
+  kv.MultiGet({"a", "b"}, &values, &statuses);
+  ASSERT_EQ(statuses.size(), 2u);
+  EXPECT_TRUE(statuses[0].IsUnavailable());
+  EXPECT_TRUE(statuses[1].IsUnavailable());
+}
+
+TEST(MemKvStoreTest, MultiGetEmptyBatchIsNoop) {
+  MemKvStore kv;
+  std::vector<std::string> values;
+  std::vector<Status> statuses;
+  kv.MultiGet({}, &values, &statuses);
+  EXPECT_TRUE(values.empty());
+  EXPECT_TRUE(statuses.empty());
+  EXPECT_EQ(kv.MultiGetCalls(), 1);
+  EXPECT_EQ(kv.MultiGetKeys(), 0);
+}
+
 TEST(MemKvStoreTest, ForEachVisitsEverything) {
   MemKvStore kv;
   for (int i = 0; i < 20; ++i) {
@@ -217,6 +327,37 @@ TEST(ReplicatedKvTest, StaleReadWindowIsObservable) {
   clock.AdvanceMs(600);
   ASSERT_TRUE(kv.slave(0)->Get("profile", &value).ok());
   EXPECT_EQ(value, "new");
+}
+
+TEST(ReplicatedKvTest, MultiGetRespectsReplicationLag) {
+  ManualClock clock(0);
+  ReplicatedKvOptions options;
+  options.replication_lag_ms = 1000;
+  ReplicatedKv kv(options, &clock);
+  ASSERT_TRUE(kv.master()->Set("a", "1").ok());
+  ASSERT_TRUE(kv.master()->Set("b", "2").ok());
+
+  std::vector<std::string> values;
+  std::vector<Status> statuses;
+  // Master view serves the batch immediately.
+  kv.master()->MultiGet({"a", "b", "c"}, &values, &statuses);
+  ASSERT_EQ(statuses.size(), 3u);
+  EXPECT_TRUE(statuses[0].ok());
+  EXPECT_EQ(values[0], "1");
+  EXPECT_TRUE(statuses[1].ok());
+  EXPECT_TRUE(statuses[2].IsNotFound());
+
+  // The slave view sees nothing until the lag elapses...
+  kv.slave(0)->MultiGet({"a", "b"}, &values, &statuses);
+  EXPECT_TRUE(statuses[0].IsNotFound());
+  EXPECT_TRUE(statuses[1].IsNotFound());
+  // ...then drains the matured mutations before serving the batch.
+  clock.AdvanceMs(1001);
+  kv.slave(0)->MultiGet({"a", "b"}, &values, &statuses);
+  ASSERT_TRUE(statuses[0].ok());
+  EXPECT_EQ(values[0], "1");
+  ASSERT_TRUE(statuses[1].ok());
+  EXPECT_EQ(values[1], "2");
 }
 
 TEST(ReplicatedKvTest, OrderingPreservedThroughReplication) {

@@ -74,6 +74,65 @@ TEST_P(PersisterModeTest, EraseRemovesEverything) {
   EXPECT_TRUE(persister.Load(1).status().IsNotFound());
 }
 
+TEST_P(PersisterModeTest, LoadBatchAlignsAndRoundTrips) {
+  MemKvStore kv;
+  PersisterOptions options;
+  options.mode = GetParam();
+  options.split_threshold_bytes = 0;  // split mode splits even small profiles
+  Persister persister("t", &kv, options);
+  ASSERT_TRUE(persister.Flush(1, MakeProfile(10, 8)).ok());
+  ASSERT_TRUE(persister.Flush(2, MakeProfile(3, 2)).ok());
+
+  auto results = persister.LoadBatch({2, 777, 1});
+  ASSERT_EQ(results.size(), 3u);
+  ASSERT_TRUE(results[0].ok()) << results[0].status().ToString();
+  EXPECT_EQ(results[0]->SliceCount(), 3u);
+  EXPECT_TRUE(results[1].status().IsNotFound());
+  ASSERT_TRUE(results[2].ok()) << results[2].status().ToString();
+  EXPECT_EQ(results[2]->SliceCount(), 10u);
+  EXPECT_EQ(results[2]->TotalFeatures(), MakeProfile(10, 8).TotalFeatures());
+}
+
+TEST(PersisterTest, BulkLoadBatchIsOneMultiGet) {
+  MemKvStore kv;
+  PersisterOptions options;
+  options.mode = PersistenceMode::kBulk;
+  Persister persister("t", &kv, options);
+  std::vector<ProfileId> pids;
+  for (ProfileId pid = 1; pid <= 16; ++pid) {
+    ASSERT_TRUE(persister.Flush(pid, MakeProfile(4, 4)).ok());
+    pids.push_back(pid);
+  }
+  const int64_t multi_gets_before = kv.MultiGetCalls();
+  const int64_t point_reads_before = kv.PointReadCalls();
+  auto results = persister.LoadBatch(pids);
+  for (const auto& result : results) ASSERT_TRUE(result.ok());
+  EXPECT_EQ(kv.MultiGetCalls() - multi_gets_before, 1);
+  EXPECT_EQ(kv.PointReadCalls() - point_reads_before, 0);
+}
+
+TEST(PersisterTest, SplitLoadBatchCoalescesSliceValues) {
+  // Slice-split metas stay on the versioned XGet protocol (per-pid point
+  // reads), but every slice VALUE across every profile rides one MultiGet.
+  MemKvStore kv;
+  PersisterOptions options;
+  options.mode = PersistenceMode::kSliceSplit;
+  options.split_threshold_bytes = 0;
+  Persister persister("t", &kv, options);
+  std::vector<ProfileId> pids;
+  for (ProfileId pid = 1; pid <= 8; ++pid) {
+    ASSERT_TRUE(persister.Flush(pid, MakeProfile(6, 4)).ok());
+    pids.push_back(pid);
+  }
+  const int64_t multi_gets_before = kv.MultiGetCalls();
+  auto results = persister.LoadBatch(pids);
+  for (const auto& result : results) {
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    EXPECT_EQ(result->SliceCount(), 6u);
+  }
+  EXPECT_EQ(kv.MultiGetCalls() - multi_gets_before, 1);
+}
+
 INSTANTIATE_TEST_SUITE_P(Modes, PersisterModeTest,
                          ::testing::Values(PersistenceMode::kBulk,
                                            PersistenceMode::kSliceSplit));
