@@ -1,9 +1,10 @@
 #!/usr/bin/env bash
 # Tier-1 verification: configure, build, run the full test suite.
 #
-#   scripts/tier1.sh                 # plain Release build + ctest
+#   scripts/tier1.sh                        # plain Release build + ctest
 #   IPS_SANITIZE=thread scripts/tier1.sh    # same suite under TSan
 #   IPS_SANITIZE=address scripts/tier1.sh   # same suite under ASan
+#   scripts/tier1.sh --all                  # plain, then ASan, then TSan
 #
 # Sanitized builds use a separate build directory so they don't thrash the
 # incremental plain build.
@@ -11,15 +12,24 @@ set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
-SANITIZE="${IPS_SANITIZE:-}"
-BUILD_DIR="build"
-CMAKE_ARGS=()
-if [[ -n "${SANITIZE}" ]]; then
-  BUILD_DIR="build-${SANITIZE}"
-  CMAKE_ARGS+=("-DIPS_SANITIZE=${SANITIZE}")
-fi
+run_suite() {
+  local sanitize="$1"
+  local build_dir="build"
+  local cmake_args=()
+  if [[ -n "${sanitize}" ]]; then
+    build_dir="build-${sanitize}"
+    cmake_args+=("-DIPS_SANITIZE=${sanitize}")
+  fi
+  echo "=== tier1: ${sanitize:-plain} (${build_dir}) ==="
+  cmake -B "${build_dir}" -S . "${cmake_args[@]}"
+  cmake --build "${build_dir}" -j "$(nproc)"
+  (cd "${build_dir}" && ctest --output-on-failure -j "$(nproc)")
+}
 
-cmake -B "${BUILD_DIR}" -S . "${CMAKE_ARGS[@]}"
-cmake --build "${BUILD_DIR}" -j "$(nproc)"
-cd "${BUILD_DIR}"
-ctest --output-on-failure -j "$(nproc)"
+if [[ "${1:-}" == "--all" ]]; then
+  for sanitize in "" address thread; do
+    run_suite "${sanitize}"
+  done
+else
+  run_suite "${IPS_SANITIZE:-}"
+fi

@@ -101,29 +101,35 @@ Result<std::pair<GCache::EntryPtr, bool>> GCache::GetOrLoad(
   if (metrics_ != nullptr) metrics_->GetCounter("cache.miss")->Increment();
 
   ProfileData loaded(options_.write_granularity_ms);
-  bool found_in_store = false;
+  bool degraded = false;
   {
-    Result<ProfileData> result = load_(pid);
+    Result<ProfileData> result = load_(pid, &degraded);
     if (result.ok()) {
+      // A degraded load means the loader fell back: the primary store is
+      // still unhealthy even though the load itself succeeded.
+      NoteStoreHealth(degraded ? Status::Unavailable("fallback load")
+                               : Status::OK());
       loaded = std::move(result).value();
-      found_in_store = true;
     } else if (result.status().IsNotFound()) {
       if (!create_if_missing) return result.status();
     } else {
+      NoteStoreHealth(result.status());
       return result.status();  // storage unavailable etc.
     }
   }
 
-  (void)found_in_store;
-  return std::make_pair(InsertLoaded(pid, std::move(loaded)), false);
+  return std::make_pair(InsertLoaded(pid, std::move(loaded), degraded),
+                        false);
 }
 
-GCache::EntryPtr GCache::InsertLoaded(ProfileId pid, ProfileData loaded) {
+GCache::EntryPtr GCache::InsertLoaded(ProfileId pid, ProfileData loaded,
+                                      bool degraded) {
   LruShard& shard = *lru_shards_[LruIndex(pid)];
   auto entry = std::make_shared<Entry>(pid, std::move(loaded));
   {
     std::lock_guard<std::mutex> entry_lock(entry->mu);
     entry->bytes = entry->profile.ApproximateBytes();
+    entry->degraded = degraded;
   }
 
   std::lock_guard<std::mutex> lock(shard.mu);
@@ -143,8 +149,9 @@ GCache::EntryPtr GCache::InsertLoaded(ProfileId pid, ProfileData loaded) {
 size_t GCache::WithProfiles(
     const std::vector<ProfileId>& pids,
     const std::function<void(size_t, const ProfileData&)>& fn,
-    std::vector<Status>* statuses) {
+    std::vector<Status>* statuses, std::vector<bool>* out_degraded) {
   statuses->assign(pids.size(), Status::OK());
+  if (out_degraded != nullptr) out_degraded->assign(pids.size(), false);
   std::vector<EntryPtr> entries(pids.size());
 
   // Phase 1: partition into hits and misses against the shard maps. Misses
@@ -187,12 +194,22 @@ size_t GCache::WithProfiles(
   // this is the storage round trip the whole refactor exists to coalesce.
   if (!miss_pids.empty()) {
     std::vector<Result<ProfileData>> loaded;
+    std::vector<bool> loaded_degraded(miss_pids.size(), false);
     if (batch_load_) {
-      loaded = batch_load_(miss_pids);
+      loaded = batch_load_(miss_pids, &loaded_degraded);
+      if (loaded_degraded.size() != miss_pids.size()) {
+        loaded_degraded.assign(miss_pids.size(), false);
+      }
     } else {
       loaded.reserve(miss_pids.size());
-      for (ProfileId pid : miss_pids) loaded.push_back(load_(pid));
+      for (size_t m = 0; m < miss_pids.size(); ++m) {
+        bool degraded = false;
+        loaded.push_back(load_(miss_pids[m], &degraded));
+        loaded_degraded[m] = degraded;
+      }
     }
+    bool any_unavailable = false;
+    bool any_degraded = false;
     for (size_t m = 0; m < miss_pids.size(); ++m) {
       const auto& indices = miss_indices[miss_pids[m]];
       if (m >= loaded.size() || !loaded[m].ok()) {
@@ -200,21 +217,32 @@ size_t GCache::WithProfiles(
                                   ? Status::Internal("batch loader returned "
                                                      "a short result list")
                                   : loaded[m].status();
+        if (status.IsUnavailable()) any_unavailable = true;
         for (size_t i : indices) (*statuses)[i] = status;
         continue;
       }
-      EntryPtr entry =
-          InsertLoaded(miss_pids[m], std::move(loaded[m]).value());
+      if (loaded_degraded[m]) any_degraded = true;
+      EntryPtr entry = InsertLoaded(miss_pids[m], std::move(loaded[m]).value(),
+                                    loaded_degraded[m]);
       for (size_t i : indices) entries[i] = entry;
+    }
+    if (any_unavailable || any_degraded) {
+      NoteStoreHealth(Status::Unavailable("batch load"));
+    } else {
+      NoteStoreHealth(Status::OK());
     }
   }
 
   // Phase 3: serve each present profile under its entry lock, in input
   // order (entries are locked one at a time, so no lock-order concerns).
+  const bool store_unhealthy = StoreUnhealthy();
   for (size_t i = 0; i < pids.size(); ++i) {
     if (!entries[i]) continue;
     std::lock_guard<std::mutex> lock(entries[i]->mu);
     fn(i, entries[i]->profile);
+    if (out_degraded != nullptr) {
+      (*out_degraded)[i] = entries[i]->degraded || store_unhealthy;
+    }
   }
   return hits;
 }
@@ -245,15 +273,30 @@ void GCache::MarkDirty(Entry& entry) {
   }
 }
 
+bool GCache::EntryDegraded(const EntryPtr& entry) const {
+  if (StoreUnhealthy()) return true;
+  std::lock_guard<std::mutex> lock(entry->mu);
+  return entry->degraded;
+}
+
+void GCache::NoteStoreHealth(const Status& status) {
+  store_unhealthy_.store(status.IsUnavailable(), std::memory_order_relaxed);
+}
+
 Status GCache::WithProfile(ProfileId pid,
                            const std::function<void(const ProfileData&)>& fn,
-                           bool* out_was_hit) {
+                           bool* out_was_hit, bool* out_degraded) {
   if (out_was_hit != nullptr) *out_was_hit = false;
+  if (out_degraded != nullptr) *out_degraded = false;
   IPS_ASSIGN_OR_RETURN(auto pair, GetOrLoad(pid, /*create_if_missing=*/false));
   auto& [entry, was_hit] = pair;
   if (out_was_hit != nullptr) *out_was_hit = was_hit;
+  const bool store_unhealthy = StoreUnhealthy();
   std::lock_guard<std::mutex> lock(entry->mu);
   fn(entry->profile);
+  if (out_degraded != nullptr) {
+    *out_degraded = entry->degraded || store_unhealthy;
+  }
   return Status::OK();
 }
 
@@ -348,18 +391,22 @@ size_t GCache::SwapOnce() {
 
 Status GCache::FlushEntryLocked(Entry& entry) {
   Status status = flush_(entry.pid, entry.profile);
+  NoteStoreHealth(status);
   if (status.ok()) {
     entry.dirty = false;
+    // The entry's state reached the primary store: whatever stale base it
+    // was loaded from, the persisted copy is now the authoritative merge.
+    entry.degraded = false;
     if (metrics_ != nullptr) {
       metrics_->GetCounter("cache.flushed")->Increment();
     }
   } else if (metrics_ != nullptr) {
-    metrics_->GetCounter("cache.flush_error")->Increment();
+    metrics_->GetCounter("cache.flush_failures")->Increment();
   }
   return status;
 }
 
-size_t GCache::FlushShard(DirtyShard& dshard) {
+size_t GCache::FlushShard(DirtyShard& dshard, size_t* out_failures) {
   // Grab the current batch; new dirties accumulate behind it.
   std::list<ProfileId> batch;
   {
@@ -367,14 +414,23 @@ size_t GCache::FlushShard(DirtyShard& dshard) {
     batch.swap(dshard.dirty);
   }
   size_t flushed = 0;
+  size_t failures = 0;
   std::list<ProfileId> requeue;
-  for (ProfileId pid : batch) {
+  for (auto it = batch.begin(); it != batch.end(); ++it) {
+    if (failures >= options_.max_flush_failures_per_pass) {
+      // The store is misbehaving: stop the pass and requeue the untried
+      // remainder rather than grinding through the whole dirty list (the
+      // caller backs off between passes).
+      requeue.insert(requeue.end(), it, batch.end());
+      break;
+    }
+    const ProfileId pid = *it;
     LruShard& shard = *lru_shards_[LruIndex(pid)];
     EntryPtr entry;
     {
       std::lock_guard<std::mutex> lock(shard.mu);
-      auto it = shard.map.find(pid);
-      if (it != shard.map.end()) entry = it->second;
+      auto map_it = shard.map.find(pid);
+      if (map_it != shard.map.end()) entry = map_it->second;
     }
     if (!entry) continue;  // evicted (was flushed on eviction)
     std::lock_guard<std::mutex> entry_lock(entry->mu);
@@ -386,6 +442,7 @@ size_t GCache::FlushShard(DirtyShard& dshard) {
     if (FlushEntryLocked(*entry).ok()) {
       ++flushed;
     } else {
+      ++failures;
       requeue.push_back(pid);
       std::lock_guard<std::mutex> dlock(dshard.mu);
       entry->in_dirty_list = true;
@@ -395,6 +452,7 @@ size_t GCache::FlushShard(DirtyShard& dshard) {
     std::lock_guard<std::mutex> lock(dshard.mu);
     dshard.dirty.splice(dshard.dirty.end(), requeue);
   }
+  if (out_failures != nullptr) *out_failures = failures;
   return flushed;
 }
 
@@ -406,9 +464,30 @@ size_t GCache::FlushOnce() {
 
 void GCache::FlushAll() {
   // Loop because flushes may fail transiently (injected storage errors) and
-  // new dirties can appear; bail after a bounded number of rounds.
+  // new dirties can appear. Failing rounds back off (doubling, capped) and
+  // the loop gives up after a few rounds of zero progress — a dead store at
+  // shutdown must not hold the destructor hostage.
+  int64_t backoff_ms = 0;
+  int stuck_rounds = 0;
   for (int round = 0; round < 64; ++round) {
-    if (FlushOnce() == 0 && DirtyCount() == 0) return;
+    size_t failures = 0;
+    size_t flushed = 0;
+    for (auto& shard : dirty_shards_) {
+      size_t shard_failures = 0;
+      flushed += FlushShard(*shard, &shard_failures);
+      failures += shard_failures;
+    }
+    if (flushed == 0 && failures == 0 && DirtyCount() == 0) return;
+    if (failures == 0) {
+      backoff_ms = 0;
+      stuck_rounds = 0;
+      continue;
+    }
+    if (flushed == 0 && ++stuck_rounds >= 4) break;
+    backoff_ms = std::min(options_.flush_backoff_max_ms,
+                          backoff_ms > 0 ? backoff_ms * 2
+                                         : options_.flush_backoff_ms);
+    clock_->SleepMs(backoff_ms);
   }
   IPS_LOG(Warn) << "FlushAll: dirty entries remain after bounded retries";
 }
@@ -489,13 +568,22 @@ void GCache::SwapLoop() {
 void GCache::FlushLoop(size_t thread_index) {
   DirtyShard& my_shard =
       *dirty_shards_[thread_index % options_.dirty_shards];
+  int64_t backoff_ms = 0;  // extra wait after failing passes, doubling
   std::unique_lock<std::mutex> lock(bg_mu_);
   while (!shutdown_.load(std::memory_order_relaxed)) {
-    bg_cv_.wait_for(lock,
-                    std::chrono::milliseconds(options_.flush_interval_ms));
+    bg_cv_.wait_for(lock, std::chrono::milliseconds(
+                              options_.flush_interval_ms + backoff_ms));
     if (shutdown_.load(std::memory_order_relaxed)) return;
     lock.unlock();
-    FlushShard(my_shard);
+    size_t failures = 0;
+    FlushShard(my_shard, &failures);
+    if (failures == 0) {
+      backoff_ms = 0;
+    } else {
+      backoff_ms = std::min(options_.flush_backoff_max_ms,
+                            backoff_ms > 0 ? backoff_ms * 2
+                                           : options_.flush_backoff_ms);
+    }
     lock.lock();
   }
 }

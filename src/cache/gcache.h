@@ -54,6 +54,15 @@ struct GCacheOptions {
   /// Background thread cadence.
   int64_t swap_interval_ms = 50;
   int64_t flush_interval_ms = 100;
+  /// Failed flushes tolerated per flush pass over one dirty shard: after
+  /// this many the pass stops and requeues the untried remainder, so an
+  /// injected storage outage cannot turn the flush thread into a tight
+  /// retry loop over the whole dirty list.
+  size_t max_flush_failures_per_pass = 8;
+  /// Backoff between failing flush passes, doubling up to the max; reset by
+  /// the first clean pass.
+  int64_t flush_backoff_ms = 50;
+  int64_t flush_backoff_max_ms = 2000;
   /// When false no background threads start; tests drive SwapOnce/FlushOnce
   /// manually for determinism.
   bool start_background_threads = true;
@@ -64,13 +73,16 @@ struct GCacheOptions {
 /// Persists one profile; invoked with the entry lock held.
 using FlushFn = std::function<Status(ProfileId, const ProfileData&)>;
 /// Loads one profile on cache miss. NotFound means "no such profile yet".
-using LoadFn = std::function<Result<ProfileData>(ProfileId)>;
+/// `out_degraded` (never null) is set when the profile came from a fallback
+/// replica and may be stale; the cache carries the flag through to readers.
+using LoadFn = std::function<Result<ProfileData>(ProfileId, bool* out_degraded)>;
 /// Loads many profiles in one storage round trip (the batch-miss-coalescing
 /// step of the MultiQuery read path). Results align with the pid list;
-/// NotFound marks profiles that were never persisted.
+/// NotFound marks profiles that were never persisted. `out_degraded` (never
+/// null) aligns with the pid list, same contract as LoadFn.
 using BatchLoadFn =
     std::function<std::vector<Result<ProfileData>>(
-        const std::vector<ProfileId>&)>;
+        const std::vector<ProfileId>&, std::vector<bool>* out_degraded)>;
 
 class GCache {
  public:
@@ -85,10 +97,14 @@ class GCache {
   /// On miss the loader is consulted; NotFound from the loader is returned
   /// to the caller (queries on unknown profiles are empty, handled above).
   /// `out_was_hit`, when non-null, reports whether this was a cache hit —
-  /// the Table II latency split keys on it.
+  /// the Table II latency split keys on it. `out_degraded`, when non-null,
+  /// reports whether the served profile may be stale: it was loaded from a
+  /// fallback replica, or the backing store is currently unhealthy (the
+  /// resident copy cannot be revalidated or flushed).
   Status WithProfile(ProfileId pid,
                      const std::function<void(const ProfileData&)>& fn,
-                     bool* out_was_hit = nullptr);
+                     bool* out_was_hit = nullptr,
+                     bool* out_degraded = nullptr);
 
   /// Batch read path (the spine of MultiQuery): partitions `pids` into
   /// cache hits and misses, satisfies ALL misses with one batch-loader call
@@ -98,9 +114,12 @@ class GCache {
   /// and no callback. Duplicate pids are coalesced for loading but each
   /// occurrence gets its own callback and status. Returns the number of
   /// cache hits.
+  /// `out_degraded`, when non-null, is filled aligned with `pids`; same
+  /// staleness contract as WithProfile.
   size_t WithProfiles(const std::vector<ProfileId>& pids,
                       const std::function<void(size_t, const ProfileData&)>& fn,
-                      std::vector<Status>* statuses);
+                      std::vector<Status>* statuses,
+                      std::vector<bool>* out_degraded = nullptr);
 
   /// Installs the batch loader. Not thread-safe w.r.t. concurrent reads;
   /// call during setup, right after construction.
@@ -147,6 +166,13 @@ class GCache {
   /// Lifetime hit ratio in [0,1]; 0 when no lookups yet.
   double HitRatio() const;
 
+  /// Whether the backing store is currently considered unhealthy (last
+  /// flush/load against it failed with Unavailable). While set, every hit
+  /// is reported degraded — the resident copy cannot be revalidated.
+  bool StoreUnhealthy() const {
+    return store_unhealthy_.load(std::memory_order_relaxed);
+  }
+
   const GCacheOptions& options() const { return options_; }
 
  private:
@@ -158,6 +184,10 @@ class GCache {
     /// accounting.
     size_t bytes = 0;
     bool dirty = false;
+    /// Loaded from a fallback replica (may be stale). Guarded by mu; cleared
+    /// by the first successful flush (the entry's state then reached the
+    /// primary store and is authoritative again).
+    bool degraded = false;
     /// Guarded by the owning DirtyShard's mutex.
     bool in_dirty_list = false;
 
@@ -202,15 +232,24 @@ class GCache {
   /// Flushes the given entry if dirty (entry lock must be held).
   Status FlushEntryLocked(Entry& entry);
 
-  /// Flushes all entries queued in one dirty shard.
-  size_t FlushShard(DirtyShard& shard);
+  /// Flushes all entries queued in one dirty shard. Stops early after
+  /// max_flush_failures_per_pass failed flushes (requeueing the untried
+  /// remainder); `out_failures`, when non-null, reports the failure count.
+  size_t FlushShard(DirtyShard& shard, size_t* out_failures = nullptr);
+
+  /// Marks the backing store healthy/unhealthy from a flush/load outcome.
+  void NoteStoreHealth(const Status& status);
 
   void SwapLoop();
   void FlushLoop(size_t thread_index);
 
   /// Inserts a freshly loaded entry into its shard, or adopts the entry a
   /// concurrent loader already established. Returns the entry to use.
-  EntryPtr InsertLoaded(ProfileId pid, ProfileData loaded);
+  EntryPtr InsertLoaded(ProfileId pid, ProfileData loaded, bool degraded);
+
+  /// Reads the entry's degraded flag combined with store health (entry lock
+  /// must NOT be held).
+  bool EntryDegraded(const EntryPtr& entry) const;
 
   GCacheOptions options_;
   Clock* clock_;
@@ -224,6 +263,7 @@ class GCache {
   std::atomic<size_t> memory_bytes_{0};
   std::atomic<int64_t> hits_{0};
   std::atomic<int64_t> misses_{0};
+  std::atomic<bool> store_unhealthy_{false};
 
   std::atomic<bool> shutdown_{false};
   std::mutex bg_mu_;

@@ -1,5 +1,6 @@
 #include "cluster/client.h"
 
+#include <algorithm>
 #include <atomic>
 #include <map>
 #include <thread>
@@ -10,7 +11,9 @@ namespace ips {
 IpsClient::IpsClient(IpsClientOptions options, Deployment* deployment)
     : options_(std::move(options)),
       deployment_(deployment),
-      metrics_(deployment->metrics()) {
+      metrics_(deployment->metrics()),
+      retry_policy_(options_.retry),
+      breakers_(options_.breaker) {
   RefreshView();
 }
 
@@ -42,10 +45,82 @@ void IpsClient::MaybeRefresh() {
 std::vector<std::string> IpsClient::ReadCandidates(ProfileId pid,
                                                    const std::string& region,
                                                    int attempts) {
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = rings_.find(region);
-  if (it == rings_.end()) return {};
-  return it->second.LookupN(pid, static_cast<size_t>(attempts));
+  std::vector<std::string> successors;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = rings_.find(region);
+    if (it == rings_.end()) return {};
+    // Probe the ring a little deeper than `attempts` so filtering open
+    // breakers still leaves a full candidate list when possible.
+    const size_t probe =
+        static_cast<size_t>(attempts) + (breakers_.enabled() ? 2 : 0);
+    successors = it->second.LookupN(pid, probe);
+  }
+  if (!breakers_.enabled()) {
+    if (successors.size() > static_cast<size_t>(attempts)) {
+      successors.resize(static_cast<size_t>(attempts));
+    }
+    return successors;
+  }
+  const TimestampMs now = deployment_->clock()->NowMs();
+  std::vector<std::string> usable;
+  usable.reserve(static_cast<size_t>(attempts));
+  int64_t skipped = 0;
+  for (const auto& node_id : successors) {
+    if (usable.size() >= static_cast<size_t>(attempts)) break;
+    if (breakers_.Get(node_id)->AllowRequest(now)) {
+      usable.push_back(node_id);
+    } else {
+      ++skipped;
+    }
+  }
+  if (skipped > 0) {
+    metrics_->GetCounter("client.breaker_skips")->Increment(skipped);
+  }
+  if (usable.empty() && !successors.empty()) {
+    // Every successor's breaker is open. Refusing to try at all would turn
+    // a flapping cluster into a guaranteed failure, so fall back to plain
+    // ring order — the calls double as half-open probes.
+    successors.resize(
+        std::min(successors.size(), static_cast<size_t>(attempts)));
+    return successors;
+  }
+  return usable;
+}
+
+bool IpsClient::PrepareRetry(const Status& last_error, const CallContext& ctx) {
+  const auto delay = retry_policy_.NextRetryDelayMs(last_error);
+  if (!delay.has_value()) {
+    // Distinguish "error is terminal" from "budget said no": only the
+    // latter is a policy intervention worth a counter.
+    if (retry_policy_.enabled() && last_error.IsRetryable()) {
+      metrics_->GetCounter("client.retry_budget_exhausted")->Increment();
+    }
+    return false;
+  }
+  const int64_t sleep_ms = *delay;
+  if (ctx.has_deadline()) {
+    const int64_t remaining = ctx.RemainingMs(deployment_->clock()->NowMs());
+    // The backoff must leave headroom for the attempt itself: sleeping the
+    // full remaining budget lands exactly on the deadline, guaranteeing a
+    // dead-on-arrival attempt whose DeadlineExceeded outcome would then be
+    // charged to a healthy node's breaker. Fail with the real error now.
+    if (remaining <= sleep_ms) return false;
+  }
+  metrics_->GetCounter("client.retries")->Increment();
+  if (sleep_ms > 0) deployment_->clock()->SleepMs(sleep_ms);
+  return true;
+}
+
+void IpsClient::RecordOutcome(const std::string& node_id,
+                              const Status& status) {
+  if (!breakers_.enabled()) return;
+  CircuitBreaker* breaker = breakers_.Get(node_id);
+  if (CircuitBreaker::IsNodeFault(status)) {
+    breaker->RecordFailure(deployment_->clock()->NowMs());
+  } else {
+    breaker->RecordSuccess();
+  }
 }
 
 Status IpsClient::AddProfile(const std::string& table, ProfileId pid,
@@ -77,25 +152,44 @@ bool IpsClient::HasTableAnywhere(const std::string& table) {
 
 Status IpsClient::AddProfilesAs(const std::string& caller,
                                 const std::string& table, ProfileId pid,
-                                const std::vector<AddRecord>& records) {
+                                const std::vector<AddRecord>& records,
+                                const CallContext& ctx) {
   MaybeRefresh();
   metrics_->GetCounter("client.write_requests")->Increment();
+  retry_policy_.OnRequestStart();
 
   // Multi-region writing: every region gets the record on its owning node.
+  // The retry policy gates *successor* attempts within a region; the region
+  // fan-out itself is the write contract, not a retry.
   size_t regions_ok = 0;
+  bool deadline_hit = false;
   Status last_error = Status::Unavailable("no live instance");
   for (const auto& region : deployment_->region_names()) {
+    if (deadline_hit) break;
     Status region_status = Status::Unavailable("no live instance");
     const auto candidates =
         ReadCandidates(pid, region, options_.max_write_attempts);
+    bool first_in_region = true;
     for (const auto& node_id : candidates) {
       IpsNode* node = deployment_->FindNode(node_id);
       if (node == nullptr) continue;
+      if (ctx.Expired(deployment_->clock()->NowMs())) {
+        metrics_->GetCounter("client.deadline_exceeded")->Increment();
+        region_status = Status::DeadlineExceeded("client deadline expired");
+        deadline_hit = true;
+        break;
+      }
+      if (!first_in_region && retry_policy_.enabled() &&
+          !PrepareRetry(region_status, ctx)) {
+        break;
+      }
+      first_in_region = false;
       region_status = node->Call(
-          options_.request_bytes, /*response_bytes=*/64,
+          ctx, options_.request_bytes, /*response_bytes=*/64,
           [&](IpsInstance& instance) {
-            return instance.AddProfiles(caller, table, pid, records);
+            return instance.AddProfiles(caller, table, pid, records, ctx);
           });
+      RecordOutcome(node_id, region_status);
       if (region_status.ok()) break;
       // A quota rejection is a server decision, not a node fault: stop
       // hammering successors (they enforce the same quota).
@@ -118,9 +212,11 @@ Status IpsClient::AddProfilesAs(const std::string& caller,
 }
 
 Result<QueryResult> IpsClient::Query(const std::string& table, ProfileId pid,
-                                     const QuerySpec& spec) {
+                                     const QuerySpec& spec,
+                                     const CallContext& ctx) {
   MaybeRefresh();
   metrics_->GetCounter("client.read_requests")->Increment();
+  retry_policy_.OnRequestStart();
 
   // Region preference: local first, then failover regions in order.
   std::vector<std::string> regions;
@@ -129,23 +225,43 @@ Result<QueryResult> IpsClient::Query(const std::string& table, ProfileId pid,
   if (regions.empty()) regions = deployment_->region_names();
 
   Status last_error = Status::Unavailable("no live instance");
+  bool first_attempt = true;
   for (const auto& region : regions) {
     const auto candidates =
         ReadCandidates(pid, region, options_.max_read_attempts);
     for (const auto& node_id : candidates) {
       IpsNode* node = deployment_->FindNode(node_id);
       if (node == nullptr) continue;
+      if (ctx.Expired(deployment_->clock()->NowMs())) {
+        metrics_->GetCounter("client.deadline_exceeded")->Increment();
+        metrics_->GetCounter("client.read_errors")->Increment();
+        return Status::DeadlineExceeded("client deadline expired");
+      }
+      // Attempts after the first need a grant from the retry policy:
+      // terminal errors and an exhausted budget both stop the loop.
+      if (!first_attempt && retry_policy_.enabled() &&
+          !PrepareRetry(last_error, ctx)) {
+        metrics_->GetCounter("client.read_errors")->Increment();
+        return last_error;
+      }
+      first_attempt = false;
       Result<QueryResult> query_result = Status::Unavailable("unset");
       Status call_status = node->Call(
-          options_.request_bytes, options_.response_bytes,
+          ctx, options_.request_bytes, options_.response_bytes,
           [&](IpsInstance& instance) {
-            query_result = instance.Query(options_.caller, table, pid, spec);
+            query_result =
+                instance.Query(options_.caller, table, pid, spec, ctx);
             return query_result.ok() ? Status::OK() : query_result.status();
           });
       if (call_status.ok() && query_result.ok()) {
+        RecordOutcome(node_id, Status::OK());
+        if (query_result->degraded) {
+          metrics_->GetCounter("client.degraded_reads")->Increment();
+        }
         return query_result;
       }
       last_error = call_status.ok() ? query_result.status() : call_status;
+      RecordOutcome(node_id, last_error);
       // Quota rejections are not retried: the server told us to back off.
       if (last_error.IsResourceExhausted()) break;
     }
@@ -157,12 +273,14 @@ Result<QueryResult> IpsClient::Query(const std::string& table, ProfileId pid,
 
 Result<MultiQueryResult> IpsClient::MultiQuery(const std::string& table,
                                                std::span<const ProfileId> pids,
-                                               const QuerySpec& spec) {
+                                               const QuerySpec& spec,
+                                               const CallContext& ctx) {
   if (pids.empty()) return Status::InvalidArgument("empty pid batch");
   MaybeRefresh();
   metrics_->GetCounter("client.multi_read_requests")->Increment();
   metrics_->GetCounter("client.multi_read_pids")
       ->Increment(static_cast<int64_t>(pids.size()));
+  retry_policy_.OnRequestStart();
 
   // Deduplicate while preserving first-seen order: duplicate candidates cost
   // one lookup and fan back out on reassembly.
@@ -185,6 +303,7 @@ Result<MultiQueryResult> IpsClient::MultiQuery(const std::string& table,
   std::vector<SlotState> slots(unique.size());
   std::atomic<size_t> cache_hits{0};
   bool quota_stop = false;
+  bool stop_all = false;
 
   // Region preference: local first, then failover regions in order.
   std::vector<std::string> regions;
@@ -192,8 +311,9 @@ Result<MultiQueryResult> IpsClient::MultiQuery(const std::string& table,
   for (const auto& r : options_.failover_regions) regions.push_back(r);
   if (regions.empty()) regions = deployment_->region_names();
 
+  bool first_round = true;
   for (const auto& region : regions) {
-    if (quota_stop) break;
+    if (quota_stop || stop_all) break;
     // Ring candidates for every unfinished slot, computed once per region.
     std::vector<std::vector<std::string>> candidates(unique.size());
     for (size_t s = 0; s < unique.size(); ++s) {
@@ -204,6 +324,17 @@ Result<MultiQueryResult> IpsClient::MultiQuery(const std::string& table,
     }
     for (int attempt = 0; attempt < options_.max_read_attempts && !quota_stop;
          ++attempt) {
+      const TimestampMs round_now = deployment_->clock()->NowMs();
+      if (ctx.Expired(round_now)) {
+        metrics_->GetCounter("client.deadline_exceeded")->Increment();
+        for (auto& slot : slots) {
+          if (!slot.done) {
+            slot.status = Status::DeadlineExceeded("client deadline expired");
+          }
+        }
+        stop_all = true;
+        break;
+      }
       // Group unfinished slots by this attempt's ring owner. std::map keeps
       // the scatter order deterministic.
       std::map<std::string, std::vector<size_t>> by_node;
@@ -215,30 +346,62 @@ Result<MultiQueryResult> IpsClient::MultiQuery(const std::string& table,
       }
       if (by_node.empty()) break;
 
+      // Rounds after the first need a grant from the retry policy. The
+      // representative error is the first unfinished slot's status from the
+      // previous round.
+      if (!first_round && retry_policy_.enabled()) {
+        Status round_error = Status::Unavailable("no live instance");
+        for (const auto& slot : slots) {
+          if (!slot.done) {
+            round_error = slot.status;
+            break;
+          }
+        }
+        if (!PrepareRetry(round_error, ctx)) {
+          stop_all = true;
+          break;
+        }
+      }
+      first_round = false;
+
       // Scatter: one sub-batch RPC per owning node, in parallel. Each worker
-      // writes a disjoint set of slots, so no lock is needed.
+      // writes a disjoint set of slots, so no lock is needed. Nodes whose
+      // breaker re-opened since candidate selection are skipped here; their
+      // slots stay unfinished and move to the next ring successor.
       std::atomic<bool> saw_quota{false};
       std::vector<std::thread> workers;
       workers.reserve(by_node.size());
       for (auto& group : by_node) {
         IpsNode* node = deployment_->FindNode(group.first);
         if (node == nullptr) continue;
+        if (breakers_.enabled() &&
+            !breakers_.Get(group.first)->AllowRequest(round_now)) {
+          metrics_->GetCounter("client.breaker_skips")
+              ->Increment(static_cast<int64_t>(group.second.size()));
+          for (size_t s : group.second) {
+            slots[s].status = Status::Unavailable("circuit breaker open");
+          }
+          continue;
+        }
+        const std::string* node_id = &group.first;
         const std::vector<size_t>* slot_ids = &group.second;
-        workers.emplace_back([&, node, slot_ids] {
+        workers.emplace_back([&, node, node_id, slot_ids] {
           std::vector<ProfileId> sub;
           sub.reserve(slot_ids->size());
           for (size_t s : *slot_ids) sub.push_back(unique[s]);
           Result<MultiQueryResult> batch = Status::Unavailable("unset");
           Status call_status = node->Call(
-              options_.request_bytes + sub.size() * sizeof(ProfileId),
+              ctx, options_.request_bytes + sub.size() * sizeof(ProfileId),
               options_.response_bytes * sub.size(),
               [&](IpsInstance& instance) {
                 batch = instance.MultiQuery(
                     options_.caller, table,
-                    std::span<const ProfileId>(sub.data(), sub.size()), spec);
+                    std::span<const ProfileId>(sub.data(), sub.size()), spec,
+                    ctx);
                 return batch.ok() ? Status::OK() : batch.status();
               });
           if (call_status.ok() && batch.ok()) {
+            RecordOutcome(*node_id, Status::OK());
             cache_hits.fetch_add(batch->cache_hits,
                                  std::memory_order_relaxed);
             for (size_t j = 0; j < slot_ids->size(); ++j) {
@@ -253,6 +416,7 @@ Result<MultiQueryResult> IpsClient::MultiQuery(const std::string& table,
             // Batch-level failure (node down, quota, unknown table): every
             // slot in the sub-batch shares the cause.
             Status error = call_status.ok() ? batch.status() : call_status;
+            RecordOutcome(*node_id, error);
             if (error.IsResourceExhausted()) {
               saw_quota.store(true, std::memory_order_relaxed);
             }
@@ -277,10 +441,15 @@ Result<MultiQueryResult> IpsClient::MultiQuery(const std::string& table,
     SlotState& slot = slots[slot_of[i]];
     if (slot.done) {
       out.results[i] = slot.result;
+      if (slot.result.degraded) ++out.degraded;
     } else {
       out.statuses[i] = slot.status;
       ++failed;
     }
+  }
+  if (out.degraded > 0) {
+    metrics_->GetCounter("client.degraded_reads")
+        ->Increment(static_cast<int64_t>(out.degraded));
   }
   if (failed > 0) {
     metrics_->GetCounter("client.multi_read_errors")->Increment(failed);

@@ -15,8 +15,11 @@
 #include <unordered_map>
 #include <vector>
 
+#include "cluster/circuit_breaker.h"
 #include "cluster/consistent_hash.h"
 #include "cluster/deployment.h"
+#include "cluster/retry_policy.h"
+#include "common/call_context.h"
 #include "common/clock.h"
 #include "common/metrics.h"
 #include "query/query.h"
@@ -37,6 +40,14 @@ struct IpsClientOptions {
   /// Estimated request/response payloads for the transport cost model.
   size_t request_bytes = 256;
   size_t response_bytes = 2048;
+  /// Deadline applied to requests whose caller passes no explicit
+  /// CallContext; 0 disables (no deadline).
+  int64_t default_timeout_ms = 0;
+  /// Retry classification / backoff / budget. Attempts beyond the first are
+  /// granted by this policy; disabling it restores blind successor loops.
+  RetryPolicyOptions retry;
+  /// Per-node circuit breaking, consulted during candidate selection.
+  CircuitBreakerOptions breaker;
 };
 
 class IpsClient {
@@ -57,16 +68,29 @@ class IpsClient {
   /// AddProfiles under an explicit caller identity (e.g. a bulk-import job
   /// writing under its own quota while sharing the client plumbing).
   Status AddProfilesAs(const std::string& caller, const std::string& table,
-                       ProfileId pid, const std::vector<AddRecord>& records);
+                       ProfileId pid, const std::vector<AddRecord>& records) {
+    return AddProfilesAs(caller, table, pid, records, DefaultContext());
+  }
+
+  Status AddProfilesAs(const std::string& caller, const std::string& table,
+                       ProfileId pid, const std::vector<AddRecord>& records,
+                       const CallContext& ctx);
 
   /// True when some live node in any region has the table (pre-flight check
   /// for batch jobs).
   bool HasTableAnywhere(const std::string& table);
 
   /// Read path: local region first, ring successor retries, then failover
-  /// regions.
+  /// regions. Attempts after the first are granted by the retry policy
+  /// (classification + budget) and separated by jittered backoff; nodes
+  /// with an open circuit breaker are skipped at candidate selection.
   Result<QueryResult> Query(const std::string& table, ProfileId pid,
-                            const QuerySpec& spec);
+                            const QuerySpec& spec) {
+    return Query(table, pid, spec, DefaultContext());
+  }
+
+  Result<QueryResult> Query(const std::string& table, ProfileId pid,
+                            const QuerySpec& spec, const CallContext& ctx);
 
   /// Batched read path (the serving hot path): pids are deduplicated,
   /// grouped by owning instance on the consistent-hash ring, and each group
@@ -77,7 +101,14 @@ class IpsClient {
   /// each occurrence gets its own result slot.
   Result<MultiQueryResult> MultiQuery(const std::string& table,
                                       std::span<const ProfileId> pids,
-                                      const QuerySpec& spec);
+                                      const QuerySpec& spec) {
+    return MultiQuery(table, pids, spec, DefaultContext());
+  }
+
+  Result<MultiQueryResult> MultiQuery(const std::string& table,
+                                      std::span<const ProfileId> pids,
+                                      const QuerySpec& spec,
+                                      const CallContext& ctx);
 
   Result<QueryResult> GetProfileTopK(const std::string& table, ProfileId pid,
                                      SlotId slot, std::optional<TypeId> type,
@@ -92,16 +123,38 @@ class IpsClient {
   int64_t errors() const;
   double ErrorRate() const;
 
+  /// Fault-tolerance state (tests / observability).
+  RetryPolicy& retry_policy() { return retry_policy_; }
+  CircuitBreakerRegistry& breakers() { return breakers_; }
+
  private:
-  /// Ordered candidate node ids for `pid` reads in `region`.
+  /// Ordered candidate node ids for `pid` reads in `region`: ring
+  /// successors, with open-breaker nodes filtered out (the ring is probed
+  /// deeper to keep `attempts` usable candidates; if breakers reject every
+  /// successor the unfiltered list is returned as a last resort).
   std::vector<std::string> ReadCandidates(ProfileId pid,
                                           const std::string& region,
                                           int attempts);
   void MaybeRefresh();
 
+  CallContext DefaultContext() const {
+    return CallContext::WithTimeout(*deployment_->clock(),
+                                    options_.default_timeout_ms);
+  }
+
+  /// Gate for every attempt after the first: classifies `last_error`,
+  /// withdraws retry budget and sleeps the jittered backoff (clamped to the
+  /// deadline). False when the request must stop retrying.
+  bool PrepareRetry(const Status& last_error, const CallContext& ctx);
+
+  /// Records a call outcome on the node's breaker.
+  void RecordOutcome(const std::string& node_id, const Status& status);
+
   IpsClientOptions options_;
   Deployment* deployment_;
   MetricsRegistry* metrics_;
+  RetryPolicy retry_policy_;
+  CircuitBreakerRegistry breakers_;
 
   std::mutex mu_;
   /// region -> ring over that region's live instances.

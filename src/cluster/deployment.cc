@@ -11,15 +11,16 @@ IpsNode::IpsNode(std::string node_id, std::string region,
   instance_ = std::make_unique<IpsInstance>(instance_options, kv, clock,
                                             metrics);
   channel_options.seed = Fnv1a(node_id_) | 1;
-  channel_ = std::make_unique<Channel>(channel_options);
+  channel_ = std::make_unique<Channel>(channel_options, clock);
 }
 
-Status IpsNode::Call(size_t request_bytes, size_t response_bytes,
+Status IpsNode::Call(const CallContext& ctx, size_t request_bytes,
+                     size_t response_bytes,
                      const std::function<Status(IpsInstance&)>& handler) {
   if (down_.load(std::memory_order_relaxed)) {
     return Status::Unavailable("node " + node_id_ + " down");
   }
-  return channel_->Call(request_bytes, response_bytes, [&] {
+  return channel_->Call(ctx, request_bytes, response_bytes, [&] {
     if (down_.load(std::memory_order_relaxed)) {
       return Status::Unavailable("node " + node_id_ + " down");
     }
@@ -47,12 +48,20 @@ Deployment::Deployment(DeploymentOptions options, Clock* clock,
   uint64_t endpoint = 0;
   for (const auto& region : options_.regions) {
     region_names_.push_back(region.name);
+    const size_t region_slave = region.is_primary ? 0 : slave_index;
     KvStore* region_kv =
         region.is_primary ? kv_->master() : kv_->slave(slave_index++);
     IpsInstanceOptions instance_options = options_.instance;
     // Only primary-region instances persist to the master KV cluster
     // (Fig 15); secondary regions read their local slave and never write.
     instance_options.persist_writes = region.is_primary;
+    // Degraded reads: when the region's own KV cluster is unavailable,
+    // loads fall back to the other side of the replication pair (master ->
+    // slave, slave -> master) and are flagged stale-tolerant.
+    instance_options.persistence.fallback_kv =
+        options_.enable_degraded_fallback
+            ? kv_->read_fallback(region.is_primary, region_slave)
+            : nullptr;
     for (size_t i = 0; i < region.num_nodes; ++i) {
       const std::string node_id =
           region.name + "/ips-" + std::to_string(i);

@@ -42,6 +42,15 @@ class IpsNode {
 
   /// Routes a request through the simulated network into the instance.
   Status Call(size_t request_bytes, size_t response_bytes,
+              const std::function<Status(IpsInstance&)>& handler) {
+    return Call(CallContext{}, request_bytes, response_bytes, handler);
+  }
+
+  /// Deadline-aware variant: the context is enforced by the channel (time
+  /// spent on the wire) and should also be checked by the handler's
+  /// instance call.
+  Status Call(const CallContext& ctx, size_t request_bytes,
+              size_t response_bytes,
               const std::function<Status(IpsInstance&)>& handler);
 
  private:
@@ -65,6 +74,11 @@ struct DeploymentOptions {
   ReplicatedKvOptions kv;
   /// Discovery heartbeat TTL.
   int64_t discovery_ttl_ms = 10'000;
+  /// Wire each region's Persister to the other side of its replication pair
+  /// for degraded reads during a KV outage. Off = loads fail hard when the
+  /// region's own store is down (ablation baseline for the availability
+  /// bench).
+  bool enable_degraded_fallback = true;
 };
 
 /// Owns the regions, nodes, replicated KV and the discovery service.

@@ -1,0 +1,57 @@
+#include "cluster/retry_policy.h"
+
+#include <algorithm>
+
+namespace ips {
+
+RetryPolicy::RetryPolicy(RetryPolicyOptions options)
+    : options_(options),
+      rng_(options.seed),
+      tokens_(options.budget_cap),
+      prev_backoff_ms_(options.initial_backoff_ms) {}
+
+void RetryPolicy::OnRequestStart() {
+  if (!options_.enabled) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  tokens_ = std::min(options_.budget_cap, tokens_ + options_.budget_per_request);
+  // Decorrelated jitter is a per-retry-sequence walk: a fresh request starts
+  // from the initial backoff again. Without this reset one failure burst
+  // ratchets prev_backoff_ms_ toward the max and every later request's
+  // *first* retry inherits a near-max delay.
+  prev_backoff_ms_ = options_.initial_backoff_ms;
+}
+
+std::optional<int64_t> RetryPolicy::NextRetryDelayMs(const Status& error) {
+  if (!options_.enabled) return std::nullopt;
+  if (!error.IsRetryable()) return std::nullopt;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (tokens_ < 1.0) {
+    ++budget_denials_;
+    return std::nullopt;
+  }
+  tokens_ -= 1.0;
+  ++retries_granted_;
+  const int64_t hi =
+      std::min(options_.max_backoff_ms,
+               std::max(options_.initial_backoff_ms, prev_backoff_ms_ * 3));
+  const int64_t delay = rng_.UniformRange(options_.initial_backoff_ms, hi);
+  prev_backoff_ms_ = delay;
+  return delay;
+}
+
+double RetryPolicy::budget_tokens() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return tokens_;
+}
+
+int64_t RetryPolicy::retries_granted() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return retries_granted_;
+}
+
+int64_t RetryPolicy::budget_denials() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return budget_denials_;
+}
+
+}  // namespace ips

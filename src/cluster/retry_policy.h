@@ -1,0 +1,79 @@
+// Client-side retry policy (the replacement for the bare fixed-attempt
+// loops): retryable-vs-terminal classification on StatusCode, exponential
+// backoff with decorrelated jitter, and a token-bucket retry *budget* so a
+// broad outage cannot turn every client into a retry storm against the
+// survivors. The paper's availability result (Fig 17) depends on failed
+// nodes being routed around quickly but without amplifying load.
+#ifndef IPS_CLUSTER_RETRY_POLICY_H_
+#define IPS_CLUSTER_RETRY_POLICY_H_
+
+#include <cstdint>
+#include <mutex>
+#include <optional>
+
+#include "common/random.h"
+#include "common/status.h"
+
+namespace ips {
+
+struct RetryPolicyOptions {
+  /// Master switch. When false the client keeps the seed behaviour: blind
+  /// successor attempts with no backoff, budget or classification.
+  bool enabled = true;
+  /// First backoff draw is uniform in [initial, initial * 3].
+  int64_t initial_backoff_ms = 5;
+  /// Hard cap on any single backoff.
+  int64_t max_backoff_ms = 1000;
+  /// Retry tokens deposited per request start; a retry withdraws 1.0. At
+  /// 0.1 the sustained retry rate is capped at ~10% of offered load.
+  double budget_per_request = 0.1;
+  /// Token ceiling (also the initial balance, so a cold client can absorb a
+  /// failure burst).
+  double budget_cap = 100.0;
+  uint64_t seed = 23;
+};
+
+/// Thread-safe. One instance per client; all of the client's requests share
+/// the budget, which is the point — the budget bounds the *client's* total
+/// retry amplification, not each request's.
+class RetryPolicy {
+ public:
+  explicit RetryPolicy(RetryPolicyOptions options);
+
+  const RetryPolicyOptions& options() const { return options_; }
+  bool enabled() const { return options_.enabled; }
+
+  /// Deposits budget for one incoming request. Call once per logical
+  /// request (not per attempt).
+  void OnRequestStart();
+
+  /// Decides whether the previous attempt's `error` may be retried. Returns
+  /// the backoff to sleep before the retry, or nullopt when the error is
+  /// terminal or the retry budget is exhausted. Withdraws one budget token
+  /// on success.
+  ///
+  /// Backoff is "decorrelated jitter": each delay is drawn uniform in
+  /// [initial, 3 * previous], capped at max_backoff_ms — spreading retries
+  /// in time so synchronized failures do not produce synchronized retries.
+  std::optional<int64_t> NextRetryDelayMs(const Status& error);
+
+  /// Remaining budget tokens (observability / tests).
+  double budget_tokens() const;
+
+  /// Cumulative counts (observability / tests).
+  int64_t retries_granted() const;
+  int64_t budget_denials() const;
+
+ private:
+  RetryPolicyOptions options_;
+  mutable std::mutex mu_;
+  Rng rng_;
+  double tokens_;
+  int64_t prev_backoff_ms_;
+  int64_t retries_granted_ = 0;
+  int64_t budget_denials_ = 0;
+};
+
+}  // namespace ips
+
+#endif  // IPS_CLUSTER_RETRY_POLICY_H_

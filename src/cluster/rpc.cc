@@ -34,7 +34,8 @@ int64_t Channel::DrawOneWayDelayUs(size_t payload_bytes) {
   return delay;
 }
 
-Status Channel::Call(size_t request_bytes, size_t response_bytes,
+Status Channel::Call(const CallContext& ctx, size_t request_bytes,
+                     size_t response_bytes,
                      const std::function<Status()>& handler) {
   if (partitioned_.load(std::memory_order_relaxed)) {
     return Status::Unavailable("network partition");
@@ -46,9 +47,26 @@ Status Channel::Call(size_t request_bytes, size_t response_bytes,
       return Status::Unavailable("request dropped");
     }
   }
-  BurnMicros(DrawOneWayDelayUs(request_bytes));
+  const bool enforce = clock_ != nullptr && ctx.has_deadline();
+  if (enforce && ctx.Expired(clock_->NowMs())) {
+    return Status::DeadlineExceeded("deadline expired before send");
+  }
+  const int64_t request_delay_us = DrawOneWayDelayUs(request_bytes);
+  if (enforce &&
+      request_delay_us / 1000 >= ctx.RemainingMs(clock_->NowMs())) {
+    // The request would reach the server after the caller stopped waiting;
+    // fail fast instead of burning the latency.
+    return Status::DeadlineExceeded("request latency exceeds deadline");
+  }
+  BurnMicros(request_delay_us);
   Status status = handler();
-  BurnMicros(DrawOneWayDelayUs(response_bytes));
+  const int64_t response_delay_us = DrawOneWayDelayUs(response_bytes);
+  if (enforce &&
+      response_delay_us / 1000 >= ctx.RemainingMs(clock_->NowMs())) {
+    // The server did the work, but the reply lands too late to matter.
+    return Status::DeadlineExceeded("response latency exceeds deadline");
+  }
+  BurnMicros(response_delay_us);
   return status;
 }
 

@@ -12,6 +12,7 @@
 #include <functional>
 #include <mutex>
 
+#include "common/call_context.h"
 #include "common/clock.h"
 #include "common/random.h"
 #include "common/status.h"
@@ -31,9 +32,15 @@ struct ChannelOptions {
 };
 
 /// One simulated network path to a server. Thread-safe.
+///
+/// When constructed with a Clock, the channel enforces call deadlines: a
+/// request whose drawn network latency would land past the deadline fails
+/// with DeadlineExceeded *without burning that latency* — the caller walked
+/// away, so nobody pays for the rest of the exchange.
 class Channel {
  public:
-  explicit Channel(ChannelOptions options) : options_(options) {
+  explicit Channel(ChannelOptions options, Clock* clock = nullptr)
+      : options_(options), clock_(clock) {
     rng_.Seed(options.seed);
   }
 
@@ -42,7 +49,14 @@ class Channel {
   /// response size may be unknown upfront, in which case the caller passes
   /// an estimate (feature responses are small and bounded by K).
   Status Call(size_t request_bytes, size_t response_bytes,
-              const std::function<Status()>& handler);
+              const std::function<Status()>& handler) {
+    return Call(CallContext{}, request_bytes, response_bytes, handler);
+  }
+
+  /// Deadline-aware variant. Deadlines require a Clock; without one the
+  /// context is carried but not enforced at the transport.
+  Status Call(const CallContext& ctx, size_t request_bytes,
+              size_t response_bytes, const std::function<Status()>& handler);
 
   /// Severs / restores the path (network partition injection).
   void SetPartitioned(bool partitioned) {
@@ -58,6 +72,7 @@ class Channel {
   int64_t DrawOneWayDelayUs(size_t payload_bytes);
 
   ChannelOptions options_;
+  Clock* clock_;
   std::atomic<bool> partitioned_{false};
   std::mutex rng_mu_;
   Rng rng_;

@@ -1,0 +1,58 @@
+// Per-request call metadata propagated through the request path. The only
+// field today is the deadline: every Query/MultiQuery/AddProfiles carries an
+// absolute deadline that the transport and the serving instance both check,
+// so a request that cannot finish in time fails fast with DeadlineExceeded
+// instead of spending (simulated) latency past the point anyone is waiting.
+//
+// Deadlines are absolute timestamps in the caller's Clock domain (simulated
+// or wall time), so forwarding a context through layers costs nothing and
+// the remaining budget shrinks naturally as time passes.
+#ifndef IPS_COMMON_CALL_CONTEXT_H_
+#define IPS_COMMON_CALL_CONTEXT_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+
+#include "common/clock.h"
+
+namespace ips {
+
+struct CallContext {
+  /// Sentinel meaning "no deadline": the request waits forever.
+  static constexpr TimestampMs kNoDeadline =
+      std::numeric_limits<TimestampMs>::max();
+
+  /// Absolute deadline in the request's clock domain.
+  TimestampMs deadline_ms = kNoDeadline;
+
+  bool has_deadline() const { return deadline_ms != kNoDeadline; }
+
+  bool Expired(TimestampMs now_ms) const {
+    return has_deadline() && now_ms >= deadline_ms;
+  }
+
+  /// Milliseconds of budget left (never negative). kNoDeadline when no
+  /// deadline is set.
+  int64_t RemainingMs(TimestampMs now_ms) const {
+    if (!has_deadline()) return kNoDeadline;
+    return std::max<int64_t>(0, deadline_ms - now_ms);
+  }
+
+  static CallContext WithDeadline(TimestampMs deadline_ms) {
+    CallContext ctx;
+    ctx.deadline_ms = deadline_ms;
+    return ctx;
+  }
+
+  /// Deadline `timeout_ms` from now on `clock`. A non-positive timeout means
+  /// "no deadline" (the disabled default of IpsClientOptions).
+  static CallContext WithTimeout(const Clock& clock, int64_t timeout_ms) {
+    if (timeout_ms <= 0) return CallContext{};
+    return WithDeadline(clock.NowMs() + timeout_ms);
+  }
+};
+
+}  // namespace ips
+
+#endif  // IPS_COMMON_CALL_CONTEXT_H_

@@ -90,8 +90,23 @@ class Status {
     return code_ == StatusCode::kResourceExhausted;
   }
   bool IsUnavailable() const { return code_ == StatusCode::kUnavailable; }
+  bool IsDeadlineExceeded() const {
+    return code_ == StatusCode::kDeadlineExceeded;
+  }
   bool IsAborted() const { return code_ == StatusCode::kAborted; }
   bool IsCorruption() const { return code_ == StatusCode::kCorruption; }
+
+  /// Whether a retry (possibly against another replica) could plausibly
+  /// succeed. Only transient transport/storage faults qualify: Unavailable
+  /// (node down, dropped RPC, partition) and Aborted (lost a version race —
+  /// the conflict resolves on reload). Everything else is terminal for the
+  /// request: quota rejections and caller bugs repeat deterministically, a
+  /// blown deadline means nobody is waiting anymore, and corruption will not
+  /// heal by asking again.
+  bool IsRetryable() const {
+    return code_ == StatusCode::kUnavailable ||
+           code_ == StatusCode::kAborted;
+  }
 
   /// "OK" or "CODE: message".
   std::string ToString() const;

@@ -40,6 +40,16 @@ class ReplicatedKv {
 
   size_t num_slaves() const { return slaves_.size(); }
 
+  /// Read-preference fallback for degraded reads (graceful degradation):
+  /// a reader bound to the master falls back to a slave replica when the
+  /// master is unavailable, and a slave-bound reader escalates to the
+  /// master. Fallback data may lag replication — callers must flag results
+  /// served this way as degraded.
+  KvStore* read_fallback(bool primary_region, size_t slave_index) {
+    if (primary_region) return slave(slave_index % slaves_.size());
+    return master();
+  }
+
   /// Applies all pending mutations regardless of lag (used on controlled
   /// failover, where operators wait for replication to catch up).
   void CatchUpAll();

@@ -78,6 +78,12 @@ struct QueryResult {
   size_t slices_scanned = 0;
   /// Total feature entries merged before filter/top-K.
   size_t features_merged = 0;
+  /// Graceful degradation: the profile behind this result may be stale — it
+  /// was loaded from a fallback replica during a storage outage, or is a
+  /// resident copy that currently cannot be revalidated. Callers choosing
+  /// availability over freshness use it as-is; strict callers treat it as a
+  /// miss.
+  bool degraded = false;
 };
 
 /// Executes `spec` against `profile` at time `now_ms`.

@@ -53,12 +53,16 @@ Status IpsInstance::CreateTable(const TableSchema& schema) {
   }
   table->cache = std::make_unique<GCache>(
       cache_options, clock_, std::move(flush_fn),
-      [persister](ProfileId pid) { return persister->Load(pid); }, metrics_);
+      [persister](ProfileId pid, bool* out_degraded) {
+        return persister->Load(pid, out_degraded);
+      },
+      metrics_);
   // Batch misses load through the persister's coalesced path: one
   // KvStore::MultiGet round trip for the whole miss set.
   table->cache->set_batch_loader(
-      [persister](const std::vector<ProfileId>& pids) {
-        return persister->LoadBatch(pids);
+      [persister](const std::vector<ProfileId>& pids,
+                  std::vector<bool>* out_degraded) {
+        return persister->LoadBatch(pids, out_degraded);
       });
 
   table->compactor = std::make_unique<Compactor>(&table->schema);
@@ -151,9 +155,19 @@ Status IpsInstance::AddProfile(const std::string& caller,
   return AddProfiles(caller, table, pid, {record});
 }
 
+Status IpsInstance::CheckDeadline(const CallContext& ctx) {
+  if (ctx.Expired(clock_->NowMs())) {
+    metrics_->GetCounter("server.deadline_exceeded")->Increment();
+    return Status::DeadlineExceeded("server-side deadline expired");
+  }
+  return Status::OK();
+}
+
 Status IpsInstance::AddProfiles(const std::string& caller,
                                 const std::string& table, ProfileId pid,
-                                const std::vector<AddRecord>& records) {
+                                const std::vector<AddRecord>& records,
+                                const CallContext& ctx) {
+  IPS_RETURN_IF_ERROR(CheckDeadline(ctx));
   IPS_RETURN_IF_ERROR(quota_.Check(caller));
   if (records.empty()) {
     return Status::InvalidArgument("empty record batch");
@@ -255,11 +269,13 @@ size_t IpsInstance::MergeWriteTablesOnce() {
 
 Result<QueryResult> IpsInstance::Query(const std::string& caller,
                                        const std::string& table,
-                                       ProfileId pid, const QuerySpec& spec) {
+                                       ProfileId pid, const QuerySpec& spec,
+                                       const CallContext& ctx) {
   const int64_t begin_ns = MonotonicNanos();
   IPS_ASSIGN_OR_RETURN(
       MultiQueryResult batch,
-      MultiQuery(caller, table, std::span<const ProfileId>(&pid, 1), spec));
+      MultiQuery(caller, table, std::span<const ProfileId>(&pid, 1), spec,
+                 ctx));
 
   const int64_t micros = (MonotonicNanos() - begin_ns) / 1000;
   metrics_->GetHistogram("server.query_micros")->Record(micros);
@@ -273,7 +289,9 @@ Result<QueryResult> IpsInstance::Query(const std::string& caller,
 
 Result<MultiQueryResult> IpsInstance::MultiQuery(
     const std::string& caller, const std::string& table,
-    std::span<const ProfileId> pids, const QuerySpec& spec) {
+    std::span<const ProfileId> pids, const QuerySpec& spec,
+    const CallContext& ctx) {
+  IPS_RETURN_IF_ERROR(CheckDeadline(ctx));
   // One quota charge per batch — a 500-candidate request is one admission
   // decision, mirroring the batched write path.
   IPS_RETURN_IF_ERROR(quota_.Check(caller));
@@ -295,6 +313,7 @@ Result<MultiQueryResult> IpsInstance::MultiQuery(
 
   std::vector<ProfileId> pid_vec(pids.begin(), pids.end());
   std::vector<Status> cache_statuses;
+  std::vector<bool> degraded_flags;
   std::vector<Status> exec_statuses(pid_vec.size(), Status::OK());
   out.cache_hits = t->cache->WithProfiles(
       pid_vec,
@@ -306,7 +325,18 @@ Result<MultiQueryResult> IpsInstance::MultiQuery(
           exec_statuses[i] = result.status();
         }
       },
-      &cache_statuses);
+      &cache_statuses, &degraded_flags);
+  for (size_t i = 0; i < pid_vec.size(); ++i) {
+    if (degraded_flags[i] && cache_statuses[i].ok() &&
+        exec_statuses[i].ok()) {
+      out.results[i].degraded = true;
+      ++out.degraded;
+    }
+  }
+  if (out.degraded > 0) {
+    metrics_->GetCounter("server.degraded_reads")
+        ->Increment(static_cast<int64_t>(out.degraded));
+  }
 
   int64_t ok_count = 0;
   int64_t error_count = 0;

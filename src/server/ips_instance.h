@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "cache/gcache.h"
+#include "common/call_context.h"
 #include "common/clock.h"
 #include "common/config.h"
 #include "common/metrics.h"
@@ -78,6 +79,9 @@ struct MultiQueryResult {
   std::vector<QueryResult> results;
   /// How many of the pids were served from cache (Table II-style split).
   size_t cache_hits = 0;
+  /// How many results are flagged degraded (possibly stale; see
+  /// QueryResult::degraded).
+  size_t degraded = 0;
 };
 
 class IpsInstance {
@@ -105,7 +109,15 @@ class IpsInstance {
 
   /// Batched variant; one quota charge per record batch.
   Status AddProfiles(const std::string& caller, const std::string& table,
-                     ProfileId pid, const std::vector<AddRecord>& records);
+                     ProfileId pid, const std::vector<AddRecord>& records) {
+    return AddProfiles(caller, table, pid, records, CallContext{});
+  }
+
+  /// Deadline-aware variant: an already-expired context is rejected with
+  /// DeadlineExceeded before any work is done.
+  Status AddProfiles(const std::string& caller, const std::string& table,
+                     ProfileId pid, const std::vector<AddRecord>& records,
+                     const CallContext& ctx);
 
   // --- Read APIs (Section II-B) --------------------------------------
 
@@ -131,7 +143,13 @@ class IpsInstance {
   /// Fully general query. Implemented as a batch of one over MultiQuery.
   Result<QueryResult> Query(const std::string& caller,
                             const std::string& table, ProfileId pid,
-                            const QuerySpec& spec);
+                            const QuerySpec& spec) {
+    return Query(caller, table, pid, spec, CallContext{});
+  }
+
+  Result<QueryResult> Query(const std::string& caller,
+                            const std::string& table, ProfileId pid,
+                            const QuerySpec& spec, const CallContext& ctx);
 
   /// Batched read path (the serving hot path): one quota charge for the
   /// whole batch, hits/misses partitioned against the cache, and all misses
@@ -141,7 +159,15 @@ class IpsInstance {
   Result<MultiQueryResult> MultiQuery(const std::string& caller,
                                       const std::string& table,
                                       std::span<const ProfileId> pids,
-                                      const QuerySpec& spec);
+                                      const QuerySpec& spec) {
+    return MultiQuery(caller, table, pids, spec, CallContext{});
+  }
+
+  Result<MultiQueryResult> MultiQuery(const std::string& caller,
+                                      const std::string& table,
+                                      std::span<const ProfileId> pids,
+                                      const QuerySpec& spec,
+                                      const CallContext& ctx);
 
   // --- Operations -----------------------------------------------------
 
@@ -211,6 +237,11 @@ class IpsInstance {
 
   Table* FindTable(const std::string& table);
   const Table* FindTable(const std::string& table) const;
+
+  /// DeadlineExceeded (and the server.deadline_exceeded counter) when the
+  /// request's deadline already passed — checked on entry so an expired
+  /// request is rejected before any cache/storage work.
+  Status CheckDeadline(const CallContext& ctx);
 
   Status AddDirect(Table& t, ProfileId pid,
                    const std::vector<AddRecord>& records);

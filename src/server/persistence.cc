@@ -40,6 +40,12 @@ void Persister::ForgetVersion(ProfileId pid) {
   held_versions_.erase(pid);
 }
 
+void Persister::ForgetFlushState(ProfileId pid) {
+  std::lock_guard<std::mutex> lock(version_mu_);
+  held_versions_.erase(pid);
+  last_slices_.erase(pid);
+}
+
 Status Persister::Flush(ProfileId pid, const ProfileData& profile) {
   if (options_.mode == PersistenceMode::kBulk) {
     return FlushBulk(pid, profile);
@@ -148,31 +154,55 @@ Status Persister::FlushSplit(ProfileId pid, const ProfileData& profile) {
   return Status::OK();
 }
 
-Result<ProfileData> Persister::Load(ProfileId pid) {
+Result<ProfileData> Persister::Load(ProfileId pid, bool* out_degraded) {
+  if (out_degraded != nullptr) *out_degraded = false;
+  Result<ProfileData> primary =
+      LoadFrom(kv_, pid, /*record_bookkeeping=*/true);
+  if (primary.ok() || options_.fallback_kv == nullptr ||
+      !primary.status().IsUnavailable()) {
+    return primary;
+  }
+  // Primary store outage: retry against the fallback replica. NotFound
+  // there is inconclusive (replication lag may not have delivered the
+  // profile), so surface the primary outage rather than pretending the
+  // profile does not exist.
+  Result<ProfileData> fallback =
+      LoadFrom(options_.fallback_kv, pid, /*record_bookkeeping=*/false);
+  if (!fallback.ok()) return primary;
+  // Version / slice state observed on the replica must not gate the next
+  // master flush: drop it so the flush rewrites everything.
+  ForgetFlushState(pid);
+  if (out_degraded != nullptr) *out_degraded = true;
+  return fallback;
+}
+
+Result<ProfileData> Persister::LoadFrom(KvStore* kv, ProfileId pid,
+                                        bool record_bookkeeping) {
   if (options_.mode == PersistenceMode::kSliceSplit) {
     KvEntry meta_entry;
-    Status status = kv_->XGet(MetaKey(pid), &meta_entry);
+    Status status = kv->XGet(MetaKey(pid), &meta_entry);
     if (status.ok()) {
-      RememberVersion(pid, meta_entry.version);
-      return LoadSplit(pid, meta_entry.value);
+      if (record_bookkeeping) RememberVersion(pid, meta_entry.version);
+      return LoadSplit(kv, pid, meta_entry.value, record_bookkeeping);
     }
     if (!status.IsNotFound()) return status;
     // Fall through: the profile may exist in bulk form (threshold mode or a
     // mode migration).
   }
-  return LoadBulk(pid);
+  return LoadBulk(kv, pid);
 }
 
-Result<ProfileData> Persister::LoadBulk(ProfileId pid) {
+Result<ProfileData> Persister::LoadBulk(KvStore* kv, ProfileId pid) {
   std::string encoded;
-  IPS_RETURN_IF_ERROR(kv_->Get(BulkKey(pid), &encoded));
+  IPS_RETURN_IF_ERROR(kv->Get(BulkKey(pid), &encoded));
   ProfileData profile;
   IPS_RETURN_IF_ERROR(DecodeProfile(encoded, &profile));
   return profile;
 }
 
-Result<ProfileData> Persister::LoadSplit(ProfileId pid,
-                                         const std::string& meta_value) {
+Result<ProfileData> Persister::LoadSplit(KvStore* kv, ProfileId pid,
+                                         const std::string& meta_value,
+                                         bool record_bookkeeping) {
   SliceMeta meta;
   IPS_RETURN_IF_ERROR(DecodeSliceMeta(meta_value, &meta));
   // All referenced slice values in one batched read — a split profile load
@@ -184,14 +214,16 @@ Result<ProfileData> Persister::LoadSplit(ProfileId pid,
   }
   std::vector<std::string> values;
   std::vector<Status> statuses;
-  kv_->MultiGet(keys, &values, &statuses);
-  return AssembleSplit(pid, meta, values.data(), statuses.data());
+  kv->MultiGet(keys, &values, &statuses);
+  return AssembleSplit(pid, meta, values.data(), statuses.data(),
+                       record_bookkeeping);
 }
 
 Result<ProfileData> Persister::AssembleSplit(ProfileId pid,
                                              const SliceMeta& meta,
                                              const std::string* slice_values,
-                                             const Status* slice_statuses) {
+                                             const Status* slice_statuses,
+                                             bool record_bookkeeping) {
   ProfileData profile(meta.write_granularity_ms);
   profile.set_last_action_ms(meta.last_action_ms);
   std::unordered_map<uint64_t, uint32_t> loaded_sums;
@@ -207,7 +239,7 @@ Result<ProfileData> Persister::AssembleSplit(ProfileId pid,
     IPS_RETURN_IF_ERROR(DecodeSlice(raw, &slice));
     profile.mutable_slices().push_back(std::move(slice));
   }
-  {
+  if (record_bookkeeping) {
     std::lock_guard<std::mutex> lock(version_mu_);
     last_slices_[pid] = std::move(loaded_sums);
   }
@@ -219,7 +251,41 @@ Result<ProfileData> Persister::AssembleSplit(ProfileId pid,
 }
 
 std::vector<Result<ProfileData>> Persister::LoadBatch(
-    const std::vector<ProfileId>& pids) {
+    const std::vector<ProfileId>& pids, std::vector<bool>* out_degraded) {
+  if (out_degraded != nullptr) out_degraded->assign(pids.size(), false);
+  std::vector<Result<ProfileData>> out =
+      LoadBatchFrom(kv_, pids, /*record_bookkeeping=*/true);
+  if (options_.fallback_kv == nullptr) return out;
+
+  // Primary-store outages are retried as one batch against the fallback
+  // replica (keeping the coalesced round-trip shape even while degraded).
+  std::vector<size_t> retry_index;
+  std::vector<ProfileId> retry_pids;
+  for (size_t i = 0; i < pids.size(); ++i) {
+    if (!out[i].ok() && out[i].status().IsUnavailable()) {
+      retry_index.push_back(i);
+      retry_pids.push_back(pids[i]);
+    }
+  }
+  if (retry_pids.empty()) return out;
+
+  std::vector<Result<ProfileData>> fallback =
+      LoadBatchFrom(options_.fallback_kv, retry_pids,
+                    /*record_bookkeeping=*/false);
+  for (size_t j = 0; j < retry_pids.size(); ++j) {
+    // As in Load: only a successful fallback read replaces the primary
+    // error — NotFound on a lagging replica proves nothing.
+    if (!fallback[j].ok()) continue;
+    out[retry_index[j]] = std::move(fallback[j]);
+    ForgetFlushState(retry_pids[j]);
+    if (out_degraded != nullptr) (*out_degraded)[retry_index[j]] = true;
+  }
+  return out;
+}
+
+std::vector<Result<ProfileData>> Persister::LoadBatchFrom(
+    KvStore* kv, const std::vector<ProfileId>& pids,
+    bool record_bookkeeping) {
   std::vector<Result<ProfileData>> out(
       pids.size(), Result<ProfileData>(Status::NotFound("pending")));
 
@@ -229,7 +295,7 @@ std::vector<Result<ProfileData>> Persister::LoadBatch(
     for (ProfileId pid : pids) keys.push_back(BulkKey(pid));
     std::vector<std::string> values;
     std::vector<Status> statuses;
-    kv_->MultiGet(keys, &values, &statuses);
+    kv->MultiGet(keys, &values, &statuses);
     for (size_t i = 0; i < pids.size(); ++i) {
       if (!statuses[i].ok()) {
         out[i] = statuses[i];
@@ -257,9 +323,9 @@ std::vector<Result<ProfileData>> Persister::LoadBatch(
   std::vector<std::string> keys;
   for (size_t i = 0; i < pids.size(); ++i) {
     KvEntry meta_entry;
-    Status status = kv_->XGet(MetaKey(pids[i]), &meta_entry);
+    Status status = kv->XGet(MetaKey(pids[i]), &meta_entry);
     if (status.ok()) {
-      RememberVersion(pids[i], meta_entry.version);
+      if (record_bookkeeping) RememberVersion(pids[i], meta_entry.version);
       SliceMeta meta;
       Status decoded = DecodeSliceMeta(meta_entry.value, &meta);
       if (!decoded.ok()) {
@@ -281,13 +347,14 @@ std::vector<Result<ProfileData>> Persister::LoadBatch(
 
   std::vector<std::string> values;
   std::vector<Status> statuses;
-  if (!keys.empty()) kv_->MultiGet(keys, &values, &statuses);
+  if (!keys.empty()) kv->MultiGet(keys, &values, &statuses);
 
   for (auto& pending : splits) {
     out[pending.index] =
         AssembleSplit(pids[pending.index], pending.meta,
                       values.data() + pending.first_key,
-                      statuses.data() + pending.first_key);
+                      statuses.data() + pending.first_key,
+                      record_bookkeeping);
   }
   for (const auto& [index, key_pos] : bulk_fallbacks) {
     if (!statuses[key_pos].ok()) {

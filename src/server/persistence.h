@@ -36,6 +36,11 @@ struct PersisterOptions {
   /// In slice-split mode, profiles whose encoded size is under this bound
   /// still use bulk storage (split only pays off for large values).
   size_t split_threshold_bytes = 0;
+  /// Degraded-read fallback store (non-owning, may be null): when the
+  /// primary store answers Unavailable, loads retry against this replica —
+  /// the other side of the master/slave pair — and the result is flagged
+  /// degraded (it may lag replication). Flushes never use the fallback.
+  KvStore* fallback_kv = nullptr;
 };
 
 /// Persists/loads profiles for one table against a KvStore. Thread-safe; the
@@ -48,15 +53,21 @@ class Persister {
   Status Flush(ProfileId pid, const ProfileData& profile);
 
   /// Reads the profile back. NotFound when the profile was never persisted.
-  Result<ProfileData> Load(ProfileId pid);
+  /// `out_degraded`, when non-null, is set when the profile was served by
+  /// the fallback replica because the primary store was unavailable; such a
+  /// result may be stale by up to the replication lag.
+  Result<ProfileData> Load(ProfileId pid, bool* out_degraded = nullptr);
 
   /// Batched load: results align with `pids`. Bulk mode fetches every
   /// profile's value with one KvStore::MultiGet; slice-split mode reads the
   /// metas, then fetches ALL referenced slice values (plus bulk fallbacks
   /// for meta-less profiles) in one MultiGet — the batch-miss-coalescing
-  /// step of the MultiQuery read path.
+  /// step of the MultiQuery read path. Pids the primary store failed with
+  /// Unavailable are retried as one batch against the fallback replica;
+  /// `out_degraded` (aligned with `pids`) marks the ones served that way.
   std::vector<Result<ProfileData>> LoadBatch(
-      const std::vector<ProfileId>& pids);
+      const std::vector<ProfileId>& pids,
+      std::vector<bool>* out_degraded = nullptr);
 
   /// Removes all stored values for the profile.
   Status Erase(ProfileId pid);
@@ -72,15 +83,34 @@ class Persister {
  private:
   Status FlushBulk(ProfileId pid, const ProfileData& profile);
   Status FlushSplit(ProfileId pid, const ProfileData& profile);
-  Result<ProfileData> LoadBulk(ProfileId pid);
-  Result<ProfileData> LoadSplit(ProfileId pid, const std::string& meta_value);
+
+  /// Single-profile load against `kv`. `record_bookkeeping` gates the
+  /// version / slice-checksum caches: true on the primary path, false on
+  /// the fallback path (replica state must not gate future master flushes).
+  Result<ProfileData> LoadFrom(KvStore* kv, ProfileId pid,
+                               bool record_bookkeeping);
+  /// Batched load against `kv`; the LoadBatch strategy with an explicit
+  /// store so the degraded path can rerun it against the fallback replica.
+  std::vector<Result<ProfileData>> LoadBatchFrom(
+      KvStore* kv, const std::vector<ProfileId>& pids,
+      bool record_bookkeeping);
+  Result<ProfileData> LoadBulk(KvStore* kv, ProfileId pid);
+  Result<ProfileData> LoadSplit(KvStore* kv, ProfileId pid,
+                                const std::string& meta_value,
+                                bool record_bookkeeping);
 
   /// Rebuilds a split profile from already-fetched compressed slice values,
   /// aligned with `meta.entries` (both arrays have meta.entries.size()
-  /// elements). Updates the slice-checksum bookkeeping.
+  /// elements). Updates the slice-checksum bookkeeping when
+  /// `record_bookkeeping` is set.
   Result<ProfileData> AssembleSplit(ProfileId pid, const SliceMeta& meta,
                                     const std::string* slice_values,
-                                    const Status* slice_statuses);
+                                    const Status* slice_statuses,
+                                    bool record_bookkeeping);
+
+  /// Drops the version + slice-checksum state for `pid` so the next flush
+  /// rewrites everything (called after a degraded fallback load).
+  void ForgetFlushState(ProfileId pid);
 
   /// Remembered meta version per profile (Fig 14 "holds a valid version").
   KvVersion HeldVersion(ProfileId pid);

@@ -492,6 +492,155 @@ TEST_F(DeploymentTest, ColdSecondaryNodeServesStaleDataWithinLag) {
   EXPECT_EQ(fresh->features[0].counts[0], 10);  // 1 + 9 aggregated
 }
 
+TEST_F(DeploymentTest, StaleViewCrashedNodeIsMaskedByRetryAndBreaker) {
+  // A node crashes *between* discovery refreshes: the client's ring still
+  // routes to it. Every read must still succeed via the ring-successor
+  // retry, and after a few failures the circuit breaker must take the dead
+  // node out of candidate selection entirely (no RPC even attempted).
+  IpsClientOptions options = LocalClientOptions("lf");
+  options.refresh_interval_ms = 1'000'000'000;  // view stays stale
+  IpsClient client(options, &deployment_);
+  const TimestampMs now = clock_.NowMs();
+  for (ProfileId pid = 1; pid <= 20; ++pid) {
+    ASSERT_TRUE(client
+                    .AddProfile("profiles", pid, now - kMinute, 1, 1, pid,
+                                CountVector{1})
+                    .ok());
+  }
+  for (auto* node : deployment_.NodesInRegion("lf")) {
+    node->instance().FlushAll();
+  }
+  // Crash: down AND deregistered, but the client never refreshes its view.
+  deployment_.FindNode("lf/ips-0")->SetDown(true);
+  deployment_.discovery().Deregister("lf/ips-0");
+
+  for (int round = 0; round < 5; ++round) {
+    for (ProfileId pid = 1; pid <= 20; ++pid) {
+      auto result = client.GetProfileTopK("profiles", pid, 1, std::nullopt,
+                                          TimeRange::Current(kDay),
+                                          SortBy::kActionCount, 0, 10);
+      ASSERT_TRUE(result.ok()) << "pid " << pid << ": "
+                               << result.status().ToString();
+      EXPECT_EQ(result->features.size(), 1u) << "pid " << pid;
+    }
+  }
+  // The dead node's breaker tripped...
+  CircuitBreaker* breaker = client.breakers().Get("lf/ips-0");
+  EXPECT_GE(breaker->consecutive_failures(),
+            client.breakers().options().failure_threshold);
+  EXPECT_NE(breaker->state(clock_.NowMs()), CircuitBreaker::State::kClosed);
+  // ...so later reads skipped it before the RPC, after earlier reads were
+  // saved by budget-granted successor retries.
+  EXPECT_GT(
+      deployment_.metrics()->GetCounter("client.breaker_skips")->Value(), 0);
+  EXPECT_GT(deployment_.metrics()->GetCounter("client.retries")->Value(), 0);
+  EXPECT_EQ(deployment_.metrics()->GetCounter("client.read_errors")->Value(),
+            0);
+}
+
+TEST_F(DeploymentTest, ExpiredDeadlineFailsFastOnEveryApi) {
+  IpsClient client(LocalClientOptions("lf"), &deployment_);
+  const TimestampMs now = clock_.NowMs();
+  ASSERT_TRUE(
+      client.AddProfile("profiles", 1, now - kMinute, 1, 1, 1, CountVector{1})
+          .ok());
+  // A context whose deadline already passed: no RPC is worth sending.
+  const CallContext expired = CallContext::WithDeadline(clock_.NowMs());
+  QuerySpec spec;
+  spec.slot = 1;
+  spec.time_range = TimeRange::Current(kDay);
+
+  auto read = client.Query("profiles", 1, spec, expired);
+  EXPECT_TRUE(read.status().IsDeadlineExceeded());
+
+  const std::vector<ProfileId> batch_pids = {1, 2, 3};
+  auto batch = client.MultiQuery("profiles", batch_pids, spec, expired);
+  ASSERT_TRUE(batch.ok());
+  for (const auto& status : batch->statuses) {
+    EXPECT_TRUE(status.IsDeadlineExceeded()) << status.ToString();
+  }
+
+  AddRecord record;
+  record.timestamp = now - kMinute;
+  record.slot = 1;
+  record.type = 1;
+  record.fid = 2;
+  record.counts = CountVector{1};
+  EXPECT_TRUE(client.AddProfilesAs("test", "profiles", 1, {record}, expired)
+                  .IsDeadlineExceeded());
+  EXPECT_GT(
+      deployment_.metrics()->GetCounter("client.deadline_exceeded")->Value(),
+      0);
+}
+
+TEST_F(DeploymentTest, ChannelEnforcesDeadlineAgainstSimulatedLatency) {
+  // A request whose simulated wire time cannot fit in the remaining budget
+  // fails with DeadlineExceeded at the channel — without spending the
+  // latency first.
+  DeploymentOptions options = TwoRegionOptions();
+  options.channel.base_latency_us = 5000;  // 5 ms each way
+  ManualClock clock(100 * kDay);
+  Deployment deployment(options, &clock);
+  ASSERT_TRUE(deployment.CreateTableEverywhere(ClusterSchema()).ok());
+  IpsClientOptions client_options;
+  client_options.caller = "test";
+  client_options.local_region = "lf";
+  IpsClient client(client_options, &deployment);
+  QuerySpec spec;
+  spec.slot = 1;
+  spec.time_range = TimeRange::Current(kDay);
+  // 2 ms of budget against 5 ms of one-way latency: hopeless, fail fast.
+  const CallContext tight = CallContext::WithTimeout(clock, 2);
+  const int64_t begin = MonotonicNanos();
+  auto result = client.Query("profiles", 1, spec, tight);
+  const int64_t elapsed_us = (MonotonicNanos() - begin) / 1000;
+  EXPECT_TRUE(result.status().IsDeadlineExceeded())
+      << result.status().ToString();
+  // Fail-fast: nowhere near the 10ms+ a full round trip would have burned
+  // across the retry attempts.
+  EXPECT_LT(elapsed_us, 8000);
+  // An unhurried request on the same deployment still works.
+  const TimestampMs now = clock.NowMs();
+  ASSERT_TRUE(
+      client.AddProfile("profiles", 1, now - kMinute, 1, 1, 1, CountVector{1})
+          .ok());
+  EXPECT_TRUE(client.Query("profiles", 1, spec).ok());
+}
+
+TEST_F(DeploymentTest, KvOutageServesDegradedReadsFromReplica) {
+  // Graceful degradation end to end: the master KV fails, and a cold read
+  // on a primary-region node is served from the slave replica, flagged
+  // degraded instead of failing.
+  const TimestampMs now = clock_.NowMs();
+  auto lf_nodes = deployment_.NodesInRegion("lf");
+  ASSERT_TRUE(lf_nodes[0]
+                  ->instance()
+                  .AddProfile("w", "profiles", 601, now - kMinute, 1, 1, 7,
+                              CountVector{3})
+                  .ok());
+  lf_nodes[0]->instance().FlushAll();
+  deployment_.kv().CatchUpAll();
+  deployment_.kv().master_store()->SetDown(true);
+
+  QuerySpec spec;
+  spec.slot = 1;
+  spec.time_range = TimeRange::Current(kDay);
+  auto degraded_read = lf_nodes[1]->instance().Query("r", "profiles", 601, spec);
+  ASSERT_TRUE(degraded_read.ok()) << degraded_read.status().ToString();
+  EXPECT_TRUE(degraded_read->degraded);
+  ASSERT_EQ(degraded_read->features.size(), 1u);
+  EXPECT_EQ(degraded_read->features[0].counts[0], 3);
+  EXPECT_GT(
+      deployment_.metrics()->GetCounter("server.degraded_reads")->Value(), 0);
+
+  // Master recovers: the resident copy revalidates on the next flush and
+  // fresh cold reads are clean again.
+  deployment_.kv().master_store()->SetDown(false);
+  auto clean_read = lf_nodes[0]->instance().Query("r", "profiles", 601, spec);
+  ASSERT_TRUE(clean_read.ok());
+  EXPECT_FALSE(clean_read->degraded);
+}
+
 TEST_F(DeploymentTest, StaleViewStopsRoutingToDeregisteredNode) {
   IpsClient client(LocalClientOptions("lf"), &deployment_);
   deployment_.FailRegion("lf");

@@ -22,6 +22,7 @@ class FakeStore {
   FlushFn Flusher() {
     return [this](ProfileId pid, const ProfileData& profile) {
       std::lock_guard<std::mutex> lock(mu_);
+      ++flush_attempts_;
       if (fail_flushes_) return Status::Unavailable("injected flush failure");
       stored_[pid] = profile;  // deep copy
       ++flush_count_;
@@ -30,7 +31,7 @@ class FakeStore {
   }
 
   LoadFn Loader() {
-    return [this](ProfileId pid) -> Result<ProfileData> {
+    return [this](ProfileId pid, bool* /*out_degraded*/) -> Result<ProfileData> {
       std::lock_guard<std::mutex> lock(mu_);
       ++load_count_;
       auto it = stored_.find(pid);
@@ -48,6 +49,10 @@ class FakeStore {
   int flush_count() const {
     std::lock_guard<std::mutex> lock(mu_);
     return flush_count_;
+  }
+  int flush_attempts() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return flush_attempts_;
   }
   int load_count() const {
     std::lock_guard<std::mutex> lock(mu_);
@@ -67,6 +72,7 @@ class FakeStore {
   std::map<ProfileId, ProfileData> stored_;
   bool fail_flushes_ = false;
   int flush_count_ = 0;
+  int flush_attempts_ = 0;
   int load_count_ = 0;
 };
 
@@ -186,16 +192,17 @@ TEST(GCacheTest, WithProfilesCoalescesMissesIntoOneBatchLoad) {
   std::mutex batches_mu;
   LoadFn loader = store.Loader();
   cache.set_batch_loader(
-      [&](const std::vector<ProfileId>& pids)
+      [&](const std::vector<ProfileId>& pids, std::vector<bool>* out_degraded)
           -> std::vector<Result<ProfileData>> {
         ++batch_loads;
         {
           std::lock_guard<std::mutex> lock(batches_mu);
           batches.push_back(pids);
         }
+        if (out_degraded != nullptr) out_degraded->assign(pids.size(), false);
         std::vector<Result<ProfileData>> out;
         out.reserve(pids.size());
-        for (ProfileId pid : pids) out.push_back(loader(pid));
+        for (ProfileId pid : pids) out.push_back(loader(pid, nullptr));
         return out;
       });
 
@@ -247,11 +254,12 @@ TEST(GCacheTest, WithProfilesCoalescesDuplicatePids) {
   std::vector<std::vector<ProfileId>> batches;
   LoadFn loader = store.Loader();
   cache.set_batch_loader(
-      [&](const std::vector<ProfileId>& pids)
+      [&](const std::vector<ProfileId>& pids, std::vector<bool>* out_degraded)
           -> std::vector<Result<ProfileData>> {
         batches.push_back(pids);
+        if (out_degraded != nullptr) out_degraded->assign(pids.size(), false);
         std::vector<Result<ProfileData>> out;
-        for (ProfileId pid : pids) out.push_back(loader(pid));
+        for (ProfileId pid : pids) out.push_back(loader(pid, nullptr));
         return out;
       });
 
@@ -546,12 +554,12 @@ TEST(GCacheTest, LoaderFailurePropagatesWithoutCachingGarbage) {
   int fail_loads = 0;
   GCache cache(
       ManualOptions(), SystemClock::Instance(), store.Flusher(),
-      [&](ProfileId pid) -> Result<ProfileData> {
+      [&](ProfileId pid, bool* out_degraded) -> Result<ProfileData> {
         if (fail_loads > 0) {
           --fail_loads;
           return Status::Unavailable("storage flaking");
         }
-        return store.Loader()(pid);
+        return store.Loader()(pid, out_degraded);
       });
   // Populate the store via a throwaway cache write + flush, then start
   // injecting load failures.
@@ -580,6 +588,92 @@ TEST(GCacheTest, LoaderFailurePropagatesWithoutCachingGarbage) {
                                })
                   .ok());
   EXPECT_EQ(count, 4);
+}
+
+TEST(GCacheTest, FlushPassStopsAtFailureCapAndRequeuesRemainder) {
+  FakeStore store;
+  MetricsRegistry metrics;
+  GCacheOptions options = ManualOptions();
+  options.dirty_shards = 1;
+  options.flush_threads = 1;
+  options.max_flush_failures_per_pass = 3;
+  GCache cache(options, SystemClock::Instance(), store.Flusher(),
+               store.Loader(), &metrics);
+  for (ProfileId pid = 1; pid <= 10; ++pid) {
+    cache
+        .WithProfileMutable(pid,
+                            [](ProfileData& profile) {
+                              profile.Add(kMinute, 1, 1, 1, CountVector{1})
+                                  .ok();
+                            })
+        .ok();
+  }
+  ASSERT_EQ(cache.DirtyCount(), 10u);
+  store.SetFailFlushes(true);
+  EXPECT_EQ(cache.FlushOnce(), 0u);
+  // The pass stopped at the cap: only 3 flush attempts hit the failing
+  // store, not one per dirty entry, and everything stayed queued.
+  EXPECT_EQ(store.flush_attempts(), 3);
+  EXPECT_EQ(cache.DirtyCount(), 10u);
+  EXPECT_EQ(metrics.GetCounter("cache.flush_failures")->Value(), 3);
+  // Store recovers: the next pass drains the whole list.
+  store.SetFailFlushes(false);
+  EXPECT_EQ(cache.FlushOnce(), 10u);
+  EXPECT_EQ(cache.DirtyCount(), 0u);
+}
+
+TEST(GCacheTest, DegradedLoadFlagsReadsUntilCleanFlush) {
+  FakeStore store;
+  {
+    GCache seeding(ManualOptions(), SystemClock::Instance(), store.Flusher(),
+                   store.Loader());
+    seeding
+        .WithProfileMutable(
+            42,
+            [](ProfileData& profile) {
+              profile.Add(kMinute, 1, 1, 9, CountVector{5}).ok();
+            })
+        .ok();
+    seeding.FlushAll();
+  }
+  // Loader that simulates a fallback-replica read while degrade is set.
+  bool degrade = true;
+  LoadFn loader = store.Loader();
+  GCache cache(ManualOptions(), SystemClock::Instance(), store.Flusher(),
+               [&](ProfileId pid, bool* out_degraded) -> Result<ProfileData> {
+                 auto result = loader(pid, out_degraded);
+                 if (degrade && out_degraded != nullptr) *out_degraded = true;
+                 return result;
+               });
+  bool hit = true;
+  bool degraded = false;
+  ASSERT_TRUE(
+      cache.WithProfile(42, [](const ProfileData&) {}, &hit, &degraded).ok());
+  EXPECT_FALSE(hit);
+  EXPECT_TRUE(degraded);
+  EXPECT_TRUE(cache.StoreUnhealthy());
+  // A hit on the resident copy still reports degraded: the entry came from
+  // a fallback and the store has not been seen healthy since.
+  degraded = false;
+  ASSERT_TRUE(
+      cache.WithProfile(42, [](const ProfileData&) {}, &hit, &degraded).ok());
+  EXPECT_TRUE(hit);
+  EXPECT_TRUE(degraded);
+  // Dirty the entry and flush cleanly: the flush reaches the primary store,
+  // so the entry is authoritative again and the health flag clears.
+  degrade = false;
+  cache
+      .WithProfileMutable(42,
+                          [](ProfileData& profile) {
+                            profile.Add(kMinute, 1, 1, 9, CountVector{1}).ok();
+                          })
+      .ok();
+  EXPECT_EQ(cache.FlushOnce(), 1u);
+  EXPECT_FALSE(cache.StoreUnhealthy());
+  degraded = true;
+  ASSERT_TRUE(
+      cache.WithProfile(42, [](const ProfileData&) {}, &hit, &degraded).ok());
+  EXPECT_FALSE(degraded);
 }
 
 TEST(GCacheTest, FlushThreadsRoundedToShardMultiple) {

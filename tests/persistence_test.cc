@@ -303,6 +303,79 @@ TEST(PersisterTest, KeysAreNamespacedByTable) {
   EXPECT_NE(a.BulkKey(1), b.BulkKey(1));
 }
 
+TEST(PersisterTest, FallbackServesDegradedReadWhenPrimaryDown) {
+  MemKvStore primary;
+  MemKvStore replica;
+  // Populate both stores (standing in for the replication the KV cluster
+  // does internally), then take the primary down.
+  PersisterOptions options;
+  options.fallback_kv = &replica;
+  Persister persister("t", &primary, options);
+  ASSERT_TRUE(persister.Flush(1, MakeProfile(4, 3)).ok());
+  {
+    Persister replica_writer("t", &replica, {});
+    ASSERT_TRUE(replica_writer.Flush(1, MakeProfile(4, 3)).ok());
+  }
+  primary.SetDown(true);
+  bool degraded = false;
+  auto loaded = persister.Load(1, &degraded);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_TRUE(degraded);
+  EXPECT_EQ(loaded->SliceCount(), 4u);
+  // Primary recovers: reads are healthy again and flushing still works.
+  primary.SetDown(false);
+  degraded = true;
+  ASSERT_TRUE(persister.Load(1, &degraded).ok());
+  EXPECT_FALSE(degraded);
+  EXPECT_TRUE(persister.Flush(1, MakeProfile(5, 3)).ok());
+}
+
+TEST(PersisterTest, FallbackNotFoundSurfacesPrimaryError) {
+  // A lagging replica may legitimately miss a profile that exists on the
+  // primary: NotFound from the fallback is inconclusive, so the caller gets
+  // the primary's Unavailable, never a false "no such profile".
+  MemKvStore primary;
+  MemKvStore replica;  // empty — the profile never replicated
+  PersisterOptions options;
+  options.fallback_kv = &replica;
+  Persister persister("t", &primary, options);
+  ASSERT_TRUE(persister.Flush(1, MakeProfile(2, 2)).ok());
+  primary.SetDown(true);
+  bool degraded = false;
+  auto loaded = persister.Load(1, &degraded);
+  EXPECT_TRUE(loaded.status().IsUnavailable());
+  EXPECT_FALSE(degraded);
+}
+
+TEST(PersisterTest, LoadBatchFallsBackPerProfile) {
+  MemKvStore primary;
+  MemKvStore replica;
+  PersisterOptions options;
+  options.fallback_kv = &replica;
+  Persister persister("t", &primary, options);
+  ASSERT_TRUE(persister.Flush(1, MakeProfile(3, 2)).ok());
+  ASSERT_TRUE(persister.Flush(2, MakeProfile(6, 2)).ok());
+  {
+    // Only pid 1 made it to the replica before the outage.
+    Persister replica_writer("t", &replica, {});
+    ASSERT_TRUE(replica_writer.Flush(1, MakeProfile(3, 2)).ok());
+  }
+  primary.SetDown(true);
+  std::vector<bool> degraded;
+  auto results = persister.LoadBatch({1, 2, 404}, &degraded);
+  ASSERT_EQ(results.size(), 3u);
+  ASSERT_EQ(degraded.size(), 3u);
+  ASSERT_TRUE(results[0].ok()) << results[0].status().ToString();
+  EXPECT_EQ(results[0]->SliceCount(), 3u);
+  EXPECT_TRUE(degraded[0]);
+  // pid 2 never replicated: the primary's outage surfaces, not NotFound.
+  EXPECT_TRUE(results[1].status().IsUnavailable());
+  EXPECT_FALSE(degraded[1]);
+  // pid 404 exists nowhere; with the primary down that is indistinguishable
+  // from an unreplicated profile, so it also reports the outage.
+  EXPECT_FALSE(results[2].ok());
+}
+
 TEST(PersisterTest, SurvivesKvFailuresWithErrorNotCorruption) {
   MemKvOptions kv_options;
   kv_options.failure_probability = 1.0;

@@ -68,6 +68,28 @@ INSTANTIATE_TEST_SUITE_P(
         CodePredicateCase{Status::Unimplemented("x"),
                           StatusCode::kUnimplemented, "UNIMPLEMENTED"}));
 
+TEST(StatusTest, IsRetryableCoversEveryCode) {
+  // Exactly the transient transport/storage faults are retryable; everything
+  // else repeats deterministically or means nobody is waiting anymore.
+  EXPECT_FALSE(Status::OK().IsRetryable());
+  EXPECT_FALSE(Status::NotFound("x").IsRetryable());
+  EXPECT_FALSE(Status::InvalidArgument("x").IsRetryable());
+  EXPECT_FALSE(Status::AlreadyExists("x").IsRetryable());
+  EXPECT_FALSE(Status::ResourceExhausted("x").IsRetryable());
+  EXPECT_TRUE(Status::Unavailable("x").IsRetryable());
+  EXPECT_FALSE(Status::DeadlineExceeded("x").IsRetryable());
+  EXPECT_TRUE(Status::Aborted("x").IsRetryable());
+  EXPECT_FALSE(Status::Corruption("x").IsRetryable());
+  EXPECT_FALSE(Status::Internal("x").IsRetryable());
+  EXPECT_FALSE(Status::Unimplemented("x").IsRetryable());
+}
+
+TEST(StatusTest, DeadlineExceededPredicate) {
+  EXPECT_TRUE(Status::DeadlineExceeded("late").IsDeadlineExceeded());
+  EXPECT_FALSE(Status::Unavailable("down").IsDeadlineExceeded());
+  EXPECT_FALSE(Status::OK().IsDeadlineExceeded());
+}
+
 TEST(ResultTest, HoldsValue) {
   Result<int> r = 7;
   ASSERT_TRUE(r.ok());
