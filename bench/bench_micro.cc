@@ -3,7 +3,8 @@
 //   * sharded-LRU + try_lock swap vs a single global mutex (Fig 7/8),
 //   * hash-accumulator merge vs sorted k-way heap merge,
 //   * codec / compression throughput (the Fig 12 serialization path),
-//   * consistent-hash routing cost.
+//   * consistent-hash routing cost,
+//   * tracing hot-path overhead with sampling off vs a live trace.
 #include <benchmark/benchmark.h>
 
 #include <list>
@@ -16,6 +17,7 @@
 #include "codec/profile_codec.h"
 #include "common/hash.h"
 #include "common/random.h"
+#include "common/trace.h"
 #include "core/profile_data.h"
 #include "query/merger.h"
 #include "query/query.h"
@@ -242,6 +244,38 @@ void BM_ConsistentHashLookup(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_ConsistentHashLookup)->Arg(8)->Arg(64)->Arg(1024);
+
+// -------------------------------------------------------------- tracing ---
+
+// The cost a span site adds to an UNSAMPLED request: no trace installed, so
+// ScopedSpan must reduce to a thread-local read and a branch. This is the
+// per-site overhead every query pays when sampling is off.
+void BM_SpanDisabled(benchmark::State& state) {
+  const int64_t allocs_before = Trace::Allocations();
+  for (auto _ : state) {
+    ScopedSpan span("bench.noop");
+    benchmark::DoNotOptimize(span.active());
+  }
+  state.SetItemsProcessed(state.iterations());
+  if (Trace::Allocations() != allocs_before) {
+    state.SkipWithError("disabled span allocated");
+  }
+}
+BENCHMARK(BM_SpanDisabled);
+
+// Same site with a live trace installed: one mutex-guarded vector append per
+// span open/close pair.
+void BM_SpanEnabled(benchmark::State& state) {
+  Trace trace(/*trace_id=*/1, /*start_ms=*/0);
+  TraceContext ctx{&trace, kNoSpan};
+  TraceInstallScope install(ctx);
+  for (auto _ : state) {
+    ScopedSpan span("rpc.transfer");
+    benchmark::DoNotOptimize(span.active());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SpanEnabled);
 
 // ---------------------------------------------------------------- write ---
 

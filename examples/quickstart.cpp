@@ -6,11 +6,16 @@
 // top-K, filter and decay — printing what the recommendation engine would
 // receive as features.
 //
+// Ends with the observability surface: the same query traced end to end,
+// the per-stage span dump, and the collector's slow-query log
+// (docs/METRICS.md catalogues the full metric set).
+//
 // Build & run:  ./build/examples/quickstart
 #include <cstdio>
 #include <optional>
 
 #include "common/clock.h"
+#include "common/trace_collector.h"
 #include "kvstore/mem_kv_store.h"
 #include "server/ips_instance.h"
 
@@ -127,5 +132,40 @@ int main() {
         "\ncache: %zu profile(s), %zu bytes, hit ratio %.2f\n",
         stats->cached_profiles, stats->cache_bytes, stats->hit_ratio);
   }
+
+  // 4) Observability: run the same query again with tracing on. The
+  //    collector samples requests (here: every request), keeps the sampled
+  //    traces in a ring, feeds per-stage latency histograms into the metrics
+  //    registry, and retains the slowest requests as a slow-query log.
+  ips::MetricsRegistry metrics;
+  ips::TraceCollectorOptions trace_options;
+  trace_options.sample_every_n = 1;  // production would use 1000+
+  ips::TraceCollector collector(trace_options, &clock, &metrics);
+
+  ips::QuerySpec spec;
+  spec.slot = kSportsSlot;
+  spec.type = kBasketball;
+  spec.time_range = ips::TimeRange::Current(11 * ips::kMillisPerDay);
+  spec.sort_by = ips::SortBy::kActionCount;
+  spec.sort_action = kLike;
+  spec.k = 1;
+
+  auto trace = collector.MaybeStartTrace();
+  ips::CallContext ctx;
+  ctx.trace = ips::TraceCollector::ContextFor(trace.get());
+  instance.Query("quickstart", "user_profile", alice, spec, ctx).ok();
+
+  std::printf("\ntraced spans for that query:\n");
+  for (const auto& span : trace->Spans()) {
+    std::printf("  %-16s %6lld us (parent %lld)\n", span.name,
+                static_cast<long long>((span.end_ns - span.start_ns) / 1000),
+                static_cast<long long>(span.parent));
+  }
+  collector.Finish(std::move(trace));
+
+  // The collector's exports: slow-query log (human) and JSONL / chrome
+  // trace (machine; load the latter in chrome://tracing or Perfetto).
+  std::printf("\n%s", collector.SlowQueryReport().c_str());
+  std::printf("\nJSONL export:\n%s", collector.ExportJsonl().c_str());
   return 0;
 }

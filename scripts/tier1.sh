@@ -12,6 +12,10 @@ set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
+# Cheap doc lint first: metric/span names in docs/METRICS.md must match the
+# source tree. Fails fast before any compile time is spent.
+scripts/check_docs.sh
+
 run_suite() {
   local sanitize="$1"
   local build_dir="build"

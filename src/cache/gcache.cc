@@ -5,6 +5,7 @@
 
 #include "common/hash.h"
 #include "common/logging.h"
+#include "common/trace.h"
 
 namespace ips {
 
@@ -156,37 +157,42 @@ size_t GCache::WithProfiles(
 
   // Phase 1: partition into hits and misses against the shard maps. Misses
   // are coalesced so each unique pid is loaded once even when the incoming
-  // batch carries duplicates.
+  // batch carries duplicates. The cache.lookup span covers exactly this
+  // in-memory partition; the storage round trip (phase 2) reports itself as
+  // kv.load / codec.decode from the layers that do the work.
   size_t hits = 0;
   std::vector<ProfileId> miss_pids;
   std::unordered_map<ProfileId, std::vector<size_t>> miss_indices;
-  for (size_t i = 0; i < pids.size(); ++i) {
-    const ProfileId pid = pids[i];
-    LruShard& shard = *lru_shards_[LruIndex(pid)];
-    std::lock_guard<std::mutex> lock(shard.mu);
-    auto it = shard.map.find(pid);
-    if (it != shard.map.end()) {
-      TouchLru(shard, pid);
-      entries[i] = it->second;
-      ++hits;
-      continue;
+  {
+    ScopedSpan lookup_span("cache.lookup");
+    for (size_t i = 0; i < pids.size(); ++i) {
+      const ProfileId pid = pids[i];
+      LruShard& shard = *lru_shards_[LruIndex(pid)];
+      std::lock_guard<std::mutex> lock(shard.mu);
+      auto it = shard.map.find(pid);
+      if (it != shard.map.end()) {
+        TouchLru(shard, pid);
+        entries[i] = it->second;
+        ++hits;
+        continue;
+      }
+      auto [miss_it, first_miss] = miss_indices.try_emplace(pid);
+      if (first_miss) miss_pids.push_back(pid);
+      miss_it->second.push_back(i);
     }
-    auto [miss_it, first_miss] = miss_indices.try_emplace(pid);
-    if (first_miss) miss_pids.push_back(pid);
-    miss_it->second.push_back(i);
-  }
-  hits_.fetch_add(static_cast<int64_t>(hits), std::memory_order_relaxed);
-  misses_.fetch_add(static_cast<int64_t>(miss_pids.size()),
-                    std::memory_order_relaxed);
-  if (metrics_ != nullptr) {
-    if (hits > 0) {
-      metrics_->GetCounter("cache.hit")->Increment(
-          static_cast<int64_t>(hits));
-    }
-    if (!miss_pids.empty()) {
-      metrics_->GetCounter("cache.miss")->Increment(
-          static_cast<int64_t>(miss_pids.size()));
-      metrics_->GetCounter("cache.batch_loads")->Increment();
+    hits_.fetch_add(static_cast<int64_t>(hits), std::memory_order_relaxed);
+    misses_.fetch_add(static_cast<int64_t>(miss_pids.size()),
+                      std::memory_order_relaxed);
+    if (metrics_ != nullptr) {
+      if (hits > 0) {
+        metrics_->GetCounter("cache.hit")->Increment(
+            static_cast<int64_t>(hits));
+      }
+      if (!miss_pids.empty()) {
+        metrics_->GetCounter("cache.miss")->Increment(
+            static_cast<int64_t>(miss_pids.size()));
+        metrics_->GetCounter("cache.batch_loads")->Increment();
+      }
     }
   }
 

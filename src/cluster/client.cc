@@ -6,6 +6,8 @@
 #include <thread>
 #include <unordered_set>
 
+#include "common/trace.h"
+
 namespace ips {
 
 IpsClient::IpsClient(IpsClientOptions options, Deployment* deployment)
@@ -218,6 +220,14 @@ Result<QueryResult> IpsClient::Query(const std::string& table, ProfileId pid,
   metrics_->GetCounter("client.read_requests")->Increment();
   retry_policy_.OnRequestStart();
 
+  // Root span for the whole client-side request (attempts, backoff, RPC).
+  // Children recorded below (rpc.transfer, server.query, ...) parent to it
+  // via the derived context handed to node->Call.
+  TraceInstallScope trace_install(ctx.trace);
+  ScopedSpan root_span("client.query");
+  CallContext call_ctx = ctx;
+  call_ctx.trace = CurrentTrace();
+
   // Region preference: local first, then failover regions in order.
   std::vector<std::string> regions;
   if (!options_.local_region.empty()) regions.push_back(options_.local_region);
@@ -247,10 +257,10 @@ Result<QueryResult> IpsClient::Query(const std::string& table, ProfileId pid,
       first_attempt = false;
       Result<QueryResult> query_result = Status::Unavailable("unset");
       Status call_status = node->Call(
-          ctx, options_.request_bytes, options_.response_bytes,
+          call_ctx, options_.request_bytes, options_.response_bytes,
           [&](IpsInstance& instance) {
             query_result =
-                instance.Query(options_.caller, table, pid, spec, ctx);
+                instance.Query(options_.caller, table, pid, spec, call_ctx);
             return query_result.ok() ? Status::OK() : query_result.status();
           });
       if (call_status.ok() && query_result.ok()) {
@@ -281,6 +291,14 @@ Result<MultiQueryResult> IpsClient::MultiQuery(const std::string& table,
   metrics_->GetCounter("client.multi_read_pids")
       ->Increment(static_cast<int64_t>(pids.size()));
   retry_policy_.OnRequestStart();
+
+  // Root span covering the whole scatter-gather. Workers pass the derived
+  // context to node->Call, which re-installs it on the worker thread, so the
+  // parallel per-node spans all parent to this root.
+  TraceInstallScope trace_install(ctx.trace);
+  ScopedSpan root_span("client.multi_query");
+  CallContext call_ctx = ctx;
+  call_ctx.trace = CurrentTrace();
 
   // Deduplicate while preserving first-seen order: duplicate candidates cost
   // one lookup and fan back out on reassembly.
@@ -391,13 +409,14 @@ Result<MultiQueryResult> IpsClient::MultiQuery(const std::string& table,
           for (size_t s : *slot_ids) sub.push_back(unique[s]);
           Result<MultiQueryResult> batch = Status::Unavailable("unset");
           Status call_status = node->Call(
-              ctx, options_.request_bytes + sub.size() * sizeof(ProfileId),
+              call_ctx,
+              options_.request_bytes + sub.size() * sizeof(ProfileId),
               options_.response_bytes * sub.size(),
               [&](IpsInstance& instance) {
                 batch = instance.MultiQuery(
                     options_.caller, table,
                     std::span<const ProfileId>(sub.data(), sub.size()), spec,
-                    ctx);
+                    call_ctx);
                 return batch.ok() ? Status::OK() : batch.status();
               });
           if (call_status.ok() && batch.ok()) {

@@ -2,6 +2,8 @@
 
 #include <thread>
 
+#include "common/trace.h"
+
 namespace ips {
 
 namespace {
@@ -37,6 +39,10 @@ int64_t Channel::DrawOneWayDelayUs(size_t payload_bytes) {
 Status Channel::Call(const CallContext& ctx, size_t request_bytes,
                      size_t response_bytes,
                      const std::function<Status()>& handler) {
+  // Scatter-gather clients dispatch Call on worker threads, so the trace
+  // context must be (re)installed here for the spans below and for every
+  // layer the handler reaches.
+  TraceInstallScope trace_install(ctx.trace);
   if (partitioned_.load(std::memory_order_relaxed)) {
     return Status::Unavailable("network partition");
   }
@@ -58,7 +64,10 @@ Status Channel::Call(const CallContext& ctx, size_t request_bytes,
     // fail fast instead of burning the latency.
     return Status::DeadlineExceeded("request latency exceeds deadline");
   }
-  BurnMicros(request_delay_us);
+  {
+    ScopedSpan transfer("rpc.transfer");
+    BurnMicros(request_delay_us);
+  }
   Status status = handler();
   const int64_t response_delay_us = DrawOneWayDelayUs(response_bytes);
   if (enforce &&
@@ -66,7 +75,10 @@ Status Channel::Call(const CallContext& ctx, size_t request_bytes,
     // The server did the work, but the reply lands too late to matter.
     return Status::DeadlineExceeded("response latency exceeds deadline");
   }
-  BurnMicros(response_delay_us);
+  {
+    ScopedSpan transfer("rpc.transfer");
+    BurnMicros(response_delay_us);
+  }
   return status;
 }
 

@@ -1,8 +1,10 @@
-// Per-request call metadata propagated through the request path. The only
-// field today is the deadline: every Query/MultiQuery/AddProfiles carries an
-// absolute deadline that the transport and the serving instance both check,
-// so a request that cannot finish in time fails fast with DeadlineExceeded
-// instead of spending (simulated) latency past the point anyone is waiting.
+// Per-request call metadata propagated through the request path: the
+// deadline and the tracing context. Every Query/MultiQuery/AddProfiles
+// carries an absolute deadline that the transport and the serving instance
+// both check, so a request that cannot finish in time fails fast with
+// DeadlineExceeded instead of spending (simulated) latency past the point
+// anyone is waiting. The TraceContext, when active, makes every layer the
+// request crosses record named latency spans (see common/trace.h).
 //
 // Deadlines are absolute timestamps in the caller's Clock domain (simulated
 // or wall time), so forwarding a context through layers costs nothing and
@@ -15,6 +17,7 @@
 #include <limits>
 
 #include "common/clock.h"
+#include "common/trace.h"
 
 namespace ips {
 
@@ -25,6 +28,11 @@ struct CallContext {
 
   /// Absolute deadline in the request's clock domain.
   TimestampMs deadline_ms = kNoDeadline;
+
+  /// Tracing context for this request (inactive by default). Layers that may
+  /// hop threads install it thread-locally (TraceInstallScope) so deeper
+  /// layers can record spans without threading a context through every call.
+  TraceContext trace;
 
   bool has_deadline() const { return deadline_ms != kNoDeadline; }
 

@@ -33,6 +33,15 @@ std::map<std::string, int64_t> MetricsRegistry::SnapshotValues() const {
   return out;
 }
 
+std::vector<std::string> MetricsRegistry::MetricNames() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> out;
+  for (const auto& [name, counter] : counters_) out.push_back(name);
+  for (const auto& [name, gauge] : gauges_) out.push_back(name);
+  for (const auto& [name, histogram] : histograms_) out.push_back(name);
+  return out;
+}
+
 void MetricsRegistry::ResetAll() {
   std::lock_guard<std::mutex> lock(mu_);
   for (auto& [name, counter] : counters_) counter->Reset();

@@ -54,6 +54,11 @@ class MetricsRegistry {
   /// Snapshot of all counter/gauge values, for test assertions and reports.
   std::map<std::string, int64_t> SnapshotValues() const;
 
+  /// Every metric name the registry has seen — counters, gauges AND
+  /// histograms (which SnapshotValues omits because a histogram has no
+  /// single value). The docs/METRICS.md completeness test walks this.
+  std::vector<std::string> MetricNames() const;
+
   /// Zeroes every counter and histogram (gauges keep their last value).
   void ResetAll();
 

@@ -1,0 +1,81 @@
+#include "common/trace.h"
+
+#include <algorithm>
+#include <string_view>
+
+namespace ips {
+
+namespace {
+std::atomic<int64_t> g_allocations{0};
+}  // namespace
+
+namespace trace_internal {
+TraceContext& CurrentSlot() {
+  thread_local TraceContext slot;
+  return slot;
+}
+}  // namespace trace_internal
+
+Trace::Trace(uint64_t trace_id, TimestampMs start_ms)
+    : trace_id_(trace_id), start_ms_(start_ms) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  spans_.reserve(16);
+}
+
+SpanId Trace::BeginSpan(const char* name, SpanId parent) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  const int64_t now_ns = MonotonicNanos();
+  std::lock_guard<std::mutex> lock(mu_);
+  spans_.push_back(TraceSpan{name, parent, now_ns, 0});
+  return static_cast<SpanId>(spans_.size() - 1);
+}
+
+void Trace::EndSpan(SpanId id) {
+  const int64_t now_ns = MonotonicNanos();
+  std::lock_guard<std::mutex> lock(mu_);
+  if (id >= 0 && static_cast<size_t>(id) < spans_.size()) {
+    spans_[static_cast<size_t>(id)].end_ns = now_ns;
+  }
+}
+
+std::vector<TraceSpan> Trace::Spans() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return spans_;
+}
+
+int64_t Trace::DurationNs() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  int64_t first = 0;
+  int64_t last = 0;
+  bool any = false;
+  for (const TraceSpan& span : spans_) {
+    if (span.end_ns == 0) continue;
+    if (!any) {
+      first = span.start_ns;
+      last = span.end_ns;
+      any = true;
+    } else {
+      first = std::min(first, span.start_ns);
+      last = std::max(last, span.end_ns);
+    }
+  }
+  return any ? last - first : 0;
+}
+
+int64_t Trace::StageNs(const char* name) const {
+  const std::string_view want(name);
+  std::lock_guard<std::mutex> lock(mu_);
+  int64_t total = 0;
+  for (const TraceSpan& span : spans_) {
+    if (span.end_ns != 0 && want == span.name) {
+      total += span.end_ns - span.start_ns;
+    }
+  }
+  return total;
+}
+
+int64_t Trace::Allocations() {
+  return g_allocations.load(std::memory_order_relaxed);
+}
+
+}  // namespace ips

@@ -1,0 +1,156 @@
+// Request tracing: named spans attributing one request's latency to the
+// pipeline stages it crossed (rpc transfer, server queueing, cache lookup,
+// KV load, codec decode, feature compute).
+//
+// Design notes:
+//  - A `Trace` is owned by whoever started the request (usually via
+//    TraceCollector::MaybeStartTrace) and outlives every layer the request
+//    crosses. Layers never allocate or free traces.
+//  - `TraceContext` rides on CallContext through the API layers (client ->
+//    channel -> instance). At each boundary that may hop threads, the layer
+//    installs the context into a thread-local slot (TraceInstallScope), so
+//    deep layers with no CallContext parameter (GCache, Persister, KvStore)
+//    can open spans with a bare `ScopedSpan span("kv.load");`.
+//  - Span timestamps are MONOTONIC WALL-CLOCK nanoseconds, not simulated
+//    clock. Simulated network/KV latencies are *burned* in real time
+//    (Channel/MemKvStore spin or sleep for the drawn delay), so wall time is
+//    the only domain in which per-stage spans sum to the end-to-end latency
+//    a benchmark measures. The trace additionally stamps the simulated-clock
+//    start (start_ms) so exported traces can be lined up against
+//    deadline/compaction events that live in the simulated domain.
+//  - When no trace is installed, ScopedSpan is a thread-local read and a
+//    branch: no allocation, no lock. Trace::Allocations() counts every
+//    trace/span allocation so tests can assert the disabled hot path stays
+//    at zero.
+#ifndef IPS_COMMON_TRACE_H_
+#define IPS_COMMON_TRACE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+
+namespace ips {
+
+/// Index of a span within its trace. kNoSpan marks a root span's parent.
+using SpanId = int32_t;
+inline constexpr SpanId kNoSpan = -1;
+
+struct TraceSpan {
+  const char* name;  // string literal owned by the instrumentation site
+  SpanId parent = kNoSpan;
+  int64_t start_ns = 0;  // MonotonicNanos()
+  int64_t end_ns = 0;    // 0 while the span is still open
+};
+
+/// One sampled request: an append-only list of closed-over spans. Spans may
+/// be appended concurrently (MultiQuery scatter-gather workers record rpc
+/// spans in parallel), so the span list is mutex-guarded; the lock is only
+/// ever taken for sampled requests.
+class Trace {
+ public:
+  Trace(uint64_t trace_id, TimestampMs start_ms);
+
+  uint64_t trace_id() const { return trace_id_; }
+  /// Simulated-clock timestamp at which the trace was started.
+  TimestampMs start_ms() const { return start_ms_; }
+
+  SpanId BeginSpan(const char* name, SpanId parent);
+  void EndSpan(SpanId id);
+
+  /// Snapshot of all spans recorded so far.
+  std::vector<TraceSpan> Spans() const;
+
+  /// Wall-clock extent of the trace: latest end minus earliest start over
+  /// all closed spans. Zero when no span has closed.
+  int64_t DurationNs() const;
+
+  /// Total nanoseconds spent in spans with exactly this name. Stage spans
+  /// never self-nest, so summing occurrences is double-count free.
+  int64_t StageNs(const char* name) const;
+
+  /// Process-wide count of trace and span allocations, for the
+  /// tracing-disabled-is-free test.
+  static int64_t Allocations();
+
+ private:
+  const uint64_t trace_id_;
+  const TimestampMs start_ms_;
+  mutable std::mutex mu_;
+  std::vector<TraceSpan> spans_;
+};
+
+/// The (trace, parent span) pair a request carries. Copyable and cheap; an
+/// inactive context (null trace) is the default everywhere.
+struct TraceContext {
+  Trace* trace = nullptr;
+  SpanId parent = kNoSpan;
+
+  bool active() const { return trace != nullptr; }
+};
+
+namespace trace_internal {
+/// Thread-local "current position in the current trace" slot.
+TraceContext& CurrentSlot();
+}  // namespace trace_internal
+
+/// The trace context currently installed on this thread (inactive if none).
+inline TraceContext CurrentTrace() { return trace_internal::CurrentSlot(); }
+
+/// Installs a request's TraceContext into the thread-local slot for the
+/// scope of one layer's work, restoring the previous value on exit. An
+/// inactive context installs nothing, so layers that receive a default
+/// CallContext (e.g. batch-of-one wrappers) do not sever an outer trace.
+class TraceInstallScope {
+ public:
+  explicit TraceInstallScope(const TraceContext& ctx)
+      : saved_(trace_internal::CurrentSlot()), restore_(ctx.active()) {
+    if (restore_) trace_internal::CurrentSlot() = ctx;
+  }
+  ~TraceInstallScope() {
+    if (restore_) trace_internal::CurrentSlot() = saved_;
+  }
+  TraceInstallScope(const TraceInstallScope&) = delete;
+  TraceInstallScope& operator=(const TraceInstallScope&) = delete;
+
+ private:
+  TraceContext saved_;
+  bool restore_;
+};
+
+/// RAII span against the thread-local current trace. While open, it becomes
+/// the parent for spans opened below it on the same thread. A no-op (one
+/// thread-local read, no allocation) when no trace is installed.
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(const char* name) {
+    TraceContext& cur = trace_internal::CurrentSlot();
+    trace_ = cur.trace;
+    if (trace_ == nullptr) return;
+    saved_parent_ = cur.parent;
+    id_ = trace_->BeginSpan(name, saved_parent_);
+    cur.parent = id_;
+  }
+  ~ScopedSpan() {
+    if (trace_ == nullptr) return;
+    trace_->EndSpan(id_);
+    trace_internal::CurrentSlot().parent = saved_parent_;
+  }
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  bool active() const { return trace_ != nullptr; }
+  SpanId id() const { return id_; }
+
+ private:
+  Trace* trace_ = nullptr;
+  SpanId id_ = kNoSpan;
+  SpanId saved_parent_ = kNoSpan;
+};
+
+}  // namespace ips
+
+#endif  // IPS_COMMON_TRACE_H_

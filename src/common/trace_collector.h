@@ -1,0 +1,105 @@
+// TraceCollector: owns the sampling decision and everything that happens to
+// a trace after its request completes — per-stage histogram aggregation into
+// MetricsRegistry (so the Table II decomposition falls out of normal load),
+// a ring buffer of recent full traces exportable as JSONL or chrome-trace
+// JSON (load the latter in chrome://tracing or https://ui.perfetto.dev), and
+// a slow-query log of the N worst traces with their stage breakdowns.
+#ifndef IPS_COMMON_TRACE_COLLECTOR_H_
+#define IPS_COMMON_TRACE_COLLECTOR_H_
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/metrics.h"
+#include "common/trace.h"
+
+namespace ips {
+
+struct TraceCollectorOptions {
+  /// Sample one request out of every N. 0 disables tracing entirely
+  /// (MaybeStartTrace always returns null); 1 traces every request.
+  int64_t sample_every_n = 0;
+  /// How many finished traces the ring buffer retains for export.
+  size_t ring_capacity = 64;
+  /// How many worst-latency traces the slow-query log keeps.
+  size_t slow_log_capacity = 8;
+};
+
+/// One slow-query log entry: a finished trace's identity plus its stage
+/// breakdown, cheap enough to retain after the full trace is evicted.
+struct SlowQueryEntry {
+  uint64_t trace_id = 0;
+  TimestampMs start_ms = 0;   // simulated clock at trace start
+  int64_t duration_us = 0;    // wall-clock extent of the trace
+  /// (stage name, total us) for every known stage present in the trace.
+  std::vector<std::pair<std::string, int64_t>> stages;
+};
+
+class TraceCollector {
+ public:
+  /// `clock` stamps the simulated-clock start on new traces; `metrics`
+  /// receives the per-stage histograms. Both must outlive the collector.
+  TraceCollector(TraceCollectorOptions options, Clock* clock,
+                 MetricsRegistry* metrics);
+
+  /// Per-request sampling decision. Returns an owned trace when this request
+  /// is sampled, null otherwise. With sampling off this is one relaxed
+  /// atomic load — no allocation.
+  std::unique_ptr<Trace> MaybeStartTrace();
+
+  /// The context to place on the request's CallContext (inactive for null).
+  static TraceContext ContextFor(Trace* trace) {
+    return TraceContext{trace, kNoSpan};
+  }
+
+  /// Ingests a finished trace: records per-stage histograms, retains the
+  /// trace in the ring buffer, and updates the slow-query log. Null is
+  /// accepted and ignored so callers can finish unconditionally.
+  void Finish(std::unique_ptr<Trace> trace);
+
+  size_t RetainedCount() const;
+
+  /// One JSON object per line per retained trace:
+  ///   {"trace_id":..,"start_ms":..,"duration_us":..,"spans":[...]}
+  std::string ExportJsonl() const;
+
+  /// Chrome trace-event JSON ("X" complete events, microsecond timestamps).
+  std::string ExportChromeTrace() const;
+
+  /// The N worst traces by duration, worst first.
+  std::vector<SlowQueryEntry> SlowQueries() const;
+
+  /// Human-readable slow-query log for reports and the quickstart example.
+  std::string SlowQueryReport() const;
+
+  /// Stage names aggregated into "trace.stage.<name>" histograms, in
+  /// display order: the six disjoint pipeline stages first, then the
+  /// umbrella spans (which overlap the stages and must not be summed with
+  /// them).
+  static const std::vector<std::string>& StageNames();
+  /// Number of leading StageNames() entries that are disjoint pipeline
+  /// stages (safe to sum per request).
+  static size_t DisjointStageCount();
+
+ private:
+  const TraceCollectorOptions options_;
+  Clock* const clock_;
+  MetricsRegistry* const metrics_;
+  std::atomic<int64_t> request_seq_{0};
+  std::atomic<uint64_t> next_trace_id_{1};
+
+  mutable std::mutex mu_;
+  std::deque<std::unique_ptr<Trace>> ring_;
+  std::vector<SlowQueryEntry> slow_log_;  // sorted worst-first
+};
+
+}  // namespace ips
+
+#endif  // IPS_COMMON_TRACE_COLLECTOR_H_

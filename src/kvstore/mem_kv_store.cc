@@ -3,6 +3,7 @@
 #include <thread>
 
 #include "common/hash.h"
+#include "common/trace.h"
 
 namespace ips {
 
@@ -90,6 +91,7 @@ Status MemKvStore::Set(std::string_view key, std::string_view value) {
 }
 
 Status MemKvStore::Get(std::string_view key, std::string* value) {
+  ScopedSpan load_span("kv.load");
   point_reads_.fetch_add(1, std::memory_order_relaxed);
   Shard& shard = ShardFor(key);
   size_t payload = 0;
@@ -122,6 +124,7 @@ Status MemKvStore::Delete(std::string_view key) {
 }
 
 Status MemKvStore::XGet(std::string_view key, KvEntry* entry) {
+  ScopedSpan load_span("kv.load");
   point_reads_.fetch_add(1, std::memory_order_relaxed);
   Shard& shard = ShardFor(key);
   IPS_RETURN_IF_ERROR(SimulateOp(shard, 0));
@@ -159,6 +162,7 @@ Status MemKvStore::XSet(std::string_view key, std::string_view value,
 void MemKvStore::MultiGet(const std::vector<std::string>& keys,
                           std::vector<std::string>* values,
                           std::vector<Status>* statuses) {
+  ScopedSpan load_span("kv.load");
   multi_get_calls_.fetch_add(1, std::memory_order_relaxed);
   multi_get_keys_.fetch_add(static_cast<int64_t>(keys.size()),
                             std::memory_order_relaxed);

@@ -2,6 +2,7 @@
 
 #include "codec/coding.h"
 #include "common/logging.h"
+#include "common/trace.h"
 
 namespace ips {
 
@@ -114,15 +115,19 @@ void FeatureAssembler::AttachConfigRegistry(ConfigRegistry* registry,
   });
 }
 
-Result<AssembledSample> FeatureAssembler::Assemble(ProfileId uid) {
+Result<AssembledSample> FeatureAssembler::Assemble(ProfileId uid,
+                                                   const CallContext& ctx) {
   IPS_ASSIGN_OR_RETURN(
       std::vector<AssembledSample> samples,
-      AssembleBatch(std::span<const ProfileId>(&uid, 1)));
+      AssembleBatch(std::span<const ProfileId>(&uid, 1), ctx));
   return std::move(samples[0]);
 }
 
 Result<std::vector<AssembledSample>> FeatureAssembler::AssembleBatch(
-    std::span<const ProfileId> uids) {
+    std::span<const ProfileId> uids, const CallContext& ctx) {
+  // Umbrella span over every per-spec MultiQuery plus the training flush.
+  TraceInstallScope trace_install(ctx.trace);
+  ScopedSpan batch_span("assembler.batch");
   std::shared_ptr<const std::vector<FeatureSpec>> specs;
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -137,8 +142,8 @@ Result<std::vector<AssembledSample>> FeatureAssembler::AssembleBatch(
   if (uids.empty()) return samples;
 
   for (const auto& spec : *specs) {
-    Result<MultiQueryResult> batch =
-        instance_->MultiQuery(options_.caller, spec.table, uids, spec.query);
+    Result<MultiQueryResult> batch = instance_->MultiQuery(
+        options_.caller, spec.table, uids, spec.query, ctx);
     if (!batch.ok() && batch.status().IsResourceExhausted()) {
       return batch.status();  // quota: the whole request is rejected
     }

@@ -72,8 +72,10 @@ class FeatureAssembler {
   /// flushing it to the training topic when configured. Individual feature
   /// failures are tolerated (the group is emitted empty) so one bad spec
   /// cannot break serving; hard failures (quota) propagate. Implemented as
-  /// a batch of one over AssembleBatch.
-  Result<AssembledSample> Assemble(ProfileId uid);
+  /// a batch of one over AssembleBatch. `ctx` carries the caller's deadline
+  /// and trace context into every per-spec MultiQuery.
+  Result<AssembledSample> Assemble(ProfileId uid,
+                                   const CallContext& ctx = CallContext{});
 
   /// Batched assembly for a candidate list (ranking requests score tens to
   /// hundreds of candidates at once): ONE MultiQuery per feature spec covers
@@ -82,7 +84,7 @@ class FeatureAssembler {
   /// feature failures yield empty groups, quota rejections fail the whole
   /// batch. Each sample is flushed to the training topic when configured.
   Result<std::vector<AssembledSample>> AssembleBatch(
-      std::span<const ProfileId> uids);
+      std::span<const ProfileId> uids, const CallContext& ctx = CallContext{});
 
   size_t FeatureCount() const;
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "common/trace.h"
 
 namespace ips {
 
@@ -291,16 +292,24 @@ Result<MultiQueryResult> IpsInstance::MultiQuery(
     const std::string& caller, const std::string& table,
     std::span<const ProfileId> pids, const QuerySpec& spec,
     const CallContext& ctx) {
-  IPS_RETURN_IF_ERROR(CheckDeadline(ctx));
-  // One quota charge per batch — a 500-candidate request is one admission
-  // decision, mirroring the batched write path.
-  IPS_RETURN_IF_ERROR(quota_.Check(caller));
-  if (pids.empty()) return Status::InvalidArgument("empty pid batch");
-  Table* t = FindTable(table);
-  if (t == nullptr) return Status::NotFound("table " + table);
-
+  // Re-install the trace here too: an embedded instance may be queried
+  // directly, without a Channel hop having installed the context.
+  TraceInstallScope trace_install(ctx.trace);
+  ScopedSpan server_span("server.query");
+  Table* t = nullptr;
   QuerySpec effective = spec;
   {
+    // "Queueing": everything that admits the request before any per-profile
+    // work — deadline check, quota, table resolution, schema snapshot.
+    ScopedSpan queue_span("server.queue");
+    IPS_RETURN_IF_ERROR(CheckDeadline(ctx));
+    // One quota charge per batch — a 500-candidate request is one admission
+    // decision, mirroring the batched write path.
+    IPS_RETURN_IF_ERROR(quota_.Check(caller));
+    if (pids.empty()) return Status::InvalidArgument("empty pid batch");
+    t = FindTable(table);
+    if (t == nullptr) return Status::NotFound("table " + table);
+
     std::lock_guard<std::mutex> schema_lock(t->schema_mu);
     effective.reduce = t->schema.reduce;
   }
@@ -318,6 +327,7 @@ Result<MultiQueryResult> IpsInstance::MultiQuery(
   out.cache_hits = t->cache->WithProfiles(
       pid_vec,
       [&](size_t i, const ProfileData& profile) {
+        ScopedSpan compute_span("feature.compute");
         Result<QueryResult> result = ExecuteQuery(profile, effective, now_ms);
         if (result.ok()) {
           out.results[i] = std::move(result).value();

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include "common/hash.h"
+#include "common/trace.h"
 
 #include "codec/compress.h"
 
@@ -195,6 +196,7 @@ Result<ProfileData> Persister::LoadFrom(KvStore* kv, ProfileId pid,
 Result<ProfileData> Persister::LoadBulk(KvStore* kv, ProfileId pid) {
   std::string encoded;
   IPS_RETURN_IF_ERROR(kv->Get(BulkKey(pid), &encoded));
+  ScopedSpan decode_span("codec.decode");
   ProfileData profile;
   IPS_RETURN_IF_ERROR(DecodeProfile(encoded, &profile));
   return profile;
@@ -226,6 +228,8 @@ Result<ProfileData> Persister::AssembleSplit(ProfileId pid,
                                              bool record_bookkeeping) {
   ProfileData profile(meta.write_granularity_ms);
   profile.set_last_action_ms(meta.last_action_ms);
+  // Checksum + uncompress + decode of every slice is codec work.
+  ScopedSpan decode_span("codec.decode");
   std::unordered_map<uint64_t, uint32_t> loaded_sums;
   loaded_sums.reserve(meta.entries.size());
   for (size_t i = 0; i < meta.entries.size(); ++i) {
@@ -296,6 +300,7 @@ std::vector<Result<ProfileData>> Persister::LoadBatchFrom(
     std::vector<std::string> values;
     std::vector<Status> statuses;
     kv->MultiGet(keys, &values, &statuses);
+    ScopedSpan decode_span("codec.decode");
     for (size_t i = 0; i < pids.size(); ++i) {
       if (!statuses[i].ok()) {
         out[i] = statuses[i];
@@ -356,15 +361,18 @@ std::vector<Result<ProfileData>> Persister::LoadBatchFrom(
                       statuses.data() + pending.first_key,
                       record_bookkeeping);
   }
-  for (const auto& [index, key_pos] : bulk_fallbacks) {
-    if (!statuses[key_pos].ok()) {
-      out[index] = statuses[key_pos];
-      continue;
+  if (!bulk_fallbacks.empty()) {
+    ScopedSpan decode_span("codec.decode");
+    for (const auto& [index, key_pos] : bulk_fallbacks) {
+      if (!statuses[key_pos].ok()) {
+        out[index] = statuses[key_pos];
+        continue;
+      }
+      ProfileData profile;
+      Status decoded = DecodeProfile(values[key_pos], &profile);
+      out[index] = decoded.ok() ? Result<ProfileData>(std::move(profile))
+                                : Result<ProfileData>(decoded);
     }
-    ProfileData profile;
-    Status decoded = DecodeProfile(values[key_pos], &profile);
-    out[index] = decoded.ok() ? Result<ProfileData>(std::move(profile))
-                              : Result<ProfileData>(decoded);
   }
   return out;
 }
