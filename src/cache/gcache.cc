@@ -2,10 +2,19 @@
 
 #include <algorithm>
 #include <cassert>
+#include <limits>
 
 #include "common/hash.h"
 #include "common/logging.h"
 #include "common/trace.h"
+
+#if defined(__SANITIZE_THREAD__)
+#define IPS_TSAN_BUILD 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define IPS_TSAN_BUILD 1
+#endif
+#endif
 
 namespace ips {
 
@@ -18,6 +27,18 @@ size_t RoundUpPow2(size_t n) {
 }
 
 }  // namespace
+
+size_t GCache::FlushGroupLockCap() {
+#ifdef IPS_TSAN_BUILD
+  // TSan's per-thread held-lock table is 64 entries and overflowing it is a
+  // hard CHECK failure, not a report. A flush group holds one lock per
+  // entry plus transient shard locks; 16 keeps sanitized runs exercising
+  // the same multi-lock path with comfortable headroom.
+  return 16;
+#else
+  return std::numeric_limits<size_t>::max();
+#endif
+}
 
 GCache::GCache(GCacheOptions options, Clock* clock, FlushFn flush, LoadFn load,
                MetricsRegistry* metrics)
@@ -422,7 +443,8 @@ size_t GCache::FlushShard(DirtyShard& dshard, size_t* out_failures) {
   size_t flushed = 0;
   size_t failures = 0;
   std::list<ProfileId> requeue;
-  for (auto it = batch.begin(); it != batch.end(); ++it) {
+  auto it = batch.begin();
+  while (it != batch.end()) {
     if (failures >= options_.max_flush_failures_per_pass) {
       // The store is misbehaving: stop the pass and requeue the untried
       // remainder rather than grinding through the whole dirty list (the
@@ -430,29 +452,100 @@ size_t GCache::FlushShard(DirtyShard& dshard, size_t* out_failures) {
       requeue.insert(requeue.end(), it, batch.end());
       break;
     }
-    const ProfileId pid = *it;
-    LruShard& shard = *lru_shards_[LruIndex(pid)];
-    EntryPtr entry;
-    {
-      std::lock_guard<std::mutex> lock(shard.mu);
-      auto map_it = shard.map.find(pid);
-      if (map_it != shard.map.end()) entry = map_it->second;
+
+    // Gather the next group of dirty entries, keeping their locks so the
+    // group is stored atomically w.r.t. writers. Holding several entry
+    // locks is deadlock-free here: each pid belongs to exactly one dirty
+    // shard and flush threads drain disjoint shards, every other path locks
+    // at most one entry at a time, and eviction only probes with try_lock.
+    const size_t group_max =
+        batch_flush_ ? std::min(std::max<size_t>(1, options_.flush_batch_max),
+                                FlushGroupLockCap())
+                     : 1;
+    std::vector<EntryPtr> group;
+    std::vector<std::unique_lock<std::mutex>> group_locks;
+    while (it != batch.end() && group.size() < group_max) {
+      const ProfileId pid = *it;
+      ++it;
+      LruShard& shard = *lru_shards_[LruIndex(pid)];
+      EntryPtr entry;
+      {
+        std::lock_guard<std::mutex> lock(shard.mu);
+        auto map_it = shard.map.find(pid);
+        if (map_it != shard.map.end()) entry = map_it->second;
+      }
+      if (!entry) continue;  // evicted (was flushed on eviction)
+      std::unique_lock<std::mutex> entry_lock(entry->mu);
+      {
+        std::lock_guard<std::mutex> dlock(dshard.mu);
+        entry->in_dirty_list = false;
+      }
+      if (!entry->dirty) continue;
+      group.push_back(std::move(entry));
+      group_locks.push_back(std::move(entry_lock));
     }
-    if (!entry) continue;  // evicted (was flushed on eviction)
-    std::lock_guard<std::mutex> entry_lock(entry->mu);
-    {
-      std::lock_guard<std::mutex> dlock(dshard.mu);
-      entry->in_dirty_list = false;
+    if (group.empty()) continue;
+
+    if (!batch_flush_) {
+      Entry& entry = *group[0];
+      if (FlushEntryLocked(entry).ok()) {
+        ++flushed;
+      } else {
+        ++failures;
+        requeue.push_back(entry.pid);
+        std::lock_guard<std::mutex> dlock(dshard.mu);
+        entry.in_dirty_list = true;
+      }
+      continue;
     }
-    if (!entry->dirty) continue;
-    if (FlushEntryLocked(*entry).ok()) {
-      ++flushed;
-    } else {
-      ++failures;
-      requeue.push_back(pid);
-      std::lock_guard<std::mutex> dlock(dshard.mu);
-      entry->in_dirty_list = true;
+
+    // Batched store: one flusher call (one MultiSet round trip below) per
+    // group instead of one store per entry.
+    std::vector<ProfileId> pids;
+    std::vector<const ProfileData*> profiles;
+    pids.reserve(group.size());
+    profiles.reserve(group.size());
+    for (const auto& entry : group) {
+      pids.push_back(entry->pid);
+      profiles.push_back(&entry->profile);
     }
+    std::vector<Status> statuses = batch_flush_(pids, profiles);
+    if (statuses.size() != pids.size()) {
+      statuses.assign(pids.size(),
+                      Status::Internal("batch flusher returned a short "
+                                       "result list"));
+    }
+    if (metrics_ != nullptr) {
+      metrics_->GetCounter("cache.batch_flushes")->Increment();
+    }
+    bool any_unavailable = false;
+    for (size_t g = 0; g < group.size(); ++g) {
+      Entry& entry = *group[g];
+      if (statuses[g].ok()) {
+        entry.dirty = false;
+        // The entry's state reached the primary store: whatever stale base
+        // it was loaded from, the persisted copy is now the authoritative
+        // merge.
+        entry.degraded = false;
+        ++flushed;
+        if (metrics_ != nullptr) {
+          metrics_->GetCounter("cache.flushed")->Increment();
+        }
+      } else {
+        if (statuses[g].IsUnavailable()) any_unavailable = true;
+        ++failures;
+        requeue.push_back(entry.pid);
+        {
+          std::lock_guard<std::mutex> dlock(dshard.mu);
+          entry.in_dirty_list = true;
+        }
+        if (metrics_ != nullptr) {
+          metrics_->GetCounter("cache.flush_failures")->Increment();
+        }
+      }
+    }
+    NoteStoreHealth(any_unavailable ? Status::Unavailable("batch flush")
+                                    : Status::OK());
   }
   if (!requeue.empty()) {
     std::lock_guard<std::mutex> lock(dshard.mu);
@@ -484,12 +577,17 @@ void GCache::FlushAll() {
       failures += shard_failures;
     }
     if (flushed == 0 && failures == 0 && DirtyCount() == 0) return;
-    if (failures == 0) {
+    if (flushed > 0) {
       backoff_ms = 0;
       stuck_rounds = 0;
-      continue;
+      if (failures == 0) continue;
+    } else if (++stuck_rounds >= 4) {
+      // Zero progress — regardless of the failure count: a pass can flush
+      // nothing while reporting no failures (e.g. max_flush_failures_per_pass
+      // of 0 requeues everything untried), and that must back off and bail
+      // like any other stuck pass instead of busy-spinning 64 rounds.
+      break;
     }
-    if (flushed == 0 && ++stuck_rounds >= 4) break;
     backoff_ms = std::min(options_.flush_backoff_max_ms,
                           backoff_ms > 0 ? backoff_ms * 2
                                          : options_.flush_backoff_ms);

@@ -63,6 +63,10 @@ struct GCacheOptions {
   /// the first clean pass.
   int64_t flush_backoff_ms = 50;
   int64_t flush_backoff_max_ms = 2000;
+  /// Largest group of dirty entries a flush pass hands to the batch flusher
+  /// in one call (one storage round trip per group). Only used when a batch
+  /// flusher is installed.
+  size_t flush_batch_max = 64;
   /// When false no background threads start; tests drive SwapOnce/FlushOnce
   /// manually for determinism.
   bool start_background_threads = true;
@@ -83,6 +87,11 @@ using LoadFn = std::function<Result<ProfileData>(ProfileId, bool* out_degraded)>
 using BatchLoadFn =
     std::function<std::vector<Result<ProfileData>>(
         const std::vector<ProfileId>&, std::vector<bool>* out_degraded)>;
+/// Persists many profiles in one storage round trip (the write-side mirror
+/// of BatchLoadFn); invoked with every entry lock held. Returned statuses
+/// align with the pid list — a batch can partially land.
+using BatchFlushFn = std::function<std::vector<Status>(
+    const std::vector<ProfileId>&, const std::vector<const ProfileData*>&)>;
 
 class GCache {
  public:
@@ -127,6 +136,14 @@ class GCache {
     batch_load_ = std::move(batch_load);
   }
 
+  /// Installs the batch flusher: flush passes then drain each dirty shard
+  /// in groups of up to flush_batch_max entries, one flusher call (one
+  /// storage round trip) per group, instead of one store per entry. Same
+  /// setup-time contract as set_batch_loader.
+  void set_batch_flusher(BatchFlushFn batch_flush) {
+    batch_flush_ = std::move(batch_flush);
+  }
+
   /// Write path: runs `fn` with exclusive access, creating the profile when
   /// absent (after a load attempt), then marks the entry dirty.
   Status WithProfileMutable(ProfileId pid,
@@ -139,6 +156,13 @@ class GCache {
 
   /// Flushes every dirty entry in every shard; returns entries flushed.
   size_t FlushOnce();
+
+  /// Upper bound on the entry locks one flush group may hold at once.
+  /// Unbounded in production builds (the group size is `flush_batch_max`);
+  /// clamped under ThreadSanitizer, whose deadlock detector aborts the
+  /// process above 64 simultaneously held mutexes. Callers that assert on
+  /// flush-group counts must derive the effective group size from this.
+  static size_t FlushGroupLockCap();
 
   /// Flush + wait until the dirty lists are empty (shutdown, tests).
   void FlushAll();
@@ -256,6 +280,7 @@ class GCache {
   FlushFn flush_;
   LoadFn load_;
   BatchLoadFn batch_load_;
+  BatchFlushFn batch_flush_;
   MetricsRegistry* metrics_;
 
   std::vector<std::unique_ptr<LruShard>> lru_shards_;

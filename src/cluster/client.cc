@@ -10,6 +10,17 @@
 
 namespace ips {
 
+size_t EstimateAddPayloadBytes(const std::vector<AddRecord>& records) {
+  // Fixed envelope (caller, table, pid, batch framing) plus the encoded
+  // fields of every record. Counts dominate for wide action vectors.
+  size_t bytes = 64;
+  for (const auto& r : records) {
+    bytes += sizeof(r.timestamp) + sizeof(r.slot) + sizeof(r.type) +
+             sizeof(r.fid) + r.counts.size() * sizeof(int64_t);
+  }
+  return bytes;
+}
+
 IpsClient::IpsClient(IpsClientOptions options, Deployment* deployment)
     : options_(std::move(options)),
       deployment_(deployment),
@@ -155,10 +166,14 @@ bool IpsClient::HasTableAnywhere(const std::string& table) {
 Status IpsClient::AddProfilesAs(const std::string& caller,
                                 const std::string& table, ProfileId pid,
                                 const std::vector<AddRecord>& records,
-                                const CallContext& ctx) {
+                                const CallContext& ctx, WriteAck* out_ack) {
   MaybeRefresh();
   metrics_->GetCounter("client.write_requests")->Increment();
   retry_policy_.OnRequestStart();
+
+  // The transport cost model is size-proportional: charge the encoded size
+  // of the record batch, not a fixed per-request constant.
+  const size_t request_bytes = EstimateAddPayloadBytes(records);
 
   // Multi-region writing: every region gets the record on its owning node.
   // The retry policy gates *successor* attempts within a region; the region
@@ -187,7 +202,7 @@ Status IpsClient::AddProfilesAs(const std::string& caller,
       }
       first_in_region = false;
       region_status = node->Call(
-          ctx, options_.request_bytes, /*response_bytes=*/64,
+          ctx, request_bytes, /*response_bytes=*/64,
           [&](IpsInstance& instance) {
             return instance.AddProfiles(caller, table, pid, records, ctx);
           });
@@ -204,13 +219,195 @@ Status IpsClient::AddProfilesAs(const std::string& caller,
       metrics_->GetCounter("client.write_region_errors")->Increment();
     }
   }
+  // A deadline can expire before later regions were even attempted; they
+  // still count as not-acked — the ack reports coverage of the full
+  // deployment, not of the subset we got around to.
+  const size_t regions_total = deployment_->region_names().size();
+  if (out_ack != nullptr) {
+    out_ack->regions_ok = regions_ok;
+    out_ack->regions_total = regions_total;
+  }
   if (regions_ok == 0) {
     metrics_->GetCounter("client.write_errors")->Increment();
     // Surface the representative cause: callers distinguish quota pacing
     // (back off and retry) from unavailability (fail over / alert).
     return last_error;
   }
+  if (regions_ok < regions_total) {
+    // Partial multi-region write: acknowledged (weak-consistency contract)
+    // but NOT silent — the missed regions serve stale reads until repair.
+    metrics_->GetCounter("client.write_partial_regions")->Increment();
+  }
   return Status::OK();
+}
+
+Result<MultiAddResult> IpsClient::MultiAddAs(
+    const std::string& caller, const std::string& table,
+    const std::vector<MultiAddItem>& items, const CallContext& ctx) {
+  if (items.empty()) return Status::InvalidArgument("empty add batch");
+  MaybeRefresh();
+  metrics_->GetCounter("client.multi_write_requests")->Increment();
+  metrics_->GetCounter("client.multi_write_pids")
+      ->Increment(static_cast<int64_t>(items.size()));
+  retry_policy_.OnRequestStart();
+
+  // Root span covering the whole multi-region scatter-gather; workers pass
+  // the derived context to node->Call so per-node spans parent to it.
+  TraceInstallScope trace_install(ctx.trace);
+  ScopedSpan root_span("client.multi_add");
+  CallContext call_ctx = ctx;
+  call_ctx.trace = CurrentTrace();
+
+  struct ItemState {
+    size_t regions_ok = 0;
+    bool done_region = false;  // acknowledged in the region being processed
+    Status status = Status::Unavailable("no live instance");
+  };
+  std::vector<ItemState> states(items.size());
+  bool stop_all = false;
+
+  // Multi-region writing, one region at a time: within a region the items
+  // are grouped by ring owner and each group goes out as ONE MultiAdd RPC,
+  // workers in parallel (they write disjoint item states — no lock). The
+  // region fan-out itself is the write contract, not a retry; the retry
+  // policy gates successor rounds *within* a region, like AddProfilesAs.
+  const std::vector<std::string> regions = deployment_->region_names();
+  for (const auto& region : regions) {
+    if (stop_all) break;
+    std::vector<std::vector<std::string>> candidates(items.size());
+    for (size_t s = 0; s < items.size(); ++s) {
+      states[s].done_region = false;
+      candidates[s] =
+          ReadCandidates(items[s].pid, region, options_.max_write_attempts);
+    }
+    bool quota_stop = false;
+    bool first_in_region = true;
+    for (int attempt = 0;
+         attempt < options_.max_write_attempts && !quota_stop; ++attempt) {
+      const TimestampMs round_now = deployment_->clock()->NowMs();
+      if (ctx.Expired(round_now)) {
+        metrics_->GetCounter("client.deadline_exceeded")->Increment();
+        for (auto& state : states) {
+          if (!state.done_region && state.regions_ok == 0) {
+            state.status = Status::DeadlineExceeded("client deadline expired");
+          }
+        }
+        stop_all = true;
+        break;
+      }
+      // Group unfinished items by this attempt's ring owner. std::map keeps
+      // the scatter order deterministic.
+      std::map<std::string, std::vector<size_t>> by_node;
+      for (size_t s = 0; s < items.size(); ++s) {
+        if (states[s].done_region) continue;
+        if (static_cast<size_t>(attempt) < candidates[s].size()) {
+          by_node[candidates[s][attempt]].push_back(s);
+        }
+      }
+      if (by_node.empty()) break;
+
+      // Successor rounds need a grant from the retry policy; refusal stops
+      // this region's retries but later regions still get their fan-out.
+      if (!first_in_region && retry_policy_.enabled()) {
+        Status round_error = Status::Unavailable("no live instance");
+        for (const auto& state : states) {
+          if (!state.done_region) {
+            round_error = state.status;
+            break;
+          }
+        }
+        if (!PrepareRetry(round_error, ctx)) break;
+      }
+      first_in_region = false;
+
+      std::atomic<bool> saw_quota{false};
+      std::vector<std::thread> workers;
+      workers.reserve(by_node.size());
+      for (auto& group : by_node) {
+        IpsNode* node = deployment_->FindNode(group.first);
+        if (node == nullptr) continue;
+        if (breakers_.enabled() &&
+            !breakers_.Get(group.first)->AllowRequest(round_now)) {
+          metrics_->GetCounter("client.breaker_skips")
+              ->Increment(static_cast<int64_t>(group.second.size()));
+          for (size_t s : group.second) {
+            states[s].status = Status::Unavailable("circuit breaker open");
+          }
+          continue;
+        }
+        const std::string* node_id = &group.first;
+        const std::vector<size_t>* item_ids = &group.second;
+        workers.emplace_back([&, node, node_id, item_ids] {
+          std::vector<MultiAddItem> sub;
+          sub.reserve(item_ids->size());
+          size_t request_bytes = 0;
+          for (size_t s : *item_ids) {
+            sub.push_back(items[s]);
+            request_bytes += EstimateAddPayloadBytes(items[s].records);
+          }
+          Result<MultiAddResult> batch = Status::Unavailable("unset");
+          Status call_status = node->Call(
+              call_ctx, request_bytes,
+              /*response_bytes=*/64 * sub.size(),
+              [&](IpsInstance& instance) {
+                batch = instance.MultiAdd(caller, table, sub, call_ctx);
+                return batch.ok() ? Status::OK() : batch.status();
+              });
+          if (call_status.ok() && batch.ok()) {
+            RecordOutcome(*node_id, Status::OK());
+            for (size_t j = 0; j < item_ids->size(); ++j) {
+              ItemState& state = states[(*item_ids)[j]];
+              if (batch->statuses[j].ok()) {
+                state.done_region = true;
+              } else {
+                state.status = batch->statuses[j];
+              }
+            }
+          } else {
+            // Batch-level failure (node down, quota, unknown table): every
+            // item in the sub-batch shares the cause.
+            Status error = call_status.ok() ? batch.status() : call_status;
+            RecordOutcome(*node_id, error);
+            if (error.IsResourceExhausted()) {
+              saw_quota.store(true, std::memory_order_relaxed);
+            }
+            for (size_t s : *item_ids) states[s].status = error;
+          }
+        });
+      }
+      for (auto& worker : workers) worker.join();
+      // Quota rejections are not retried within the region: successors
+      // enforce the same per-caller budget.
+      if (saw_quota.load(std::memory_order_relaxed)) quota_stop = true;
+    }
+    for (auto& state : states) {
+      if (state.done_region) ++state.regions_ok;
+    }
+  }
+
+  // Gather: an item is acknowledged when at least one region accepted it
+  // (the weak-consistency write contract); partial region coverage is
+  // surfaced through the counter rather than silently dropped.
+  MultiAddResult out;
+  out.statuses.assign(items.size(), Status::OK());
+  int64_t failed = 0;
+  int64_t partial = 0;
+  for (size_t s = 0; s < items.size(); ++s) {
+    if (states[s].regions_ok == 0) {
+      out.statuses[s] = states[s].status;
+      ++failed;
+    } else {
+      ++out.ok_items;
+      if (states[s].regions_ok < regions.size()) ++partial;
+    }
+  }
+  if (failed > 0) {
+    metrics_->GetCounter("client.multi_write_errors")->Increment(failed);
+  }
+  if (partial > 0) {
+    metrics_->GetCounter("client.write_partial_regions")->Increment(partial);
+  }
+  return out;
 }
 
 Result<QueryResult> IpsClient::Query(const std::string& table, ProfileId pid,

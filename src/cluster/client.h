@@ -50,6 +50,21 @@ struct IpsClientOptions {
   CircuitBreakerOptions breaker;
 };
 
+/// Per-region outcome of a multi-region write. A write is acknowledged when
+/// at least one region accepted it, but regions_ok < regions_total means
+/// some region silently missed the update (its readers serve stale data
+/// until replication repair) — callers that care must check `complete()`.
+struct WriteAck {
+  size_t regions_ok = 0;
+  size_t regions_total = 0;
+  bool complete() const { return regions_ok == regions_total; }
+};
+
+/// Estimated wire size of an encoded add-record batch: the size-proportional
+/// transport cost model (Table II) has to see the real payload, not a fixed
+/// per-request constant, or large writes are charged like small ones.
+size_t EstimateAddPayloadBytes(const std::vector<AddRecord>& records);
+
 class IpsClient {
  public:
   IpsClient(IpsClientOptions options, Deployment* deployment);
@@ -72,9 +87,37 @@ class IpsClient {
     return AddProfilesAs(caller, table, pid, records, DefaultContext());
   }
 
+  /// `out_ack`, when non-null, reports how many regions accepted the write;
+  /// a partial multi-region write still returns OK (weak-consistency
+  /// contract) but is visible through the ack and the
+  /// `client.write_partial_regions` counter.
   Status AddProfilesAs(const std::string& caller, const std::string& table,
                        ProfileId pid, const std::vector<AddRecord>& records,
-                       const CallContext& ctx);
+                       const CallContext& ctx, WriteAck* out_ack = nullptr);
+
+  /// Batched write path (mirror of MultiQuery): items are grouped by owning
+  /// instance on each region's ring and each group goes out as ONE MultiAdd
+  /// RPC — sub-batches fan out to their owners in parallel, per region, and
+  /// per-item statuses reassemble in input order. An item is OK when at
+  /// least one region accepted it; items accepted by only some regions bump
+  /// `client.write_partial_regions`. Retries regroup unfinished items by
+  /// ring successor within each region under the usual retry policy /
+  /// breaker gates.
+  Result<MultiAddResult> MultiAdd(const std::string& table,
+                                  const std::vector<MultiAddItem>& items) {
+    return MultiAddAs(options_.caller, table, items, DefaultContext());
+  }
+
+  Result<MultiAddResult> MultiAdd(const std::string& table,
+                                  const std::vector<MultiAddItem>& items,
+                                  const CallContext& ctx) {
+    return MultiAddAs(options_.caller, table, items, ctx);
+  }
+
+  Result<MultiAddResult> MultiAddAs(const std::string& caller,
+                                    const std::string& table,
+                                    const std::vector<MultiAddItem>& items,
+                                    const CallContext& ctx);
 
   /// True when some live node in any region has the table (pre-flight check
   /// for batch jobs).

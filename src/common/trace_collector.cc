@@ -29,12 +29,15 @@ constexpr StageMetric kStageMetrics[] = {
     {"kv.load", "trace.stage.kv.load"},
     {"codec.decode", "trace.stage.codec.decode"},
     {"feature.compute", "trace.stage.feature.compute"},
+    {"kv.store", "trace.stage.kv.store"},
     {"server.query", "trace.stage.server.query"},
+    {"server.add", "trace.stage.server.add"},
     {"client.query", "trace.stage.client.query"},
     {"client.multi_query", "trace.stage.client.multi_query"},
+    {"client.multi_add", "trace.stage.client.multi_add"},
     {"assembler.batch", "trace.stage.assembler.batch"},
 };
-constexpr size_t kDisjointStages = 6;
+constexpr size_t kDisjointStages = 7;
 
 void AppendJsonString(std::string* out, std::string_view s) {
   out->push_back('"');

@@ -12,4 +12,18 @@ void KvStore::MultiGet(const std::vector<std::string>& keys,
   }
 }
 
+void KvStore::MultiSet(const std::vector<std::string>& keys,
+                       const std::vector<std::string>& values,
+                       std::vector<Status>* statuses) {
+  statuses->assign(keys.size(), Status::OK());
+  if (values.size() != keys.size()) {
+    statuses->assign(keys.size(),
+                     Status::InvalidArgument("MultiSet keys/values mismatch"));
+    return;
+  }
+  for (size_t i = 0; i < keys.size(); ++i) {
+    (*statuses)[i] = Set(keys[i], values[i]);
+  }
+}
+
 }  // namespace ips

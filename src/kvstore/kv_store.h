@@ -57,6 +57,16 @@ class KvStore {
                         std::vector<std::string>* values,
                         std::vector<Status>* statuses);
 
+  /// Batched unconditional writes; `statuses` aligns with `keys` and each
+  /// accepted key has its version bumped exactly as a single Set would. The
+  /// write-side mirror of MultiGet (HBase batched-mutation semantics): one
+  /// round trip per batch under a remote cost model, failures drawn per key
+  /// so a batch can partially land. `keys` and `values` must be the same
+  /// length. The default implementation degrades to per-key Set.
+  virtual void MultiSet(const std::vector<std::string>& keys,
+                        const std::vector<std::string>& values,
+                        std::vector<Status>* statuses);
+
   /// Approximate number of keys (observability).
   virtual size_t KeyCount() const = 0;
 };

@@ -79,6 +79,8 @@ Status MemKvStore::SimulateOp(Shard& shard, size_t payload_bytes) {
 }
 
 Status MemKvStore::Set(std::string_view key, std::string_view value) {
+  ScopedSpan store_span("kv.store");
+  point_writes_.fetch_add(1, std::memory_order_relaxed);
   Shard& shard = ShardFor(key);
   IPS_RETURN_IF_ERROR(SimulateOp(shard, value.size()));
   std::lock_guard<std::mutex> lock(shard.mu);
@@ -116,6 +118,8 @@ Status MemKvStore::Get(std::string_view key, std::string* value) {
 }
 
 Status MemKvStore::Delete(std::string_view key) {
+  ScopedSpan store_span("kv.store");
+  point_writes_.fetch_add(1, std::memory_order_relaxed);
   Shard& shard = ShardFor(key);
   IPS_RETURN_IF_ERROR(SimulateOp(shard, 0));
   std::lock_guard<std::mutex> lock(shard.mu);
@@ -139,6 +143,8 @@ Status MemKvStore::XGet(std::string_view key, KvEntry* entry) {
 
 Status MemKvStore::XSet(std::string_view key, std::string_view value,
                         KvVersion expected_version, KvVersion* new_version) {
+  ScopedSpan store_span("kv.store");
+  point_writes_.fetch_add(1, std::memory_order_relaxed);
   Shard& shard = ShardFor(key);
   IPS_RETURN_IF_ERROR(SimulateOp(shard, value.size()));
   std::lock_guard<std::mutex> lock(shard.mu);
@@ -197,6 +203,66 @@ void MemKvStore::MultiGet(const std::vector<std::string>& keys,
 
   // One round trip for the whole batch: base + tail charged once, payload
   // cost proportional to the combined response.
+  int64_t delay_us = 0;
+  {
+    Shard& shard = ShardFor(keys[0]);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    if (options_.base_latency_us > 0 || options_.tail_latency_us > 0) {
+      delay_us = options_.base_latency_us;
+      if (options_.tail_latency_us > 0) {
+        delay_us += static_cast<int64_t>(shard.rng.Exponential(
+            static_cast<double>(options_.tail_latency_us)));
+      }
+    }
+    if (options_.per_kib_us > 0) {
+      delay_us += options_.per_kib_us *
+                  static_cast<int64_t>(total_payload / 1024);
+    }
+  }
+  BurnMicros(delay_us);
+}
+
+void MemKvStore::MultiSet(const std::vector<std::string>& keys,
+                          const std::vector<std::string>& values,
+                          std::vector<Status>* statuses) {
+  ScopedSpan store_span("kv.store");
+  multi_set_calls_.fetch_add(1, std::memory_order_relaxed);
+  multi_set_keys_.fetch_add(static_cast<int64_t>(keys.size()),
+                            std::memory_order_relaxed);
+  statuses->assign(keys.size(), Status::OK());
+  if (keys.empty()) return;
+  if (values.size() != keys.size()) {
+    statuses->assign(keys.size(),
+                     Status::InvalidArgument("MultiSet keys/values mismatch"));
+    return;
+  }
+  if (down_.load(std::memory_order_relaxed)) {
+    statuses->assign(keys.size(), Status::Unavailable("kv store down"));
+    return;
+  }
+
+  // Apply every key and draw its failure first, so the latency charge can
+  // cover the aggregate request size. Failures stay per-key: a batched
+  // mutation spanning storage shards can land some keys and bounce the rest.
+  size_t total_payload = 0;
+  for (size_t i = 0; i < keys.size(); ++i) {
+    Shard& shard = ShardFor(keys[i]);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    total_payload += values[i].size();
+    if (shard.failure_probability > 0.0 &&
+        shard.rng.Bernoulli(shard.failure_probability)) {
+      (*statuses)[i] = Status::Unavailable("injected kv failure");
+      continue;
+    }
+    KvEntry& entry = shard.map[keys[i]];
+    entry.value = values[i];
+    ++entry.version;
+    bytes_written_.fetch_add(static_cast<int64_t>(values[i].size()),
+                             std::memory_order_relaxed);
+  }
+
+  // One round trip for the whole batch: base + tail charged once, payload
+  // cost proportional to the combined request.
   int64_t delay_us = 0;
   {
     Shard& shard = ShardFor(keys[0]);

@@ -55,6 +55,13 @@ class MemKvStore final : public KvStore {
   void MultiGet(const std::vector<std::string>& keys,
                 std::vector<std::string>* values,
                 std::vector<Status>* statuses) override;
+  /// Batched write charging ONE simulated round trip for the whole batch
+  /// (base + tail once, payload cost over the aggregate request size).
+  /// Failures are drawn per key — a batched mutation spanning region servers
+  /// can land some keys and bounce the rest.
+  void MultiSet(const std::vector<std::string>& keys,
+                const std::vector<std::string>& values,
+                std::vector<Status>* statuses) override;
   size_t KeyCount() const override;
 
   /// Marks the store down/up. While down every operation returns
@@ -86,6 +93,19 @@ class MemKvStore final : public KvStore {
     return multi_get_keys_.load(std::memory_order_relaxed);
   }
 
+  /// Write-op counters, mirroring the read side: single-key mutations
+  /// (Set/XSet/Delete) vs batched MultiSet calls. The batch-write tests
+  /// assert "one MultiSet round trip per flush batch" through these.
+  int64_t PointWriteCalls() const {
+    return point_writes_.load(std::memory_order_relaxed);
+  }
+  int64_t MultiSetCalls() const {
+    return multi_set_calls_.load(std::memory_order_relaxed);
+  }
+  int64_t MultiSetKeys() const {
+    return multi_set_keys_.load(std::memory_order_relaxed);
+  }
+
   /// Visits every (key, entry) pair; used by replication catch-up and by
   /// the batch-import simulation.
   void ForEach(
@@ -113,6 +133,9 @@ class MemKvStore final : public KvStore {
   std::atomic<int64_t> point_reads_{0};
   std::atomic<int64_t> multi_get_calls_{0};
   std::atomic<int64_t> multi_get_keys_{0};
+  std::atomic<int64_t> point_writes_{0};
+  std::atomic<int64_t> multi_set_calls_{0};
+  std::atomic<int64_t> multi_set_keys_{0};
   std::vector<std::unique_ptr<Shard>> shards_;
 };
 

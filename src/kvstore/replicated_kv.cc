@@ -42,6 +42,19 @@ class ReplicatedKv::MasterProxy final : public KvStore {
     parent_->master_->MultiGet(keys, values, statuses);
   }
 
+  void MultiSet(const std::vector<std::string>& keys,
+                const std::vector<std::string>& values,
+                std::vector<Status>* statuses) override {
+    parent_->master_->MultiSet(keys, values, statuses);
+    // Only keys the master actually accepted replicate; bounced keys must
+    // not resurrect on a slave.
+    for (size_t i = 0; i < keys.size() && i < statuses->size(); ++i) {
+      if ((*statuses)[i].ok()) {
+        parent_->EnqueueReplication(/*is_delete=*/false, keys[i], values[i]);
+      }
+    }
+  }
+
   size_t KeyCount() const override { return parent_->master_->KeyCount(); }
 
  private:
@@ -86,6 +99,13 @@ class ReplicatedKv::SlaveView final : public KvStore {
     auto& slave = *parent_->slaves_[index_];
     parent_->DrainSlave(slave, parent_->clock_->NowMs(), /*force=*/false);
     slave.store->MultiGet(keys, values, statuses);
+  }
+
+  void MultiSet(const std::vector<std::string>& keys,
+                const std::vector<std::string>&,
+                std::vector<Status>* statuses) override {
+    statuses->assign(keys.size(),
+                     Status::Unavailable("slave cluster is read-only"));
   }
 
   size_t KeyCount() const override {

@@ -65,6 +65,21 @@ Status IpsInstance::CreateTable(const TableSchema& schema) {
                   std::vector<bool>* out_degraded) {
         return persister->LoadBatch(pids, out_degraded);
       });
+  // Dirty-shard flushes drain through the persister's batched path: one
+  // KvStore::MultiSet round trip per flush group (the write-side mirror).
+  if (options_.persist_writes) {
+    table->cache->set_batch_flusher(
+        [persister](const std::vector<ProfileId>& pids,
+                    const std::vector<const ProfileData*>& profiles) {
+          return persister->StoreBatch(pids, profiles);
+        });
+  } else {
+    table->cache->set_batch_flusher(
+        [](const std::vector<ProfileId>& pids,
+           const std::vector<const ProfileData*>&) {
+          return std::vector<Status>(pids.size(), Status::OK());
+        });
+  }
 
   table->compactor = std::make_unique<Compactor>(&table->schema);
   Table* raw = table.get();
@@ -168,26 +183,68 @@ Status IpsInstance::AddProfiles(const std::string& caller,
                                 const std::string& table, ProfileId pid,
                                 const std::vector<AddRecord>& records,
                                 const CallContext& ctx) {
-  IPS_RETURN_IF_ERROR(CheckDeadline(ctx));
-  IPS_RETURN_IF_ERROR(quota_.Check(caller));
-  if (records.empty()) {
-    return Status::InvalidArgument("empty record batch");
-  }
-  Table* t = FindTable(table);
-  if (t == nullptr) return Status::NotFound("table " + table);
-
   const int64_t begin_ns = MonotonicNanos();
-  Status status = isolation_enabled_.load(std::memory_order_relaxed)
-                      ? AddIsolated(*t, pid, records)
-                      : AddDirect(*t, pid, records);
+  IPS_ASSIGN_OR_RETURN(MultiAddResult batch,
+                       MultiAdd(caller, table, {{pid, records}}, ctx));
   metrics_->GetHistogram("server.add_micros")
       ->Record((MonotonicNanos() - begin_ns) / 1000);
-  if (status.ok()) {
-    metrics_->GetCounter("server.adds")->Increment(records.size());
-  } else {
-    metrics_->GetCounter("server.add_errors")->Increment();
+  return batch.statuses[0];
+}
+
+Result<MultiAddResult> IpsInstance::MultiAdd(
+    const std::string& caller, const std::string& table,
+    const std::vector<MultiAddItem>& items, const CallContext& ctx) {
+  // Re-install the trace here too: an embedded instance may be written
+  // directly, without a Channel hop having installed the context.
+  TraceInstallScope trace_install(ctx.trace);
+  ScopedSpan server_span("server.add");
+  Table* t = nullptr;
+  {
+    // Same admission shape as MultiQuery: deadline, then ONE quota charge
+    // for the whole batch — a 256-profile ingestion burst is one admission
+    // decision, not 256.
+    ScopedSpan queue_span("server.queue");
+    IPS_RETURN_IF_ERROR(CheckDeadline(ctx));
+    IPS_RETURN_IF_ERROR(quota_.Check(caller));
+    if (items.empty()) return Status::InvalidArgument("empty add batch");
+    t = FindTable(table);
+    if (t == nullptr) return Status::NotFound("table " + table);
   }
-  return status;
+
+  const int64_t begin_ns = MonotonicNanos();
+  const bool isolated = isolation_enabled_.load(std::memory_order_relaxed);
+  MultiAddResult out;
+  out.statuses.assign(items.size(), Status::OK());
+  int64_t ok_records = 0;
+  int64_t error_items = 0;
+  for (size_t i = 0; i < items.size(); ++i) {
+    if (items[i].records.empty()) {
+      out.statuses[i] = Status::InvalidArgument("empty record batch");
+      ++error_items;
+      continue;
+    }
+    Status status = isolated ? AddIsolated(*t, items[i].pid, items[i].records)
+                             : AddDirect(*t, items[i].pid, items[i].records);
+    out.statuses[i] = status;
+    if (status.ok()) {
+      ++out.ok_items;
+      ok_records += static_cast<int64_t>(items[i].records.size());
+    } else {
+      ++error_items;
+    }
+  }
+
+  const int64_t micros = (MonotonicNanos() - begin_ns) / 1000;
+  metrics_->GetHistogram("server.multi_add_micros")->Record(micros);
+  metrics_->GetHistogram("server.multi_add_batch")
+      ->Record(static_cast<int64_t>(items.size()));
+  if (ok_records > 0) {
+    metrics_->GetCounter("server.adds")->Increment(ok_records);
+  }
+  if (error_items > 0) {
+    metrics_->GetCounter("server.add_errors")->Increment(error_items);
+  }
+  return out;
 }
 
 Status IpsInstance::AddDirect(Table& t, ProfileId pid,

@@ -70,6 +70,22 @@ struct AddRecord {
   CountVector counts;
 };
 
+/// One item of the batched write path: every record destined for one
+/// profile.
+struct MultiAddItem {
+  ProfileId pid = 0;
+  std::vector<AddRecord> records;
+};
+
+/// Result of the batched write path. Entry i aligns with the i-th item;
+/// a batch can partially succeed (per-pid statuses), mirroring
+/// MultiQueryResult.
+struct MultiAddResult {
+  std::vector<Status> statuses;
+  /// Items whose records were all applied.
+  size_t ok_items = 0;
+};
+
 /// Result of the batched read path. Entry i aligns with the i-th requested
 /// pid. Unknown profiles yield OK + an empty QueryResult, the same contract
 /// as single-profile Query (new users are empty profiles, not errors);
@@ -114,10 +130,28 @@ class IpsInstance {
   }
 
   /// Deadline-aware variant: an already-expired context is rejected with
-  /// DeadlineExceeded before any work is done.
+  /// DeadlineExceeded before any work is done. Batch-of-one wrapper over
+  /// MultiAdd.
   Status AddProfiles(const std::string& caller, const std::string& table,
                      ProfileId pid, const std::vector<AddRecord>& records,
                      const CallContext& ctx);
+
+  /// Batched write path (the ingestion hot path, mirroring MultiQuery): one
+  /// deadline check and ONE quota charge for the whole batch, then each
+  /// item's records are applied under its profile's entry lock. Statuses
+  /// align with `items`; a batch can partially succeed. The dirty entries it
+  /// creates are later drained in batched flushes (one KvStore::MultiSet per
+  /// flush group).
+  Result<MultiAddResult> MultiAdd(const std::string& caller,
+                                  const std::string& table,
+                                  const std::vector<MultiAddItem>& items) {
+    return MultiAdd(caller, table, items, CallContext{});
+  }
+
+  Result<MultiAddResult> MultiAdd(const std::string& caller,
+                                  const std::string& table,
+                                  const std::vector<MultiAddItem>& items,
+                                  const CallContext& ctx);
 
   // --- Read APIs (Section II-B) --------------------------------------
 

@@ -48,72 +48,143 @@ void Persister::ForgetFlushState(ProfileId pid) {
 }
 
 Status Persister::Flush(ProfileId pid, const ProfileData& profile) {
-  if (options_.mode == PersistenceMode::kBulk) {
-    return FlushBulk(pid, profile);
-  }
-  if (options_.split_threshold_bytes > 0 &&
-      EncodedProfileSizeUncompressed(profile) <
-          options_.split_threshold_bytes) {
-    // Small profile: bulk representation, and retire any split leftovers so
-    // a later load cannot observe a stale meta shadowing the fresh bulk.
-    IPS_RETURN_IF_ERROR(FlushBulk(pid, profile));
-    std::string ignored;
-    if (kv_->Get(MetaKey(pid), &ignored).ok()) {
-      IPS_RETURN_IF_ERROR(kv_->Delete(MetaKey(pid)));
-      ForgetVersion(pid);
-    }
-    return Status::OK();
-  }
-  return FlushSplit(pid, profile);
+  return StoreBatch({pid}, {&profile})[0];
 }
 
-Status Persister::FlushBulk(ProfileId pid, const ProfileData& profile) {
-  std::string encoded;
-  EncodeProfile(profile, &encoded);
-  return kv_->Set(BulkKey(pid), encoded);
+std::vector<Status> Persister::StoreBatch(
+    const std::vector<ProfileId>& pids,
+    const std::vector<const ProfileData*>& profiles) {
+  std::vector<Status> out(pids.size(), Status::OK());
+  if (profiles.size() != pids.size()) {
+    out.assign(pids.size(),
+               Status::InvalidArgument("StoreBatch pids/profiles mismatch"));
+    return out;
+  }
+
+  struct Pending {
+    size_t index = 0;
+    bool split = false;
+    bool retire_meta = false;  // threshold-bulk: split leftovers to retire
+    size_t first_key = 0;      // offset of this profile's values in `keys`
+    size_t num_keys = 0;
+    std::string meta_value;
+    std::unordered_map<uint64_t, uint32_t> prior;
+    std::unordered_map<uint64_t, uint32_t> new_sums;
+  };
+
+  // Prepare: encode every profile's changed values into one key/value batch.
+  // Fig 14 ordering survives batching because no meta is written until the
+  // whole value batch has been applied.
+  std::vector<Pending> pending;
+  pending.reserve(pids.size());
+  std::vector<std::string> keys;
+  std::vector<std::string> vals;
+  for (size_t i = 0; i < pids.size(); ++i) {
+    const ProfileData& profile = *profiles[i];
+    Pending p;
+    p.index = i;
+    const bool bulk =
+        options_.mode == PersistenceMode::kBulk ||
+        (options_.split_threshold_bytes > 0 &&
+         EncodedProfileSizeUncompressed(profile) <
+             options_.split_threshold_bytes);
+    if (bulk) {
+      // Small profiles in split mode keep the bulk representation; any split
+      // leftovers must be retired so a later load cannot observe a stale
+      // meta shadowing the fresh bulk value.
+      p.retire_meta = options_.mode == PersistenceMode::kSliceSplit;
+      p.first_key = keys.size();
+      p.num_keys = 1;
+      keys.push_back(BulkKey(pids[i]));
+      vals.emplace_back();
+      EncodeProfile(profile, &vals.back());
+      pending.push_back(std::move(p));
+      continue;
+    }
+
+    p.split = true;
+    SliceMeta meta;
+    meta.write_granularity_ms = profile.write_granularity_ms();
+    meta.last_action_ms = profile.LastActionMs();
+    {
+      std::lock_guard<std::mutex> lock(version_mu_);
+      auto it = last_slices_.find(pids[i]);
+      if (it != last_slices_.end()) p.prior = it->second;
+    }
+    // Only changed slices are rewritten — the granularity benefit the slice
+    // split exists for: steady-state traffic touches the newest slice, so a
+    // flush ships one slice value plus the meta instead of the whole
+    // profile.
+    p.first_key = keys.size();
+    for (const auto& slice : profile.slices()) {
+      SliceMetaEntry entry;
+      entry.slice_key = static_cast<uint64_t>(slice.start_ms());
+      entry.start_ms = slice.start_ms();
+      entry.end_ms = slice.end_ms();
+      meta.entries.push_back(entry);
+
+      std::string raw;
+      EncodeSlice(slice, &raw);
+      std::string compressed;
+      BlockCompress(raw, &compressed);
+      const uint32_t sum = Checksum32(compressed.data(), compressed.size());
+      p.new_sums[entry.slice_key] = sum;
+      auto prior_it = p.prior.find(entry.slice_key);
+      if (prior_it != p.prior.end() && prior_it->second == sum) {
+        continue;  // unchanged since the last successful flush
+      }
+      keys.push_back(SliceKey(pids[i], entry.slice_key));
+      vals.push_back(std::move(compressed));
+    }
+    p.num_keys = keys.size() - p.first_key;
+    EncodeSliceMeta(meta, &p.meta_value);
+    pending.push_back(std::move(p));
+  }
+
+  // One round trip for every changed value in the batch.
+  std::vector<Status> statuses;
+  if (!keys.empty()) kv_->MultiSet(keys, vals, &statuses);
+
+  // Commit: per-profile meta updates and cleanup, only where values landed.
+  for (auto& p : pending) {
+    Status failed = Status::OK();
+    for (size_t k = p.first_key; k < p.first_key + p.num_keys; ++k) {
+      if (!statuses[k].ok()) {
+        failed = statuses[k];
+        break;
+      }
+    }
+    if (!failed.ok()) {
+      // Old meta / old bookkeeping stay in place: the slices that did land
+      // get rewritten by the next flush (their checksum no longer matches
+      // the remembered one).
+      out[p.index] = failed;
+      continue;
+    }
+    if (!p.split) {
+      if (p.retire_meta) {
+        std::string ignored;
+        if (kv_->Get(MetaKey(pids[p.index]), &ignored).ok()) {
+          Status del = kv_->Delete(MetaKey(pids[p.index]));
+          if (!del.ok()) {
+            out[p.index] = del;
+            continue;
+          }
+          ForgetVersion(pids[p.index]);
+        }
+      }
+      continue;
+    }
+    out[p.index] = CommitSplitMeta(pids[p.index], p.meta_value, p.prior,
+                                   std::move(p.new_sums));
+  }
+  return out;
 }
 
-Status Persister::FlushSplit(ProfileId pid, const ProfileData& profile) {
-  // Fig 14 ordering: slice values first, meta last, so a reader that sees
-  // the new meta is guaranteed to find every slice it references.
-  SliceMeta meta;
-  meta.write_granularity_ms = profile.write_granularity_ms();
-  meta.last_action_ms = profile.LastActionMs();
-
-  std::unordered_map<uint64_t, uint32_t> prior;
-  {
-    std::lock_guard<std::mutex> lock(version_mu_);
-    auto it = last_slices_.find(pid);
-    if (it != last_slices_.end()) prior = it->second;
-  }
-
-  // Only changed slices are rewritten — the granularity benefit the slice
-  // split exists for: steady-state traffic touches the newest slice, so a
-  // flush ships one slice value plus the meta instead of the whole profile.
-  std::unordered_map<uint64_t, uint32_t> new_sums;
-  for (const auto& slice : profile.slices()) {
-    SliceMetaEntry entry;
-    entry.slice_key = static_cast<uint64_t>(slice.start_ms());
-    entry.start_ms = slice.start_ms();
-    entry.end_ms = slice.end_ms();
-    meta.entries.push_back(entry);
-
-    std::string raw;
-    EncodeSlice(slice, &raw);
-    std::string compressed;
-    BlockCompress(raw, &compressed);
-    const uint32_t sum = Checksum32(compressed.data(), compressed.size());
-    new_sums[entry.slice_key] = sum;
-    auto prior_it = prior.find(entry.slice_key);
-    if (prior_it != prior.end() && prior_it->second == sum) {
-      continue;  // unchanged since the last successful flush
-    }
-    IPS_RETURN_IF_ERROR(kv_->Set(SliceKey(pid, entry.slice_key), compressed));
-  }
-
-  std::string meta_value;
-  EncodeSliceMeta(meta, &meta_value);
-
+Status Persister::CommitSplitMeta(
+    ProfileId pid, const std::string& meta_value,
+    const std::unordered_map<uint64_t, uint32_t>& prior,
+    std::unordered_map<uint64_t, uint32_t> new_sums) {
   // Version-checked meta update; a mismatch means another node wrote this
   // profile since we last loaded, so refresh the version and retry once.
   KvVersion held = HeldVersion(pid);

@@ -49,8 +49,20 @@ class Persister {
  public:
   Persister(std::string table_name, KvStore* kv, PersisterOptions options);
 
-  /// Writes the profile using the configured mode.
+  /// Writes the profile using the configured mode. Batch-of-one wrapper
+  /// over StoreBatch.
   Status Flush(ProfileId pid, const ProfileData& profile);
+
+  /// Batched write: statuses align with `pids`. Every changed value across
+  /// the batch (bulk blobs, changed slice values) ships to the store in ONE
+  /// KvStore::MultiSet round trip; split metas then commit individually via
+  /// the version-checked XSet of Fig 14, preserving its ordering — a meta is
+  /// only written after every slice value it references landed, so a profile
+  /// whose values bounced keeps its old meta and readers never see dangling
+  /// references. The write-side mirror of LoadBatch.
+  std::vector<Status> StoreBatch(
+      const std::vector<ProfileId>& pids,
+      const std::vector<const ProfileData*>& profiles);
 
   /// Reads the profile back. NotFound when the profile was never persisted.
   /// `out_degraded`, when non-null, is set when the profile was served by
@@ -81,8 +93,14 @@ class Persister {
   std::string SliceKey(ProfileId pid, uint64_t slice_key) const;
 
  private:
-  Status FlushBulk(ProfileId pid, const ProfileData& profile);
-  Status FlushSplit(ProfileId pid, const ProfileData& profile);
+  /// Fig 14 meta commit for one split profile whose slice values already
+  /// landed: version-checked XSet (with one refresh-retry on Aborted),
+  /// version + slice-checksum bookkeeping, GC of dropped slices, and
+  /// retirement of any stale bulk value.
+  Status CommitSplitMeta(
+      ProfileId pid, const std::string& meta_value,
+      const std::unordered_map<uint64_t, uint32_t>& prior,
+      std::unordered_map<uint64_t, uint32_t> new_sums);
 
   /// Single-profile load against `kv`. `record_bookkeeping` gates the
   /// version / slice-checksum caches: true on the primary path, false on

@@ -641,6 +641,198 @@ TEST_F(DeploymentTest, KvOutageServesDegradedReadsFromReplica) {
   EXPECT_FALSE(clean_read->degraded);
 }
 
+MultiAddItem MakeWriteItem(ProfileId pid, TimestampMs timestamp,
+                           FeatureId fid) {
+  MultiAddItem item;
+  item.pid = pid;
+  AddRecord r;
+  r.timestamp = timestamp;
+  r.slot = 1;
+  r.type = 1;
+  r.fid = fid;
+  r.counts = CountVector{1};
+  item.records.push_back(r);
+  return item;
+}
+
+TEST_F(DeploymentTest, ClientMultiAddWritesEveryRegionInInputOrder) {
+  IpsClient client(LocalClientOptions("lf"), &deployment_);
+  const TimestampMs now = clock_.NowMs();
+  std::vector<MultiAddItem> items;
+  for (ProfileId pid = 1; pid <= 8; ++pid) {
+    items.push_back(MakeWriteItem(pid, now - kMinute, pid * 10));
+  }
+  auto batch = client.MultiAdd("profiles", items);
+  ASSERT_TRUE(batch.ok()) << batch.status().ToString();
+  ASSERT_EQ(batch->statuses.size(), items.size());
+  for (const auto& status : batch->statuses) {
+    EXPECT_TRUE(status.ok()) << status.ToString();
+  }
+  EXPECT_EQ(batch->ok_items, items.size());
+  // Multi-region writing: each region got its own copy, so a local reader
+  // in either region resolves every pid.
+  for (const std::string region : {"lf", "hl"}) {
+    IpsClient reader(LocalClientOptions(region), &deployment_);
+    for (ProfileId pid = 1; pid <= 8; ++pid) {
+      auto result = reader.GetProfileTopK("profiles", pid, 1, std::nullopt,
+                                          TimeRange::Current(kDay),
+                                          SortBy::kActionCount, 0, 10);
+      ASSERT_TRUE(result.ok()) << region << " pid " << pid;
+      ASSERT_EQ(result->features.size(), 1u) << region << " pid " << pid;
+      EXPECT_EQ(result->features[0].fid, pid * 10);
+    }
+  }
+  EXPECT_EQ(
+      deployment_.metrics()->GetCounter("client.multi_write_errors")->Value(),
+      0);
+  EXPECT_EQ(deployment_.metrics()
+                ->GetCounter("client.write_partial_regions")
+                ->Value(),
+            0);
+}
+
+TEST_F(DeploymentTest, ClientMultiAddSendsOneSubBatchPerOwningNode) {
+  IpsClient client(LocalClientOptions("lf"), &deployment_);
+  const TimestampMs now = clock_.NowMs();
+  std::vector<MultiAddItem> items;
+  for (ProfileId pid = 1; pid <= 32; ++pid) {
+    items.push_back(MakeWriteItem(pid, now - kMinute, pid));
+  }
+  // Every MultiAdd RPC records one server.multi_add_batch sample; two nodes
+  // per region and two regions bound the fan-out at four sub-batches for 32
+  // items — not 64 point RPCs.
+  Histogram* batches =
+      deployment_.metrics()->GetHistogram("server.multi_add_batch");
+  const int64_t rpcs_before = batches->count();
+  auto batch = client.MultiAdd("profiles", items);
+  ASSERT_TRUE(batch.ok());
+  for (const auto& status : batch->statuses) ASSERT_TRUE(status.ok());
+  const int64_t rpcs = batches->count() - rpcs_before;
+  EXPECT_GE(rpcs, 2);  // at least one sub-batch per region
+  EXPECT_LE(rpcs, 4);
+}
+
+TEST_F(DeploymentTest, ClientMultiAddSurvivesNodeFailure) {
+  IpsClient client(LocalClientOptions("lf"), &deployment_);
+  const TimestampMs now = clock_.NowMs();
+  deployment_.FindNode("lf/ips-0")->SetDown(true);
+  std::vector<MultiAddItem> items;
+  for (ProfileId pid = 1; pid <= 20; ++pid) {
+    items.push_back(MakeWriteItem(pid, now - kMinute, pid));
+  }
+  // The downed node's sub-batch regroups onto its lf ring successor (and hl
+  // accepts its copies regardless); every item must be acknowledged.
+  auto batch = client.MultiAdd("profiles", items);
+  ASSERT_TRUE(batch.ok());
+  for (const auto& status : batch->statuses) {
+    EXPECT_TRUE(status.ok()) << status.ToString();
+  }
+  EXPECT_EQ(batch->ok_items, items.size());
+}
+
+TEST_F(DeploymentTest, ClientMultiAddBadItemFailsAloneWithErrorCounter) {
+  IpsClient client(LocalClientOptions("lf"), &deployment_);
+  const TimestampMs now = clock_.NowMs();
+  std::vector<MultiAddItem> items;
+  items.push_back(MakeWriteItem(1, now - kMinute, 11));
+  items.push_back(MultiAddItem{2, {}});  // no records: rejected per item
+  items.push_back(MakeWriteItem(3, now - kMinute, 33));
+  auto batch = client.MultiAdd("profiles", items);
+  ASSERT_TRUE(batch.ok()) << batch.status().ToString();
+  EXPECT_TRUE(batch->statuses[0].ok());
+  EXPECT_TRUE(batch->statuses[1].IsInvalidArgument())
+      << batch->statuses[1].ToString();
+  EXPECT_TRUE(batch->statuses[2].ok());
+  EXPECT_EQ(batch->ok_items, 2u);
+  EXPECT_EQ(
+      deployment_.metrics()->GetCounter("client.multi_write_errors")->Value(),
+      1);
+}
+
+TEST_F(DeploymentTest, ClientMultiAddExpiredDeadlineFailsFast) {
+  IpsClient client(LocalClientOptions("lf"), &deployment_);
+  const CallContext expired = CallContext::WithDeadline(clock_.NowMs());
+  std::vector<MultiAddItem> items = {
+      MakeWriteItem(1, clock_.NowMs() - kMinute, 1)};
+  auto batch = client.MultiAdd("profiles", items, expired);
+  ASSERT_TRUE(batch.ok());
+  ASSERT_EQ(batch->statuses.size(), 1u);
+  EXPECT_TRUE(batch->statuses[0].IsDeadlineExceeded())
+      << batch->statuses[0].ToString();
+  EXPECT_EQ(batch->ok_items, 0u);
+}
+
+TEST_F(DeploymentTest, PartialRegionWriteSurfacesAckAndCounter) {
+  // The silent-partial-write fix: a write that lands in only one region
+  // still returns OK (weak consistency) but must say so — via the WriteAck
+  // out-param and the client.write_partial_regions counter — instead of
+  // looking indistinguishable from a fully replicated write.
+  IpsClient client(LocalClientOptions("lf"), &deployment_);
+  const TimestampMs now = clock_.NowMs();
+  AddRecord record;
+  record.timestamp = now - kMinute;
+  record.slot = 1;
+  record.type = 1;
+  record.fid = 5;
+  record.counts = CountVector{1};
+
+  // Healthy deployment: the ack reports full coverage.
+  WriteAck ack;
+  ASSERT_TRUE(client
+                  .AddProfilesAs("test", "profiles", 1, {record},
+                                 CallContext{}, &ack)
+                  .ok());
+  EXPECT_EQ(ack.regions_ok, 2u);
+  EXPECT_EQ(ack.regions_total, 2u);
+  EXPECT_TRUE(ack.complete());
+  EXPECT_EQ(deployment_.metrics()
+                ->GetCounter("client.write_partial_regions")
+                ->Value(),
+            0);
+
+  // hl down: the write is still acknowledged but the ack exposes the gap.
+  deployment_.FailRegion("hl");
+  client.RefreshView();
+  ASSERT_TRUE(client
+                  .AddProfilesAs("test", "profiles", 2, {record},
+                                 CallContext{}, &ack)
+                  .ok());
+  EXPECT_EQ(ack.regions_ok, 1u);
+  EXPECT_EQ(ack.regions_total, 2u);
+  EXPECT_FALSE(ack.complete());
+  EXPECT_EQ(deployment_.metrics()
+                ->GetCounter("client.write_partial_regions")
+                ->Value(),
+            1);
+  // The batched path reports the same signal.
+  auto batch = client.MultiAdd(
+      "profiles", {MakeWriteItem(3, now - kMinute, 5)});
+  ASSERT_TRUE(batch.ok());
+  EXPECT_TRUE(batch->statuses[0].ok());
+  EXPECT_EQ(deployment_.metrics()
+                ->GetCounter("client.write_partial_regions")
+                ->Value(),
+            2);
+}
+
+TEST(WritePayloadTest, EstimateTracksEncodedRecords) {
+  // The payload-accounting fix: request bytes must scale with the records
+  // actually sent, not sit at a fixed per-request constant.
+  std::vector<AddRecord> small(1);
+  small[0].counts = CountVector{1};
+  std::vector<AddRecord> large(64);
+  for (auto& r : large) r.counts = CountVector{1, 2, 3, 4};
+  const size_t small_bytes = EstimateAddPayloadBytes(small);
+  const size_t large_bytes = EstimateAddPayloadBytes(large);
+  EXPECT_GT(small_bytes, 0u);
+  EXPECT_GT(large_bytes, 32 * small_bytes);
+  // Wider count vectors cost more than narrow ones at equal record count.
+  std::vector<AddRecord> narrow(8), wide(8);
+  for (auto& r : narrow) r.counts = CountVector{1};
+  for (auto& r : wide) r.counts = CountVector{1, 2, 3, 4, 5, 6, 7, 8};
+  EXPECT_GT(EstimateAddPayloadBytes(wide), EstimateAddPayloadBytes(narrow));
+}
+
 TEST_F(DeploymentTest, StaleViewStopsRoutingToDeregisteredNode) {
   IpsClient client(LocalClientOptions("lf"), &deployment_);
   deployment_.FailRegion("lf");

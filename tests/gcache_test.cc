@@ -676,6 +676,133 @@ TEST(GCacheTest, DegradedLoadFlagsReadsUntilCleanFlush) {
   EXPECT_FALSE(degraded);
 }
 
+TEST(GCacheTest, BatchedFlushDrainsShardInGroups) {
+  FakeStore store;
+  MetricsRegistry metrics;
+  GCacheOptions options = ManualOptions();
+  options.dirty_shards = 1;
+  options.flush_batch_max = 4;
+  GCache cache(options, SystemClock::Instance(), store.Flusher(),
+               store.Loader(), &metrics);
+  std::atomic<int> batch_calls{0};
+  std::vector<size_t> group_sizes;
+  std::mutex groups_mu;
+  cache.set_batch_flusher(
+      [&](const std::vector<ProfileId>& pids,
+          const std::vector<const ProfileData*>& profiles) {
+        ++batch_calls;
+        {
+          std::lock_guard<std::mutex> lock(groups_mu);
+          group_sizes.push_back(pids.size());
+        }
+        FlushFn flusher = store.Flusher();
+        std::vector<Status> statuses;
+        for (size_t i = 0; i < pids.size(); ++i) {
+          statuses.push_back(flusher(pids[i], *profiles[i]));
+        }
+        return statuses;
+      });
+  for (ProfileId pid = 1; pid <= 10; ++pid) {
+    cache
+        .WithProfileMutable(pid,
+                            [](ProfileData& profile) {
+                              profile.Add(kMinute, 1, 1, 1, CountVector{1})
+                                  .ok();
+                            })
+        .ok();
+  }
+  ASSERT_EQ(cache.DirtyCount(), 10u);
+  EXPECT_EQ(cache.FlushOnce(), 10u);
+  EXPECT_EQ(cache.DirtyCount(), 0u);
+  // 10 dirty entries in groups of <= 4: three flusher calls, never one per
+  // entry.
+  EXPECT_EQ(batch_calls.load(), 3);
+  for (size_t size : group_sizes) EXPECT_LE(size, 4u);
+  EXPECT_EQ(metrics.GetCounter("cache.batch_flushes")->Value(), 3);
+  EXPECT_EQ(metrics.GetCounter("cache.flushed")->Value(), 10);
+  for (ProfileId pid = 1; pid <= 10; ++pid) EXPECT_TRUE(store.Has(pid));
+}
+
+TEST(GCacheTest, BatchedFlushOutageBoundsFailuresAndRequeues) {
+  // A KV outage during a batched flush pass: failures stay bounded by the
+  // per-pass cap (plus at most one group), every entry is requeued, and the
+  // pass drains cleanly after recovery.
+  FakeStore store;
+  MetricsRegistry metrics;
+  GCacheOptions options = ManualOptions();
+  options.dirty_shards = 1;
+  options.flush_batch_max = 4;
+  options.max_flush_failures_per_pass = 3;
+  GCache cache(options, SystemClock::Instance(), store.Flusher(),
+               store.Loader(), &metrics);
+  std::atomic<bool> kv_down{true};
+  std::atomic<int> batch_calls{0};
+  cache.set_batch_flusher(
+      [&](const std::vector<ProfileId>& pids,
+          const std::vector<const ProfileData*>& profiles) {
+        ++batch_calls;
+        if (kv_down.load()) {
+          return std::vector<Status>(pids.size(),
+                                     Status::Unavailable("kv outage"));
+        }
+        FlushFn flusher = store.Flusher();
+        std::vector<Status> statuses;
+        for (size_t i = 0; i < pids.size(); ++i) {
+          statuses.push_back(flusher(pids[i], *profiles[i]));
+        }
+        return statuses;
+      });
+  for (ProfileId pid = 1; pid <= 12; ++pid) {
+    cache
+        .WithProfileMutable(pid,
+                            [](ProfileData& profile) {
+                              profile.Add(kMinute, 1, 1, 1, CountVector{1})
+                                  .ok();
+                            })
+        .ok();
+  }
+  EXPECT_EQ(cache.FlushOnce(), 0u);
+  // One failing group trips the cap; the other 8 entries were requeued
+  // untried (no flusher call for them).
+  EXPECT_EQ(batch_calls.load(), 1);
+  EXPECT_EQ(cache.DirtyCount(), 12u);
+  EXPECT_EQ(metrics.GetCounter("cache.flush_failures")->Value(), 4);
+  EXPECT_TRUE(cache.StoreUnhealthy());
+  // Outage over: everything drains, and the health flag clears.
+  kv_down.store(false);
+  EXPECT_EQ(cache.FlushOnce(), 12u);
+  EXPECT_EQ(cache.DirtyCount(), 0u);
+  EXPECT_FALSE(cache.StoreUnhealthy());
+  for (ProfileId pid = 1; pid <= 12; ++pid) EXPECT_TRUE(store.Has(pid));
+}
+
+TEST(GCacheTest, FlushAllZeroProgressBailsInsteadOfBusySpin) {
+  // Regression: a pass can flush nothing while reporting zero failures
+  // (max_flush_failures_per_pass of 0 requeues the whole list untried).
+  // FlushAll used to treat "no failures" as success and busy-spin its full
+  // 64 rounds with no backoff; it must instead back off and give up after a
+  // few stuck rounds.
+  FakeStore store;
+  ManualClock clock(0);
+  GCacheOptions options = ManualOptions();
+  options.dirty_shards = 1;
+  options.max_flush_failures_per_pass = 0;
+  GCache cache(options, &clock, store.Flusher(), store.Loader());
+  cache
+      .WithProfileMutable(1,
+                          [](ProfileData& profile) {
+                            profile.Add(kMinute, 1, 1, 1, CountVector{1}).ok();
+                          })
+      .ok();
+  cache.FlushAll();  // must return (bounded rounds), not spin 64 rounds
+  EXPECT_EQ(cache.DirtyCount(), 1u);  // nothing could flush
+  EXPECT_EQ(store.flush_attempts(), 0);
+  // The stuck rounds backed off through the manual clock (not a busy spin)
+  // and stopped well short of 64 rounds' worth of max backoff.
+  EXPECT_GT(clock.NowMs(), 0);
+  EXPECT_LE(clock.NowMs(), 4 * options.flush_backoff_max_ms);
+}
+
 TEST(GCacheTest, FlushThreadsRoundedToShardMultiple) {
   FakeStore store;
   GCacheOptions options = ManualOptions();

@@ -1,5 +1,6 @@
 #include "server/ips_instance.h"
 
+#include <algorithm>
 #include <optional>
 #include <thread>
 
@@ -250,6 +251,136 @@ TEST_F(IpsInstanceTest, MultiQueryDuplicatePidsEachGetResults) {
     ASSERT_EQ(batch->results[i].features.size(), 1u);
     EXPECT_EQ(batch->results[i].features[0].fid, 99u);
   }
+}
+
+TEST_F(IpsInstanceTest, MultiAddAlignsStatusesWithItems) {
+  const TimestampMs now = clock_.NowMs();
+  auto make_item = [&](ProfileId pid, FeatureId fid) {
+    MultiAddItem item;
+    item.pid = pid;
+    AddRecord r;
+    r.timestamp = now - kMinute;
+    r.slot = 1;
+    r.type = 1;
+    r.fid = fid;
+    r.counts = CountVector{1};
+    item.records.push_back(r);
+    return item;
+  };
+  // Item 1 has no records: it must fail alone, without sinking the batch.
+  std::vector<MultiAddItem> items = {make_item(1, 11), MultiAddItem{2, {}},
+                                     make_item(3, 33)};
+  auto batch = instance_.MultiAdd("test", "profiles", items);
+  ASSERT_TRUE(batch.ok()) << batch.status().ToString();
+  ASSERT_EQ(batch->statuses.size(), 3u);
+  EXPECT_TRUE(batch->statuses[0].ok());
+  EXPECT_TRUE(batch->statuses[1].IsInvalidArgument());
+  EXPECT_TRUE(batch->statuses[2].ok());
+  EXPECT_EQ(batch->ok_items, 2u);
+  auto result = TopK(1, 1, 10);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->features.size(), 1u);
+  EXPECT_EQ(result->features[0].fid, 11u);
+  result = TopK(3, 1, 10);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->features.size(), 1u);
+  EXPECT_EQ(result->features[0].fid, 33u);
+}
+
+TEST_F(IpsInstanceTest, MultiAddChargesQuotaOncePerBatch) {
+  instance_.quota().SetQuota("batcher", 3.0);
+  const TimestampMs now = clock_.NowMs();
+  std::vector<MultiAddItem> items;
+  for (ProfileId pid = 1; pid <= 10; ++pid) {
+    MultiAddItem item;
+    item.pid = pid;
+    AddRecord r;
+    r.timestamp = now - kMinute;
+    r.slot = 1;
+    r.type = 1;
+    r.fid = pid;
+    r.counts = CountVector{1};
+    item.records.push_back(r);
+    items.push_back(item);
+  }
+  // Each 10-item batch is one admission decision: 3 batches fit a 3.0
+  // quota, the 4th is rejected wholesale.
+  for (int i = 0; i < 3; ++i) {
+    auto batch = instance_.MultiAdd("batcher", "profiles", items);
+    EXPECT_TRUE(batch.ok()) << batch.status().ToString();
+  }
+  auto rejected = instance_.MultiAdd("batcher", "profiles", items);
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_TRUE(rejected.status().IsResourceExhausted());
+}
+
+TEST_F(IpsInstanceTest, MultiAddEmptyBatchRejected) {
+  auto batch = instance_.MultiAdd("test", "profiles", {});
+  ASSERT_FALSE(batch.ok());
+  EXPECT_TRUE(batch.status().IsInvalidArgument());
+}
+
+TEST_F(IpsInstanceTest, MultiAddUnknownTableFails) {
+  MultiAddItem item;
+  item.pid = 1;
+  AddRecord r;
+  r.timestamp = clock_.NowMs();
+  r.slot = 1;
+  r.type = 1;
+  r.fid = 1;
+  r.counts = CountVector{1};
+  item.records.push_back(r);
+  auto batch = instance_.MultiAdd("test", "nope", {item});
+  ASSERT_FALSE(batch.ok());
+  EXPECT_TRUE(batch.status().IsNotFound());
+}
+
+TEST_F(IpsInstanceTest, MultiAddFlushIssuesOneKvMultiSetPerBatch) {
+  // The write-side acceptance check: a MultiAdd batch drained by FlushAll
+  // rides batched flushes — KvStore::MultiSet round trips, zero point
+  // writes (bulk mode).
+  const TimestampMs now = clock_.NowMs();
+  std::vector<MultiAddItem> items;
+  for (ProfileId pid = 1; pid <= 64; ++pid) {
+    MultiAddItem item;
+    item.pid = pid;
+    AddRecord r;
+    r.timestamp = now - kMinute;
+    r.slot = 1;
+    r.type = 1;
+    r.fid = pid;
+    r.counts = CountVector{1};
+    item.records.push_back(r);
+    items.push_back(item);
+  }
+  auto batch = instance_.MultiAdd("test", "profiles", items);
+  ASSERT_TRUE(batch.ok());
+  EXPECT_EQ(batch->ok_items, 64u);
+  const int64_t multi_sets_before = kv_.MultiSetCalls();
+  const int64_t point_writes_before = kv_.PointWriteCalls();
+  instance_.FlushAll();
+  EXPECT_GE(kv_.MultiSetCalls() - multi_sets_before, 1);
+  // 64 dirty profiles with the default flush_batch_max of 64: at most one
+  // MultiSet per flush group per dirty shard, far fewer than one per
+  // profile. (Sanitized builds clamp the group's lock fan-in, hence the
+  // cap-derived group count.)
+  const GCacheOptions cache_defaults = ManualInstanceOptions().cache;
+  const size_t group_max =
+      std::min(cache_defaults.flush_batch_max, GCache::FlushGroupLockCap());
+  const size_t groups_per_shard = (64 + group_max - 1) / group_max;
+  EXPECT_LE(
+      kv_.MultiSetCalls() - multi_sets_before,
+      static_cast<int64_t>(cache_defaults.dirty_shards * groups_per_shard));
+  EXPECT_EQ(kv_.PointWriteCalls() - point_writes_before, 0);
+  // And the batch is durable: a fresh instance reads it back from the KV.
+  IpsInstance fresh(ManualInstanceOptions(), &kv_, &clock_);
+  ASSERT_TRUE(fresh.CreateTable(TestSchema()).ok());
+  auto result = fresh.GetProfileTopK("test", "profiles", 64, 1, std::nullopt,
+                                     TimeRange::Current(kDay),
+                                     SortBy::kActionCount, 0, 10);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->features.size(), 1u);
+  EXPECT_EQ(result->features[0].fid, 64u);
 }
 
 TEST_F(IpsInstanceTest, IsolationDelaysVisibilityUntilMerge) {

@@ -237,6 +237,142 @@ TEST(MemKvStoreTest, MultiGetEmptyBatchIsNoop) {
   EXPECT_EQ(kv.MultiGetKeys(), 0);
 }
 
+TEST(MemKvStoreTest, MultiSetAlignsOutputs) {
+  MemKvStore kv;
+  std::vector<Status> statuses;
+  kv.MultiSet({"a", "b", "c"}, {"1", "2", "3"}, &statuses);
+  ASSERT_EQ(statuses.size(), 3u);
+  for (const auto& status : statuses) EXPECT_TRUE(status.ok());
+  std::string value;
+  ASSERT_TRUE(kv.Get("b", &value).ok());
+  EXPECT_EQ(value, "2");
+  EXPECT_EQ(kv.KeyCount(), 3u);
+}
+
+TEST(MemKvStoreTest, MultiSetMismatchedValuesIsInvalidArgument) {
+  MemKvStore kv;
+  std::vector<Status> statuses;
+  kv.MultiSet({"a", "b"}, {"only one"}, &statuses);
+  ASSERT_EQ(statuses.size(), 2u);
+  EXPECT_TRUE(statuses[0].IsInvalidArgument());
+  EXPECT_TRUE(statuses[1].IsInvalidArgument());
+  EXPECT_EQ(kv.KeyCount(), 0u);
+}
+
+TEST(MemKvStoreTest, MultiSetCountsOneBatchedCall) {
+  MemKvStore kv;
+  kv.Set("x", "v").ok();
+  kv.Delete("x").ok();
+  std::vector<Status> statuses;
+  kv.MultiSet({"a", "b", "c"}, {"1", "2", "3"}, &statuses);
+  EXPECT_EQ(kv.PointWriteCalls(), 2);  // the Set + the Delete
+  EXPECT_EQ(kv.MultiSetCalls(), 1);    // one batch, regardless of keys
+  EXPECT_EQ(kv.MultiSetKeys(), 3);
+}
+
+TEST(MemKvStoreTest, MultiSetChargesOneRoundTripPerBatch) {
+  // Mirror of MultiGetChargesOneRoundTripPerBatch on the write side: 50
+  // point writes burn >= 100ms of simulated round trips while one 50-key
+  // MultiSet burns a single one.
+  MemKvOptions options;
+  options.base_latency_us = 2000;
+  MemKvStore kv(options);
+  std::vector<std::string> keys, values;
+  for (int i = 0; i < 50; ++i) {
+    keys.push_back("k" + std::to_string(i));
+    values.push_back("v");
+  }
+
+  const auto sequential_start = std::chrono::steady_clock::now();
+  for (const auto& key : keys) {
+    ASSERT_TRUE(kv.Set(key, "v").ok());
+  }
+  const auto sequential_us =
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - sequential_start)
+          .count();
+
+  const auto batch_start = std::chrono::steady_clock::now();
+  std::vector<Status> statuses;
+  kv.MultiSet(keys, values, &statuses);
+  const auto batch_us = std::chrono::duration_cast<std::chrono::microseconds>(
+                            std::chrono::steady_clock::now() - batch_start)
+                            .count();
+
+  for (const auto& status : statuses) EXPECT_TRUE(status.ok());
+  EXPECT_GE(sequential_us, 100'000);
+  EXPECT_LT(batch_us, sequential_us / 4);
+}
+
+TEST(MemKvStoreTest, MultiSetFailsPerKeyOnInjectedFailures) {
+  // Per-key failure draws: a batched mutation partially lands, the way an
+  // HBase batch spanning region servers does. Bounced keys must not be
+  // visible afterwards.
+  MemKvOptions options;
+  options.failure_probability = 0.3;
+  options.seed = 11;
+  MemKvStore kv(options);
+  std::vector<std::string> keys, values;
+  for (int i = 0; i < 200; ++i) {
+    keys.push_back("k" + std::to_string(i));
+    values.push_back("v");
+  }
+  std::vector<Status> statuses;
+  kv.MultiSet(keys, values, &statuses);
+  int ok = 0, unavailable = 0;
+  kv.SetFailureProbability(0.0);
+  for (size_t i = 0; i < statuses.size(); ++i) {
+    std::string value;
+    if (statuses[i].ok()) {
+      ++ok;
+      ASSERT_TRUE(kv.Get(keys[i], &value).ok());
+      EXPECT_EQ(value, "v");
+    } else {
+      EXPECT_TRUE(statuses[i].IsUnavailable());
+      EXPECT_TRUE(kv.Get(keys[i], &value).IsNotFound());
+      ++unavailable;
+    }
+  }
+  EXPECT_GT(ok, 80);
+  EXPECT_GT(unavailable, 20);
+}
+
+TEST(MemKvStoreTest, MultiSetOnDownStoreIsAllUnavailable) {
+  MemKvStore kv;
+  kv.SetDown(true);
+  std::vector<Status> statuses;
+  kv.MultiSet({"a", "b"}, {"1", "2"}, &statuses);
+  ASSERT_EQ(statuses.size(), 2u);
+  EXPECT_TRUE(statuses[0].IsUnavailable());
+  EXPECT_TRUE(statuses[1].IsUnavailable());
+  kv.SetDown(false);
+  std::string value;
+  EXPECT_TRUE(kv.Get("a", &value).IsNotFound());
+}
+
+TEST(MemKvStoreTest, MultiSetEmptyBatchIsNoop) {
+  MemKvStore kv;
+  std::vector<Status> statuses;
+  kv.MultiSet({}, {}, &statuses);
+  EXPECT_TRUE(statuses.empty());
+  EXPECT_EQ(kv.MultiSetCalls(), 1);
+  EXPECT_EQ(kv.MultiSetKeys(), 0);
+}
+
+TEST(MemKvStoreTest, MultiSetBumpsVersions) {
+  MemKvStore kv;
+  kv.Set("a", "v0").ok();
+  KvEntry entry;
+  ASSERT_TRUE(kv.XGet("a", &entry).ok());
+  const KvVersion v1 = entry.version;
+  std::vector<Status> statuses;
+  kv.MultiSet({"a"}, {"v1"}, &statuses);
+  ASSERT_TRUE(statuses[0].ok());
+  ASSERT_TRUE(kv.XGet("a", &entry).ok());
+  EXPECT_GT(entry.version, v1);
+  EXPECT_EQ(entry.value, "v1");
+}
+
 TEST(MemKvStoreTest, ForEachVisitsEverything) {
   MemKvStore kv;
   for (int i = 0; i < 20; ++i) {
@@ -358,6 +494,37 @@ TEST(ReplicatedKvTest, MultiGetRespectsReplicationLag) {
   EXPECT_EQ(values[0], "1");
   ASSERT_TRUE(statuses[1].ok());
   EXPECT_EQ(values[1], "2");
+}
+
+TEST(ReplicatedKvTest, MultiSetReplicatesAcceptedKeysOnly) {
+  // A batched write through the master proxy replicates exactly the keys
+  // the master accepted; bounced keys must not resurrect on a slave.
+  ManualClock clock(0);
+  ReplicatedKvOptions options;
+  options.replication_lag_ms = 100;
+  ReplicatedKv kv(options, &clock);
+  std::vector<Status> statuses;
+  kv.master()->MultiSet({"a", "b"}, {"1", "2"}, &statuses);
+  ASSERT_EQ(statuses.size(), 2u);
+  EXPECT_TRUE(statuses[0].ok());
+  EXPECT_TRUE(statuses[1].ok());
+  clock.AdvanceMs(200);
+  std::string value;
+  ASSERT_TRUE(kv.slave(0)->Get("a", &value).ok());
+  EXPECT_EQ(value, "1");
+  ASSERT_TRUE(kv.slave(0)->Get("b", &value).ok());
+  EXPECT_EQ(value, "2");
+}
+
+TEST(ReplicatedKvTest, SlaveMultiSetIsReadOnly) {
+  ManualClock clock(0);
+  ReplicatedKv kv({}, &clock);
+  std::vector<Status> statuses;
+  kv.slave(0)->MultiSet({"a"}, {"1"}, &statuses);
+  ASSERT_EQ(statuses.size(), 1u);
+  EXPECT_TRUE(statuses[0].IsUnavailable());
+  std::string value;
+  EXPECT_TRUE(kv.master()->Get("a", &value).IsNotFound());
 }
 
 TEST(ReplicatedKvTest, OrderingPreservedThroughReplication) {

@@ -376,6 +376,113 @@ TEST(PersisterTest, LoadBatchFallsBackPerProfile) {
   EXPECT_FALSE(results[2].ok());
 }
 
+TEST(PersisterTest, StoreBatchRoundTripsMixedModes) {
+  // One batch holding both small (bulk) and large (split) profiles: every
+  // pid must round-trip regardless of which representation it lands in.
+  MemKvStore kv;
+  PersisterOptions options;
+  options.mode = PersistenceMode::kSliceSplit;
+  options.split_threshold_bytes = 600;
+  Persister persister("t", &kv, options);
+  ProfileData small = MakeProfile(2, 2);
+  ProfileData large = MakeProfile(30, 10);
+  auto statuses = persister.StoreBatch({1, 2}, {&small, &large});
+  ASSERT_EQ(statuses.size(), 2u);
+  EXPECT_TRUE(statuses[0].ok()) << statuses[0].ToString();
+  EXPECT_TRUE(statuses[1].ok()) << statuses[1].ToString();
+  auto loaded_small = persister.Load(1);
+  ASSERT_TRUE(loaded_small.ok());
+  EXPECT_EQ(loaded_small->SliceCount(), 2u);
+  auto loaded_large = persister.Load(2);
+  ASSERT_TRUE(loaded_large.ok());
+  EXPECT_EQ(loaded_large->SliceCount(), 30u);
+}
+
+TEST(PersisterTest, BulkStoreBatchIsOneMultiSet) {
+  MemKvStore kv;
+  PersisterOptions options;
+  options.mode = PersistenceMode::kBulk;
+  Persister persister("t", &kv, options);
+  std::vector<ProfileData> profiles;
+  std::vector<ProfileId> pids;
+  std::vector<const ProfileData*> ptrs;
+  for (ProfileId pid = 1; pid <= 16; ++pid) {
+    profiles.push_back(MakeProfile(4, 4));
+    pids.push_back(pid);
+  }
+  for (const auto& profile : profiles) ptrs.push_back(&profile);
+  const int64_t multi_sets_before = kv.MultiSetCalls();
+  const int64_t point_writes_before = kv.PointWriteCalls();
+  auto statuses = persister.StoreBatch(pids, ptrs);
+  for (const auto& status : statuses) ASSERT_TRUE(status.ok());
+  EXPECT_EQ(kv.MultiSetCalls() - multi_sets_before, 1);
+  EXPECT_EQ(kv.PointWriteCalls() - point_writes_before, 0);
+}
+
+TEST(PersisterTest, StoreBatchResolvesGenerationConflict) {
+  // Fig 14 under batching: node_b's held meta version is stale when its
+  // batch commits; the version-checked XSet must bounce, refresh, and retry
+  // without surfacing an error.
+  MemKvStore kv;
+  PersisterOptions options;
+  options.mode = PersistenceMode::kSliceSplit;
+  options.split_threshold_bytes = 0;
+  Persister node_a("t", &kv, options);
+  Persister node_b("t", &kv, options);
+  ASSERT_TRUE(node_b.Flush(1, MakeProfile(3, 3)).ok());
+  // node_a bumps the meta behind node_b's back.
+  ASSERT_TRUE(node_a.Flush(1, MakeProfile(4, 3)).ok());
+  ProfileData update = MakeProfile(5, 3);
+  auto statuses = node_b.StoreBatch({1}, {&update});
+  ASSERT_EQ(statuses.size(), 1u);
+  EXPECT_TRUE(statuses[0].ok()) << statuses[0].ToString();
+  auto loaded = node_a.Load(1);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->SliceCount(), 5u);
+}
+
+TEST(PersisterTest, StoreBatchPartialFailureKeepsOldMetaReadable) {
+  // When the slice MultiSet partially fails, the meta must NOT move: the
+  // previous generation stays fully readable and the next flush rewrites
+  // the landed slices (their checksums were never remembered).
+  MemKvStore kv;
+  PersisterOptions options;
+  options.mode = PersistenceMode::kSliceSplit;
+  options.split_threshold_bytes = 0;
+  Persister persister("t", &kv, options);
+  ASSERT_TRUE(persister.Flush(1, MakeProfile(3, 3)).ok());
+
+  kv.SetFailureProbability(1.0);
+  ProfileData update = MakeProfile(6, 3);
+  auto statuses = persister.StoreBatch({1}, {&update});
+  ASSERT_EQ(statuses.size(), 1u);
+  EXPECT_TRUE(statuses[0].IsUnavailable());
+  kv.SetFailureProbability(0.0);
+
+  auto loaded = persister.Load(1);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->SliceCount(), 3u);  // old generation, not the torn one
+
+  // Recovery: the same batch succeeds once the store heals.
+  statuses = persister.StoreBatch({1}, {&update});
+  ASSERT_TRUE(statuses[0].ok()) << statuses[0].ToString();
+  loaded = persister.Load(1);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->SliceCount(), 6u);
+}
+
+TEST(PersisterTest, FlushIsBatchOfOne) {
+  // Flush delegates to StoreBatch: a single-profile flush must ride the
+  // batched write path (one MultiSet), not per-key point writes.
+  MemKvStore kv;
+  PersisterOptions options;
+  options.mode = PersistenceMode::kBulk;
+  Persister persister("t", &kv, options);
+  const int64_t multi_sets_before = kv.MultiSetCalls();
+  ASSERT_TRUE(persister.Flush(1, MakeProfile(2, 2)).ok());
+  EXPECT_EQ(kv.MultiSetCalls() - multi_sets_before, 1);
+}
+
 TEST(PersisterTest, SurvivesKvFailuresWithErrorNotCorruption) {
   MemKvOptions kv_options;
   kv_options.failure_probability = 1.0;
