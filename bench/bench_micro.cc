@@ -7,6 +7,8 @@
 //   * tracing hot-path overhead with sampling off vs a live trace.
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <cstring>
 #include <list>
 #include <mutex>
 #include <optional>
@@ -15,6 +17,7 @@
 #include "codec/coding.h"
 #include "codec/compress.h"
 #include "codec/profile_codec.h"
+#include "common/alloc_hook.h"
 #include "common/hash.h"
 #include "common/random.h"
 #include "common/trace.h"
@@ -24,6 +27,14 @@
 
 namespace ips {
 namespace {
+
+// Publishes the heap allocations performed per iteration as an "allocs/op"
+// column (counted by the operator-new hook this binary links in).
+void ReportAllocs(benchmark::State& state, uint64_t allocs_before) {
+  state.counters["allocs/op"] = benchmark::Counter(
+      static_cast<double>(ThreadAllocCount() - allocs_before),
+      benchmark::Counter::kAvgIterations);
+}
 
 // ---------------------------------------------------------------- codec ---
 
@@ -83,6 +94,30 @@ void BM_ProfileDecode(benchmark::State& state) {
 }
 BENCHMARK(BM_ProfileDecode)->Arg(8)->Arg(62)->Arg(256);
 
+// The serving-path decode: the 3-arg DecodeProfile that aliases the
+// uncompressed image straight out of the stored bytes when the frame was
+// raw-stored (incompressible profiles), with an allocs/op column and the
+// fraction of iterations served zero-copy.
+void BM_DecodeProfile(benchmark::State& state) {
+  ProfileData profile = BuildProfile(static_cast<int>(state.range(0)), 20);
+  std::string encoded;
+  EncodeProfile(profile, &encoded);
+  const uint64_t zero_copy_before = ZeroCopyDecodeCount();
+  const uint64_t allocs_before = ThreadAllocCount();
+  for (auto _ : state) {
+    ProfileData decoded;
+    bool zero_copy = false;
+    DecodeProfile(encoded, &decoded, &zero_copy).ok();
+    benchmark::DoNotOptimize(decoded.SliceCount());
+  }
+  ReportAllocs(state, allocs_before);
+  state.counters["zero_copy/op"] = benchmark::Counter(
+      static_cast<double>(ZeroCopyDecodeCount() - zero_copy_before),
+      benchmark::Counter::kAvgIterations);
+  state.SetBytesProcessed(state.iterations() * encoded.size());
+}
+BENCHMARK(BM_DecodeProfile)->Arg(8)->Arg(62)->Arg(256);
+
 void BM_BlockCompress(benchmark::State& state) {
   ProfileData profile = BuildProfile(62, 20);
   std::string raw;
@@ -107,15 +142,40 @@ BENCHMARK(BM_BlockCompress);
 void BM_QueryTopK(benchmark::State& state) {
   ProfileData profile = BuildProfile(62, static_cast<int>(state.range(0)));
   const TimestampMs now = 101 * kMillisPerDay;
+  const uint64_t allocs_before = ThreadAllocCount();
   for (auto _ : state) {
     auto result = GetProfileTopK(profile, 1, std::nullopt,
                                  TimeRange::Current(2 * kMillisPerDay),
                                  SortBy::kActionCount, 0, 20, now);
     benchmark::DoNotOptimize(result.ok());
   }
+  ReportAllocs(state, allocs_before);
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_QueryTopK)->Arg(10)->Arg(40)->Arg(160);
+
+// The steady-state serving compute: warmed scratch + reused result, the
+// configuration the --smoke gate asserts performs zero heap allocations.
+void BM_QueryTopKWarmScratch(benchmark::State& state) {
+  ProfileData profile = BuildProfile(62, static_cast<int>(state.range(0)));
+  const TimestampMs now = 101 * kMillisPerDay;
+  QuerySpec spec;
+  spec.slot = 1;
+  spec.time_range = TimeRange::Current(2 * kMillisPerDay);
+  spec.sort_by = SortBy::kActionCount;
+  spec.k = 20;
+  QueryScratch scratch;
+  QueryResult result;
+  ExecuteQueryInto(profile, spec, now, &scratch, &result).ok();  // warm-up
+  const uint64_t allocs_before = ThreadAllocCount();
+  for (auto _ : state) {
+    ExecuteQueryInto(profile, spec, now, &scratch, &result).ok();
+    benchmark::DoNotOptimize(result.features.size());
+  }
+  ReportAllocs(state, allocs_before);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_QueryTopKWarmScratch)->Arg(10)->Arg(40)->Arg(160);
 
 void BM_QueryDecay(benchmark::State& state) {
   ProfileData profile = BuildProfile(62, 40);
@@ -170,6 +230,70 @@ void BM_MergeHash(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_MergeHash)->Arg(4)->Arg(16)->Arg(62);
+
+// Ablation behind the ExecuteQuery accumulator change: the node-allocating
+// std::unordered_map accumulator it used to build per query vs the reusable
+// flat open-addressing table over a dense accumulator array it uses now.
+// Same inputs, same output multiset; the flat variant reuses one scratch.
+void BM_AccumulatorVsFlatMerge_Map(benchmark::State& state) {
+  auto runs = BuildRuns(static_cast<int>(state.range(0)), 64);
+  const uint64_t allocs_before = ThreadAllocCount();
+  for (auto _ : state) {
+    std::unordered_map<FeatureId, CountVector> acc;
+    for (const auto& run : runs) {
+      for (const auto& stat : run.stats()) {
+        acc[stat.fid].AccumulateSum(stat.counts);
+      }
+    }
+    benchmark::DoNotOptimize(acc.size());
+  }
+  ReportAllocs(state, allocs_before);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_AccumulatorVsFlatMerge_Map)->Arg(4)->Arg(16)->Arg(62);
+
+void BM_AccumulatorVsFlatMerge_Flat(benchmark::State& state) {
+  auto runs = BuildRuns(static_cast<int>(state.range(0)), 64);
+  size_t total_entries = 0;
+  for (const auto& run : runs) total_entries += run.size();
+  QueryScratch scratch;
+  const uint64_t allocs_before = ThreadAllocCount();
+  for (auto _ : state) {
+    scratch.acc_count = 0;
+    size_t needed = 16;
+    while (needed < 2 * total_entries) needed <<= 1;
+    if (scratch.table.size() < needed) scratch.table.resize(needed);
+    std::fill_n(scratch.table.begin(), needed, 0u);
+    const size_t mask = needed - 1;
+    for (const auto& run : runs) {
+      for (const auto& stat : run.stats()) {
+        size_t idx = static_cast<size_t>(Mix64(stat.fid)) & mask;
+        for (;;) {
+          const uint32_t slot = scratch.table[idx];
+          if (slot == 0) {
+            const size_t acc_idx = scratch.acc_count++;
+            if (acc_idx == scratch.accs.size()) scratch.accs.emplace_back();
+            auto& acc = scratch.accs[acc_idx];
+            acc.fid = stat.fid;
+            acc.counts = stat.counts;
+            scratch.table[idx] = static_cast<uint32_t>(acc_idx) + 1;
+            break;
+          }
+          auto& acc = scratch.accs[slot - 1];
+          if (acc.fid == stat.fid) {
+            acc.counts.AccumulateSum(stat.counts);
+            break;
+          }
+          idx = (idx + 1) & mask;
+        }
+      }
+    }
+    benchmark::DoNotOptimize(scratch.acc_count);
+  }
+  ReportAllocs(state, allocs_before);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_AccumulatorVsFlatMerge_Flat)->Arg(4)->Arg(16)->Arg(62);
 
 // ------------------------------------------------------------ LRU ablation
 
@@ -296,7 +420,111 @@ void BM_ProfileAdd(benchmark::State& state) {
 }
 BENCHMARK(BM_ProfileAdd);
 
+// ---------------------------------------------------------------- smoke ---
+
+// ctest gate (`bench_micro --smoke`): a warmed QueryScratch + reused result
+// must execute the serving compute core with ZERO heap allocations per
+// query. Runs in every build flavor, including the ASan/TSan tier-1 passes
+// (the counting operator-new hook forwards to malloc, so the sanitizer
+// interceptors still see every allocation that does happen).
+int RunAllocSmoke() {
+  if (!AllocHookInstalled()) {
+    std::fprintf(stderr, "[smoke] FAIL: alloc hook not linked in\n");
+    return 1;
+  }
+
+  ProfileData profile = BuildProfile(62, 40);
+  const TimestampMs now = 101 * kMillisPerDay;
+
+  QuerySpec topk;
+  topk.slot = 1;
+  topk.time_range = TimeRange::Current(2 * kMillisPerDay);
+  topk.sort_by = SortBy::kActionCount;
+  topk.k = 20;
+
+  QuerySpec decay = topk;
+  decay.decay.function = DecayFunction::kExponential;
+  decay.decay.factor = 0.9;
+  decay.decay.unit_ms = kMillisPerDay;
+
+  int failures = 0;
+  const std::pair<const char*, const QuerySpec*> cases[] = {{"topk", &topk},
+                                                            {"decay", &decay}};
+  for (const auto& [name, spec_ptr] : cases) {
+    const QuerySpec& spec = *spec_ptr;
+    QueryScratch scratch;
+    QueryResult result;
+    // Warm-up: the first queries grow every scratch buffer (and the result's
+    // feature elements) to their high-water size.
+    for (int i = 0; i < 8; ++i) {
+      if (!ExecuteQueryInto(profile, spec, now, &scratch, &result).ok()) {
+        std::fprintf(stderr, "[smoke] FAIL: %s query errored\n", name);
+        return 1;
+      }
+    }
+    if (result.features.empty()) {
+      std::fprintf(stderr, "[smoke] FAIL: %s query returned no features\n",
+                   name);
+      return 1;
+    }
+    constexpr int kIters = 1000;
+    const uint64_t allocs_before = ThreadAllocCount();
+    for (int i = 0; i < kIters; ++i) {
+      ExecuteQueryInto(profile, spec, now, &scratch, &result).ok();
+    }
+    const uint64_t allocs = ThreadAllocCount() - allocs_before;
+    std::fprintf(stderr,
+                 "[smoke] %-5s warm path: %d queries, %llu heap allocations, "
+                 "%zu features/query\n",
+                 name, kIters, static_cast<unsigned long long>(allocs),
+                 result.features.size());
+    if (allocs != 0) {
+      std::fprintf(stderr,
+                   "[smoke] FAIL: warm %s query path allocated (want 0)\n",
+                   name);
+      ++failures;
+    }
+  }
+
+  // Zero-copy decode sanity: a raw-stored frame (incompressible payload)
+  // must uncompress by aliasing, not by copying into the scratch.
+  {
+    Rng rng(11);
+    std::string payload(512, '\0');
+    for (auto& c : payload) c = static_cast<char>(rng.Next());
+    std::string compressed;
+    BlockCompress(payload, &compressed);
+    std::string scratch;
+    std::string_view view;
+    bool aliased = false;
+    if (!BlockUncompressView(compressed, &scratch, &view, &aliased).ok() ||
+        view != payload) {
+      std::fprintf(stderr, "[smoke] FAIL: BlockUncompressView roundtrip\n");
+      return 1;
+    }
+    std::fprintf(stderr, "[smoke] raw-store decode aliased=%d\n",
+                 aliased ? 1 : 0);
+    if (!aliased) {
+      std::fprintf(stderr,
+                   "[smoke] FAIL: incompressible frame was not zero-copy\n");
+      ++failures;
+    }
+  }
+
+  if (failures == 0) std::fprintf(stderr, "[smoke] PASS\n");
+  return failures == 0 ? 0 : 1;
+}
+
 }  // namespace
 }  // namespace ips
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) return ips::RunAllocSmoke();
+  }
+  ::benchmark::Initialize(&argc, argv);
+  if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  ::benchmark::RunSpecifiedBenchmarks();
+  ::benchmark::Shutdown();
+  return 0;
+}

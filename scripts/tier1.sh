@@ -28,6 +28,14 @@ run_suite() {
   cmake -B "${build_dir}" -S . "${cmake_args[@]}"
   cmake --build "${build_dir}" -j "$(nproc)"
   (cd "${build_dir}" && ctest --output-on-failure -j "$(nproc)")
+  if [[ -z "${sanitize}" ]]; then
+    # Release perf smoke: the serving-path allocation gate must hold in the
+    # exact configuration we benchmark (NDEBUG, -O2). ctest already runs it,
+    # but an explicit pass here keeps the gate visible when someone trims the
+    # ctest set, and prints the alloc/zero-copy evidence into the tier-1 log.
+    echo "=== tier1: perf smoke (bench_micro --smoke) ==="
+    "${build_dir}/bench/bench_micro" --smoke
+  fi
 }
 
 if [[ "${1:-}" == "--all" ]]; then

@@ -93,14 +93,8 @@ size_t GCache::DirtyIndex(ProfileId pid) const {
   return (Mix64(pid) >> 17) & (options_.dirty_shards - 1);
 }
 
-void GCache::TouchLru(LruShard& shard, ProfileId pid) {
-  auto pos = shard.lru_pos.find(pid);
-  if (pos != shard.lru_pos.end()) {
-    shard.lru.splice(shard.lru.begin(), shard.lru, pos->second);
-  } else {
-    shard.lru.push_front(pid);
-    shard.lru_pos[pid] = shard.lru.begin();
-  }
+void GCache::TouchLru(LruShard& shard, LruShard::Slot& slot) {
+  shard.lru.splice(shard.lru.begin(), shard.lru, slot.lru_it);
 }
 
 Result<std::pair<GCache::EntryPtr, bool>> GCache::GetOrLoad(
@@ -110,10 +104,10 @@ Result<std::pair<GCache::EntryPtr, bool>> GCache::GetOrLoad(
     std::lock_guard<std::mutex> lock(shard.mu);
     auto it = shard.map.find(pid);
     if (it != shard.map.end()) {
-      TouchLru(shard, pid);
+      TouchLru(shard, it->second);
       hits_.fetch_add(1, std::memory_order_relaxed);
       if (metrics_ != nullptr) metrics_->GetCounter("cache.hit")->Increment();
-      return std::make_pair(it->second, true);
+      return std::make_pair(it->second.entry, true);
     }
   }
 
@@ -155,17 +149,34 @@ GCache::EntryPtr GCache::InsertLoaded(ProfileId pid, ProfileData loaded,
   }
 
   std::lock_guard<std::mutex> lock(shard.mu);
-  auto [it, inserted] = shard.map.try_emplace(pid, entry);
+  auto [it, inserted] = shard.map.try_emplace(pid);
   if (!inserted) {
     // Lost a race with a concurrent loader; use the established entry and
     // drop ours. (Its loaded contents are equivalent.)
-    TouchLru(shard, pid);
-    return it->second;
+    TouchLru(shard, it->second);
+    return it->second.entry;
   }
-  TouchLru(shard, pid);
+  shard.lru.push_front(pid);
+  it->second.entry = entry;
+  it->second.lru_it = shard.lru.begin();
   shard.bytes.fetch_add(entry->bytes, std::memory_order_relaxed);
   memory_bytes_.fetch_add(entry->bytes, std::memory_order_relaxed);
   return entry;
+}
+
+struct GCache::BatchScratch {
+  std::vector<EntryPtr> entries;
+  /// (pid, occurrence index) per missing occurrence; sorted to group
+  /// duplicates without a per-call hash map.
+  std::vector<std::pair<ProfileId, uint32_t>> misses;
+  std::vector<ProfileId> miss_pids;  // unique, in loader order
+  /// Phase-3 service order: occurrence indices grouped by entry.
+  std::vector<uint32_t> order;
+};
+
+GCache::BatchScratch& GCache::ThreadBatchScratch() {
+  thread_local BatchScratch scratch;
+  return scratch;
 }
 
 size_t GCache::WithProfiles(
@@ -174,16 +185,22 @@ size_t GCache::WithProfiles(
     std::vector<Status>* statuses, std::vector<bool>* out_degraded) {
   statuses->assign(pids.size(), Status::OK());
   if (out_degraded != nullptr) out_degraded->assign(pids.size(), false);
-  std::vector<EntryPtr> entries(pids.size());
+  BatchScratch& scratch = ThreadBatchScratch();
+  auto& entries = scratch.entries;
+  entries.assign(pids.size(), EntryPtr());
 
-  // Phase 1: partition into hits and misses against the shard maps. Misses
-  // are coalesced so each unique pid is loaded once even when the incoming
-  // batch carries duplicates. The cache.lookup span covers exactly this
-  // in-memory partition; the storage round trip (phase 2) reports itself as
-  // kv.load / codec.decode from the layers that do the work.
+  // Phase 1: partition into hits and misses against the shard maps — a
+  // single hash probe per pid resolves the entry and its LRU position
+  // together. Misses are coalesced (via sort, not a per-call hash map) so
+  // each unique pid is loaded once even when the incoming batch carries
+  // duplicates. The cache.lookup span covers exactly this in-memory
+  // partition; the storage round trip (phase 2) reports itself as kv.load /
+  // codec.decode from the layers that do the work.
   size_t hits = 0;
-  std::vector<ProfileId> miss_pids;
-  std::unordered_map<ProfileId, std::vector<size_t>> miss_indices;
+  auto& misses = scratch.misses;
+  auto& miss_pids = scratch.miss_pids;
+  misses.clear();
+  miss_pids.clear();
   {
     ScopedSpan lookup_span("cache.lookup");
     for (size_t i = 0; i < pids.size(); ++i) {
@@ -192,14 +209,18 @@ size_t GCache::WithProfiles(
       std::lock_guard<std::mutex> lock(shard.mu);
       auto it = shard.map.find(pid);
       if (it != shard.map.end()) {
-        TouchLru(shard, pid);
-        entries[i] = it->second;
+        TouchLru(shard, it->second);
+        entries[i] = it->second.entry;
         ++hits;
         continue;
       }
-      auto [miss_it, first_miss] = miss_indices.try_emplace(pid);
-      if (first_miss) miss_pids.push_back(pid);
-      miss_it->second.push_back(i);
+      misses.emplace_back(pid, static_cast<uint32_t>(i));
+    }
+    std::sort(misses.begin(), misses.end());
+    for (const auto& [pid, i] : misses) {
+      if (miss_pids.empty() || miss_pids.back() != pid) {
+        miss_pids.push_back(pid);
+      }
     }
     hits_.fetch_add(static_cast<int64_t>(hits), std::memory_order_relaxed);
     misses_.fetch_add(static_cast<int64_t>(miss_pids.size()),
@@ -237,21 +258,28 @@ size_t GCache::WithProfiles(
     }
     bool any_unavailable = false;
     bool any_degraded = false;
+    size_t cursor = 0;  // walks `misses`, whose pids ascend like miss_pids
     for (size_t m = 0; m < miss_pids.size(); ++m) {
-      const auto& indices = miss_indices[miss_pids[m]];
+      const ProfileId pid = miss_pids[m];
+      const size_t begin = cursor;
+      while (cursor < misses.size() && misses[cursor].first == pid) ++cursor;
       if (m >= loaded.size() || !loaded[m].ok()) {
         const Status status = m >= loaded.size()
                                   ? Status::Internal("batch loader returned "
                                                      "a short result list")
                                   : loaded[m].status();
         if (status.IsUnavailable()) any_unavailable = true;
-        for (size_t i : indices) (*statuses)[i] = status;
+        for (size_t x = begin; x < cursor; ++x) {
+          (*statuses)[misses[x].second] = status;
+        }
         continue;
       }
       if (loaded_degraded[m]) any_degraded = true;
-      EntryPtr entry = InsertLoaded(miss_pids[m], std::move(loaded[m]).value(),
+      EntryPtr entry = InsertLoaded(pid, std::move(loaded[m]).value(),
                                     loaded_degraded[m]);
-      for (size_t i : indices) entries[i] = entry;
+      for (size_t x = begin; x < cursor; ++x) {
+        entries[misses[x].second] = entry;
+      }
     }
     if (any_unavailable || any_degraded) {
       NoteStoreHealth(Status::Unavailable("batch load"));
@@ -260,17 +288,36 @@ size_t GCache::WithProfiles(
     }
   }
 
-  // Phase 3: serve each present profile under its entry lock, in input
-  // order (entries are locked one at a time, so no lock-order concerns).
+  // Phase 3: serve each present profile under its entry lock. Occurrences
+  // are grouped by entry so every entry is locked exactly ONCE per batch —
+  // duplicate pids share a single lock hold and get a stable reference for
+  // the whole group instead of re-locking per occurrence. Entries are still
+  // locked one at a time, so no lock-order concerns.
   const bool store_unhealthy = StoreUnhealthy();
+  auto& order = scratch.order;
+  order.clear();
   for (size_t i = 0; i < pids.size(); ++i) {
-    if (!entries[i]) continue;
-    std::lock_guard<std::mutex> lock(entries[i]->mu);
-    fn(i, entries[i]->profile);
-    if (out_degraded != nullptr) {
-      (*out_degraded)[i] = entries[i]->degraded || store_unhealthy;
-    }
+    if (entries[i]) order.push_back(static_cast<uint32_t>(i));
   }
+  std::sort(order.begin(), order.end(), [&](uint32_t a, uint32_t b) {
+    const Entry* ea = entries[a].get();
+    const Entry* eb = entries[b].get();
+    if (ea != eb) return ea < eb;
+    return a < b;  // per-entry occurrence order stays deterministic
+  });
+  for (size_t x = 0; x < order.size();) {
+    Entry* const entry = entries[order[x]].get();
+    std::lock_guard<std::mutex> lock(entry->mu);
+    const bool degraded = entry->degraded || store_unhealthy;
+    do {
+      const uint32_t i = order[x];
+      fn(i, entry->profile);
+      if (out_degraded != nullptr) (*out_degraded)[i] = degraded;
+      ++x;
+    } while (x < order.size() && entries[order[x]].get() == entry);
+  }
+  // Drop the entry references before the next batch reuses the buffer.
+  entries.clear();
   return hits;
 }
 
@@ -354,12 +401,12 @@ size_t GCache::EvictFromShard(LruShard& shard, size_t target_bytes) {
     const ProfileId pid = *it;
     auto map_it = shard.map.find(pid);
     if (map_it == shard.map.end()) {
-      // Stale pid in the list; drop it.
-      shard.lru_pos.erase(pid);
+      // Stale pid in the list; drop it. (Unreachable now that the map slot
+      // owns the list position, kept as a cheap guard.)
       it = shard.lru.erase(it);
       continue;
     }
-    EntryPtr entry = map_it->second;
+    EntryPtr entry = map_it->second.entry;
     // Fig 8: probe with try_lock; a contended entry is being served right
     // now — skip it and move up the list instead of blocking.
     std::unique_lock<std::mutex> entry_lock(entry->mu, std::try_to_lock);
@@ -371,7 +418,6 @@ size_t GCache::EvictFromShard(LruShard& shard, size_t target_bytes) {
     const size_t bytes = entry->bytes;
     entry_lock.unlock();
     shard.map.erase(map_it);
-    shard.lru_pos.erase(pid);
     it = shard.lru.erase(it);
     shard.bytes.fetch_sub(bytes, std::memory_order_relaxed);
     memory_bytes_.fetch_sub(bytes, std::memory_order_relaxed);
@@ -472,7 +518,7 @@ size_t GCache::FlushShard(DirtyShard& dshard, size_t* out_failures) {
       {
         std::lock_guard<std::mutex> lock(shard.mu);
         auto map_it = shard.map.find(pid);
-        if (map_it != shard.map.end()) entry = map_it->second;
+        if (map_it != shard.map.end()) entry = map_it->second.entry;
       }
       if (!entry) continue;  // evicted (was flushed on eviction)
       std::unique_lock<std::mutex> entry_lock(entry->mu);
@@ -603,7 +649,7 @@ Status GCache::Invalidate(ProfileId pid) {
     std::lock_guard<std::mutex> lock(shard.mu);
     auto it = shard.map.find(pid);
     if (it == shard.map.end()) return Status::OK();
-    entry = it->second;
+    entry = it->second.entry;
   }
   {
     std::lock_guard<std::mutex> entry_lock(entry->mu);
@@ -611,13 +657,9 @@ Status GCache::Invalidate(ProfileId pid) {
   }
   std::lock_guard<std::mutex> lock(shard.mu);
   auto it = shard.map.find(pid);
-  if (it == shard.map.end() || it->second != entry) return Status::OK();
+  if (it == shard.map.end() || it->second.entry != entry) return Status::OK();
+  shard.lru.erase(it->second.lru_it);
   shard.map.erase(it);
-  auto pos = shard.lru_pos.find(pid);
-  if (pos != shard.lru_pos.end()) {
-    shard.lru.erase(pos->second);
-    shard.lru_pos.erase(pos);
-  }
   shard.bytes.fetch_sub(entry->bytes, std::memory_order_relaxed);
   memory_bytes_.fetch_sub(entry->bytes, std::memory_order_relaxed);
   return Status::OK();
@@ -627,7 +669,7 @@ std::vector<ProfileId> GCache::CachedIds() const {
   std::vector<ProfileId> ids;
   for (const auto& shard : lru_shards_) {
     std::lock_guard<std::mutex> lock(shard->mu);
-    for (const auto& [pid, entry] : shard->map) ids.push_back(pid);
+    for (const auto& [pid, slot] : shard->map) ids.push_back(pid);
   }
   return ids;
 }

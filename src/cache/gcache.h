@@ -121,8 +121,10 @@ class GCache {
   /// then runs `fn(index, profile)` under the entry lock for every present
   /// profile. `statuses` aligns with `pids`; unknown profiles get NotFound
   /// and no callback. Duplicate pids are coalesced for loading but each
-  /// occurrence gets its own callback and status. Returns the number of
-  /// cache hits.
+  /// occurrence gets its own callback and status; occurrences of the same
+  /// pid are served back-to-back under ONE entry lock hold (callbacks are
+  /// grouped by entry, not issued in strict input order). Returns the
+  /// number of cache hits.
   /// `out_degraded`, when non-null, is filled aligned with `pids`; same
   /// staleness contract as WithProfile.
   size_t WithProfiles(const std::vector<ProfileId>& pids,
@@ -221,11 +223,18 @@ class GCache {
   using EntryPtr = std::shared_ptr<Entry>;
 
   struct LruShard {
+    /// Map payload: the entry plus its position in the LRU list, so a hit
+    /// resolves entry AND recency bookkeeping with ONE hash probe (the old
+    /// layout kept a separate pid -> iterator map and paid a second probe
+    /// per touch).
+    struct Slot {
+      EntryPtr entry;
+      std::list<ProfileId>::iterator lru_it;
+    };
     mutable std::mutex mu;
-    std::unordered_map<ProfileId, EntryPtr> map;
-    /// Most-recent at front. Stores pids; map lookup revalidates.
+    std::unordered_map<ProfileId, Slot> map;
+    /// Most-recent at front. Kept strictly in sync with `map` under `mu`.
     std::list<ProfileId> lru;
-    std::unordered_map<ProfileId, std::list<ProfileId>::iterator> lru_pos;
     std::atomic<size_t> bytes{0};
   };
 
@@ -242,8 +251,14 @@ class GCache {
   Result<std::pair<EntryPtr, bool>> GetOrLoad(ProfileId pid,
                                               bool create_if_missing);
 
-  /// Moves `pid` to the LRU front.
-  void TouchLru(LruShard& shard, ProfileId pid);
+  /// Moves the slot's pid to the LRU front (shard lock held). Splicing via
+  /// the stored iterator: no second hash probe.
+  void TouchLru(LruShard& shard, LruShard::Slot& slot);
+
+  /// Reusable per-thread buffers for WithProfiles, so the warm batch read
+  /// path does no steady-state allocation of its own.
+  struct BatchScratch;
+  static BatchScratch& ThreadBatchScratch();
 
   /// Re-measures entry bytes (entry lock held) and fixes accounting.
   void UpdateAccounting(LruShard& shard, Entry& entry);

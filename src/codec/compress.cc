@@ -1,11 +1,22 @@
 #include "codec/compress.h"
 
+#include <atomic>
 #include <cstring>
 
 #include "codec/coding.h"
 #include "common/hash.h"
 
 namespace ips {
+
+namespace {
+
+std::atomic<uint64_t> g_zero_copy_decodes{0};
+
+}  // namespace
+
+uint64_t ZeroCopyDecodeCount() {
+  return g_zero_copy_decodes.load(std::memory_order_relaxed);
+}
 
 namespace {
 
@@ -48,6 +59,7 @@ void BlockCompress(std::string_view input, std::string* output) {
   // Positions are stored +1 so zero means "empty".
   std::memset(table, 0, sizeof(table));
 
+  const size_t header_len = output->size();
   size_t pos = 0;
   size_t literal_start = 0;
   while (pos + kMinMatch <= n) {
@@ -81,6 +93,53 @@ void BlockCompress(std::string_view input, std::string* output) {
     if (!matched) ++pos;
   }
   EmitLiteral(output, base + literal_start, n - literal_start);
+
+  // Raw-store fallback: when matching saved less than 1/8th of the input,
+  // re-emit the payload as ONE literal. The frame format is unchanged (a
+  // single-literal op sequence was always legal); what it buys is the
+  // decode side — BlockUncompressView can alias a single-literal payload
+  // straight out of the stored value instead of copying it.
+  if (output->size() - header_len + n / 8 >= n) {
+    output->resize(header_len);
+    EmitLiteral(output, base, n);
+  }
+}
+
+Status BlockUncompressView(std::string_view compressed, std::string* scratch,
+                           std::string_view* out, bool* out_aliased) {
+  Decoder dec(compressed);
+  uint64_t expected_len;
+  uint32_t checksum;
+  if (!dec.GetVarint64(&expected_len) || !dec.GetFixed32(&checksum)) {
+    return Status::Corruption("compressed frame header truncated");
+  }
+  if (expected_len == 0 && dec.Empty()) {
+    if (checksum != Checksum32(nullptr, 0)) {
+      return Status::Corruption("payload checksum mismatch");
+    }
+    *out = std::string_view();
+    if (out_aliased != nullptr) *out_aliased = true;
+    g_zero_copy_decodes.fetch_add(1, std::memory_order_relaxed);
+    return Status::OK();
+  }
+  uint64_t tag;
+  if (dec.GetVarint64(&tag) && (tag & 1) == 0 && (tag >> 1) == expected_len &&
+      dec.Remaining() == expected_len) {
+    // Whole payload is one literal: alias it, no copy.
+    std::string_view literal;
+    dec.GetBytes(expected_len, &literal);
+    if (Checksum32(literal.data(), literal.size()) != checksum) {
+      return Status::Corruption("payload checksum mismatch");
+    }
+    *out = literal;
+    if (out_aliased != nullptr) *out_aliased = true;
+    g_zero_copy_decodes.fetch_add(1, std::memory_order_relaxed);
+    return Status::OK();
+  }
+  IPS_RETURN_IF_ERROR(BlockUncompress(compressed, scratch));
+  *out = *scratch;
+  if (out_aliased != nullptr) *out_aliased = false;
+  return Status::OK();
 }
 
 Status BlockUncompress(std::string_view compressed, std::string* output) {

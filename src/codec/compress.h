@@ -23,6 +23,21 @@ void BlockCompress(std::string_view input, std::string* output);
 /// malformed frame, out-of-range copy or checksum mismatch.
 Status BlockUncompress(std::string_view compressed, std::string* output);
 
+/// Zero-copy variant of BlockUncompress. When the frame stores its payload
+/// as one literal (the raw-store path BlockCompress takes for incompressible
+/// input), `*out` aliases the payload bytes inside `compressed` and nothing
+/// is copied; otherwise the frame is decompressed into `*scratch` and `*out`
+/// views it. Either way the payload checksum is verified. `out_aliased`,
+/// when non-null, reports which case ran. `*out` is valid only while both
+/// `compressed` and `*scratch` stay alive and unmodified.
+Status BlockUncompressView(std::string_view compressed, std::string* scratch,
+                           std::string_view* out, bool* out_aliased = nullptr);
+
+/// Process-wide count of BlockUncompressView calls that aliased (took the
+/// zero-copy path). Feeds the per-instance `codec.zero_copy_decodes` counter
+/// and the bench_micro allocation columns. Relaxed; reporting only.
+uint64_t ZeroCopyDecodeCount();
+
 /// Returns the decompressed size recorded in the frame header without
 /// decompressing (used by cache memory accounting on load).
 Result<size_t> GetUncompressedLength(std::string_view compressed);

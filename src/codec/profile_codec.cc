@@ -49,6 +49,9 @@ bool DecodeStats(Decoder* dec, IndexedFeatureStats* stats) {
   uint64_t n;
   if (!dec->GetVarint64(&n)) return false;
   if (n > 1u << 26) return false;
+  // Reserve what the header claims, capped so a corrupt length can't force
+  // a huge allocation before the per-entry parses start failing.
+  stats->Reserve(static_cast<size_t>(std::min<uint64_t>(n, 4096)));
   FeatureId prev = 0;
   for (uint64_t i = 0; i < n; ++i) {
     uint64_t delta;
@@ -127,21 +130,34 @@ Status DecodeSlice(std::string_view data, Slice* slice) {
   return Status::OK();
 }
 
-void EncodeProfile(const ProfileData& profile, std::string* out) {
-  std::string raw;
-  PutFixed32(&raw, kProfileMagic);
-  PutVarint64(&raw, profile.write_granularity_ms());
-  PutVarintSigned64(&raw, profile.LastActionMs());
-  PutVarint64(&raw, profile.SliceCount());
+void EncodeProfileRaw(const ProfileData& profile, std::string* raw) {
+  raw->clear();
+  PutFixed32(raw, kProfileMagic);
+  PutVarint64(raw, profile.write_granularity_ms());
+  PutVarintSigned64(raw, profile.LastActionMs());
+  PutVarint64(raw, profile.SliceCount());
   for (const auto& slice : profile.slices()) {
-    EncodeSliceBody(slice, &raw);
+    EncodeSliceBody(slice, raw);
   }
+}
+
+void EncodeProfile(const ProfileData& profile, std::string* out) {
+  // Thread-local staging buffer: steady-state encodes reuse one heap block
+  // at its high-water capacity instead of rebuilding `raw` per call.
+  thread_local std::string raw;
+  EncodeProfileRaw(profile, &raw);
   BlockCompress(raw, out);
 }
 
 Status DecodeProfile(std::string_view data, ProfileData* profile) {
-  std::string raw;
-  IPS_RETURN_IF_ERROR(BlockUncompress(data, &raw));
+  return DecodeProfile(data, profile, nullptr);
+}
+
+Status DecodeProfile(std::string_view data, ProfileData* profile,
+                     bool* out_zero_copy) {
+  thread_local std::string scratch;
+  std::string_view raw;
+  IPS_RETURN_IF_ERROR(BlockUncompressView(data, &scratch, &raw, out_zero_copy));
   Decoder dec(raw);
   uint32_t magic;
   if (!dec.GetFixed32(&magic) || magic != kProfileMagic) {
@@ -221,14 +237,8 @@ Status DecodeSliceMeta(std::string_view data, SliceMeta* meta) {
 }
 
 size_t EncodedProfileSizeUncompressed(const ProfileData& profile) {
-  std::string raw;
-  PutFixed32(&raw, kProfileMagic);
-  PutVarint64(&raw, profile.write_granularity_ms());
-  PutVarintSigned64(&raw, profile.LastActionMs());
-  PutVarint64(&raw, profile.SliceCount());
-  for (const auto& slice : profile.slices()) {
-    EncodeSliceBody(slice, &raw);
-  }
+  thread_local std::string raw;
+  EncodeProfileRaw(profile, &raw);
   return raw.size();
 }
 

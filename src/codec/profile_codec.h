@@ -27,8 +27,23 @@ Status DecodeSlice(std::string_view data, Slice* slice);
 
 /// Encodes the whole profile (bulk mode) and compresses it.
 void EncodeProfile(const ProfileData& profile, std::string* out);
+
+/// Encodes the whole profile WITHOUT the compression stage, into `*raw`
+/// (replacing its contents, retaining its capacity). Callers that need both
+/// the uncompressed size and the stored bytes (the persister's split-mode
+/// threshold test) encode once with this and BlockCompress the result,
+/// instead of paying the encode walk twice.
+void EncodeProfileRaw(const ProfileData& profile, std::string* raw);
+
 /// Decodes a compressed bulk-mode profile.
 Status DecodeProfile(std::string_view data, ProfileData* profile);
+
+/// DecodeProfile, reporting whether the uncompressed bytes were aliased
+/// straight out of `data` (raw-stored frame, zero copy) rather than
+/// decompressed into a scratch buffer. Either way `*profile` owns all of its
+/// storage — only the intermediate uncompressed image may alias.
+Status DecodeProfile(std::string_view data, ProfileData* profile,
+                     bool* out_zero_copy);
 
 /// Metadata describing one persisted slice in fine-grained mode.
 struct SliceMetaEntry {
@@ -50,7 +65,8 @@ void EncodeSliceMeta(const SliceMeta& meta, std::string* out);
 Status DecodeSliceMeta(std::string_view data, SliceMeta* meta);
 
 /// Uncompressed encoded size of a profile, handy for the paper's ~40 KB
-/// serialized-profile observations in benches.
+/// serialized-profile observations in benches. Encodes into a thread-local
+/// scratch buffer; prefer EncodeProfileRaw when the bytes are needed too.
 size_t EncodedProfileSizeUncompressed(const ProfileData& profile);
 
 }  // namespace ips

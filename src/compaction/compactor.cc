@@ -4,6 +4,8 @@
 #include <unordered_set>
 #include <vector>
 
+#include "query/scratch.h"
+
 namespace ips {
 
 namespace {
@@ -46,6 +48,11 @@ size_t Compactor::Compact(ProfileData& profile, TimestampMs now_ms,
                           size_t max_merges) const {
   if (schema_->time_dimensions.empty()) return 0;
   auto& slices = profile.mutable_slices();
+  // Compaction workers merge constantly; routing every per-type merge
+  // through the thread's shared scratch buffer keeps the merge loop from
+  // allocating a fresh vector per (slice, slot, type).
+  std::vector<FeatureStat>* merge_scratch =
+      &QueryScratch::ThreadLocal().merge_buf;
   size_t merged = 0;
   auto it = slices.begin();  // newest first
   while (it != slices.end()) {
@@ -59,7 +66,7 @@ size_t Compactor::Compact(ProfileData& profile, TimestampMs now_ms,
     const bool same_bucket =
         BucketOf(older->start_ms(), g) == BucketOf(it->end_ms() - 1, g);
     if (same_bucket && it->end_ms() - older->start_ms() <= g) {
-      it->MergeFrom(*older, schema_->reduce);
+      it->MergeFrom(*older, schema_->reduce, merge_scratch);
       slices.erase(older);
       ++merged;
       if (max_merges > 0 && merged >= max_merges) break;

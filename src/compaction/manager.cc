@@ -1,5 +1,7 @@
 #include "compaction/manager.h"
 
+#include "common/hash.h"
+
 namespace ips {
 
 CompactionManager::CompactionManager(
@@ -20,25 +22,35 @@ CompactionManager::~CompactionManager() {
   if (pool_) pool_->Wait();
 }
 
+CompactionManager::TriggerShard& CompactionManager::ShardFor(ProfileId pid) {
+  return shards_[static_cast<size_t>(Mix64(pid)) & (kTriggerShards - 1)];
+}
+
 bool CompactionManager::MaybeTrigger(ProfileId pid) {
   if (!enabled_.load(std::memory_order_relaxed)) return false;
   const TimestampMs now = clock_->NowMs();
-  bool full = true;
+  TriggerShard& shard = ShardFor(pid);
   {
-    std::lock_guard<std::mutex> lock(mu_);
-    if (in_flight_.count(pid) > 0) return false;
-    auto it = last_run_ms_.find(pid);
-    if (it != last_run_ms_.end() &&
+    // Admission only: dedupe + per-profile rate limit. The dispatch below
+    // (queue-depth probe, pool submit) stays outside the critical section so
+    // serving threads contend only on their pid's shard, and only briefly.
+    std::lock_guard<std::mutex> lock(shard.mu);
+    if (shard.in_flight.count(pid) > 0) return false;
+    auto it = shard.last_run_ms.find(pid);
+    if (it != shard.last_run_ms.end() &&
         now - it->second < options_.min_interval_ms) {
       return false;
     }
-    in_flight_.insert(pid);
-    last_run_ms_[pid] = now;
-    // Bound the rate-limit map: it only needs recent entries.
-    if (last_run_ms_.size() > 4 * options_.max_queue + 1024) {
-      for (auto li = last_run_ms_.begin(); li != last_run_ms_.end();) {
+    shard.in_flight.insert(pid);
+    shard.last_run_ms[pid] = now;
+    // Bound the rate-limit map: it only needs recent entries. The budget is
+    // split across shards, so a sweep scans one shard's worth of entries.
+    if (shard.last_run_ms.size() >
+        (4 * options_.max_queue + 1024) / kTriggerShards) {
+      for (auto li = shard.last_run_ms.begin();
+           li != shard.last_run_ms.end();) {
         if (now - li->second >= options_.min_interval_ms) {
-          li = last_run_ms_.erase(li);
+          li = shard.last_run_ms.erase(li);
         } else {
           ++li;
         }
@@ -56,12 +68,14 @@ bool CompactionManager::MaybeTrigger(ProfileId pid) {
   }
 
   // Degrade to partial compaction when the queue backs up (peak traffic).
-  full = pool_->QueueDepth() < options_.partial_threshold;
+  const bool full = pool_->QueueDepth() < options_.partial_threshold;
   const bool submitted =
       pool_->Submit([this, pid, full] { Execute(pid, full); });
   if (!submitted) {
-    std::lock_guard<std::mutex> lock(mu_);
-    in_flight_.erase(pid);
+    {
+      std::lock_guard<std::mutex> lock(shard.mu);
+      shard.in_flight.erase(pid);
+    }
     if (metrics_ != nullptr) {
       metrics_->GetCounter("compaction.dropped")->Increment();
     }
@@ -79,8 +93,9 @@ void CompactionManager::Execute(ProfileId pid, bool full) {
     metrics_->GetHistogram("compaction.micros")
         ->Record((MonotonicNanos() - begin_ns) / 1000);
   }
-  std::lock_guard<std::mutex> lock(mu_);
-  in_flight_.erase(pid);
+  TriggerShard& shard = ShardFor(pid);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  shard.in_flight.erase(pid);
 }
 
 void CompactionManager::Drain() {

@@ -5,6 +5,7 @@
 #ifndef IPS_COMPACTION_MANAGER_H_
 #define IPS_COMPACTION_MANAGER_H_
 
+#include <array>
 #include <atomic>
 #include <functional>
 #include <memory>
@@ -70,6 +71,19 @@ class CompactionManager {
   size_t QueueDepth() const;
 
  private:
+  /// Trigger bookkeeping is sharded by pid hash: MaybeTrigger runs on every
+  /// served query, and a single mutex over the dedupe/rate-limit state would
+  /// serialize all serving threads. Each shard's critical section covers
+  /// only the admission decision — the dispatch (queue-depth probe, pool
+  /// submit, metrics) happens outside any lock.
+  struct TriggerShard {
+    std::mutex mu;
+    std::unordered_set<ProfileId> in_flight;
+    std::unordered_map<ProfileId, TimestampMs> last_run_ms;
+  };
+  static constexpr size_t kTriggerShards = 16;
+
+  TriggerShard& ShardFor(ProfileId pid);
   void Execute(ProfileId pid, bool full);
 
   CompactionManagerOptions options_;
@@ -79,9 +93,7 @@ class CompactionManager {
   std::unique_ptr<ThreadPool> pool_;
 
   std::atomic<bool> enabled_{true};
-  mutable std::mutex mu_;
-  std::unordered_set<ProfileId> in_flight_;
-  std::unordered_map<ProfileId, TimestampMs> last_run_ms_;
+  std::array<TriggerShard, kTriggerShards> shards_;
 };
 
 }  // namespace ips

@@ -44,39 +44,79 @@ const FeatureStat* IndexedFeatureStats::Find(FeatureId fid) const {
   return nullptr;
 }
 
+namespace {
+
+// Shared two-way merge core. `TakeOther` controls whether entries only
+// present in `other` are copied (const source) or moved (expiring source).
+template <bool kTakeOther, typename TheirVec>
+void MergeInto(std::vector<FeatureStat>& mine, TheirVec& theirs,
+               ReduceFn reduce, std::vector<FeatureStat>* merged) {
+  merged->clear();
+  merged->reserve(mine.size() + theirs.size());
+  size_t i = 0, j = 0;
+  while (i < mine.size() && j < theirs.size()) {
+    if (mine[i].fid < theirs[j].fid) {
+      merged->push_back(std::move(mine[i++]));
+    } else if (mine[i].fid > theirs[j].fid) {
+      if constexpr (kTakeOther) {
+        merged->push_back(std::move(theirs[j++]));
+      } else {
+        merged->push_back(theirs[j++]);
+      }
+    } else {
+      FeatureStat combined = std::move(mine[i++]);
+      switch (reduce) {
+        case ReduceFn::kSum:
+          combined.counts.AccumulateSum(theirs[j].counts);
+          break;
+        case ReduceFn::kMax:
+          combined.counts.AccumulateMax(theirs[j].counts);
+          break;
+      }
+      ++j;
+      merged->push_back(std::move(combined));
+    }
+  }
+  while (i < mine.size()) merged->push_back(std::move(mine[i++]));
+  while (j < theirs.size()) {
+    if constexpr (kTakeOther) {
+      merged->push_back(std::move(theirs[j++]));
+    } else {
+      merged->push_back(theirs[j++]);
+    }
+  }
+}
+
+}  // namespace
+
 void IndexedFeatureStats::MergeFrom(const IndexedFeatureStats& other,
                                     ReduceFn reduce) {
+  std::vector<FeatureStat> scratch;
+  MergeFrom(other, reduce, &scratch);
+}
+
+void IndexedFeatureStats::MergeFrom(const IndexedFeatureStats& other,
+                                    ReduceFn reduce,
+                                    std::vector<FeatureStat>* scratch) {
   if (other.empty()) return;
   if (empty()) {
     stats_ = other.stats_;
     return;
   }
-  // Linear two-way merge: both inputs are sorted by fid.
-  std::vector<FeatureStat> merged;
-  merged.reserve(stats_.size() + other.stats_.size());
-  size_t i = 0, j = 0;
-  while (i < stats_.size() && j < other.stats_.size()) {
-    if (stats_[i].fid < other.stats_[j].fid) {
-      merged.push_back(std::move(stats_[i++]));
-    } else if (stats_[i].fid > other.stats_[j].fid) {
-      merged.push_back(other.stats_[j++]);
-    } else {
-      FeatureStat combined = std::move(stats_[i++]);
-      switch (reduce) {
-        case ReduceFn::kSum:
-          combined.counts.AccumulateSum(other.stats_[j].counts);
-          break;
-        case ReduceFn::kMax:
-          combined.counts.AccumulateMax(other.stats_[j].counts);
-          break;
-      }
-      ++j;
-      merged.push_back(std::move(combined));
-    }
+  MergeInto<false>(stats_, other.stats_, reduce, scratch);
+  stats_.swap(*scratch);
+}
+
+void IndexedFeatureStats::MergeFrom(IndexedFeatureStats&& other,
+                                    ReduceFn reduce,
+                                    std::vector<FeatureStat>* scratch) {
+  if (other.empty()) return;
+  if (empty()) {
+    stats_ = std::move(other.stats_);
+    return;
   }
-  while (i < stats_.size()) merged.push_back(std::move(stats_[i++]));
-  while (j < other.stats_.size()) merged.push_back(other.stats_[j++]);
-  stats_ = std::move(merged);
+  MergeInto<true>(stats_, other.stats_, reduce, scratch);
+  stats_.swap(*scratch);
 }
 
 size_t IndexedFeatureStats::ApproximateBytes() const {

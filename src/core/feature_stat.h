@@ -44,6 +44,19 @@ class IndexedFeatureStats {
   /// Merges all entries of `other` into this set with `reduce`.
   void MergeFrom(const IndexedFeatureStats& other, ReduceFn reduce);
 
+  /// MergeFrom with a caller-owned merge buffer. The merged vector is built
+  /// in `*scratch` and swapped in, so a caller that merges repeatedly (the
+  /// compaction pool) reuses one heap block at its high-water capacity
+  /// instead of allocating a fresh vector per merge. After the call
+  /// `*scratch` holds this set's previous (moved-from) storage.
+  void MergeFrom(const IndexedFeatureStats& other, ReduceFn reduce,
+                 std::vector<FeatureStat>* scratch);
+
+  /// Move-merging variant: entries only present in `other` are moved, not
+  /// copied, so their count storage changes owner without reallocating.
+  void MergeFrom(IndexedFeatureStats&& other, ReduceFn reduce,
+                 std::vector<FeatureStat>* scratch);
+
   /// Keeps only the features for which `keep(stat)` is true.
   template <typename Pred>
   void Retain(Pred keep) {
@@ -61,6 +74,7 @@ class IndexedFeatureStats {
   size_t size() const { return stats_.size(); }
   bool empty() const { return stats_.empty(); }
   void Clear() { stats_.clear(); }
+  void Reserve(size_t n) { stats_.reserve(n); }
 
   /// Direct append for deserialization; caller guarantees ascending fids.
   void AppendSortedUnchecked(FeatureStat stat) {

@@ -29,6 +29,13 @@ void InstanceSet::MergeFrom(const InstanceSet& other, ReduceFn reduce) {
   }
 }
 
+void InstanceSet::MergeFrom(const InstanceSet& other, ReduceFn reduce,
+                            std::vector<FeatureStat>* merge_scratch) {
+  for (const auto& [type, stats] : other.types_) {
+    types_[type].MergeFrom(stats, reduce, merge_scratch);
+  }
+}
+
 size_t InstanceSet::TotalFeatures() const {
   size_t total = 0;
   for (const auto& [type, stats] : types_) total += stats.size();

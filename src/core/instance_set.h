@@ -28,6 +28,12 @@ class InstanceSet {
   /// Merges all of `other` into this set.
   void MergeFrom(const InstanceSet& other, ReduceFn reduce);
 
+  /// MergeFrom with a caller-owned merge buffer (see
+  /// IndexedFeatureStats::MergeFrom); used by compaction to reuse one
+  /// buffer across every per-type merge of a slice merge.
+  void MergeFrom(const InstanceSet& other, ReduceFn reduce,
+                 std::vector<FeatureStat>* merge_scratch);
+
   const std::unordered_map<TypeId, IndexedFeatureStats>& types() const {
     return types_;
   }

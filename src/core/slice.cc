@@ -33,6 +33,15 @@ void Slice::MergeFrom(const Slice& other, ReduceFn reduce) {
   end_ms_ = std::max(end_ms_, other.end_ms_);
 }
 
+void Slice::MergeFrom(const Slice& other, ReduceFn reduce,
+                      std::vector<FeatureStat>* merge_scratch) {
+  for (const auto& [slot, set] : other.slots_) {
+    slots_[slot].MergeFrom(set, reduce, merge_scratch);
+  }
+  start_ms_ = std::min(start_ms_, other.start_ms_);
+  end_ms_ = std::max(end_ms_, other.end_ms_);
+}
+
 size_t Slice::TotalFeatures() const {
   size_t total = 0;
   for (const auto& [slot, set] : slots_) total += set.TotalFeatures();

@@ -54,6 +54,12 @@ class Slice {
   /// exactly the Compact merge of Fig 10.
   void MergeFrom(const Slice& other, ReduceFn reduce);
 
+  /// MergeFrom with a caller-owned merge buffer threaded through to the
+  /// per-type IndexedFeatureStats merges, so repeated merges (compaction)
+  /// reuse one allocation instead of building a fresh vector per type.
+  void MergeFrom(const Slice& other, ReduceFn reduce,
+                 std::vector<FeatureStat>* merge_scratch);
+
   const std::unordered_map<SlotId, InstanceSet>& slots() const {
     return slots_;
   }

@@ -1,6 +1,8 @@
 #include "query/merger.h"
 
 #include <algorithm>
+#include <cstdio>
+#include <cstdlib>
 #include <queue>
 
 namespace ips {
@@ -20,47 +22,106 @@ struct HeapGreater {
   }
 };
 
-}  // namespace
+[[noreturn]] void DieUnsorted(size_t run, size_t index) {
+  std::fprintf(stderr,
+               "MergeSortedRuns: run %zu violates the sorted invariant at "
+               "index %zu (non-ascending fid)\n",
+               run, index);
+  std::abort();
+}
 
-IndexedFeatureStats MergeSortedRuns(
-    const std::vector<const IndexedFeatureStats*>& runs, ReduceFn reduce) {
-  IndexedFeatureStats out;
-  if (runs.empty()) return out;
-  if (runs.size() == 1) {
-    out = *runs[0];
-    return out;
+void CombineOrAppend(IndexedFeatureStats* out, const FeatureStat& src,
+                     ReduceFn reduce) {
+  if (!out->empty() && out->stats().back().fid == src.fid) {
+    // Same fid as the previously emitted entry: combine in place.
+    FeatureStat& dst = *out->MutableBack();
+    switch (reduce) {
+      case ReduceFn::kSum:
+        dst.counts.AccumulateSum(src.counts);
+        break;
+      case ReduceFn::kMax:
+        dst.counts.AccumulateMax(src.counts);
+        break;
+    }
+  } else {
+    out->AppendSortedUnchecked(src);
   }
+}
 
+// Few runs (the common case — compaction merges adjacent slices, queries
+// see a handful of window slices): cursor array on the stack, min-fid by
+// linear scan. No heap allocation beyond output growth.
+constexpr size_t kMaxScanRuns = 16;
+
+void MergeByScan(const std::vector<const IndexedFeatureStats*>& runs,
+                 ReduceFn reduce, IndexedFeatureStats* out) {
+  size_t cursor[kMaxScanRuns] = {};
+  size_t total = 0;
+  for (const auto* run : runs) total += run->size();
+  out->Reserve(total);
+  for (;;) {
+    size_t best = runs.size();
+    FeatureId best_fid = 0;
+    for (size_t r = 0; r < runs.size(); ++r) {
+      if (cursor[r] >= runs[r]->size()) continue;
+      const FeatureId fid = runs[r]->stats()[cursor[r]].fid;
+      if (best == runs.size() || fid < best_fid) {
+        best = r;
+        best_fid = fid;
+      }
+    }
+    if (best == runs.size()) return;  // every cursor exhausted
+    const size_t idx = cursor[best]++;
+    CombineOrAppend(out, runs[best]->stats()[idx], reduce);
+    if (cursor[best] < runs[best]->size() &&
+        runs[best]->stats()[cursor[best]].fid <= best_fid) {
+      DieUnsorted(best, cursor[best]);
+    }
+  }
+}
+
+void MergeByHeap(const std::vector<const IndexedFeatureStats*>& runs,
+                 ReduceFn reduce, IndexedFeatureStats* out) {
   std::priority_queue<HeapEntry, std::vector<HeapEntry>, HeapGreater> heap;
   for (size_t r = 0; r < runs.size(); ++r) {
     if (!runs[r]->empty()) {
       heap.push(HeapEntry{runs[r]->stats()[0].fid, r, 0});
     }
   }
-
   while (!heap.empty()) {
     const HeapEntry top = heap.top();
     heap.pop();
-    const FeatureStat& src = runs[top.run]->stats()[top.index];
-    if (!out.empty() && out.stats().back().fid == src.fid) {
-      // Same fid as the previously emitted entry: combine in place.
-      FeatureStat& dst = *out.MutableBack();
-      switch (reduce) {
-        case ReduceFn::kSum:
-          dst.counts.AccumulateSum(src.counts);
-          break;
-        case ReduceFn::kMax:
-          dst.counts.AccumulateMax(src.counts);
-          break;
-      }
-    } else {
-      out.AppendSortedUnchecked(src);
-    }
+    CombineOrAppend(out, runs[top.run]->stats()[top.index], reduce);
     const size_t next = top.index + 1;
     if (next < runs[top.run]->size()) {
-      heap.push(HeapEntry{runs[top.run]->stats()[next].fid, top.run, next});
+      const FeatureId next_fid = runs[top.run]->stats()[next].fid;
+      if (next_fid <= top.fid) DieUnsorted(top.run, next);
+      heap.push(HeapEntry{next_fid, top.run, next});
     }
   }
+}
+
+}  // namespace
+
+const IndexedFeatureStats* MergeSortedRuns(
+    const std::vector<const IndexedFeatureStats*>& runs, ReduceFn reduce,
+    IndexedFeatureStats* out) {
+  out->Clear();
+  if (runs.empty()) return out;
+  if (runs.size() == 1) return runs[0];
+  if (runs.size() <= kMaxScanRuns) {
+    MergeByScan(runs, reduce, out);
+  } else {
+    MergeByHeap(runs, reduce, out);
+  }
+  return out;
+}
+
+IndexedFeatureStats MergeSortedRuns(
+    const std::vector<const IndexedFeatureStats*>& runs, ReduceFn reduce) {
+  IndexedFeatureStats out;
+  const IndexedFeatureStats* merged = MergeSortedRuns(runs, reduce, &out);
+  if (merged != &out) out = *merged;
   return out;
 }
 

@@ -1,9 +1,8 @@
-// K-way merge over sorted IndexedFeatureStats runs. The hash-based
-// accumulator in query.cc is the default serving path; this heap merger is
-// the alternative that exploits the per-slice fid ordering (the reason the
-// data model keeps stats sorted — Section III-B's fid_index). Compaction uses
-// it to merge many slices without rehashing, and bench_micro compares the
-// two strategies.
+// K-way merge over sorted IndexedFeatureStats runs. The flat accumulator in
+// query.cc is the default serving path; this heap merger is the alternative
+// that exploits the per-slice fid ordering (the reason the data model keeps
+// stats sorted — Section III-B's fid_index). Compaction uses it to merge many
+// slices without rehashing, and bench_micro compares the two strategies.
 #ifndef IPS_QUERY_MERGER_H_
 #define IPS_QUERY_MERGER_H_
 
@@ -14,8 +13,22 @@
 
 namespace ips {
 
-/// Merges any number of sorted-by-fid stat runs into one sorted run,
-/// combining same-fid entries with `reduce`. Inputs must satisfy IsSorted().
+/// Merges any number of sorted-by-fid stat runs, combining same-fid entries
+/// with `reduce`, into `*out` (cleared first; heap capacity is retained, so a
+/// caller that merges repeatedly reuses one buffer). Returns the merged run:
+/// `runs[0]` itself for the single-run case — a passthrough, NO copy is made
+/// and `*out` stays empty; callers that need ownership copy explicitly —
+/// and `out` otherwise.
+///
+/// Inputs must satisfy IsSorted(). A violation detected during the merge
+/// aborts the process (even in release builds): continuing would silently
+/// drop or mis-combine entries, and sorted-ness is a core data-model
+/// invariant enforced at every decode boundary.
+const IndexedFeatureStats* MergeSortedRuns(
+    const std::vector<const IndexedFeatureStats*>& runs, ReduceFn reduce,
+    IndexedFeatureStats* out);
+
+/// Value-returning convenience wrapper (copies in the single-run case).
 IndexedFeatureStats MergeSortedRuns(
     const std::vector<const IndexedFeatureStats*>& runs, ReduceFn reduce);
 

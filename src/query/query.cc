@@ -1,36 +1,31 @@
 #include "query/query.h"
 
 #include <algorithm>
-#include <unordered_map>
+
+#include "common/hash.h"
 
 namespace ips {
 
 namespace {
 
-// Accumulator keyed by fid during the multi-way merge. A hash map (rather
-// than a k-way heap over sorted runs) keeps the implementation simple while
-// preserving the sorted-per-slice inputs for the heap variant benchmarked in
-// bench_micro; slices overlapping a window are few (the compaction ladder
-// bounds them) so both are fast.
-struct Accumulator {
-  CountVector counts;
-  std::vector<double> weighted;
-  TimestampMs newest_ms = 0;
-  bool initialized = false;
-};
+using Accumulator = QueryScratch::Accumulator;
 
-void Accumulate(Accumulator& acc, const FeatureStat& stat, double weight,
-                TimestampMs slice_end_ms, ReduceFn reduce) {
-  if (!acc.initialized) {
-    acc.counts = stat.counts;
-    acc.weighted.assign(stat.counts.size(), 0.0);
-    for (size_t i = 0; i < stat.counts.size(); ++i) {
-      acc.weighted[i] = static_cast<double>(stat.counts[i]) * weight;
-    }
-    acc.newest_ms = slice_end_ms;
-    acc.initialized = true;
-    return;
+// Accumulator (re)initialization overwrites a possibly-reused element: the
+// count/weight buffers keep whatever capacity a previous query grew them to,
+// so a warmed scratch initializes without touching the heap.
+void InitAccumulator(Accumulator& acc, const FeatureStat& stat, double weight,
+                     TimestampMs slice_end_ms) {
+  acc.fid = stat.fid;
+  acc.counts = stat.counts;
+  acc.weighted.assign(stat.counts.size(), 0.0);
+  for (size_t i = 0; i < stat.counts.size(); ++i) {
+    acc.weighted[i] = static_cast<double>(stat.counts[i]) * weight;
   }
+  acc.newest_ms = slice_end_ms;
+}
+
+void AccumulateInto(Accumulator& acc, const FeatureStat& stat, double weight,
+                    TimestampMs slice_end_ms, ReduceFn reduce) {
   switch (reduce) {
     case ReduceFn::kSum:
       acc.counts.AccumulateSum(stat.counts);
@@ -53,28 +48,32 @@ void Accumulate(Accumulator& acc, const FeatureStat& stat, double weight,
   acc.newest_ms = std::max(acc.newest_ms, slice_end_ms);
 }
 
-bool PassesFilter(const FilterSpec& filter, const FeatureResult& feature) {
+// `sorted_fids` is the scratch-held sorted copy of filter.fids (only
+// populated for the fid-set predicates).
+bool PassesFilter(const FilterSpec& filter,
+                  const std::vector<FeatureId>& sorted_fids, FeatureId fid,
+                  const CountVector& counts) {
   switch (filter.op) {
     case FilterOp::kNone:
       return true;
     case FilterOp::kCountAtLeast:
-      return feature.counts.At(filter.action) >= filter.operand;
+      return counts.At(filter.action) >= filter.operand;
     case FilterOp::kCountLess:
-      return feature.counts.At(filter.action) < filter.operand;
+      return counts.At(filter.action) < filter.operand;
     case FilterOp::kFidIn:
-      return std::binary_search(filter.fids.begin(), filter.fids.end(),
-                                feature.fid);
+      return std::binary_search(sorted_fids.begin(), sorted_fids.end(), fid);
     case FilterOp::kFidNotIn:
-      return !std::binary_search(filter.fids.begin(), filter.fids.end(),
-                                 feature.fid);
+      return !std::binary_search(sorted_fids.begin(), sorted_fids.end(), fid);
   }
   return true;
 }
 
-// Strict-weak ordering for the final sort. Weighted values are used for the
-// count sort so decay queries rank by decayed score, as the API intends.
-bool ResultLess(const FeatureResult& a, const FeatureResult& b, SortBy sort_by,
-                ActionIndex action) {
+// Strict-weak ordering for the final sort; works over Accumulator (the
+// serving path sorts accumulator indices) and FeatureResult alike. Weighted
+// values are used for the count sort so decay queries rank by decayed score,
+// as the API intends.
+template <typename T>
+bool ResultLess(const T& a, const T& b, SortBy sort_by, ActionIndex action) {
   switch (sort_by) {
     case SortBy::kActionCount: {
       const double wa = a.WeightedAt(action);
@@ -93,74 +92,158 @@ bool ResultLess(const FeatureResult& a, const FeatureResult& b, SortBy sort_by,
 
 }  // namespace
 
-Result<QueryResult> ExecuteQuery(const ProfileData& profile,
-                                 const QuerySpec& spec, TimestampMs now_ms) {
+Status ExecuteQueryInto(const ProfileData& profile, const QuerySpec& spec,
+                        TimestampMs now_ms, QueryScratch* scratch,
+                        QueryResult* out) {
   IPS_RETURN_IF_ERROR(spec.decay.Validate());
   IPS_ASSIGN_OR_RETURN(auto window, spec.time_range.Resolve(profile, now_ms));
   const auto [from_ms, to_ms] = window;
 
-  FilterSpec filter = spec.filter;
-  std::sort(filter.fids.begin(), filter.fids.end());
+  ++scratch->uses;
+  out->slices_scanned = 0;
+  out->features_merged = 0;
 
-  QueryResult result;
-  std::unordered_map<FeatureId, Accumulator> merged;
+  const FilterSpec& filter = spec.filter;
+  if (filter.op == FilterOp::kFidIn || filter.op == FilterOp::kFidNotIn) {
+    scratch->filter_fids.assign(filter.fids.begin(), filter.fids.end());
+    std::sort(scratch->filter_fids.begin(), scratch->filter_fids.end());
+  }
 
-  // Step 1 (paper II-B): locate the slices overlapping the window. The slice
-  // list is newest-first; once a slice ends at or before `from` every older
-  // slice is out of range too.
+  // Step 1 (paper II-B): locate the sorted stat runs of the slices
+  // overlapping the window. The slice list is newest-first; once a slice
+  // ends at or before `from` every older slice is out of range too. Knowing
+  // every run's length up front is what lets step 2 size its table exactly
+  // once — the payoff of keeping per-slice stats as sorted fid_index runs.
+  scratch->runs.clear();
+  size_t total_entries = 0;
   for (const auto& slice : profile.slices()) {
     if (slice.start_ms() >= to_ms) continue;  // newer than the window
     if (slice.end_ms() <= from_ms) break;     // older; list is sorted
     const InstanceSet* set = slice.FindSlot(spec.slot);
     if (set == nullptr) continue;
-    ++result.slices_scanned;
+    ++out->slices_scanned;
 
     // Decay weight depends on the age of the slice midpoint relative to the
     // window end (recent slices weigh ~1).
     const TimestampMs mid = slice.start_ms() + slice.DurationMs() / 2;
     const double weight = spec.decay.WeightForAge(to_ms - mid);
 
-    // Step 2: merge and aggregate feature counts under the scope.
-    auto merge_stats = [&](const IndexedFeatureStats& stats) {
-      for (const auto& stat : stats.stats()) {
-        Accumulate(merged[stat.fid], stat, weight, slice.end_ms(),
-                   spec.reduce);
-      }
+    auto add_run = [&](const IndexedFeatureStats& stats) {
+      if (stats.empty()) return;
+      scratch->runs.push_back({&stats, weight, slice.end_ms()});
+      total_entries += stats.size();
     };
     if (spec.type.has_value()) {
       const IndexedFeatureStats* stats = set->Find(*spec.type);
-      if (stats != nullptr) merge_stats(*stats);
+      if (stats != nullptr) add_run(*stats);
     } else {
-      for (const auto& [type, stats] : set->types()) merge_stats(stats);
+      for (const auto& [type, stats] : set->types()) add_run(stats);
     }
   }
 
-  result.features_merged = merged.size();
-  result.features.reserve(merged.size());
-  for (auto& [fid, acc] : merged) {
-    FeatureResult feature;
-    feature.fid = fid;
-    feature.counts = std::move(acc.counts);
-    feature.weighted = std::move(acc.weighted);
-    feature.newest_ms = acc.newest_ms;
-    if (PassesFilter(filter, feature)) {
-      result.features.push_back(std::move(feature));
-    }
-  }
-
-  // Step 3: final sort (+ top-K truncation). partial_sort keeps the serving
-  // cost at O(n log k) for the common small-k case.
-  auto less = [&](const FeatureResult& a, const FeatureResult& b) {
-    return ResultLess(a, b, spec.sort_by, spec.sort_action);
+  // Step 2: merge and aggregate feature counts across the runs into the
+  // dense accumulator array, reusing elements (and their heap blocks) from
+  // previous queries.
+  scratch->acc_count = 0;
+  auto& accs = scratch->accs;
+  auto new_acc = [&](const FeatureStat& stat, double weight,
+                     TimestampMs end_ms) -> uint32_t {
+    const size_t idx = scratch->acc_count++;
+    if (idx == accs.size()) accs.emplace_back();
+    InitAccumulator(accs[idx], stat, weight, end_ms);
+    return static_cast<uint32_t>(idx);
   };
-  if (spec.k > 0 && spec.k < result.features.size()) {
-    std::partial_sort(result.features.begin(),
-                      result.features.begin() + spec.k,
-                      result.features.end(), less);
-    result.features.resize(spec.k);
-  } else {
-    std::sort(result.features.begin(), result.features.end(), less);
+
+  if (scratch->runs.size() == 1) {
+    // Single overlapping run: fids are unique and already sorted, so the
+    // accumulators are just the run in order — no index needed at all.
+    const QueryScratch::Run& run = scratch->runs[0];
+    for (const auto& stat : run.stats->stats()) {
+      new_acc(stat, run.weight, run.end_ms);
+    }
+  } else if (!scratch->runs.empty()) {
+    // Flat open-addressing index over the dense accumulators (slot value =
+    // index + 1, 0 = empty; linear probing). Sized once from the known run
+    // lengths to a load factor <= 0.5, cleared with one fill — no rehashing
+    // and no per-node allocations, unlike the unordered_map it replaced.
+    size_t needed = 16;
+    while (needed < 2 * total_entries) needed <<= 1;
+    if (scratch->table.size() < needed) scratch->table.resize(needed);
+    scratch->table_size = needed;
+    std::fill_n(scratch->table.begin(), needed, 0u);
+    const size_t mask = needed - 1;
+
+    for (const QueryScratch::Run& run : scratch->runs) {
+      for (const auto& stat : run.stats->stats()) {
+        size_t idx = static_cast<size_t>(Mix64(stat.fid)) & mask;
+        for (;;) {
+          const uint32_t slot = scratch->table[idx];
+          if (slot == 0) {
+            scratch->table[idx] = new_acc(stat, run.weight, run.end_ms) + 1;
+            break;
+          }
+          Accumulator& acc = accs[slot - 1];
+          if (acc.fid == stat.fid) {
+            AccumulateInto(acc, stat, run.weight, run.end_ms, spec.reduce);
+            break;
+          }
+          idx = (idx + 1) & mask;
+        }
+      }
+    }
   }
+
+  out->features_merged = scratch->acc_count;
+
+  // Step 3: filter + top-K over accumulator INDICES. Sorting 4-byte indices
+  // instead of FeatureResult objects avoids shuffling their heap buffers,
+  // and only the K winners ever get materialized — so the result vector's
+  // high-water size is the result size, not the merged-feature count, and
+  // its elements (with their buffers) survive between queries.
+  auto& order = scratch->emit_order;
+  order.clear();
+  for (size_t i = 0; i < scratch->acc_count; ++i) {
+    const Accumulator& acc = accs[i];
+    if (PassesFilter(filter, scratch->filter_fids, acc.fid, acc.counts)) {
+      order.push_back(static_cast<uint32_t>(i));
+    }
+  }
+  auto less = [&](uint32_t a, uint32_t b) {
+    return ResultLess(accs[a], accs[b], spec.sort_by, spec.sort_action);
+  };
+  size_t count = order.size();
+  if (spec.k > 0 && spec.k < count) {
+    // partial_sort keeps the serving cost at O(n log k) for the common
+    // small-k case.
+    std::partial_sort(order.begin(), order.begin() + spec.k, order.end(),
+                      less);
+    count = spec.k;
+  } else {
+    std::sort(order.begin(), order.end(), less);
+  }
+
+  // Step 4: emit the winners, overwriting `out`'s existing feature elements
+  // in place so their buffers are reused; the vector only grows past its
+  // high-water size on a bigger-than-ever result.
+  auto& features = out->features;
+  for (size_t i = 0; i < count; ++i) {
+    const Accumulator& acc = accs[order[i]];
+    if (i == features.size()) features.emplace_back();
+    FeatureResult& f = features[i];
+    f.fid = acc.fid;
+    f.counts = acc.counts;
+    f.weighted.assign(acc.weighted.begin(), acc.weighted.end());
+    f.newest_ms = acc.newest_ms;
+  }
+  features.resize(count);
+  return Status::OK();
+}
+
+Result<QueryResult> ExecuteQuery(const ProfileData& profile,
+                                 const QuerySpec& spec, TimestampMs now_ms) {
+  QueryResult result;
+  IPS_RETURN_IF_ERROR(ExecuteQueryInto(profile, spec, now_ms,
+                                       &QueryScratch::ThreadLocal(), &result));
   return result;
 }
 

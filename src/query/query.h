@@ -16,6 +16,7 @@
 #include "core/profile_data.h"
 #include "core/types.h"
 #include "query/decay.h"
+#include "query/scratch.h"
 #include "query/time_range.h"
 
 namespace ips {
@@ -92,6 +93,18 @@ struct QueryResult {
 /// whatever lock guards the profile (cache entry lock on the serving path).
 Result<QueryResult> ExecuteQuery(const ProfileData& profile,
                                  const QuerySpec& spec, TimestampMs now_ms);
+
+/// Allocation-free core of ExecuteQuery: all transient state lives in
+/// `*scratch` and the result is written into `*out` reusing whatever storage
+/// it already holds (`out->features` elements are overwritten in place and
+/// the vector is resized to the result count). With a warmed scratch and a
+/// reused `out` of stable shape, a query performs zero heap allocations —
+/// the property the bench_micro --smoke gate asserts.
+///
+/// `out->degraded` is left untouched for the caller to set.
+Status ExecuteQueryInto(const ProfileData& profile, const QuerySpec& spec,
+                        TimestampMs now_ms, QueryScratch* scratch,
+                        QueryResult* out);
 
 /// Convenience wrappers mirroring the paper's three read APIs.
 Result<QueryResult> GetProfileTopK(const ProfileData& profile, SlotId slot,

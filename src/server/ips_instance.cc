@@ -36,8 +36,10 @@ Status IpsInstance::CreateTable(const TableSchema& schema) {
   IPS_RETURN_IF_ERROR(schema.Validate());
   auto table = std::make_unique<Table>();
   table->schema = schema;
-  table->persister = std::make_unique<Persister>(schema.name, kv_,
-                                                 options_.persistence);
+  PersisterOptions persist_options = options_.persistence;
+  persist_options.metrics = metrics_;
+  table->persister =
+      std::make_unique<Persister>(schema.name, kv_, persist_options);
   Persister* persister = table->persister.get();
 
   GCacheOptions cache_options = options_.cache;
@@ -381,18 +383,24 @@ Result<MultiQueryResult> IpsInstance::MultiQuery(
   std::vector<Status> cache_statuses;
   std::vector<bool> degraded_flags;
   std::vector<Status> exec_statuses(pid_vec.size(), Status::OK());
+  // All computes in the batch share this thread's warmed scratch: after the
+  // first query on a worker, the compute core runs allocation-free.
+  QueryScratch& scratch = QueryScratch::ThreadLocal();
+  uint64_t scratch_reuses = 0;
   out.cache_hits = t->cache->WithProfiles(
       pid_vec,
       [&](size_t i, const ProfileData& profile) {
         ScopedSpan compute_span("feature.compute");
-        Result<QueryResult> result = ExecuteQuery(profile, effective, now_ms);
-        if (result.ok()) {
-          out.results[i] = std::move(result).value();
-        } else {
-          exec_statuses[i] = result.status();
-        }
+        if (scratch.uses > 0) ++scratch_reuses;
+        Status exec = ExecuteQueryInto(profile, effective, now_ms, &scratch,
+                                       &out.results[i]);
+        if (!exec.ok()) exec_statuses[i] = exec;
       },
       &cache_statuses, &degraded_flags);
+  if (scratch_reuses > 0) {
+    metrics_->GetCounter("query.scratch_reuse")
+        ->Increment(static_cast<int64_t>(scratch_reuses));
+  }
   for (size_t i = 0; i < pid_vec.size(); ++i) {
     if (degraded_flags[i] && cache_statuses[i].ok() &&
         exec_statuses[i].ok()) {

@@ -1,6 +1,8 @@
 #include "server/persistence.h"
 
 #include <algorithm>
+#include <charconv>
+
 #include "common/hash.h"
 #include "common/trace.h"
 
@@ -8,21 +10,67 @@
 
 namespace ips {
 
+namespace {
+
+// Encode/decode working buffers reused across flushes and loads on the same
+// thread. The store path re-encodes every flushed profile and the load path
+// uncompresses every fetched value; per-call string churn here is visible in
+// the Table II codec.decode span, so the buffers keep their high-water
+// capacity between calls.
+struct PersistScratch {
+  std::string raw;         // uncompressed profile/slice encoding
+  std::string compressed;  // compressed image before it is kept or skipped
+  std::string uncompress;  // BlockUncompressView spill target
+};
+
+PersistScratch& Scratch() {
+  thread_local PersistScratch scratch;
+  return scratch;
+}
+
+void AppendU64(std::string* out, uint64_t v) {
+  char buf[20];
+  const auto res = std::to_chars(buf, buf + sizeof(buf), v);
+  out->append(buf, static_cast<size_t>(res.ptr - buf));
+}
+
+}  // namespace
+
 Persister::Persister(std::string table_name, KvStore* kv,
                      PersisterOptions options)
-    : table_name_(std::move(table_name)), kv_(kv), options_(options) {}
+    : table_name_(std::move(table_name)), kv_(kv), options_(options) {
+  if (options_.metrics != nullptr) {
+    zero_copy_decodes_ = options_.metrics->GetCounter("codec.zero_copy_decodes");
+  }
+}
 
 std::string Persister::BulkKey(ProfileId pid) const {
-  return table_name_ + "/p/" + std::to_string(pid);
+  std::string key;
+  key.reserve(table_name_.size() + 23);
+  key += table_name_;
+  key += "/p/";
+  AppendU64(&key, pid);
+  return key;
 }
 
 std::string Persister::MetaKey(ProfileId pid) const {
-  return table_name_ + "/m/" + std::to_string(pid);
+  std::string key;
+  key.reserve(table_name_.size() + 23);
+  key += table_name_;
+  key += "/m/";
+  AppendU64(&key, pid);
+  return key;
 }
 
 std::string Persister::SliceKey(ProfileId pid, uint64_t slice_key) const {
-  return table_name_ + "/s/" + std::to_string(pid) + "/" +
-         std::to_string(slice_key);
+  std::string key;
+  key.reserve(table_name_.size() + 44);
+  key += table_name_;
+  key += "/s/";
+  AppendU64(&key, pid);
+  key += '/';
+  AppendU64(&key, slice_key);
+  return key;
 }
 
 KvVersion Persister::HeldVersion(ProfileId pid) {
@@ -79,15 +127,24 @@ std::vector<Status> Persister::StoreBatch(
   pending.reserve(pids.size());
   std::vector<std::string> keys;
   std::vector<std::string> vals;
+  PersistScratch& scratch = Scratch();
   for (size_t i = 0; i < pids.size(); ++i) {
     const ProfileData& profile = *profiles[i];
     Pending p;
     p.index = i;
+    // One encode serves both the split-threshold test and the stored bytes
+    // (the raw image used to be produced twice: once by the size probe, once
+    // by EncodeProfile).
+    const bool threshold_mode =
+        options_.mode == PersistenceMode::kSliceSplit &&
+        options_.split_threshold_bytes > 0;
+    const bool need_raw = options_.mode == PersistenceMode::kBulk ||
+                          threshold_mode;
+    if (need_raw) EncodeProfileRaw(profile, &scratch.raw);
     const bool bulk =
         options_.mode == PersistenceMode::kBulk ||
-        (options_.split_threshold_bytes > 0 &&
-         EncodedProfileSizeUncompressed(profile) <
-             options_.split_threshold_bytes);
+        (threshold_mode &&
+         scratch.raw.size() < options_.split_threshold_bytes);
     if (bulk) {
       // Small profiles in split mode keep the bulk representation; any split
       // leftovers must be retired so a later load cannot observe a stale
@@ -97,7 +154,7 @@ std::vector<Status> Persister::StoreBatch(
       p.num_keys = 1;
       keys.push_back(BulkKey(pids[i]));
       vals.emplace_back();
-      EncodeProfile(profile, &vals.back());
+      BlockCompress(scratch.raw, &vals.back());
       pending.push_back(std::move(p));
       continue;
     }
@@ -123,18 +180,21 @@ std::vector<Status> Persister::StoreBatch(
       entry.end_ms = slice.end_ms();
       meta.entries.push_back(entry);
 
-      std::string raw;
-      EncodeSlice(slice, &raw);
-      std::string compressed;
-      BlockCompress(raw, &compressed);
-      const uint32_t sum = Checksum32(compressed.data(), compressed.size());
+      // Encode + compress in the reused scratch buffers; only slices that
+      // actually changed pay for an owned copy into the value batch. In
+      // steady state most slices are unchanged, so most iterations are
+      // allocation-free.
+      EncodeSlice(slice, &scratch.raw);
+      BlockCompress(scratch.raw, &scratch.compressed);
+      const uint32_t sum =
+          Checksum32(scratch.compressed.data(), scratch.compressed.size());
       p.new_sums[entry.slice_key] = sum;
       auto prior_it = p.prior.find(entry.slice_key);
       if (prior_it != p.prior.end() && prior_it->second == sum) {
         continue;  // unchanged since the last successful flush
       }
       keys.push_back(SliceKey(pids[i], entry.slice_key));
-      vals.push_back(std::move(compressed));
+      vals.push_back(scratch.compressed);
     }
     p.num_keys = keys.size() - p.first_key;
     EncodeSliceMeta(meta, &p.meta_value);
@@ -269,7 +329,11 @@ Result<ProfileData> Persister::LoadBulk(KvStore* kv, ProfileId pid) {
   IPS_RETURN_IF_ERROR(kv->Get(BulkKey(pid), &encoded));
   ScopedSpan decode_span("codec.decode");
   ProfileData profile;
-  IPS_RETURN_IF_ERROR(DecodeProfile(encoded, &profile));
+  bool zero_copy = false;
+  IPS_RETURN_IF_ERROR(DecodeProfile(encoded, &profile, &zero_copy));
+  if (zero_copy && zero_copy_decodes_ != nullptr) {
+    zero_copy_decodes_->Increment();
+  }
   return profile;
 }
 
@@ -301,18 +365,28 @@ Result<ProfileData> Persister::AssembleSplit(ProfileId pid,
   profile.set_last_action_ms(meta.last_action_ms);
   // Checksum + uncompress + decode of every slice is codec work.
   ScopedSpan decode_span("codec.decode");
+  PersistScratch& scratch = Scratch();
   std::unordered_map<uint64_t, uint32_t> loaded_sums;
   loaded_sums.reserve(meta.entries.size());
+  uint64_t zero_copy = 0;
   for (size_t i = 0; i < meta.entries.size(); ++i) {
     IPS_RETURN_IF_ERROR(slice_statuses[i]);
     const std::string& compressed = slice_values[i];
     loaded_sums[meta.entries[i].slice_key] =
         Checksum32(compressed.data(), compressed.size());
-    std::string raw;
-    IPS_RETURN_IF_ERROR(BlockUncompress(compressed, &raw));
+    // Raw-stored frames decode straight off the fetched value (no copy of
+    // the uncompressed image); compressed ones land in the reused scratch.
+    std::string_view raw;
+    bool aliased = false;
+    IPS_RETURN_IF_ERROR(
+        BlockUncompressView(compressed, &scratch.uncompress, &raw, &aliased));
+    if (aliased) ++zero_copy;
     Slice slice;
     IPS_RETURN_IF_ERROR(DecodeSlice(raw, &slice));
     profile.mutable_slices().push_back(std::move(slice));
+  }
+  if (zero_copy_decodes_ != nullptr && zero_copy > 0) {
+    zero_copy_decodes_->Increment(static_cast<int64_t>(zero_copy));
   }
   if (record_bookkeeping) {
     std::lock_guard<std::mutex> lock(version_mu_);
@@ -372,15 +446,21 @@ std::vector<Result<ProfileData>> Persister::LoadBatchFrom(
     std::vector<Status> statuses;
     kv->MultiGet(keys, &values, &statuses);
     ScopedSpan decode_span("codec.decode");
+    uint64_t zero_copy = 0;
     for (size_t i = 0; i < pids.size(); ++i) {
       if (!statuses[i].ok()) {
         out[i] = statuses[i];
         continue;
       }
       ProfileData profile;
-      Status decoded = DecodeProfile(values[i], &profile);
+      bool aliased = false;
+      Status decoded = DecodeProfile(values[i], &profile, &aliased);
+      if (aliased) ++zero_copy;
       out[i] = decoded.ok() ? Result<ProfileData>(std::move(profile))
                             : Result<ProfileData>(decoded);
+    }
+    if (zero_copy_decodes_ != nullptr && zero_copy > 0) {
+      zero_copy_decodes_->Increment(static_cast<int64_t>(zero_copy));
     }
     return out;
   }
@@ -434,15 +514,21 @@ std::vector<Result<ProfileData>> Persister::LoadBatchFrom(
   }
   if (!bulk_fallbacks.empty()) {
     ScopedSpan decode_span("codec.decode");
+    uint64_t zero_copy = 0;
     for (const auto& [index, key_pos] : bulk_fallbacks) {
       if (!statuses[key_pos].ok()) {
         out[index] = statuses[key_pos];
         continue;
       }
       ProfileData profile;
-      Status decoded = DecodeProfile(values[key_pos], &profile);
+      bool aliased = false;
+      Status decoded = DecodeProfile(values[key_pos], &profile, &aliased);
+      if (aliased) ++zero_copy;
       out[index] = decoded.ok() ? Result<ProfileData>(std::move(profile))
                                 : Result<ProfileData>(decoded);
+    }
+    if (zero_copy_decodes_ != nullptr && zero_copy > 0) {
+      zero_copy_decodes_->Increment(static_cast<int64_t>(zero_copy));
     }
   }
   return out;

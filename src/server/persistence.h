@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "codec/profile_codec.h"
+#include "common/metrics.h"
 #include "common/status.h"
 #include "core/profile_data.h"
 #include "core/types.h"
@@ -41,6 +42,10 @@ struct PersisterOptions {
   /// the other side of the master/slave pair — and the result is flagged
   /// degraded (it may lag replication). Flushes never use the fallback.
   KvStore* fallback_kv = nullptr;
+  /// Optional registry (non-owning, may be null) for the persister's codec
+  /// observability: `codec.zero_copy_decodes` counts decodes whose
+  /// uncompressed image was aliased straight out of the stored bytes.
+  MetricsRegistry* metrics = nullptr;
 };
 
 /// Persists/loads profiles for one table against a KvStore. Thread-safe; the
@@ -138,6 +143,8 @@ class Persister {
   std::string table_name_;
   KvStore* kv_;
   PersisterOptions options_;
+  /// Cached from options_.metrics (null when metrics are not wired).
+  Counter* zero_copy_decodes_ = nullptr;
 
   std::mutex version_mu_;
   std::unordered_map<ProfileId, KvVersion> held_versions_;

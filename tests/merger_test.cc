@@ -25,6 +25,90 @@ TEST(MergerTest, SingleRunCopied) {
   EXPECT_EQ(merged.Find(5)->counts[0], 5);
 }
 
+TEST(MergerTest, SingleRunPassthroughDoesNotCopy) {
+  // The pointer-returning variant must hand back the input run itself for a
+  // single-run merge — the serving path relies on this to skip the copy —
+  // and leave the output buffer untouched.
+  IndexedFeatureStats run;
+  run.Upsert(2, CountVector{2});
+  run.Upsert(9, CountVector{9});
+  IndexedFeatureStats out;
+  const IndexedFeatureStats* merged =
+      MergeSortedRuns({&run}, ReduceFn::kSum, &out);
+  EXPECT_EQ(merged, &run);
+  EXPECT_TRUE(out.empty());
+
+  // Multi-run merges land in the caller's buffer instead.
+  IndexedFeatureStats other;
+  other.Upsert(9, CountVector{1});
+  merged = MergeSortedRuns({&run, &other}, ReduceFn::kSum, &out);
+  EXPECT_EQ(merged, &out);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out.Find(9)->counts[0], 10);
+}
+
+TEST(MergerTest, EmptyRunsAmongNonEmptyAreSkipped) {
+  IndexedFeatureStats empty, a, b;
+  a.Upsert(1, CountVector{1});
+  b.Upsert(1, CountVector{2});
+  IndexedFeatureStats merged =
+      MergeSortedRuns({&empty, &a, &empty, &b, &empty}, ReduceFn::kSum);
+  ASSERT_EQ(merged.size(), 1u);
+  EXPECT_EQ(merged.Find(1)->counts[0], 3);
+}
+
+TEST(MergerTest, DuplicateFidReduceOrderIsRunOrder) {
+  // Same fid in many runs must reduce pairwise in run order for BOTH merge
+  // strategies (scan for <= 16 runs, heap beyond). kMax makes ordering
+  // bugs visible through wider-than-either count vectors.
+  for (const size_t num_runs : {3u, 20u}) {
+    std::vector<IndexedFeatureStats> runs(num_runs);
+    for (size_t r = 0; r < num_runs; ++r) {
+      CountVector counts{static_cast<int64_t>(r + 1)};
+      if (r % 2 == 1) {
+        counts = CountVector{0, static_cast<int64_t>(100 + r)};
+      }
+      runs[r].Upsert(42, counts);
+      runs[r].Upsert(1000 + static_cast<FeatureId>(r), CountVector{1});
+    }
+    std::vector<const IndexedFeatureStats*> ptrs;
+    for (const auto& run : runs) ptrs.push_back(&run);
+    IndexedFeatureStats merged = MergeSortedRuns(ptrs, ReduceFn::kMax);
+    EXPECT_TRUE(merged.IsSorted());
+    ASSERT_EQ(merged.size(), num_runs + 1);
+    const FeatureStat* stat = merged.Find(42);
+    ASSERT_NE(stat, nullptr);
+    // Max over dimension 0 is the largest odd... even-run value (r+1 for
+    // even r), over dimension 1 the largest odd-run value (100 + r).
+    ASSERT_EQ(stat->counts.size(), 2u);
+    const size_t last_even = (num_runs - 1) & ~size_t{1};
+    size_t last_odd = num_runs - 1;
+    if (last_odd % 2 == 0) --last_odd;
+    EXPECT_EQ(stat->counts[0], static_cast<int64_t>(last_even + 1));
+    EXPECT_EQ(stat->counts[1], static_cast<int64_t>(100 + last_odd));
+  }
+}
+
+TEST(MergerDeathTest, UnsortedRunAborts) {
+  // A violated fid_index sort order is data corruption; the merger must
+  // refuse to produce silently-wrong aggregates, in release builds too
+  // (plain assert() would vanish under NDEBUG).
+  IndexedFeatureStats good, bad;
+  good.Upsert(1, CountVector{1});
+  good.Upsert(2, CountVector{1});
+  bad.AppendSortedUnchecked(FeatureStat{9, CountVector{1}});
+  bad.AppendSortedUnchecked(FeatureStat{3, CountVector{1}});  // descending
+  ASSERT_FALSE(bad.IsSorted());
+  EXPECT_DEATH(MergeSortedRuns({&good, &bad}, ReduceFn::kSum),
+               "violates the sorted invariant");
+
+  // The heap strategy (> 16 runs) must catch it too.
+  std::vector<const IndexedFeatureStats*> many(20, &good);
+  many.push_back(&bad);
+  EXPECT_DEATH(MergeSortedRuns(many, ReduceFn::kSum),
+               "violates the sorted invariant");
+}
+
 TEST(MergerTest, TwoRunsWithOverlap) {
   IndexedFeatureStats a, b;
   a.Upsert(1, CountVector{1});

@@ -454,5 +454,76 @@ TEST_P(QueryPropertyTest, MatchesBruteForceReference) {
 INSTANTIATE_TEST_SUITE_P(Seeds, QueryPropertyTest,
                          ::testing::Values(3, 17, 23, 57, 101));
 
+// Buffer reuse must never leak state: one scratch + one result object,
+// reused across queries of different shapes (bigger results, smaller
+// results, different filters/sorts/profiles), must produce exactly what a
+// fresh execution produces.
+TEST(QueryTest, ReusedScratchMatchesFreshExecution) {
+  const TimestampMs now = 100 * kDay;
+  Rng rng(77);
+  ProfileData big(kMillisPerMinute);
+  for (int i = 0; i < 500; ++i) {
+    ASSERT_TRUE(big.Add(now - static_cast<TimestampMs>(
+                                  rng.Uniform(9 * kDay)),
+                        static_cast<SlotId>(1 + rng.Uniform(2)),
+                        static_cast<TypeId>(rng.Uniform(3)),
+                        rng.Uniform(200) + 1,
+                        CountVector{static_cast<int64_t>(rng.Uniform(5)) + 1,
+                                    static_cast<int64_t>(rng.Uniform(3))})
+                    .ok());
+  }
+  ProfileData alice = AliceProfile(now);
+
+  std::vector<std::pair<const ProfileData*, QuerySpec>> cases;
+  {
+    QuerySpec spec;  // wide unlimited scan (largest result)
+    spec.slot = 1;
+    spec.time_range = TimeRange::Current(10 * kDay);
+    spec.sort_by = SortBy::kFeatureId;
+    cases.emplace_back(&big, spec);
+
+    spec.k = 5;  // shrink the result
+    spec.sort_by = SortBy::kActionCount;
+    cases.emplace_back(&big, spec);
+
+    spec.filter.op = FilterOp::kCountAtLeast;  // filtered
+    spec.filter.action = 0;
+    spec.filter.operand = 4;
+    cases.emplace_back(&big, spec);
+
+    QuerySpec decayed;  // different profile, decay weights
+    decayed.slot = kSports;
+    decayed.type = kBasketball;
+    decayed.time_range = TimeRange::Current(11 * kDay);
+    decayed.decay.function = DecayFunction::kExponential;
+    decayed.decay.factor = 0.5;
+    decayed.decay.unit_ms = kDay;
+    cases.emplace_back(&alice, decayed);
+  }
+
+  QueryScratch shared_scratch;
+  QueryResult reused;
+  for (int round = 0; round < 3; ++round) {
+    for (const auto& [profile, spec] : cases) {
+      ASSERT_TRUE(
+          ExecuteQueryInto(*profile, spec, now, &shared_scratch, &reused)
+              .ok());
+      QueryScratch fresh_scratch;
+      QueryResult fresh;
+      ASSERT_TRUE(
+          ExecuteQueryInto(*profile, spec, now, &fresh_scratch, &fresh).ok());
+      ASSERT_EQ(reused.features.size(), fresh.features.size());
+      EXPECT_EQ(reused.slices_scanned, fresh.slices_scanned);
+      EXPECT_EQ(reused.features_merged, fresh.features_merged);
+      for (size_t i = 0; i < fresh.features.size(); ++i) {
+        EXPECT_EQ(reused.features[i].fid, fresh.features[i].fid);
+        EXPECT_EQ(reused.features[i].counts, fresh.features[i].counts);
+        EXPECT_EQ(reused.features[i].weighted, fresh.features[i].weighted);
+        EXPECT_EQ(reused.features[i].newest_ms, fresh.features[i].newest_ms);
+      }
+    }
+  }
+}
+
 }  // namespace
 }  // namespace ips
