@@ -35,6 +35,11 @@ run_suite() {
     # ctest set, and prints the alloc/zero-copy evidence into the tier-1 log.
     echo "=== tier1: perf smoke (bench_micro --smoke) ==="
     "${build_dir}/bench/bench_micro" --smoke
+    # Read-path coalescing gate: the LoadBroker must keep cutting KV round
+    # trips >= 3x at Zipf s=1.0 vs the broker-off ablation, with live
+    # single-flight hits. ctest runs it too; this keeps the gate in the log.
+    echo "=== tier1: perf smoke (bench_hotkey_skew --smoke) ==="
+    "${build_dir}/bench/bench_hotkey_skew" --smoke
   fi
 }
 

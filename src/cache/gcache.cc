@@ -4,17 +4,10 @@
 #include <cassert>
 #include <limits>
 
+#include "cache/load_broker.h"
 #include "common/hash.h"
 #include "common/logging.h"
 #include "common/trace.h"
-
-#if defined(__SANITIZE_THREAD__)
-#define IPS_TSAN_BUILD 1
-#elif defined(__has_feature)
-#if __has_feature(thread_sanitizer)
-#define IPS_TSAN_BUILD 1
-#endif
-#endif
 
 namespace ips {
 
@@ -29,15 +22,11 @@ size_t RoundUpPow2(size_t n) {
 }  // namespace
 
 size_t GCache::FlushGroupLockCap() {
-#ifdef IPS_TSAN_BUILD
-  // TSan's per-thread held-lock table is 64 entries and overflowing it is a
-  // hard CHECK failure, not a report. A flush group holds one lock per
-  // entry plus transient shard locks; 16 keeps sanitized runs exercising
-  // the same multi-lock path with comfortable headroom.
-  return 16;
-#else
+  // Flush groups snapshot entries one lock at a time and run the storage
+  // round trip with no entry lock held, so no cap applies — including under
+  // ThreadSanitizer, whose 64-held-locks hard limit motivated the old clamp
+  // back when a group pinned every entry lock across the round trip.
   return std::numeric_limits<size_t>::max();
-#endif
 }
 
 GCache::GCache(GCacheOptions options, Clock* clock, FlushFn flush, LoadFn load,
@@ -119,7 +108,20 @@ Result<std::pair<GCache::EntryPtr, bool>> GCache::GetOrLoad(
   ProfileData loaded(options_.write_granularity_ms);
   bool degraded = false;
   {
-    Result<ProfileData> result = load_(pid, &degraded);
+    // Through the broker when installed (sharing the load with every other
+    // concurrent miss for this pid), else the per-pid loader.
+    Result<ProfileData> result = [&]() -> Result<ProfileData> {
+      if (load_broker_ == nullptr) return load_(pid, &degraded);
+      std::vector<ProfileId> one{pid};
+      std::vector<bool> one_degraded;
+      std::vector<Result<ProfileData>> results =
+          load_broker_->Load(one, &one_degraded);
+      if (results.empty()) {
+        return Status::Internal("load broker returned a short result list");
+      }
+      degraded = !one_degraded.empty() && one_degraded[0];
+      return std::move(results[0]);
+    }();
     if (result.ok()) {
       // A degraded load means the loader fell back: the primary store is
       // still unhealthy even though the load itself succeeded.
@@ -179,30 +181,57 @@ GCache::BatchScratch& GCache::ThreadBatchScratch() {
   return scratch;
 }
 
+std::vector<Result<ProfileData>> GCache::LoadMisses(
+    const std::vector<ProfileId>& pids, std::vector<bool>* out_degraded,
+    TimestampMs deadline_ms) {
+  // Broker first: misses are submitted to the shared coalescing stage
+  // (single-flight + cross-request window batching) instead of being loaded
+  // inline, and the caller's deadline bounds the shared wait.
+  if (load_broker_ != nullptr) {
+    return load_broker_->Load(pids, out_degraded, deadline_ms);
+  }
+  out_degraded->assign(pids.size(), false);
+  if (batch_load_) {
+    std::vector<Result<ProfileData>> loaded = batch_load_(pids, out_degraded);
+    if (out_degraded->size() != pids.size()) {
+      out_degraded->assign(pids.size(), false);
+    }
+    return loaded;
+  }
+  std::vector<Result<ProfileData>> loaded;
+  loaded.reserve(pids.size());
+  for (size_t m = 0; m < pids.size(); ++m) {
+    bool degraded = false;
+    loaded.push_back(load_(pids[m], &degraded));
+    (*out_degraded)[m] = degraded;
+  }
+  return loaded;
+}
+
 size_t GCache::WithProfiles(
     const std::vector<ProfileId>& pids,
     const std::function<void(size_t, const ProfileData&)>& fn,
-    std::vector<Status>* statuses, std::vector<bool>* out_degraded) {
-  statuses->assign(pids.size(), Status::OK());
-  if (out_degraded != nullptr) out_degraded->assign(pids.size(), false);
-  BatchScratch& scratch = ThreadBatchScratch();
-  auto& entries = scratch.entries;
-  entries.assign(pids.size(), EntryPtr());
-
+    std::vector<Status>* statuses, std::vector<bool>* out_degraded,
+    TimestampMs deadline_ms) {
   // Phase 1: partition into hits and misses against the shard maps — a
   // single hash probe per pid resolves the entry and its LRU position
   // together. Misses are coalesced (via sort, not a per-call hash map) so
   // each unique pid is loaded once even when the incoming batch carries
-  // duplicates. The cache.lookup span covers exactly this in-memory
-  // partition; the storage round trip (phase 2) reports itself as kv.load /
-  // codec.decode from the layers that do the work.
+  // duplicates. The cache.lookup span covers the scratch setup and this
+  // in-memory partition; the storage round trip (phase 2) reports itself as
+  // kv.load / codec.decode from the layers that do the work.
   size_t hits = 0;
+  BatchScratch& scratch = ThreadBatchScratch();
+  auto& entries = scratch.entries;
   auto& misses = scratch.misses;
   auto& miss_pids = scratch.miss_pids;
-  misses.clear();
-  miss_pids.clear();
   {
     ScopedSpan lookup_span("cache.lookup");
+    statuses->assign(pids.size(), Status::OK());
+    if (out_degraded != nullptr) out_degraded->assign(pids.size(), false);
+    entries.assign(pids.size(), EntryPtr());
+    misses.clear();
+    miss_pids.clear();
     for (size_t i = 0; i < pids.size(); ++i) {
       const ProfileId pid = pids[i];
       LruShard& shard = *lru_shards_[LruIndex(pid)];
@@ -238,24 +267,18 @@ size_t GCache::WithProfiles(
     }
   }
 
-  // Phase 2: one loader call covers every miss. Outside all shard locks —
-  // this is the storage round trip the whole refactor exists to coalesce.
+  // Phase 2: one LoadMisses call covers every miss, outside all shard locks.
+  // With a broker installed this submits the miss set to the shared
+  // coalescing stage — concurrent requests' misses merge into one storage
+  // round trip and hot pids already on the wire are joined, not refetched.
   if (!miss_pids.empty()) {
-    std::vector<Result<ProfileData>> loaded;
-    std::vector<bool> loaded_degraded(miss_pids.size(), false);
-    if (batch_load_) {
-      loaded = batch_load_(miss_pids, &loaded_degraded);
-      if (loaded_degraded.size() != miss_pids.size()) {
-        loaded_degraded.assign(miss_pids.size(), false);
-      }
-    } else {
-      loaded.reserve(miss_pids.size());
-      for (size_t m = 0; m < miss_pids.size(); ++m) {
-        bool degraded = false;
-        loaded.push_back(load_(miss_pids[m], &degraded));
-        loaded_degraded[m] = degraded;
-      }
-    }
+    std::vector<bool> loaded_degraded;
+    std::vector<Result<ProfileData>> loaded =
+        LoadMisses(miss_pids, &loaded_degraded, deadline_ms);
+    // Integrating loaded profiles back into the shard maps (entry creation,
+    // LRU insert, accounting) is cache-index work like the phase-1 probe, so
+    // it reports under the same cache.lookup stage.
+    ScopedSpan insert_span("cache.lookup");
     bool any_unavailable = false;
     bool any_degraded = false;
     size_t cursor = 0;  // walks `misses`, whose pids ascend like miss_pids
@@ -295,16 +318,22 @@ size_t GCache::WithProfiles(
   // locked one at a time, so no lock-order concerns.
   const bool store_unhealthy = StoreUnhealthy();
   auto& order = scratch.order;
-  order.clear();
-  for (size_t i = 0; i < pids.size(); ++i) {
-    if (entries[i]) order.push_back(static_cast<uint32_t>(i));
+  {
+    // Grouping occurrences by entry is cache-index bookkeeping, same stage
+    // as the phase-1 probe. The locked serve loop below is not spanned — it
+    // nests the caller's feature.compute spans.
+    ScopedSpan group_span("cache.lookup");
+    order.clear();
+    for (size_t i = 0; i < pids.size(); ++i) {
+      if (entries[i]) order.push_back(static_cast<uint32_t>(i));
+    }
+    std::sort(order.begin(), order.end(), [&](uint32_t a, uint32_t b) {
+      const Entry* ea = entries[a].get();
+      const Entry* eb = entries[b].get();
+      if (ea != eb) return ea < eb;
+      return a < b;  // per-entry occurrence order stays deterministic
+    });
   }
-  std::sort(order.begin(), order.end(), [&](uint32_t a, uint32_t b) {
-    const Entry* ea = entries[a].get();
-    const Entry* eb = entries[b].get();
-    if (ea != eb) return ea < eb;
-    return a < b;  // per-entry occurrence order stays deterministic
-  });
   for (size_t x = 0; x < order.size();) {
     Entry* const entry = entries[order[x]].get();
     std::lock_guard<std::mutex> lock(entry->mu);
@@ -337,7 +366,10 @@ void GCache::UpdateAccounting(LruShard& shard, Entry& entry) {
 }
 
 void GCache::MarkDirty(Entry& entry) {
-  if (entry.dirty) return;  // caller holds entry.mu
+  // Caller holds entry.mu. The epoch bump is what lets an unlocked
+  // snapshot-flush detect writes that landed during its storage round trip.
+  ++entry.mutation_epoch;
+  if (entry.dirty) return;
   entry.dirty = true;
   DirtyShard& dshard = *dirty_shards_[DirtyIndex(entry.pid)];
   std::lock_guard<std::mutex> lock(dshard.mu);
@@ -499,17 +531,21 @@ size_t GCache::FlushShard(DirtyShard& dshard, size_t* out_failures) {
       break;
     }
 
-    // Gather the next group of dirty entries, keeping their locks so the
-    // group is stored atomically w.r.t. writers. Holding several entry
-    // locks is deadlock-free here: each pid belongs to exactly one dirty
-    // shard and flush threads drain disjoint shards, every other path locks
-    // at most one entry at a time, and eviction only probes with try_lock.
+    // Gather the next group as unlocked SNAPSHOTS: each entry's profile is
+    // copied under its own lock — entries locked strictly one at a time —
+    // together with its mutation epoch, then the lock drops. The storage
+    // round trip below runs with NO entry lock held, so a multi-millisecond
+    // store never blocks readers or writers of the entries being flushed
+    // (the old design pinned every entry lock in the group across the round
+    // trip: a latency cliff and a lock-ordering hazard).
     const size_t group_max =
-        batch_flush_ ? std::min(std::max<size_t>(1, options_.flush_batch_max),
-                                FlushGroupLockCap())
-                     : 1;
-    std::vector<EntryPtr> group;
-    std::vector<std::unique_lock<std::mutex>> group_locks;
+        batch_flush_ ? std::max<size_t>(1, options_.flush_batch_max) : 1;
+    struct Snapshot {
+      EntryPtr entry;
+      ProfileData profile;
+      uint64_t epoch = 0;
+    };
+    std::vector<Snapshot> group;
     while (it != batch.end() && group.size() < group_max) {
       const ProfileId pid = *it;
       ++it;
@@ -521,69 +557,79 @@ size_t GCache::FlushShard(DirtyShard& dshard, size_t* out_failures) {
         if (map_it != shard.map.end()) entry = map_it->second.entry;
       }
       if (!entry) continue;  // evicted (was flushed on eviction)
-      std::unique_lock<std::mutex> entry_lock(entry->mu);
+      std::lock_guard<std::mutex> entry_lock(entry->mu);
       {
         std::lock_guard<std::mutex> dlock(dshard.mu);
         entry->in_dirty_list = false;
       }
       if (!entry->dirty) continue;
-      group.push_back(std::move(entry));
-      group_locks.push_back(std::move(entry_lock));
+      ProfileData copy = entry->profile;
+      const uint64_t epoch = entry->mutation_epoch;
+      group.push_back(Snapshot{std::move(entry), std::move(copy), epoch});
     }
     if (group.empty()) continue;
 
-    if (!batch_flush_) {
-      Entry& entry = *group[0];
-      if (FlushEntryLocked(entry).ok()) {
-        ++flushed;
-      } else {
-        ++failures;
-        requeue.push_back(entry.pid);
-        std::lock_guard<std::mutex> dlock(dshard.mu);
-        entry.in_dirty_list = true;
+    // One storage round trip per group, outside every entry lock: the batch
+    // flusher (one MultiSet below) when installed, else the per-entry
+    // flusher on the group of one.
+    std::vector<Status> statuses;
+    if (batch_flush_) {
+      std::vector<ProfileId> pids;
+      std::vector<const ProfileData*> profiles;
+      pids.reserve(group.size());
+      profiles.reserve(group.size());
+      for (const Snapshot& snap : group) {
+        pids.push_back(snap.entry->pid);
+        profiles.push_back(&snap.profile);
       }
-      continue;
+      statuses = batch_flush_(pids, profiles);
+      if (statuses.size() != pids.size()) {
+        statuses.assign(pids.size(),
+                        Status::Internal("batch flusher returned a short "
+                                         "result list"));
+      }
+      if (metrics_ != nullptr) {
+        metrics_->GetCounter("cache.batch_flushes")->Increment();
+      }
+    } else {
+      statuses.push_back(flush_(group[0].entry->pid, group[0].profile));
     }
 
-    // Batched store: one flusher call (one MultiSet round trip below) per
-    // group instead of one store per entry.
-    std::vector<ProfileId> pids;
-    std::vector<const ProfileData*> profiles;
-    pids.reserve(group.size());
-    profiles.reserve(group.size());
-    for (const auto& entry : group) {
-      pids.push_back(entry->pid);
-      profiles.push_back(&entry->profile);
-    }
-    std::vector<Status> statuses = batch_flush_(pids, profiles);
-    if (statuses.size() != pids.size()) {
-      statuses.assign(pids.size(),
-                      Status::Internal("batch flusher returned a short "
-                                       "result list"));
-    }
-    if (metrics_ != nullptr) {
-      metrics_->GetCounter("cache.batch_flushes")->Increment();
-    }
+    // Commit: relock each entry and recheck its epoch. A write that landed
+    // during the unlocked round trip means the store holds the snapshot but
+    // the entry carries newer state — keep it dirty and requeue. The
+    // snapshot itself persisted, so it still counts as progress.
     bool any_unavailable = false;
     for (size_t g = 0; g < group.size(); ++g) {
-      Entry& entry = *group[g];
+      Entry& entry = *group[g].entry;
+      std::lock_guard<std::mutex> entry_lock(entry.mu);
       if (statuses[g].ok()) {
-        entry.dirty = false;
-        // The entry's state reached the primary store: whatever stale base
-        // it was loaded from, the persisted copy is now the authoritative
-        // merge.
-        entry.degraded = false;
         ++flushed;
+        // The snapshot reached the primary store: whatever stale base the
+        // entry was loaded from, the persisted copy is now the
+        // authoritative merge.
+        entry.degraded = false;
+        if (entry.mutation_epoch == group[g].epoch) {
+          entry.dirty = false;
+        } else {
+          std::lock_guard<std::mutex> dlock(dshard.mu);
+          if (!entry.in_dirty_list) {
+            requeue.push_back(entry.pid);
+            entry.in_dirty_list = true;
+          }
+        }
         if (metrics_ != nullptr) {
           metrics_->GetCounter("cache.flushed")->Increment();
         }
       } else {
         if (statuses[g].IsUnavailable()) any_unavailable = true;
         ++failures;
-        requeue.push_back(entry.pid);
         {
           std::lock_guard<std::mutex> dlock(dshard.mu);
-          entry.in_dirty_list = true;
+          if (!entry.in_dirty_list) {
+            requeue.push_back(entry.pid);
+            entry.in_dirty_list = true;
+          }
         }
         if (metrics_ != nullptr) {
           metrics_->GetCounter("cache.flush_failures")->Increment();

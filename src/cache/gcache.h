@@ -19,6 +19,7 @@
 #include <atomic>
 #include <condition_variable>
 #include <functional>
+#include <limits>
 #include <list>
 #include <memory>
 #include <mutex>
@@ -74,7 +75,11 @@ struct GCacheOptions {
   int64_t write_granularity_ms = 60'000;
 };
 
-/// Persists one profile; invoked with the entry lock held.
+class LoadBroker;
+
+/// Persists one profile. Eviction write-back and Invalidate call it with the
+/// entry lock held (the entry is about to leave the cache); flush passes call
+/// it on an unlocked snapshot, see BatchFlushFn.
 using FlushFn = std::function<Status(ProfileId, const ProfileData&)>;
 /// Loads one profile on cache miss. NotFound means "no such profile yet".
 /// `out_degraded` (never null) is set when the profile came from a fallback
@@ -88,8 +93,11 @@ using BatchLoadFn =
     std::function<std::vector<Result<ProfileData>>(
         const std::vector<ProfileId>&, std::vector<bool>* out_degraded)>;
 /// Persists many profiles in one storage round trip (the write-side mirror
-/// of BatchLoadFn); invoked with every entry lock held. Returned statuses
-/// align with the pid list — a batch can partially land.
+/// of BatchLoadFn); invoked on snapshots with NO entry lock held, so the
+/// storage round trip never blocks readers or writers of the entries being
+/// flushed (a concurrent write during the flush is caught by an epoch
+/// recheck and simply requeues the entry). Returned statuses align with the
+/// pid list — a batch can partially land.
 using BatchFlushFn = std::function<std::vector<Status>(
     const std::vector<ProfileId>&, const std::vector<const ProfileData*>&)>;
 
@@ -126,17 +134,31 @@ class GCache {
   /// grouped by entry, not issued in strict input order). Returns the
   /// number of cache hits.
   /// `out_degraded`, when non-null, is filled aligned with `pids`; same
-  /// staleness contract as WithProfile.
+  /// staleness contract as WithProfile. `deadline_ms` (absolute, in the
+  /// cache clock's domain) bounds how long misses may wait on loads shared
+  /// through the broker; pids unresolved at the deadline get
+  /// DeadlineExceeded while the shared load itself keeps running. It is
+  /// ignored when no broker is installed (inline loads cannot be abandoned).
   size_t WithProfiles(const std::vector<ProfileId>& pids,
                       const std::function<void(size_t, const ProfileData&)>& fn,
                       std::vector<Status>* statuses,
-                      std::vector<bool>* out_degraded = nullptr);
+                      std::vector<bool>* out_degraded = nullptr,
+                      TimestampMs deadline_ms =
+                          std::numeric_limits<TimestampMs>::max());
 
   /// Installs the batch loader. Not thread-safe w.r.t. concurrent reads;
   /// call during setup, right after construction.
   void set_batch_loader(BatchLoadFn batch_load) {
     batch_load_ = std::move(batch_load);
   }
+
+  /// Installs the load broker (non-owning; must outlive the cache): misses
+  /// then route through it instead of invoking the loader callbacks inline,
+  /// gaining single-flight dedup of concurrent misses for the same pid and
+  /// cross-request window batching of the storage round trip. Same
+  /// setup-time contract as set_batch_loader. Without a broker, misses load
+  /// inline through batch_load_/load_ exactly as before.
+  void set_load_broker(LoadBroker* broker) { load_broker_ = broker; }
 
   /// Installs the batch flusher: flush passes then drain each dirty shard
   /// in groups of up to flush_batch_max entries, one flusher call (one
@@ -159,11 +181,13 @@ class GCache {
   /// Flushes every dirty entry in every shard; returns entries flushed.
   size_t FlushOnce();
 
-  /// Upper bound on the entry locks one flush group may hold at once.
-  /// Unbounded in production builds (the group size is `flush_batch_max`);
-  /// clamped under ThreadSanitizer, whose deadlock detector aborts the
-  /// process above 64 simultaneously held mutexes. Callers that assert on
-  /// flush-group counts must derive the effective group size from this.
+  /// Upper bound on the entry locks one flush group may hold at once. Flush
+  /// passes now snapshot entries one lock at a time and run the storage
+  /// round trip with no entry lock held, so this is unbounded everywhere
+  /// (the effective group size is just `flush_batch_max`). Kept because
+  /// tests and benches derive expected group counts from it; it used to be
+  /// clamped under ThreadSanitizer when a group pinned every entry lock
+  /// across the round trip.
   static size_t FlushGroupLockCap();
 
   /// Flush + wait until the dirty lists are empty (shutdown, tests).
@@ -214,6 +238,11 @@ class GCache {
     /// by the first successful flush (the entry's state then reached the
     /// primary store and is authoritative again).
     bool degraded = false;
+    /// Bumped (under mu) on every mutation. Flush passes snapshot the
+    /// profile plus this epoch, store WITHOUT the entry lock, then recheck:
+    /// an entry re-dirtied mid-flight keeps its dirty bit and requeues
+    /// instead of silently losing the newer write.
+    uint64_t mutation_epoch = 0;
     /// Guarded by the owning DirtyShard's mutex.
     bool in_dirty_list = false;
 
@@ -247,9 +276,16 @@ class GCache {
   size_t DirtyIndex(ProfileId pid) const;
 
   /// Finds or creates the entry; returns (entry, was_hit). May invoke the
-  /// loader outside all shard locks.
+  /// loader (through the broker when installed) outside all shard locks.
   Result<std::pair<EntryPtr, bool>> GetOrLoad(ProfileId pid,
                                               bool create_if_missing);
+
+  /// Loads `pids` (unique, sorted) through the broker when installed, else
+  /// the batch loader, else per-pid loads. Results and `out_degraded` align
+  /// with `pids`. The single funnel for every miss in the cache.
+  std::vector<Result<ProfileData>> LoadMisses(
+      const std::vector<ProfileId>& pids, std::vector<bool>* out_degraded,
+      TimestampMs deadline_ms);
 
   /// Moves the slot's pid to the LRU front (shard lock held). Splicing via
   /// the stored iterator: no second hash probe.
@@ -296,6 +332,9 @@ class GCache {
   LoadFn load_;
   BatchLoadFn batch_load_;
   BatchFlushFn batch_flush_;
+  /// Non-owning; installed at setup. When present, every miss routes
+  /// through it (see set_load_broker).
+  LoadBroker* load_broker_ = nullptr;
   MetricsRegistry* metrics_;
 
   std::vector<std::unique_ptr<LruShard>> lru_shards_;

@@ -1,0 +1,162 @@
+// LoadBroker: server-side coalescing stage for the cache-miss load path
+// (ROADMAP open item "cross-request batching"; cf. Bilibili's "Enhanced
+// Batch Query Architecture", PAPERS.md). GCache batching amortizes storage
+// round trips *within* one request; under Zipfian celebrity-user traffic the
+// remaining waste is *across* requests — two concurrent misses for the same
+// hot pid pay two kv.load round trips, and misses from different requests
+// arriving microseconds apart each pay their own MultiGet. The broker sits
+// between GCache and the persister's batch loader and removes both:
+//
+//   * single-flight — an in-flight table keyed by pid: concurrent misses for
+//     the same profile attach to the one pending load, and the decoded
+//     result (and its degraded flag) fans back to every attached waiter;
+//   * window batching — misses arriving within a small collection window
+//     merge into ONE Persister::LoadBatch / KvStore::MultiGet round trip,
+//     with duplicate pids deduped across requests.
+//
+// Scheduling is leader/follower with no background thread: the first caller
+// to create a pending entry becomes the collector, waits out the window on
+// its own request thread, then dispatches the whole accumulated pending set
+// (its own pids plus everyone else's). Followers just wait on the shared
+// entries. A waiter whose deadline expires detaches — its unfinished pids
+// fail with DeadlineExceeded — WITHOUT cancelling or poisoning the shared
+// load; the collector still completes it for the remaining waiters.
+//
+// Trace attribution (bench_table2_latency's stage-sum self-check): time a
+// waiter spends in the collection window reports as `server.coalesce`, time
+// spent waiting on a fetch another thread is driving reports as
+// `kv.load.shared`. The collector's own fetch reports the usual `kv.load` /
+// `codec.decode` from the layers doing the work, so the disjoint-stage sum
+// stays complete on every thread.
+#ifndef IPS_CACHE_LOAD_BROKER_H_
+#define IPS_CACHE_LOAD_BROKER_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/metrics.h"
+#include "common/status.h"
+#include "core/profile_data.h"
+#include "core/types.h"
+
+namespace ips {
+
+struct LoadBrokerOptions {
+  /// Collection window in wall-clock microseconds: how long the collector
+  /// lingers for other requests' misses before dispatching. Zero dispatches
+  /// immediately (single-flight only, no cross-request batching).
+  int64_t window_micros = 200;
+  /// The window closes early once this many unique pids are pending, and
+  /// dispatches larger than this are split into multiple fetch calls.
+  size_t max_batch_pids = 256;
+};
+
+/// Downstream fetch: same shape as GCache's BatchLoadFn (results align with
+/// the pid list, `out_degraded` never null). Typically Persister::LoadBatch.
+using BrokerFetchFn = std::function<std::vector<Result<ProfileData>>(
+    const std::vector<ProfileId>&, std::vector<bool>* out_degraded)>;
+
+/// Thread-safe. Callers must quiesce (no Load in flight) before destruction,
+/// the same lifetime contract as the cache above it.
+class LoadBroker {
+ public:
+  /// Sentinel deadline meaning "wait forever" (== CallContext::kNoDeadline).
+  static constexpr TimestampMs kNoDeadline =
+      std::numeric_limits<TimestampMs>::max();
+
+  LoadBroker(LoadBrokerOptions options, BrokerFetchFn fetch, Clock* clock,
+             MetricsRegistry* metrics = nullptr);
+  ~LoadBroker();
+
+  LoadBroker(const LoadBroker&) = delete;
+  LoadBroker& operator=(const LoadBroker&) = delete;
+
+  /// Loads `pids`, coalescing with every other concurrent Load call.
+  /// Results (and `out_degraded`, never null) align with `pids`; NotFound
+  /// marks profiles that were never persisted, exactly like the underlying
+  /// fetch. Blocks until every pid resolves or `deadline_ms` (absolute, in
+  /// `clock`'s domain) passes; expired waiters get DeadlineExceeded for the
+  /// unresolved pids while the shared load keeps running for everyone else.
+  std::vector<Result<ProfileData>> Load(const std::vector<ProfileId>& pids,
+                                        std::vector<bool>* out_degraded,
+                                        TimestampMs deadline_ms = kNoDeadline);
+
+  /// Pids currently pending or fetching (tests: an expired waiter must not
+  /// leave a poisoned entry behind).
+  size_t InFlightCount() const;
+
+  const LoadBrokerOptions& options() const { return options_; }
+
+ private:
+  /// One coalesced load. Created pending, moved to fetching when a collector
+  /// claims it, done when the fetch publishes. Waiters hold shared_ptrs, so
+  /// the entry outlives its removal from the in-flight table.
+  struct InFlight {
+    enum class State { kPending, kFetching, kDone };
+    State state = State::kPending;         // guarded by mu_
+    int waiters = 0;                       // guarded by mu_
+    bool degraded = false;                 // guarded by mu_
+    /// Unset until state == kDone (Result has no default construction).
+    std::optional<Result<ProfileData>> result;  // guarded by mu_
+  };
+  using InFlightPtr = std::shared_ptr<InFlight>;
+
+  /// Collector role: wait out the window, then dispatch the entire pending
+  /// set in max_batch_pids chunks. Called with `lock` held; returns with it
+  /// held. `deadline_ms` only shortens the window wait — the dispatch itself
+  /// always runs, because other waiters depend on it.
+  void CollectAndDispatch(std::unique_lock<std::mutex>& lock,
+                          TimestampMs deadline_ms);
+
+  /// Waits on cv_ until pred() holds or the (simulated-domain) deadline
+  /// passes. Polls at ~1ms wall granularity when a deadline is set, so a
+  /// ManualClock advanced past the deadline wakes the waiter promptly.
+  template <typename Pred>
+  bool WaitUntil(std::unique_lock<std::mutex>& lock, TimestampMs deadline_ms,
+                 Pred pred) {
+    if (deadline_ms == kNoDeadline) {
+      cv_.wait(lock, pred);
+      return true;
+    }
+    while (!pred()) {
+      if (clock_->NowMs() >= deadline_ms) return pred();
+      cv_.wait_for(lock, std::chrono::milliseconds(1));
+    }
+    return true;
+  }
+
+  LoadBrokerOptions options_;
+  BrokerFetchFn fetch_;
+  Clock* clock_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  /// Every pending or fetching load. Entries leave the table the moment
+  /// their result is published, so later misses start a fresh load.
+  std::unordered_map<ProfileId, InFlightPtr> inflight_;
+  /// Pids created but not yet claimed by a collector, in arrival order.
+  std::vector<ProfileId> pending_;
+  /// Whether a collector is currently gathering `pending_`. Invariant: a
+  /// non-empty pending set always has an active collector, so no pending
+  /// entry can stall.
+  bool collector_active_ = false;
+
+  // Cached metric handles (null when no registry is wired).
+  Counter* single_flight_hits_ = nullptr;
+  Counter* cross_request_dedup_ = nullptr;
+  Counter* window_batches_ = nullptr;
+  Counter* deadline_detaches_ = nullptr;
+  Histogram* batch_pids_ = nullptr;
+};
+
+}  // namespace ips
+
+#endif  // IPS_CACHE_LOAD_BROKER_H_

@@ -1,5 +1,6 @@
 #include "cluster/rpc.h"
 
+#include <optional>
 #include <thread>
 
 #include "common/trace.h"
@@ -43,6 +44,11 @@ Status Channel::Call(const CallContext& ctx, size_t request_bytes,
   // context must be (re)installed here for the spans below and for every
   // layer the handler reaches.
   TraceInstallScope trace_install(ctx.trace);
+  // Each leg's span covers the whole transport path — fault/deadline
+  // checks and the delay draw, not just the burn — suspended around the
+  // handler so it stays disjoint from the server-side stages.
+  std::optional<ScopedSpan> transfer;
+  transfer.emplace("rpc.transfer");
   if (partitioned_.load(std::memory_order_relaxed)) {
     return Status::Unavailable("network partition");
   }
@@ -64,21 +70,17 @@ Status Channel::Call(const CallContext& ctx, size_t request_bytes,
     // fail fast instead of burning the latency.
     return Status::DeadlineExceeded("request latency exceeds deadline");
   }
-  {
-    ScopedSpan transfer("rpc.transfer");
-    BurnMicros(request_delay_us);
-  }
+  BurnMicros(request_delay_us);
+  transfer.reset();
   Status status = handler();
+  transfer.emplace("rpc.transfer");
   const int64_t response_delay_us = DrawOneWayDelayUs(response_bytes);
   if (enforce &&
       response_delay_us / 1000 >= ctx.RemainingMs(clock_->NowMs())) {
     // The server did the work, but the reply lands too late to matter.
     return Status::DeadlineExceeded("response latency exceeds deadline");
   }
-  {
-    ScopedSpan transfer("rpc.transfer");
-    BurnMicros(response_delay_us);
-  }
+  BurnMicros(response_delay_us);
   return status;
 }
 

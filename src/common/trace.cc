@@ -31,10 +31,13 @@ SpanId Trace::BeginSpan(const char* name, SpanId parent) {
 }
 
 void Trace::EndSpan(SpanId id) {
-  const int64_t now_ns = MonotonicNanos();
+  // The end timestamp is captured after the lock: the cost of recording the
+  // span closure charges to the span itself instead of leaking into the
+  // untraced gap before the next stage (mirrors BeginSpan, whose push_back
+  // runs after the start timestamp, i.e. inside the span).
   std::lock_guard<std::mutex> lock(mu_);
   if (id >= 0 && static_cast<size_t>(id) < spans_.size()) {
-    spans_[static_cast<size_t>(id)].end_ns = now_ns;
+    spans_[static_cast<size_t>(id)].end_ns = MonotonicNanos();
   }
 }
 

@@ -23,10 +23,13 @@ struct StageMetric {
 // per-request sum approximates end-to-end latency; the rest are umbrella
 // spans that overlap them (useful for nesting, excluded from any sum).
 constexpr StageMetric kStageMetrics[] = {
+    {"rpc.dispatch", "trace.stage.rpc.dispatch"},
     {"rpc.transfer", "trace.stage.rpc.transfer"},
     {"server.queue", "trace.stage.server.queue"},
     {"cache.lookup", "trace.stage.cache.lookup"},
+    {"server.coalesce", "trace.stage.server.coalesce"},
     {"kv.load", "trace.stage.kv.load"},
+    {"kv.load.shared", "trace.stage.kv.load.shared"},
     {"codec.decode", "trace.stage.codec.decode"},
     {"feature.compute", "trace.stage.feature.compute"},
     {"kv.store", "trace.stage.kv.store"},
@@ -37,7 +40,7 @@ constexpr StageMetric kStageMetrics[] = {
     {"client.multi_add", "trace.stage.client.multi_add"},
     {"assembler.batch", "trace.stage.assembler.batch"},
 };
-constexpr size_t kDisjointStages = 7;
+constexpr size_t kDisjointStages = 10;
 
 void AppendJsonString(std::string* out, std::string_view s) {
   out->push_back('"');

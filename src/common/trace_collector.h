@@ -80,9 +80,9 @@ class TraceCollector {
   std::string SlowQueryReport() const;
 
   /// Stage names aggregated into "trace.stage.<name>" histograms, in
-  /// display order: the six disjoint pipeline stages first, then the
-  /// umbrella spans (which overlap the stages and must not be summed with
-  /// them).
+  /// display order: the disjoint pipeline stages first (see
+  /// DisjointStageCount), then the umbrella spans (which overlap the stages
+  /// and must not be summed with them).
   static const std::vector<std::string>& StageNames();
   /// Number of leading StageNames() entries that are disjoint pipeline
   /// stages (safe to sum per request).

@@ -56,6 +56,11 @@ class CompactionManager {
   /// true when a compaction was scheduled (or executed, in sync mode).
   bool MaybeTrigger(ProfileId pid);
 
+  /// True when compactions run inline on the triggering thread (tests and
+  /// the III-D ablation) rather than on the async pool. Serving-path callers
+  /// use this to decide whether MaybeTrigger may open trace spans.
+  bool synchronous() const { return options_.synchronous; }
+
   /// Kill switch: while disabled, MaybeTrigger is a no-op. Operators pause
   /// compaction during heavy back-fills and run a sweep afterwards.
   void SetEnabled(bool enabled) {

@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "cache/gcache.h"
+#include "cache/load_broker.h"
 #include "common/call_context.h"
 #include "common/clock.h"
 #include "common/config.h"
@@ -46,6 +47,12 @@ struct IpsInstanceOptions {
   GCacheOptions cache;
   CompactionManagerOptions compaction;
   PersisterOptions persistence;
+  /// Read-path load broker (server-side miss coalescing): concurrent misses
+  /// for the same pid share one kv.load (single-flight) and misses arriving
+  /// within the collection window merge into one KvStore::MultiGet across
+  /// requests. Disable for ablation (bench_hotkey_skew measures both).
+  bool enable_load_broker = true;
+  LoadBrokerOptions load_broker;
   /// Read-write isolation initial state + merge cadence + memory cap.
   bool isolation_enabled = true;
   int64_t isolation_merge_interval_ms = 2000;
@@ -261,6 +268,10 @@ class IpsInstance {
     TableSchema schema;
     std::mutex schema_mu;  // guards schema replacement on hot reload
     std::unique_ptr<Persister> persister;
+    /// Miss-coalescing stage between the cache and the persister. Declared
+    /// before `cache` so it is destroyed after it (the cache's miss path
+    /// holds a non-owning pointer).
+    std::unique_ptr<LoadBroker> load_broker;
     std::unique_ptr<GCache> cache;
     std::unique_ptr<Compactor> compactor;
     std::unique_ptr<CompactionManager> compaction;

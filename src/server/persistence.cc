@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <charconv>
+#include <optional>
 
 #include "common/hash.h"
 #include "common/trace.h"
@@ -401,9 +402,16 @@ Result<ProfileData> Persister::AssembleSplit(ProfileId pid,
 
 std::vector<Result<ProfileData>> Persister::LoadBatch(
     const std::vector<ProfileId>& pids, std::vector<bool>* out_degraded) {
+  // Wrapper glue — degraded bookkeeping and the fallback-retry scan — is
+  // storage read-path work; it reports as kv.load, suspended around the
+  // LoadBatchFrom calls that open their own spans.
+  std::optional<ScopedSpan> glue_span;
+  glue_span.emplace("kv.load");
   if (out_degraded != nullptr) out_degraded->assign(pids.size(), false);
+  glue_span.reset();
   std::vector<Result<ProfileData>> out =
       LoadBatchFrom(kv_, pids, /*record_bookkeeping=*/true);
+  glue_span.emplace("kv.load");
   if (options_.fallback_kv == nullptr) return out;
 
   // Primary-store outages are retried as one batch against the fallback
@@ -418,9 +426,11 @@ std::vector<Result<ProfileData>> Persister::LoadBatch(
   }
   if (retry_pids.empty()) return out;
 
+  glue_span.reset();
   std::vector<Result<ProfileData>> fallback =
       LoadBatchFrom(options_.fallback_kv, retry_pids,
                     /*record_bookkeeping=*/false);
+  glue_span.emplace("kv.load");
   for (size_t j = 0; j < retry_pids.size(); ++j) {
     // As in Load: only a successful fallback read replaces the primary
     // error — NotFound on a lagging replica proves nothing.
@@ -435,13 +445,20 @@ std::vector<Result<ProfileData>> Persister::LoadBatch(
 std::vector<Result<ProfileData>> Persister::LoadBatchFrom(
     KvStore* kv, const std::vector<ProfileId>& pids,
     bool record_bookkeeping) {
-  std::vector<Result<ProfileData>> out(
-      pids.size(), Result<ProfileData>(Status::NotFound("pending")));
+  std::vector<Result<ProfileData>> out;
 
   if (options_.mode == PersistenceMode::kBulk) {
     std::vector<std::string> keys;
-    keys.reserve(pids.size());
-    for (ProfileId pid : pids) keys.push_back(BulkKey(pid));
+    {
+      // Result-slot setup and key marshaling are part of the KV read path;
+      // spanned separately so the work never nests inside the store's own
+      // kv.load span.
+      ScopedSpan prep_span("kv.load");
+      out.assign(pids.size(),
+                 Result<ProfileData>(Status::NotFound("pending")));
+      keys.reserve(pids.size());
+      for (ProfileId pid : pids) keys.push_back(BulkKey(pid));
+    }
     std::vector<std::string> values;
     std::vector<Status> statuses;
     kv->MultiGet(keys, &values, &statuses);
@@ -469,6 +486,7 @@ std::vector<Result<ProfileData>> Persister::LoadBatchFrom(
   // Fig 14 protocol needs them individually), then every referenced slice
   // value across ALL profiles — plus bulk fallbacks for profiles without a
   // meta — is fetched with a single MultiGet.
+  out.assign(pids.size(), Result<ProfileData>(Status::NotFound("pending")));
   struct PendingSplit {
     size_t index;
     SliceMeta meta;

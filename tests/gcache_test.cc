@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
+#include <condition_variable>
 #include <map>
 #include <mutex>
 #include <set>
@@ -10,7 +12,9 @@
 
 #include <gtest/gtest.h>
 
+#include "cache/load_broker.h"
 #include "common/clock.h"
+#include "common/metrics.h"
 
 namespace ips {
 namespace {
@@ -807,6 +811,181 @@ TEST(GCacheTest, FlushAllZeroProgressBailsInsteadOfBusySpin) {
   // and stopped well short of 64 rounds' worth of max backoff.
   EXPECT_GT(clock.NowMs(), 0);
   EXPECT_LE(clock.NowMs(), 4 * options.flush_backoff_max_ms);
+}
+
+TEST(GCacheTest, LoadBrokerSharesMissAndFansDegradedToEveryReader) {
+  // Two concurrent readers miss on the same pid with a broker installed: the
+  // store sees ONE load, and a replica-fallback (degraded) load flags BOTH
+  // readers, not just the one that initiated the fetch.
+  FakeStore store;
+  {
+    GCache seeding(ManualOptions(), SystemClock::Instance(), store.Flusher(),
+                   store.Loader());
+    seeding
+        .WithProfileMutable(
+            42,
+            [](ProfileData& profile) {
+              profile.Add(kMinute, 1, 1, 9, CountVector{5}).ok();
+            })
+        .ok();
+    seeding.FlushAll();
+  }
+  MetricsRegistry metrics;
+  GCache cache(ManualOptions(), SystemClock::Instance(), store.Flusher(),
+               store.Loader(), &metrics);
+  LoadFn loader = store.Loader();
+  std::atomic<int> fetch_calls{0};
+  std::mutex gate_mu;
+  std::condition_variable gate_cv;
+  bool fetch_entered = false;
+  bool gate_open = false;
+  LoadBrokerOptions broker_options;
+  broker_options.window_micros = 0;
+  LoadBroker broker(
+      broker_options,
+      [&](const std::vector<ProfileId>& pids, std::vector<bool>* out_degraded)
+          -> std::vector<Result<ProfileData>> {
+        ++fetch_calls;
+        {
+          std::unique_lock<std::mutex> lock(gate_mu);
+          fetch_entered = true;
+          gate_cv.notify_all();
+          gate_cv.wait(lock, [&] { return gate_open; });
+        }
+        out_degraded->assign(pids.size(), true);  // replica fallback
+        std::vector<Result<ProfileData>> out;
+        for (ProfileId pid : pids) out.push_back(loader(pid, nullptr));
+        return out;
+      },
+      SystemClock::Instance(), &metrics);
+  cache.set_load_broker(&broker);
+
+  const int loads_before = store.load_count();
+  Status status_a, status_b;
+  bool degraded_a = false, degraded_b = false;
+  std::thread a([&] {
+    status_a =
+        cache.WithProfile(42, [](const ProfileData&) {}, nullptr, &degraded_a);
+  });
+  {
+    std::unique_lock<std::mutex> lock(gate_mu);
+    gate_cv.wait(lock, [&] { return fetch_entered; });
+  }
+  std::thread b([&] {
+    status_b =
+        cache.WithProfile(42, [](const ProfileData&) {}, nullptr, &degraded_b);
+  });
+  // The second reader must be attached to the in-flight load before the
+  // fetch is released.
+  Counter* hits = metrics.GetCounter("broker.single_flight_hits");
+  for (int i = 0; i < 5000 && hits->Value() == 0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_EQ(hits->Value(), 1);
+  {
+    std::lock_guard<std::mutex> lock(gate_mu);
+    gate_open = true;
+    gate_cv.notify_all();
+  }
+  a.join();
+  b.join();
+
+  EXPECT_TRUE(status_a.ok()) << status_a.ToString();
+  EXPECT_TRUE(status_b.ok()) << status_b.ToString();
+  EXPECT_EQ(fetch_calls.load(), 1);
+  EXPECT_EQ(store.load_count() - loads_before, 1);
+  EXPECT_TRUE(degraded_a);
+  EXPECT_TRUE(degraded_b);
+  EXPECT_TRUE(cache.StoreUnhealthy());
+}
+
+TEST(GCacheTest, FlushStoreRoundTripRunsOutsideEntryLocks) {
+  // The flusher callback reads every entry it is flushing through the public
+  // API. Under the old design FlushShard held every entry lock in the group
+  // across the storage round trip, so this deadlocked; with snapshot-based
+  // flushing the entries stay readable (and writable) during the trip.
+  FakeStore store;
+  GCacheOptions options = ManualOptions();
+  options.dirty_shards = 1;
+  options.flush_batch_max = 8;
+  GCache cache(options, SystemClock::Instance(), store.Flusher(),
+               store.Loader());
+  cache.set_batch_flusher(
+      [&](const std::vector<ProfileId>& pids,
+          const std::vector<const ProfileData*>& profiles) {
+        for (ProfileId pid : pids) {
+          bool hit = false;
+          EXPECT_TRUE(
+              cache.WithProfile(pid, [](const ProfileData&) {}, &hit).ok());
+          EXPECT_TRUE(hit);
+        }
+        FlushFn flusher = store.Flusher();
+        std::vector<Status> statuses;
+        for (size_t i = 0; i < pids.size(); ++i) {
+          statuses.push_back(flusher(pids[i], *profiles[i]));
+        }
+        return statuses;
+      });
+  for (ProfileId pid = 1; pid <= 4; ++pid) {
+    cache
+        .WithProfileMutable(pid,
+                            [](ProfileData& profile) {
+                              profile.Add(kMinute, 1, 1, 1, CountVector{1})
+                                  .ok();
+                            })
+        .ok();
+  }
+  EXPECT_EQ(cache.FlushOnce(), 4u);
+  EXPECT_EQ(cache.DirtyCount(), 0u);
+  for (ProfileId pid = 1; pid <= 4; ++pid) EXPECT_TRUE(store.Has(pid));
+}
+
+TEST(GCacheTest, WriteDuringFlushRoundTripRequeuesInsteadOfLosingIt) {
+  // A write lands while the entry's snapshot is on the wire: the store gets
+  // the snapshot, but the entry must stay dirty (epoch recheck) so the next
+  // pass persists the newer state — no lost update, no premature clean.
+  FakeStore store;
+  GCacheOptions options = ManualOptions();
+  options.dirty_shards = 1;
+  options.flush_batch_max = 4;
+  GCache cache(options, SystemClock::Instance(), store.Flusher(),
+               store.Loader());
+  std::atomic<bool> mutate_during_flush{true};
+  cache.set_batch_flusher(
+      [&](const std::vector<ProfileId>& pids,
+          const std::vector<const ProfileData*>& profiles) {
+        if (mutate_during_flush.exchange(false)) {
+          EXPECT_TRUE(cache
+                          .WithProfileMutable(
+                              1,
+                              [](ProfileData& profile) {
+                                profile
+                                    .Add(kMinute, 1, 1, 2, CountVector{1})
+                                    .ok();
+                              })
+                          .ok());
+        }
+        FlushFn flusher = store.Flusher();
+        std::vector<Status> statuses;
+        for (size_t i = 0; i < pids.size(); ++i) {
+          statuses.push_back(flusher(pids[i], *profiles[i]));
+        }
+        return statuses;
+      });
+  cache
+      .WithProfileMutable(1,
+                          [](ProfileData& profile) {
+                            profile.Add(kMinute, 1, 1, 1, CountVector{1}).ok();
+                          })
+      .ok();
+  EXPECT_EQ(cache.FlushOnce(), 1u);
+  // The pre-write snapshot persisted, and the racing write kept the entry
+  // queued.
+  EXPECT_EQ(store.Get(1).TotalFeatures(), 1u);
+  EXPECT_EQ(cache.DirtyCount(), 1u);
+  EXPECT_EQ(cache.FlushOnce(), 1u);
+  EXPECT_EQ(store.Get(1).TotalFeatures(), 2u);
+  EXPECT_EQ(cache.DirtyCount(), 0u);
 }
 
 TEST(GCacheTest, FlushThreadsRoundedToShardMultiple) {
