@@ -24,6 +24,7 @@
 #include "core/profile_data.h"
 #include "query/merger.h"
 #include "query/query.h"
+#include "server/quota.h"
 
 namespace ips {
 namespace {
@@ -353,6 +354,50 @@ void BM_LruSharded(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_LruSharded)->Threads(1)->Threads(4)->Threads(8);
+
+// ---------------------------------------------------------------- quota ---
+
+// Admission-path cost of QuotaManager::Check under thread contention. Two
+// shapes: every thread hammering ONE caller (all contend on a single
+// bucket's shard) vs threads spread over many callers (the 16-way shard map
+// keeps them apart). The gap between the two is what the sharded caller map
+// buys on the hot admission path.
+QuotaManager* TheQuotaManager() {
+  static QuotaManager* const quota = [] {
+    static SystemClock clock;
+    auto* q = new QuotaManager(&clock);
+    // Refills at 1e9 tokens/s in real time: never drains under bench load,
+    // so every iteration measures the grant path, not rejection.
+    q->SetQuota("hot", 1e9);
+    for (int c = 0; c < 64; ++c) {
+      q->SetQuota("caller-" + std::to_string(c), 1e9);
+    }
+    return q;
+  }();
+  return quota;
+}
+
+void BM_QuotaCheckHotCaller(benchmark::State& state) {
+  QuotaManager* quota = TheQuotaManager();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(quota->Check("hot").ok());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_QuotaCheckHotCaller)->Threads(1)->Threads(4)->Threads(8);
+
+void BM_QuotaCheckShardedCallers(benchmark::State& state) {
+  QuotaManager* quota = TheQuotaManager();
+  Rng rng(state.thread_index() + 1);
+  // Pre-build the names: the benchmark measures Check, not string concat.
+  std::vector<std::string> callers;
+  for (int c = 0; c < 64; ++c) callers.push_back("caller-" + std::to_string(c));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(quota->Check(callers[rng.Uniform(64)]).ok());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_QuotaCheckShardedCallers)->Threads(1)->Threads(4)->Threads(8);
 
 // ------------------------------------------------------- consistent hash ---
 

@@ -1,0 +1,43 @@
+#!/usr/bin/env bash
+# Bench-artifact lint: every BENCH_*.json committed at the repo root must be
+# parseable JSON and self-describing — a top-level "bench" field naming the
+# harness that produced it. Catches truncated writes and accidental commits
+# of a --smoke artifact clobbering a full run (smoke files say "mode":
+# "smoke"; committed artifacts must be full runs).
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+shopt -s nullglob
+files=(BENCH_*.json)
+if [[ ${#files[@]} -eq 0 ]]; then
+  echo "check_bench: no BENCH_*.json artifacts committed"
+  exit 0
+fi
+
+python3 - "${files[@]}" <<'EOF'
+import json
+import sys
+
+fail = 0
+for path in sys.argv[1:]:
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, ValueError) as e:
+        print(f"check_bench: {path}: invalid JSON: {e}", file=sys.stderr)
+        fail = 1
+        continue
+    if not isinstance(doc, dict) or not isinstance(doc.get("bench"), str):
+        print(f"check_bench: {path}: missing top-level string field 'bench'",
+              file=sys.stderr)
+        fail = 1
+        continue
+    if doc.get("mode") == "smoke":
+        print(f"check_bench: {path}: is a --smoke artifact; commit the full "
+              "run instead", file=sys.stderr)
+        fail = 1
+        continue
+    print(f"check_bench: {path}: ok (bench={doc['bench']})")
+sys.exit(fail)
+EOF

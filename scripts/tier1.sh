@@ -4,7 +4,8 @@
 #   scripts/tier1.sh                        # plain Release build + ctest
 #   IPS_SANITIZE=thread scripts/tier1.sh    # same suite under TSan
 #   IPS_SANITIZE=address scripts/tier1.sh   # same suite under ASan
-#   scripts/tier1.sh --all                  # plain, then ASan, then TSan
+#   IPS_SANITIZE=undefined scripts/tier1.sh # same suite under UBSan
+#   scripts/tier1.sh --all                  # plain, then ASan, TSan, UBSan
 #
 # Sanitized builds use a separate build directory so they don't thrash the
 # incremental plain build.
@@ -12,9 +13,11 @@ set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
-# Cheap doc lint first: metric/span names in docs/METRICS.md must match the
-# source tree. Fails fast before any compile time is spent.
+# Cheap lints first: metric/span names in docs/METRICS.md must match the
+# source tree, and every committed BENCH_*.json must be well-formed. Fails
+# fast before any compile time is spent.
 scripts/check_docs.sh
+scripts/check_bench.sh
 
 run_suite() {
   local sanitize="$1"
@@ -40,11 +43,15 @@ run_suite() {
     # single-flight hits. ctest runs it too; this keeps the gate in the log.
     echo "=== tier1: perf smoke (bench_hotkey_skew --smoke) ==="
     "${build_dir}/bench/bench_hotkey_skew" --smoke
+    # Overload gate: replaying the recorded trace at 5x capacity, goodput
+    # with the admission controller on must beat controller-off >= 2x.
+    echo "=== tier1: perf smoke (bench_overload --smoke) ==="
+    "${build_dir}/bench/bench_overload" --smoke
   fi
 }
 
 if [[ "${1:-}" == "--all" ]]; then
-  for sanitize in "" address thread; do
+  for sanitize in "" address thread undefined; do
     run_suite "${sanitize}"
   done
 else

@@ -121,6 +121,9 @@ bool IpsClient::PrepareRetry(const Status& last_error, const CallContext& ctx) {
     // charged to a healthy node's breaker. Fail with the real error now.
     if (remaining <= sleep_ms) return false;
   }
+  if (last_error.IsThrottled() && last_error.has_retry_after()) {
+    metrics_->GetCounter("client.throttle_backoffs")->Increment();
+  }
   metrics_->GetCounter("client.retries")->Increment();
   if (sleep_ms > 0) deployment_->clock()->SleepMs(sleep_ms);
   return true;
@@ -209,9 +212,14 @@ Status IpsClient::AddProfilesAs(const std::string& caller,
           });
       RecordOutcome(node_id, region_status);
       if (region_status.ok()) break;
-      // A quota rejection is a server decision, not a node fault: stop
-      // hammering successors (they enforce the same quota).
-      if (region_status.IsResourceExhausted()) break;
+      // A hint-less quota rejection is a server decision, not a node fault:
+      // stop hammering successors (they enforce the same quota). A load-shed
+      // WITH a retry-after hint may continue — the next attempt's
+      // PrepareRetry paces it by the hint without burning budget.
+      if (region_status.IsResourceExhausted() &&
+          !region_status.has_retry_after()) {
+        break;
+      }
     }
     if (region_status.ok()) {
       ++regions_ok;
@@ -369,7 +377,10 @@ Result<MultiAddResult> IpsClient::MultiAddAs(
             // item in the sub-batch shares the cause.
             Status error = call_status.ok() ? batch.status() : call_status;
             RecordOutcome(*node_id, error);
-            if (error.IsResourceExhausted()) {
+            // Hint-less quota rejections stop the region's retries below; a
+            // load-shed WITH a retry-after hint is re-offered on the next
+            // round, paced by PrepareRetry honoring the hint.
+            if (error.IsResourceExhausted() && !error.has_retry_after()) {
               saw_quota.store(true, std::memory_order_relaxed);
             }
             for (size_t s : *item_ids) states[s].status = error;
@@ -452,12 +463,20 @@ Result<QueryResult> IpsClient::Query(const std::string& table, ProfileId pid,
 
   Status last_error = Status::Unavailable("no live instance");
   bool first_attempt = true;
+  // Server-paced (retry-after) re-offers allowed for this request. The cap
+  // keeps a deadline-less request from pacing against a shedding server
+  // forever; with a deadline, PrepareRetry's headroom check bounds it too.
+  int throttle_retries = options_.max_read_attempts;
   for (const auto& region : regions) {
     const auto candidates =
         ReadCandidates(pid, region, options_.max_read_attempts);
-    for (const auto& node_id : candidates) {
+    for (size_t ci = 0; ci < candidates.size();) {
+      const std::string& node_id = candidates[ci];
       IpsNode* node = deployment_->FindNode(node_id);
-      if (node == nullptr) continue;
+      if (node == nullptr) {
+        ++ci;
+        continue;
+      }
       if (ctx.Expired(deployment_->clock()->NowMs())) {
         metrics_->GetCounter("client.deadline_exceeded")->Increment();
         metrics_->GetCounter("client.read_errors")->Increment();
@@ -485,8 +504,19 @@ Result<QueryResult> IpsClient::Query(const std::string& table, ProfileId pid,
       }
       last_error = call_status.ok() ? query_result.status() : call_status;
       RecordOutcome(node_id, last_error);
-      // Quota rejections are not retried: the server told us to back off.
-      if (last_error.IsResourceExhausted()) break;
+      if (last_error.IsThrottled()) {
+        // A load-shed with a retry-after hint means "come back to ME after
+        // the hint" — re-offer to the SAME node after the server-paced
+        // backoff (PrepareRetry grants the hint without burning budget).
+        // A hint-less quota rejection stays terminal: successors enforce
+        // the same per-caller budget.
+        if (last_error.has_retry_after() && throttle_retries > 0) {
+          --throttle_retries;
+          continue;
+        }
+        break;
+      }
+      ++ci;
     }
     if (last_error.IsResourceExhausted()) break;
   }
@@ -649,7 +679,10 @@ Result<MultiQueryResult> IpsClient::MultiQuery(const std::string& table,
             // slot in the sub-batch shares the cause.
             Status error = call_status.ok() ? batch.status() : call_status;
             RecordOutcome(*node_id, error);
-            if (error.IsResourceExhausted()) {
+            // Hint-less quota rejections stop the scatter below; a load-shed
+            // WITH a retry-after hint is re-offered on the next round, paced
+            // by PrepareRetry honoring the hint.
+            if (error.IsResourceExhausted() && !error.has_retry_after()) {
               saw_quota.store(true, std::memory_order_relaxed);
             }
             for (size_t s : *slot_ids) slots[s].status = error;

@@ -23,6 +23,19 @@ void RetryPolicy::OnRequestStart() {
 
 std::optional<int64_t> RetryPolicy::NextRetryDelayMs(const Status& error) {
   if (!options_.enabled) return std::nullopt;
+  // A shed response carrying a retry-after hint is server-paced: honor the
+  // hint as the backoff and do NOT burn a budget token — the server asked
+  // for exactly this retry, and shedding must reduce re-offered load, not
+  // convert it into budget exhaustion for real faults. Hint-less throttles
+  // (plain quota) remain terminal below via IsRetryable().
+  if (error.IsThrottled() && error.has_retry_after()) {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++throttle_backoffs_;
+    // Feed the jitter walk so a transient failure right after a shed does
+    // not restart from the minimum delay against a loaded server.
+    prev_backoff_ms_ = std::max(prev_backoff_ms_, error.retry_after_ms());
+    return error.retry_after_ms();
+  }
   if (!error.IsRetryable()) return std::nullopt;
   std::lock_guard<std::mutex> lock(mu_);
   if (tokens_ < 1.0) {
@@ -52,6 +65,11 @@ int64_t RetryPolicy::retries_granted() const {
 int64_t RetryPolicy::budget_denials() const {
   std::lock_guard<std::mutex> lock(mu_);
   return budget_denials_;
+}
+
+int64_t RetryPolicy::throttle_backoffs() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return throttle_backoffs_;
 }
 
 }  // namespace ips

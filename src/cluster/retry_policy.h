@@ -55,7 +55,17 @@ class RetryPolicy {
   /// Backoff is "decorrelated jitter": each delay is drawn uniform in
   /// [initial, 3 * previous], capped at max_backoff_ms — spreading retries
   /// in time so synchronized failures do not produce synchronized retries.
+  ///
+  /// Throttle decisions with a retry-after hint (the overload controller's
+  /// shed responses) are the one exception to "ResourceExhausted is
+  /// terminal": the server itself named the backoff that makes a retry
+  /// useful, so the hint is granted as the delay WITHOUT withdrawing a
+  /// budget token — the client is complying with server pacing, not
+  /// amplifying load. A plain quota rejection (no hint) stays terminal.
   std::optional<int64_t> NextRetryDelayMs(const Status& error);
+
+  /// Cumulative count of server-paced (retry-after) backoffs granted.
+  int64_t throttle_backoffs() const;
 
   /// Remaining budget tokens (observability / tests).
   double budget_tokens() const;
@@ -72,6 +82,7 @@ class RetryPolicy {
   int64_t prev_backoff_ms_;
   int64_t retries_granted_ = 0;
   int64_t budget_denials_ = 0;
+  int64_t throttle_backoffs_ = 0;
 };
 
 }  // namespace ips

@@ -37,6 +37,11 @@ std::string Status::ToString() const {
     out += ": ";
     out += message_;
   }
+  if (retry_after_ms_ > 0) {
+    out += " (retry after ";
+    out += std::to_string(retry_after_ms_);
+    out += "ms)";
+  }
   return out;
 }
 

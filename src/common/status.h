@@ -56,6 +56,16 @@ class Status {
   static Status ResourceExhausted(std::string msg) {
     return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
+  /// Load-shed rejection from the overload controller: ResourceExhausted
+  /// plus a server-computed retry-after hint. Distinct from a plain quota
+  /// rejection only through the hint — both are throttle decisions, never
+  /// transient faults, so neither is IsRetryable() (an immediate re-dispatch
+  /// would hit the same admission gate).
+  static Status Overloaded(std::string msg, int64_t retry_after_ms) {
+    Status s(StatusCode::kResourceExhausted, std::move(msg));
+    s.retry_after_ms_ = retry_after_ms;
+    return s;
+  }
   static Status Unavailable(std::string msg) {
     return Status(StatusCode::kUnavailable, std::move(msg));
   }
@@ -79,6 +89,13 @@ class Status {
   StatusCode code() const { return code_; }
   const std::string& message() const { return message_; }
 
+  /// Server-suggested backoff before re-offering the request, in
+  /// milliseconds. 0 means "no hint" (plain quota rejections, every other
+  /// code). Survives copies so the hint reaches the client's retry policy
+  /// through every Result/Status hand-off.
+  int64_t retry_after_ms() const { return retry_after_ms_; }
+  bool has_retry_after() const { return retry_after_ms_ > 0; }
+
   bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
   bool IsAlreadyExists() const {
     return code_ == StatusCode::kAlreadyExists;
@@ -87,6 +104,13 @@ class Status {
     return code_ == StatusCode::kInvalidArgument;
   }
   bool IsResourceExhausted() const {
+    return code_ == StatusCode::kResourceExhausted;
+  }
+  /// A throttle decision by the server (quota or load shed): the request was
+  /// well-formed and the target healthy, but admission said no. Retrying
+  /// against another replica is pointless (they enforce the same policy);
+  /// the only sane reactions are backing off by the hint or failing fast.
+  bool IsThrottled() const {
     return code_ == StatusCode::kResourceExhausted;
   }
   bool IsUnavailable() const { return code_ == StatusCode::kUnavailable; }
@@ -118,6 +142,7 @@ class Status {
  private:
   StatusCode code_;
   std::string message_;
+  int64_t retry_after_ms_ = 0;
 };
 
 /// Result<T> holds either a value or an error Status, like absl::StatusOr.

@@ -1,0 +1,101 @@
+#include "ingest/request_trace.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <string>
+
+namespace ips {
+
+namespace {
+constexpr char kHeader[] = "ips-request-trace v1";
+}  // namespace
+
+int64_t RequestTrace::DurationUs() const {
+  if (requests.size() < 2) return 0;
+  return requests.back().offset_us - requests.front().offset_us;
+}
+
+Status RequestTrace::SaveTo(const std::string& path) const {
+  FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return Status::Internal("cannot open trace file for write: " + path);
+  }
+  std::fprintf(f, "%s %zu\n", kHeader, requests.size());
+  for (const auto& r : requests) {
+    std::fprintf(f, "%" PRId64 " %c %" PRIu64 " %u %u\n", r.offset_us,
+                 r.is_write ? 'w' : 'r', static_cast<uint64_t>(r.pid),
+                 static_cast<unsigned>(r.slot), static_cast<unsigned>(r.k));
+  }
+  const bool ok = std::fclose(f) == 0;
+  if (!ok) return Status::Internal("short write to trace file: " + path);
+  return Status::OK();
+}
+
+Result<RequestTrace> RequestTrace::LoadFrom(const std::string& path) {
+  FILE* f = std::fopen(path.c_str(), "r");
+  if (f == nullptr) {
+    return Status::NotFound("trace file not found: " + path);
+  }
+  RequestTrace trace;
+  char header[64] = {0};
+  size_t count = 0;
+  // "%63[^ ] v1 %zu" would accept any version; match the header literally.
+  if (std::fscanf(f, "ips-request-trace v%63s %zu\n", header, &count) != 2 ||
+      std::string(header) != "1") {
+    std::fclose(f);
+    return Status::Corruption("bad trace header in " + path);
+  }
+  trace.requests.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    TraceRequest r;
+    char kind = 0;
+    uint64_t pid = 0;
+    unsigned slot = 0;
+    unsigned k = 0;
+    if (std::fscanf(f, "%" SCNd64 " %c %" SCNu64 " %u %u\n", &r.offset_us,
+                    &kind, &pid, &slot, &k) != 5 ||
+        (kind != 'r' && kind != 'w')) {
+      std::fclose(f);
+      return Status::Corruption("bad trace row " + std::to_string(i) +
+                                " in " + path);
+    }
+    r.is_write = kind == 'w';
+    r.pid = static_cast<ProfileId>(pid);
+    r.slot = static_cast<SlotId>(slot);
+    r.k = k;
+    trace.requests.push_back(r);
+  }
+  std::fclose(f);
+  return trace;
+}
+
+RequestTrace RecordTrace(WorkloadGenerator& gen,
+                         const TraceRecordOptions& options) {
+  RequestTrace trace;
+  trace.requests.reserve(options.num_requests);
+  Rng rng(options.seed);
+  const double mean_gap_us =
+      options.base_qps > 0 ? 1e6 / options.base_qps : 1000;
+  double now_us = 0;
+  for (size_t i = 0; i < options.num_requests; ++i) {
+    now_us += rng.Exponential(mean_gap_us);
+    TraceRequest r;
+    r.offset_us = static_cast<int64_t>(now_us);
+    r.is_write = !rng.Bernoulli(options.read_fraction);
+    r.pid = gen.SampleUser();
+    if (r.is_write) {
+      r.k = options.write_batch;
+    } else {
+      // Sample the query shape from the generator's realistic spec stream,
+      // keeping only what the replayer needs (slot + top-k).
+      ProfileId spec_uid = 0;
+      QuerySpec spec = gen.NextQuerySpec(&spec_uid);
+      r.slot = spec.slot;
+      r.k = static_cast<uint32_t>(spec.k);
+    }
+    trace.requests.push_back(r);
+  }
+  return trace;
+}
+
+}  // namespace ips

@@ -1,0 +1,73 @@
+// Request-arrival traces: record an arrival sequence from the workload
+// generator once, replay it any number of times. This is the first slice of
+// workload replay (ROADMAP): the overload bench must drive the SAME arrival
+// sequence — same users, same read/write mix, same Poisson arrival offsets —
+// through controller-on and controller-off configurations, or the goodput
+// comparison measures sampling noise instead of admission policy. A trace
+// captures only what admission and routing see (arrival offset, kind,
+// profile id, query shape); replayers scale the time axis to produce 1x/2x/
+// 5x overload from one recording.
+//
+// The on-disk format is a versioned text file, one request per line —
+// greppable, diffable, and committable next to the BENCH_*.json it produced.
+#ifndef IPS_INGEST_REQUEST_TRACE_H_
+#define IPS_INGEST_REQUEST_TRACE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/types.h"
+#include "ingest/workload.h"
+
+namespace ips {
+
+/// One recorded arrival. Offsets are relative to the trace start so a replay
+/// can scale the time axis (offset / multiplier = overload factor).
+struct TraceRequest {
+  /// Arrival time, microseconds from trace start.
+  int64_t offset_us = 0;
+  /// false = read (MultiQuery), true = write (MultiAdd).
+  bool is_write = false;
+  /// Profile the request targets (Zipf-sampled at record time).
+  ProfileId pid = 0;
+  /// Read shape: slot + top-k. Write shape: `k` is the record-batch size.
+  SlotId slot = 0;
+  uint32_t k = 0;
+};
+
+struct RequestTrace {
+  std::vector<TraceRequest> requests;
+
+  /// Duration from first to last arrival (0 for traces of < 2 requests).
+  int64_t DurationUs() const;
+
+  /// Writes the trace as "ips-request-trace v1" + one line per request.
+  Status SaveTo(const std::string& path) const;
+
+  /// Parses a file written by SaveTo. Corrupt headers or rows are an error,
+  /// not a silent truncation.
+  static Result<RequestTrace> LoadFrom(const std::string& path);
+};
+
+struct TraceRecordOptions {
+  /// Mean arrival rate of the recorded (1x) trace; replayers scale this.
+  double base_qps = 1000;
+  /// Trace length in requests.
+  size_t num_requests = 10'000;
+  /// Fraction of arrivals that are reads (the paper's ~10:1 read:write).
+  double read_fraction = 0.9;
+  /// Records per write batch.
+  uint32_t write_batch = 4;
+  uint64_t seed = 97;
+};
+
+/// Samples a Poisson arrival process over `gen`'s user/query distributions.
+/// Deterministic for a fixed (generator state, options) pair.
+RequestTrace RecordTrace(WorkloadGenerator& gen,
+                         const TraceRecordOptions& options);
+
+}  // namespace ips
+
+#endif  // IPS_INGEST_REQUEST_TRACE_H_

@@ -13,7 +13,8 @@ IpsInstance::IpsInstance(IpsInstanceOptions options, KvStore* kv, Clock* clock,
       kv_(kv),
       clock_(clock),
       metrics_(metrics != nullptr ? metrics : &owned_metrics_),
-      quota_(clock, options.default_caller_qps) {
+      quota_(clock, options.default_caller_qps),
+      overload_(options.overload, clock, metrics_) {
   isolation_enabled_.store(options_.isolation_enabled,
                            std::memory_order_relaxed);
   if (options_.start_background_threads) {
@@ -216,15 +217,21 @@ Result<MultiAddResult> IpsInstance::MultiAdd(
   ScopedSpan server_span("server.add");
   Table* t = nullptr;
   {
-    // Same admission shape as MultiQuery: deadline, then ONE quota charge
-    // for the whole batch — a 256-profile ingestion burst is one admission
-    // decision, not 256.
+    // Same admission shape as MultiQuery: deadline, then the overload
+    // controller, then ONE quota charge for the whole batch — a 256-profile
+    // ingestion burst is one admission decision, not 256.
     ScopedSpan queue_span("server.queue");
+    const int64_t admit_ns = MonotonicNanos();
     IPS_RETURN_IF_ERROR(CheckDeadline(ctx));
+    IPS_RETURN_IF_ERROR(
+        overload_.Admit(overload_.TierFor(caller, /*is_write=*/true),
+                        static_cast<double>(items.size()), ctx,
+                        clock_->NowMs()));
     IPS_RETURN_IF_ERROR(quota_.Check(caller));
     if (items.empty()) return Status::InvalidArgument("empty add batch");
     t = FindTable(table);
     if (t == nullptr) return Status::NotFound("table " + table);
+    overload_.RecordQueueSample((MonotonicNanos() - admit_ns) / 1000);
   }
 
   const int64_t begin_ns = MonotonicNanos();
@@ -251,6 +258,7 @@ Result<MultiAddResult> IpsInstance::MultiAdd(
   }
 
   const int64_t micros = (MonotonicNanos() - begin_ns) / 1000;
+  overload_.RecordServiceSample(micros, static_cast<double>(items.size()));
   metrics_->GetHistogram("server.multi_add_micros")->Record(micros);
   metrics_->GetHistogram("server.multi_add_batch")
       ->Record(static_cast<int64_t>(items.size()));
@@ -376,9 +384,15 @@ Result<MultiQueryResult> IpsInstance::MultiQuery(
   QuerySpec effective = spec;
   {
     // "Queueing": everything that admits the request before any per-profile
-    // work — deadline check, quota, table resolution, schema snapshot.
+    // work — deadline check, overload controller, quota, table resolution,
+    // schema snapshot.
     ScopedSpan queue_span("server.queue");
+    const int64_t admit_ns = MonotonicNanos();
     IPS_RETURN_IF_ERROR(CheckDeadline(ctx));
+    IPS_RETURN_IF_ERROR(
+        overload_.Admit(overload_.TierFor(caller, /*is_write=*/false),
+                        static_cast<double>(pids.size()), ctx,
+                        clock_->NowMs()));
     // One quota charge per batch — a 500-candidate request is one admission
     // decision, mirroring the batched write path.
     IPS_RETURN_IF_ERROR(quota_.Check(caller));
@@ -388,6 +402,7 @@ Result<MultiQueryResult> IpsInstance::MultiQuery(
 
     std::lock_guard<std::mutex> schema_lock(t->schema_mu);
     effective.reduce = t->schema.reduce;
+    overload_.RecordQueueSample((MonotonicNanos() - admit_ns) / 1000);
   }
 
   // Per-request setup and (below) result packaging are server overhead like
@@ -469,6 +484,8 @@ Result<MultiQueryResult> IpsInstance::MultiQuery(
 
   overhead_span.emplace("server.queue");
   const int64_t micros = (MonotonicNanos() - begin_ns) / 1000;
+  overload_.RecordServiceSample(micros,
+                                static_cast<double>(pid_vec.size()));
   metrics_->GetHistogram("server.multi_query_micros")->Record(micros);
   metrics_->GetHistogram("server.multi_query_batch")
       ->Record(static_cast<int64_t>(pid_vec.size()));
@@ -615,6 +632,27 @@ void IpsInstance::AttachConfigRegistry(ConfigRegistry* registry) {
           }
         }
         metrics_->GetCounter("config.quota_reload")->Increment();
+      }));
+
+  // Per-caller criticality for the brown-out ladder (same shape as quotas):
+  // a document {"caller": "critical"|"read"|"write"|"bulk", ...}. Any other
+  // value removes the explicit mark, reverting the caller to the read/write
+  // defaults.
+  config_subscriptions_.push_back(registry->Subscribe(
+      "ips/" + options_.instance_id + "/tiers",
+      [this](const ConfigValue& doc) {
+        if (!doc.is_object()) return;
+        for (const auto& [caller, tier] : doc.members()) {
+          std::optional<RequestTier> parsed =
+              tier.is_string() ? ParseRequestTier(tier.AsString())
+                               : std::nullopt;
+          if (parsed.has_value()) {
+            overload_.SetCallerTier(caller, *parsed);
+          } else {
+            overload_.RemoveCallerTier(caller);
+          }
+        }
+        metrics_->GetCounter("config.tier_reload")->Increment();
       }));
 
   std::vector<std::string> names;

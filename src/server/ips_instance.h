@@ -36,6 +36,7 @@
 #include "core/table_schema.h"
 #include "kvstore/kv_store.h"
 #include "query/query.h"
+#include "server/overload.h"
 #include "server/persistence.h"
 #include "server/quota.h"
 
@@ -59,6 +60,11 @@ struct IpsInstanceOptions {
   size_t isolation_memory_limit_bytes = 32 << 20;
   /// Default per-caller QPS when no explicit quota is set (0 = unlimited).
   double default_caller_qps = 0;
+  /// Adaptive overload control (queue-aware admission + brown-out), layered
+  /// in front of the quota at every admission point. `overload.enabled`
+  /// is the master switch (off = quota-only admission, the pre-controller
+  /// behaviour and the bench_overload ablation baseline).
+  OverloadControllerOptions overload;
   /// When false the instance never writes to the KV store (Section III-G:
   /// in a multi-region deployment only the primary region's instances
   /// persist to the master cluster; the others only read their local
@@ -213,6 +219,7 @@ class IpsInstance {
   // --- Operations -----------------------------------------------------
 
   QuotaManager& quota() { return quota_; }
+  OverloadController& overload() { return overload_; }
 
   /// Hot switch for read-write isolation (Section III-F / V-b).
   void SetIsolationEnabled(bool enabled);
@@ -302,6 +309,7 @@ class IpsInstance {
   MetricsRegistry* metrics_;
   MetricsRegistry owned_metrics_;  // used when none injected
   QuotaManager quota_;
+  OverloadController overload_;
 
   mutable std::mutex tables_mu_;
   std::unordered_map<std::string, std::unique_ptr<Table>> tables_;

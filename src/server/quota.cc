@@ -8,41 +8,49 @@ QuotaManager::QuotaManager(Clock* clock, double default_qps)
 void QuotaManager::SetQuota(const std::string& caller, double qps,
                             double burst) {
   if (burst <= 0) burst = qps;
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = buckets_.find(caller);
-  if (it != buckets_.end()) {
+  Shard& shard = ShardFor(caller);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.buckets.find(caller);
+  if (it != shard.buckets.end()) {
     it->second->Reconfigure(qps, burst);
   } else {
-    buckets_[caller] = std::make_unique<TokenBucket>(qps, burst, clock_);
+    shard.buckets[caller] = std::make_shared<TokenBucket>(qps, burst, clock_);
   }
 }
 
 void QuotaManager::RemoveQuota(const std::string& caller) {
-  std::lock_guard<std::mutex> lock(mu_);
-  buckets_.erase(caller);
+  Shard& shard = ShardFor(caller);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  shard.buckets.erase(caller);
 }
 
 Status QuotaManager::Check(const std::string& caller, double cost) {
-  TokenBucket* bucket = nullptr;
+  Shard& shard = ShardFor(caller);
+  std::shared_ptr<TokenBucket> bucket;
   {
-    std::lock_guard<std::mutex> lock(mu_);
-    auto it = buckets_.find(caller);
-    if (it == buckets_.end()) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.buckets.find(caller);
+    if (it == shard.buckets.end()) {
       if (default_qps_ <= 0) return Status::OK();  // unlimited by default
-      buckets_[caller] = std::make_unique<TokenBucket>(
-          default_qps_, default_qps_, clock_);
-      it = buckets_.find(caller);
+      it = shard.buckets
+               .emplace(caller, std::make_shared<TokenBucket>(
+                                    default_qps_, default_qps_, clock_))
+               .first;
     }
-    bucket = it->second.get();
+    bucket = it->second;
   }
+  // TryAcquire runs outside the shard lock (TokenBucket is internally
+  // synchronized); the shared_ptr keeps the bucket alive across a
+  // concurrent RemoveQuota.
   if (bucket->TryAcquire(cost)) return Status::OK();
   return Status::ResourceExhausted("quota exceeded for caller " + caller);
 }
 
 double QuotaManager::QuotaFor(const std::string& caller) const {
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = buckets_.find(caller);
-  if (it == buckets_.end()) return default_qps_;
+  const Shard& shard = ShardFor(caller);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.buckets.find(caller);
+  if (it == shard.buckets.end()) return default_qps_;
   return it->second->rate_per_sec();
 }
 

@@ -6,6 +6,7 @@
 #ifndef IPS_SERVER_QUOTA_H_
 #define IPS_SERVER_QUOTA_H_
 
+#include <array>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -17,6 +18,12 @@
 
 namespace ips {
 
+/// Thread-safe. The bucket map is sharded by caller-name hash so that
+/// admission checks from many serving threads never serialize on one global
+/// mutex: each Check touches exactly one shard's lock (and the TokenBucket
+/// itself is internally synchronized). 16 shards is plenty — caller
+/// cardinality is tens of applications, contention comes from request
+/// threads, not from distinct callers.
 class QuotaManager {
  public:
   /// `default_qps` applies to callers without an explicit quota; 0 means
@@ -37,10 +44,26 @@ class QuotaManager {
   double QuotaFor(const std::string& caller) const;
 
  private:
+  static constexpr size_t kShards = 16;
+
+  struct Shard {
+    mutable std::mutex mu;
+    /// shared_ptr so a bucket grabbed by an in-flight Check survives a
+    /// concurrent RemoveQuota (the race resolves as "checked under the old
+    /// quota", never as a dangling pointer).
+    std::unordered_map<std::string, std::shared_ptr<TokenBucket>> buckets;
+  };
+
+  Shard& ShardFor(const std::string& caller) {
+    return shards_[std::hash<std::string>{}(caller) % kShards];
+  }
+  const Shard& ShardFor(const std::string& caller) const {
+    return shards_[std::hash<std::string>{}(caller) % kShards];
+  }
+
   Clock* clock_;
   double default_qps_;
-  mutable std::mutex mu_;
-  std::unordered_map<std::string, std::unique_ptr<TokenBucket>> buckets_;
+  std::array<Shard, kShards> shards_;
 };
 
 }  // namespace ips

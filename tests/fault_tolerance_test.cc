@@ -7,13 +7,21 @@
 
 #include <algorithm>
 #include <limits>
+#include <optional>
 
 #include <gtest/gtest.h>
 
+#include "cluster/client.h"
+#include "cluster/deployment.h"
 #include "common/clock.h"
+#include "core/table_schema.h"
+#include "server/overload.h"
 
 namespace ips {
 namespace {
+
+constexpr int64_t kMinute = kMillisPerMinute;
+constexpr int64_t kDay = kMillisPerDay;
 
 // --- CallContext ------------------------------------------------------
 
@@ -131,6 +139,42 @@ TEST(RetryPolicyTest, DisabledPolicyGrantsNothing) {
   EXPECT_FALSE(
       policy.NextRetryDelayMs(Status::Unavailable("down")).has_value());
   EXPECT_EQ(policy.budget_denials(), 0);  // not a budget decision
+  // A disabled policy also ignores server pacing hints.
+  EXPECT_FALSE(
+      policy.NextRetryDelayMs(Status::Overloaded("shed", 40)).has_value());
+  EXPECT_EQ(policy.throttle_backoffs(), 0);
+}
+
+TEST(RetryPolicyTest, ThrottleWithHintIsServerPacedAndBudgetFree) {
+  RetryPolicy policy(SmallBudget());
+  // A shed response names its own backoff: the grant is exactly the hint
+  // and costs no budget token (complying with server pacing is not load
+  // amplification).
+  auto delay = policy.NextRetryDelayMs(Status::Overloaded("shed", 40));
+  ASSERT_TRUE(delay.has_value());
+  EXPECT_EQ(*delay, 40);
+  EXPECT_DOUBLE_EQ(policy.budget_tokens(), SmallBudget().budget_cap);
+  EXPECT_EQ(policy.throttle_backoffs(), 1);
+  // A hint-less quota rejection stays terminal: retrying a quota breach
+  // repeats deterministically.
+  EXPECT_FALSE(
+      policy.NextRetryDelayMs(Status::ResourceExhausted("quota")).has_value());
+  EXPECT_EQ(policy.throttle_backoffs(), 1);
+}
+
+TEST(RetryPolicyTest, ThrottleHintGrantedEvenWithEmptyBudget) {
+  RetryPolicy policy(SmallBudget());  // 3 tokens
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(
+        policy.NextRetryDelayMs(Status::Unavailable("down")).has_value());
+  }
+  EXPECT_FALSE(
+      policy.NextRetryDelayMs(Status::Unavailable("down")).has_value());
+  // Budget empty, but server-paced backoff is still honored: the server
+  // asked for exactly this retry.
+  auto delay = policy.NextRetryDelayMs(Status::Overloaded("shed", 15));
+  ASSERT_TRUE(delay.has_value());
+  EXPECT_EQ(*delay, 15);
 }
 
 // --- CircuitBreaker ---------------------------------------------------
@@ -215,6 +259,77 @@ TEST(CircuitBreakerRegistryTest, OneBreakerPerNode) {
   for (int i = 0; i < 3; ++i) a->RecordFailure(10);
   EXPECT_FALSE(a->AllowRequest(11));
   EXPECT_TRUE(b->AllowRequest(11));  // isolation between nodes
+}
+
+// --- Overload shedding, client side end to end ------------------------
+
+DeploymentOptions ShedDeploymentOptions() {
+  DeploymentOptions options;
+  options.regions = {{"lf", 2, /*is_primary=*/true}};
+  options.instance.start_background_threads = false;
+  options.instance.cache.start_background_threads = false;
+  options.instance.compaction.synchronous = true;
+  options.instance.isolation_enabled = false;
+  return options;
+}
+
+TEST(OverloadShedClientTest, RetryAfterHonoredWithoutBurningBudget) {
+  ManualClock clock(100 * kDay);
+  Deployment deployment(ShedDeploymentOptions(), &clock);
+  ASSERT_TRUE(
+      deployment.CreateTableEverywhere(DefaultTableSchema("profiles")).ok());
+  // Force every node into brown-out level 3: reads and writes shed with a
+  // retry-after hint; only critical-marked callers get through.
+  for (auto* node : deployment.NodesInRegion("lf")) {
+    node->instance().overload().SetLevelOverride(3);
+  }
+  IpsClientOptions copts;
+  copts.caller = "ranker";
+  copts.local_region = "lf";
+  IpsClient client(copts, &deployment);
+  const double budget_before = client.retry_policy().budget_tokens();
+
+  auto read = client.GetProfileTopK("profiles", 7, 1, std::nullopt,
+                                    TimeRange::Current(kDay),
+                                    SortBy::kActionCount, 0, 10);
+  ASSERT_FALSE(read.ok());
+  EXPECT_TRUE(read.status().IsThrottled());
+  EXPECT_TRUE(read.status().has_retry_after());
+
+  Status write = client.AddProfile("profiles", 7, clock.NowMs() - kMinute, 1,
+                                   1, 42, CountVector{1});
+  ASSERT_FALSE(write.ok());
+  EXPECT_TRUE(write.IsThrottled());
+  EXPECT_TRUE(write.has_retry_after());
+
+  // The client re-offered each request only at server pace (hint-granted
+  // backoffs observed) and spent zero retry-budget tokens doing it: shed
+  // traffic slows down instead of amplifying.
+  EXPECT_GT(client.retry_policy().throttle_backoffs(), 0);
+  EXPECT_GE(client.retry_policy().budget_tokens(), budget_before);
+  EXPECT_EQ(client.retry_policy().budget_denials(), 0);
+}
+
+TEST(OverloadShedClientTest, CriticalCallerRidesThroughBrownOut) {
+  ManualClock clock(100 * kDay);
+  Deployment deployment(ShedDeploymentOptions(), &clock);
+  ASSERT_TRUE(
+      deployment.CreateTableEverywhere(DefaultTableSchema("profiles")).ok());
+  for (auto* node : deployment.NodesInRegion("lf")) {
+    node->instance().overload().SetLevelOverride(3);
+    node->instance().overload().SetCallerTier("checkout",
+                                              RequestTier::kCritical);
+  }
+  IpsClientOptions copts;
+  copts.caller = "checkout";
+  copts.local_region = "lf";
+  IpsClient client(copts, &deployment);
+  // Level 3 sheds bulk/write/read but critical reads still serve (an empty
+  // profile is a successful read).
+  auto read = client.GetProfileTopK("profiles", 7, 1, std::nullopt,
+                                    TimeRange::Current(kDay),
+                                    SortBy::kActionCount, 0, 10);
+  EXPECT_TRUE(read.ok()) << read.status().ToString();
 }
 
 }  // namespace

@@ -533,6 +533,112 @@ TEST_F(IpsInstanceTest, QuotaHotReloadViaConfigRegistry) {
   instance_.DetachConfigRegistry();
 }
 
+TEST_F(IpsInstanceTest, QuotaHotReloadPreservesDrainedUsage) {
+  ConfigRegistry registry;
+  instance_.AttachConfigRegistry(&registry);
+  const std::string key = "ips/" + instance_.instance_id() + "/quotas";
+  auto add_as = [&](const std::string& caller) {
+    return instance_.AddProfile(caller, "profiles", 1, clock_.NowMs(), 1, 1,
+                                1, CountVector{1});
+  };
+
+  // Drain the caller dry under the old quota...
+  ASSERT_TRUE(registry.PublishJson(key, R"({"feed": 4})").ok());
+  while (add_as("feed").ok()) {
+  }
+  // ...then reconfigure mid-flight: the drained state carries over (no free
+  // burst from a config push) and the bucket refills at the NEW rate.
+  ASSERT_TRUE(registry.PublishJson(key, R"({"feed": 2})").ok());
+  EXPECT_TRUE(add_as("feed").IsResourceExhausted());
+  clock_.AdvanceMs(5000);
+  int granted = 0;
+  for (int i = 0; i < 10; ++i) {
+    if (add_as("feed").ok()) ++granted;
+  }
+  EXPECT_EQ(granted, 2);  // burst cap = one second of the new rate
+  instance_.DetachConfigRegistry();
+}
+
+TEST_F(IpsInstanceTest, QuotaHotReloadMixedRemovalDocument) {
+  ConfigRegistry registry;
+  instance_.AttachConfigRegistry(&registry);
+  const std::string key = "ips/" + instance_.instance_id() + "/quotas";
+  const TimestampMs now = clock_.NowMs();
+  auto add_as = [&](const std::string& caller) {
+    return instance_.AddProfile(caller, "profiles", 1, now, 1, 1, 1,
+                                CountVector{1});
+  };
+
+  ASSERT_TRUE(registry.PublishJson(key, R"({"feed": 1})").ok());
+  ASSERT_TRUE(add_as("feed").ok());
+  ASSERT_TRUE(add_as("feed").IsResourceExhausted());
+
+  // One document mixes removal ("feed": 0), a no-op removal of a caller
+  // that never had a quota, and a fresh explicit quota.
+  ASSERT_TRUE(
+      registry.PublishJson(key, R"({"feed": 0, "ghost": 0, "ads": 1})").ok());
+  EXPECT_TRUE(add_as("feed").ok());   // removed: unlimited default again
+  EXPECT_TRUE(add_as("ghost").ok());  // still unlimited, removal was a no-op
+  EXPECT_TRUE(add_as("ads").ok());
+  EXPECT_TRUE(add_as("ads").IsResourceExhausted());
+
+  // A non-numeric value fails safe to removal, never to a 0-qps lockout.
+  ASSERT_TRUE(registry.PublishJson(key, R"({"ads": "lots"})").ok());
+  EXPECT_TRUE(add_as("ads").ok());
+  instance_.DetachConfigRegistry();
+}
+
+TEST_F(IpsInstanceTest, TierHotReloadViaConfigRegistry) {
+  ConfigRegistry registry;
+  instance_.AttachConfigRegistry(&registry);
+  const std::string key = "ips/" + instance_.instance_id() + "/tiers";
+  ASSERT_TRUE(
+      registry
+          .PublishJson(key, R"({"checkout": "critical", "backfill": "bulk"})")
+          .ok());
+  EXPECT_EQ(instance_.overload().TierFor("checkout", /*is_write=*/false),
+            RequestTier::kCritical);
+  EXPECT_EQ(instance_.overload().TierFor("backfill", /*is_write=*/true),
+            RequestTier::kBulk);
+  EXPECT_GE(instance_.metrics()->GetCounter("config.tier_reload")->Value(), 1);
+  // Unknown tier names and non-string values remove the mark: callers fall
+  // back to the read/write defaults instead of keeping a stale tier.
+  ASSERT_TRUE(
+      registry.PublishJson(key, R"({"checkout": "turbo", "backfill": 3})")
+          .ok());
+  EXPECT_EQ(instance_.overload().TierFor("checkout", false),
+            RequestTier::kRead);
+  EXPECT_EQ(instance_.overload().TierFor("backfill", true),
+            RequestTier::kWrite);
+  instance_.DetachConfigRegistry();
+}
+
+TEST_F(IpsInstanceTest, BrownOutShedsAtAdmission) {
+  const TimestampMs now = clock_.NowMs();
+  // Level 2 sheds writes (and bulk) but still serves reads.
+  instance_.overload().SetLevelOverride(2);
+  Status write = instance_.AddProfile("test", "profiles", 1, now, 1, 1, 1,
+                                      CountVector{1});
+  ASSERT_TRUE(write.IsThrottled()) << write.ToString();
+  EXPECT_TRUE(write.has_retry_after());
+  EXPECT_TRUE(TopK(1, 1, 10).ok());
+  EXPECT_GE(
+      instance_.metrics()->GetCounter("admission.shed_brownout")->Value(), 1);
+  // Level 3 sheds normal reads too.
+  instance_.overload().SetLevelOverride(3);
+  auto read = TopK(1, 1, 10);
+  ASSERT_FALSE(read.ok());
+  EXPECT_TRUE(read.status().IsThrottled());
+  EXPECT_TRUE(read.status().has_retry_after());
+  // Back to automatic control: healthy instance serves everything again.
+  instance_.overload().SetLevelOverride(-1);
+  EXPECT_TRUE(TopK(1, 1, 10).ok());
+  EXPECT_TRUE(instance_
+                  .AddProfile("test", "profiles", 1, now, 1, 1, 1,
+                              CountVector{1})
+                  .ok());
+}
+
 TEST_F(IpsInstanceTest, CompactionTriggeredByTraffic) {
   const TimestampMs base = clock_.NowMs() - 2 * kDay;
   for (int i = 0; i < 200; ++i) {

@@ -1,6 +1,7 @@
 #include "common/status.h"
 
 #include <string>
+#include <utility>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -82,6 +83,37 @@ TEST(StatusTest, IsRetryableCoversEveryCode) {
   EXPECT_FALSE(Status::Corruption("x").IsRetryable());
   EXPECT_FALSE(Status::Internal("x").IsRetryable());
   EXPECT_FALSE(Status::Unimplemented("x").IsRetryable());
+}
+
+TEST(StatusTest, OverloadedCarriesRetryAfterHint) {
+  Status s = Status::Overloaded("queue full", 25);
+  EXPECT_TRUE(s.IsResourceExhausted());
+  EXPECT_TRUE(s.IsThrottled());
+  EXPECT_TRUE(s.has_retry_after());
+  EXPECT_EQ(s.retry_after_ms(), 25);
+  EXPECT_EQ(s.ToString(), "RESOURCE_EXHAUSTED: queue full (retry after 25ms)");
+  // Shed responses are still terminal for the generic retry loop: pacing
+  // them is RetryPolicy's hint-aware path, not the failover path.
+  EXPECT_FALSE(s.IsRetryable());
+}
+
+TEST(StatusTest, PlainResourceExhaustedHasNoHint) {
+  // A quota rejection (hint-less) is distinguishable from a shed: the client
+  // treats the former as terminal and the latter as "come back in N ms".
+  Status s = Status::ResourceExhausted("quota exceeded for caller");
+  EXPECT_TRUE(s.IsThrottled());
+  EXPECT_FALSE(s.has_retry_after());
+  EXPECT_EQ(s.retry_after_ms(), 0);
+  EXPECT_EQ(s.ToString(), "RESOURCE_EXHAUSTED: quota exceeded for caller");
+}
+
+TEST(StatusTest, RetryAfterSurvivesCopies) {
+  Status s = Status::Overloaded("busy", 7);
+  Status copy = s;
+  EXPECT_TRUE(copy.has_retry_after());
+  EXPECT_EQ(copy.retry_after_ms(), 7);
+  Status moved = std::move(copy);
+  EXPECT_EQ(moved.retry_after_ms(), 7);
 }
 
 TEST(StatusTest, DeadlineExceededPredicate) {
