@@ -47,6 +47,11 @@ run_suite() {
     # with the admission controller on must beat controller-off >= 2x.
     echo "=== tier1: perf smoke (bench_overload --smoke) ==="
     "${build_dir}/bench/bench_overload" --smoke
+    # Write-path coalescing gate: under a concurrent FlushAll storm, the
+    # StoreBroker must cut KV write round trips per flushed pid >= 3x vs the
+    # broker-off ablation, with cross-shard merges observed.
+    echo "=== tier1: perf smoke (bench_flush_storm --smoke) ==="
+    "${build_dir}/bench/bench_flush_storm" --smoke
   fi
 }
 

@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "cache/load_broker.h"
+#include "cache/store_broker.h"
 #include "common/hash.h"
 #include "common/logging.h"
 #include "common/trace.h"
@@ -539,7 +540,9 @@ size_t GCache::FlushShard(DirtyShard& dshard, size_t* out_failures) {
     // (the old design pinned every entry lock in the group across the round
     // trip: a latency cliff and a lock-ordering hazard).
     const size_t group_max =
-        batch_flush_ ? std::max<size_t>(1, options_.flush_batch_max) : 1;
+        (batch_flush_ || store_broker_ != nullptr)
+            ? std::max<size_t>(1, options_.flush_batch_max)
+            : 1;
     struct Snapshot {
       EntryPtr entry;
       ProfileData profile;
@@ -569,11 +572,13 @@ size_t GCache::FlushShard(DirtyShard& dshard, size_t* out_failures) {
     }
     if (group.empty()) continue;
 
-    // One storage round trip per group, outside every entry lock: the batch
-    // flusher (one MultiSet below) when installed, else the per-entry
-    // flusher on the group of one.
+    // One storage round trip per group, outside every entry lock: the store
+    // broker (which may merge this group with other shards' concurrent
+    // groups into one MultiSet, and share in-flight store-backs of hot
+    // pids) when installed, else the batch flusher (one MultiSet below),
+    // else the per-entry flusher on the group of one.
     std::vector<Status> statuses;
-    if (batch_flush_) {
+    if (store_broker_ != nullptr || batch_flush_) {
       std::vector<ProfileId> pids;
       std::vector<const ProfileData*> profiles;
       pids.reserve(group.size());
@@ -582,7 +587,18 @@ size_t GCache::FlushShard(DirtyShard& dshard, size_t* out_failures) {
         pids.push_back(snap.entry->pid);
         profiles.push_back(&snap.profile);
       }
-      statuses = batch_flush_(pids, profiles);
+      if (store_broker_ != nullptr) {
+        // The snapshot epochs ride along so the broker can tell an
+        // identical re-flush (piggyback on the in-flight write) from a
+        // newer one (requeue behind it). The commit below still rechecks
+        // each entry's live epoch — the broker never changes that contract.
+        std::vector<uint64_t> epochs;
+        epochs.reserve(group.size());
+        for (const Snapshot& snap : group) epochs.push_back(snap.epoch);
+        statuses = store_broker_->Store(pids, profiles, epochs);
+      } else {
+        statuses = batch_flush_(pids, profiles);
+      }
       if (statuses.size() != pids.size()) {
         statuses.assign(pids.size(),
                         Status::Internal("batch flusher returned a short "

@@ -76,6 +76,7 @@ struct GCacheOptions {
 };
 
 class LoadBroker;
+class StoreBroker;
 
 /// Persists one profile. Eviction write-back and Invalidate call it with the
 /// entry lock held (the entry is about to leave the cache); flush passes call
@@ -167,6 +168,19 @@ class GCache {
   void set_batch_flusher(BatchFlushFn batch_flush) {
     batch_flush_ = std::move(batch_flush);
   }
+
+  /// Installs the store broker (non-owning; must outlive the cache): flush
+  /// groups then route through it instead of the batch flusher, gaining
+  /// cross-shard window merging (concurrent flush passes' groups share one
+  /// storage round trip) and single-flight store-backs (a hot dirty pid
+  /// re-flushed while its store is on the wire is written at most once per
+  /// window; a changed snapshot requeues behind the in-flight write). The
+  /// snapshot epochs FlushShard already tracks ride along so the broker can
+  /// tell identical re-flushes from newer ones; the epoch recheck after the
+  /// store returns is unchanged. Same setup-time contract as
+  /// set_batch_loader. Eviction write-back and Invalidate keep the inline
+  /// point path — they hold the entry lock and must not linger in a window.
+  void set_store_broker(StoreBroker* broker) { store_broker_ = broker; }
 
   /// Write path: runs `fn` with exclusive access, creating the profile when
   /// absent (after a load attempt), then marks the entry dirty.
@@ -335,6 +349,9 @@ class GCache {
   /// Non-owning; installed at setup. When present, every miss routes
   /// through it (see set_load_broker).
   LoadBroker* load_broker_ = nullptr;
+  /// Non-owning; installed at setup. When present, every flush group routes
+  /// through it (see set_store_broker).
+  StoreBroker* store_broker_ = nullptr;
   MetricsRegistry* metrics_;
 
   std::vector<std::unique_ptr<LruShard>> lru_shards_;

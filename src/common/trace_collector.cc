@@ -33,6 +33,8 @@ constexpr StageMetric kStageMetrics[] = {
     {"codec.decode", "trace.stage.codec.decode"},
     {"feature.compute", "trace.stage.feature.compute"},
     {"kv.store", "trace.stage.kv.store"},
+    {"server.store_coalesce", "trace.stage.server.store_coalesce"},
+    {"kv.store.shared", "trace.stage.kv.store.shared"},
     {"server.query", "trace.stage.server.query"},
     {"server.add", "trace.stage.server.add"},
     {"client.query", "trace.stage.client.query"},
@@ -40,7 +42,7 @@ constexpr StageMetric kStageMetrics[] = {
     {"client.multi_add", "trace.stage.client.multi_add"},
     {"assembler.batch", "trace.stage.assembler.batch"},
 };
-constexpr size_t kDisjointStages = 10;
+constexpr size_t kDisjointStages = 12;
 
 void AppendJsonString(std::string* out, std::string_view s) {
   out->push_back('"');

@@ -90,6 +90,22 @@ Status IpsInstance::CreateTable(const TableSchema& schema) {
                     const std::vector<const ProfileData*>& profiles) {
           return persister->StoreBatch(pids, profiles);
         });
+    // The store broker stacks cross-SHARD coalescing on top: concurrent
+    // flush passes' groups merge into one StoreBatch round trip and a hot
+    // dirty pid re-flushed mid-store piggybacks on (or requeues behind) the
+    // write already on the wire. The instance owns the broker; the cache
+    // only borrows it. Like the flusher itself, it exists only where writes
+    // are persisted — a non-primary region has nothing to coalesce.
+    if (options_.enable_store_broker) {
+      table->store_broker = std::make_unique<StoreBroker>(
+          options_.store_broker,
+          [persister](const std::vector<ProfileId>& pids,
+                      const std::vector<const ProfileData*>& profiles) {
+            return persister->StoreBatch(pids, profiles);
+          },
+          clock_, metrics_);
+      table->cache->set_store_broker(table->store_broker.get());
+    }
   } else {
     table->cache->set_batch_flusher(
         [](const std::vector<ProfileId>& pids,

@@ -25,6 +25,7 @@
 
 #include "cache/gcache.h"
 #include "cache/load_broker.h"
+#include "cache/store_broker.h"
 #include "common/call_context.h"
 #include "common/clock.h"
 #include "common/config.h"
@@ -54,6 +55,15 @@ struct IpsInstanceOptions {
   /// requests. Disable for ablation (bench_hotkey_skew measures both).
   bool enable_load_broker = true;
   LoadBrokerOptions load_broker;
+  /// Write-path store broker (server-side flush coalescing): flush groups
+  /// from different dirty shards landing within the collection window merge
+  /// into one KvStore::MultiSet, and a hot dirty pid re-flushed while its
+  /// store is in flight is written at most once per window (identical
+  /// snapshots piggyback; changed ones requeue behind the in-flight write).
+  /// Only takes effect when the instance persists writes. Disable for
+  /// ablation (bench_flush_storm measures both).
+  bool enable_store_broker = true;
+  StoreBrokerOptions store_broker;
   /// Read-write isolation initial state + merge cadence + memory cap.
   bool isolation_enabled = true;
   int64_t isolation_merge_interval_ms = 2000;
@@ -279,6 +289,10 @@ class IpsInstance {
     /// before `cache` so it is destroyed after it (the cache's miss path
     /// holds a non-owning pointer).
     std::unique_ptr<LoadBroker> load_broker;
+    /// Flush-coalescing stage between the cache and the persister, the
+    /// write-side mirror. Same ordering contract: declared before `cache`
+    /// so the cache's shutdown flush can still drain through it.
+    std::unique_ptr<StoreBroker> store_broker;
     std::unique_ptr<GCache> cache;
     std::unique_ptr<Compactor> compactor;
     std::unique_ptr<CompactionManager> compaction;
