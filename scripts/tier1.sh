@@ -52,6 +52,11 @@ run_suite() {
     # broker-off ablation, with cross-shard merges observed.
     echo "=== tier1: perf smoke (bench_flush_storm --smoke) ==="
     "${build_dir}/bench/bench_flush_storm" --smoke
+    # Cache-tier gate: with a tiny L1 under eviction churn, the compressed L2
+    # victim tier must cut KV read round trips per query >= 2x vs the
+    # tier-off ablation, with live cache_l2.hit promotions.
+    echo "=== tier1: perf smoke (bench_cache_tiers --smoke) ==="
+    "${build_dir}/bench/bench_cache_tiers" --smoke
   fi
 }
 

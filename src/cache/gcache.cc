@@ -6,6 +6,7 @@
 
 #include "cache/load_broker.h"
 #include "cache/store_broker.h"
+#include "cache/victim_cache.h"
 #include "common/hash.h"
 #include "common/logging.h"
 #include "common/trace.h"
@@ -90,6 +91,10 @@ void GCache::TouchLru(LruShard& shard, LruShard::Slot& slot) {
 Result<std::pair<GCache::EntryPtr, bool>> GCache::GetOrLoad(
     ProfileId pid, bool create_if_missing) {
   LruShard& shard = *lru_shards_[LruIndex(pid)];
+  // Every lookup — hit or miss — feeds the victim tier's admission sketch:
+  // a profile hot because it is L1-resident must still look hot to the
+  // admission check when it is eventually demoted.
+  if (victim_cache_ != nullptr) victim_cache_->RecordAccess(pid);
   {
     std::lock_guard<std::mutex> lock(shard.mu);
     auto it = shard.map.find(pid);
@@ -105,6 +110,18 @@ Result<std::pair<GCache::EntryPtr, bool>> GCache::GetOrLoad(
   // milliseconds and must not block unrelated traffic on this shard.
   misses_.fetch_add(1, std::memory_order_relaxed);
   if (metrics_ != nullptr) metrics_->GetCounter("cache.miss")->Increment();
+
+  // The victim tier intercepts the miss before any storage round trip: a
+  // demoted profile promotes back for the price of a decode.
+  if (victim_cache_ != nullptr) {
+    ScopedSpan l2_span("cache.l2_lookup");
+    ProfileData promoted(options_.write_granularity_ms);
+    bool promoted_degraded = false;
+    if (TryPromoteFromL2(pid, &promoted, &promoted_degraded)) {
+      return std::make_pair(
+          InsertLoaded(pid, std::move(promoted), promoted_degraded), false);
+    }
+  }
 
   ProfileData loaded(options_.write_granularity_ms);
   bool degraded = false;
@@ -167,6 +184,24 @@ GCache::EntryPtr GCache::InsertLoaded(ProfileId pid, ProfileData loaded,
   return entry;
 }
 
+bool GCache::TryPromoteFromL2(ProfileId pid, ProfileData* out,
+                              bool* out_degraded) {
+  std::string encoded;
+  bool degraded = false;
+  if (!victim_cache_->Take(pid, &encoded, &degraded)) return false;
+  const Status decoded = victim_decode_(encoded, out);
+  if (!decoded.ok()) {
+    // Corrupt demoted bytes: Take already removed them, so the tier cannot
+    // serve them again; the miss falls through to the authoritative store.
+    if (metrics_ != nullptr) {
+      metrics_->GetCounter("cache_l2.decode_failures")->Increment();
+    }
+    return false;
+  }
+  *out_degraded = degraded;
+  return true;
+}
+
 struct GCache::BatchScratch {
   std::vector<EntryPtr> entries;
   /// (pid, occurrence index) per missing occurrence; sorted to group
@@ -185,28 +220,87 @@ GCache::BatchScratch& GCache::ThreadBatchScratch() {
 std::vector<Result<ProfileData>> GCache::LoadMisses(
     const std::vector<ProfileId>& pids, std::vector<bool>* out_degraded,
     TimestampMs deadline_ms) {
-  // Broker first: misses are submitted to the shared coalescing stage
-  // (single-flight + cross-request window batching) instead of being loaded
-  // inline, and the caller's deadline bounds the shared wait.
-  if (load_broker_ != nullptr) {
-    return load_broker_->Load(pids, out_degraded, deadline_ms);
-  }
-  out_degraded->assign(pids.size(), false);
-  if (batch_load_) {
-    std::vector<Result<ProfileData>> loaded = batch_load_(pids, out_degraded);
-    if (out_degraded->size() != pids.size()) {
-      out_degraded->assign(pids.size(), false);
+  // Victim tier first: misses served by promoting demoted bytes never reach
+  // the loader at all — a decode instead of a storage round trip.
+  const bool tiered = victim_cache_ != nullptr;
+  std::vector<Result<ProfileData>> results;
+  std::vector<ProfileId> remaining;
+  std::vector<size_t> remaining_ix;  // positions in `pids` still to load
+  if (tiered) {
+    ScopedSpan l2_span("cache.l2_lookup");
+    out_degraded->assign(pids.size(), false);
+    results.assign(pids.size(),
+                   Result<ProfileData>(Status::NotFound("unresolved")));
+    for (size_t i = 0; i < pids.size(); ++i) {
+      ProfileData promoted(options_.write_granularity_ms);
+      bool promoted_degraded = false;
+      if (TryPromoteFromL2(pids[i], &promoted, &promoted_degraded)) {
+        results[i] = std::move(promoted);
+        (*out_degraded)[i] = promoted_degraded;
+      } else {
+        remaining.push_back(pids[i]);
+        remaining_ix.push_back(i);
+      }
     }
+    if (remaining.empty()) return results;
+  }
+  const std::vector<ProfileId>& load_pids = tiered ? remaining : pids;
+
+  // Dispatch what the tier could not serve: the broker when installed
+  // (single-flight + cross-request window batching, with the caller's
+  // deadline bounding the shared wait), else the batch loader, else per-pid
+  // loads.
+  std::vector<bool> loaded_degraded;
+  std::vector<Result<ProfileData>> loaded;
+  if (load_broker_ != nullptr) {
+    loaded = load_broker_->Load(load_pids, &loaded_degraded, deadline_ms);
+  } else if (batch_load_) {
+    loaded_degraded.assign(load_pids.size(), false);
+    loaded = batch_load_(load_pids, &loaded_degraded);
+  } else {
+    loaded_degraded.assign(load_pids.size(), false);
+    loaded.reserve(load_pids.size());
+    for (size_t m = 0; m < load_pids.size(); ++m) {
+      bool degraded = false;
+      loaded.push_back(load_(load_pids[m], &degraded));
+      loaded_degraded[m] = degraded;
+    }
+  }
+  if (loaded.size() != load_pids.size()) {
+    loaded.assign(load_pids.size(),
+                  Result<ProfileData>(Status::Internal(
+                      "batch loader returned a short result list")));
+  }
+  if (loaded_degraded.size() != load_pids.size()) {
+    loaded_degraded.assign(load_pids.size(), false);
+  }
+
+  // Store health is judged ONLY on outcomes that actually touched the
+  // loader: a degraded profile served out of the victim tier carries its
+  // historical staleness mark and says nothing about the store's current
+  // state.
+  bool any_unavailable = false;
+  bool any_degraded = false;
+  for (size_t m = 0; m < loaded.size(); ++m) {
+    if (!loaded[m].ok()) {
+      if (loaded[m].status().IsUnavailable()) any_unavailable = true;
+    } else if (loaded_degraded[m]) {
+      any_degraded = true;
+    }
+  }
+  NoteStoreHealth(any_unavailable || any_degraded
+                      ? Status::Unavailable("batch load")
+                      : Status::OK());
+
+  if (!tiered) {
+    *out_degraded = std::move(loaded_degraded);
     return loaded;
   }
-  std::vector<Result<ProfileData>> loaded;
-  loaded.reserve(pids.size());
-  for (size_t m = 0; m < pids.size(); ++m) {
-    bool degraded = false;
-    loaded.push_back(load_(pids[m], &degraded));
-    (*out_degraded)[m] = degraded;
+  for (size_t m = 0; m < remaining_ix.size(); ++m) {
+    results[remaining_ix[m]] = std::move(loaded[m]);
+    (*out_degraded)[remaining_ix[m]] = loaded_degraded[m];
   }
-  return loaded;
+  return results;
 }
 
 size_t GCache::WithProfiles(
@@ -236,6 +330,9 @@ size_t GCache::WithProfiles(
     for (size_t i = 0; i < pids.size(); ++i) {
       const ProfileId pid = pids[i];
       LruShard& shard = *lru_shards_[LruIndex(pid)];
+      // Sketch bump outside the shard lock; every occurrence counts (see
+      // GetOrLoad).
+      if (victim_cache_ != nullptr) victim_cache_->RecordAccess(pid);
       std::lock_guard<std::mutex> lock(shard.mu);
       auto it = shard.map.find(pid);
       if (it != shard.map.end()) {
@@ -280,8 +377,6 @@ size_t GCache::WithProfiles(
     // LRU insert, accounting) is cache-index work like the phase-1 probe, so
     // it reports under the same cache.lookup stage.
     ScopedSpan insert_span("cache.lookup");
-    bool any_unavailable = false;
-    bool any_degraded = false;
     size_t cursor = 0;  // walks `misses`, whose pids ascend like miss_pids
     for (size_t m = 0; m < miss_pids.size(); ++m) {
       const ProfileId pid = miss_pids[m];
@@ -292,24 +387,20 @@ size_t GCache::WithProfiles(
                                   ? Status::Internal("batch loader returned "
                                                      "a short result list")
                                   : loaded[m].status();
-        if (status.IsUnavailable()) any_unavailable = true;
         for (size_t x = begin; x < cursor; ++x) {
           (*statuses)[misses[x].second] = status;
         }
         continue;
       }
-      if (loaded_degraded[m]) any_degraded = true;
       EntryPtr entry = InsertLoaded(pid, std::move(loaded[m]).value(),
                                     loaded_degraded[m]);
       for (size_t x = begin; x < cursor; ++x) {
         entries[misses[x].second] = entry;
       }
     }
-    if (any_unavailable || any_degraded) {
-      NoteStoreHealth(Status::Unavailable("batch load"));
-    } else {
-      NoteStoreHealth(Status::OK());
-    }
+    // Store health was already noted inside LoadMisses, judged only on the
+    // subset of misses that actually reached the loader (a victim-tier
+    // promotion says nothing about the store).
   }
 
   // Phase 3: serve each present profile under its entry lock. Occurrences
@@ -386,8 +477,31 @@ bool GCache::EntryDegraded(const EntryPtr& entry) const {
   return entry->degraded;
 }
 
-void GCache::NoteStoreHealth(const Status& status) {
-  store_unhealthy_.store(status.IsUnavailable(), std::memory_order_relaxed);
+void GCache::NoteStoreHealth(const Status& status, StoreHealthSource source) {
+  if (status.IsUnavailable()) {
+    point_success_streak_.store(0, std::memory_order_relaxed);
+    store_unhealthy_.store(true, std::memory_order_relaxed);
+    return;
+  }
+  if (source == StoreHealthSource::kBatch) {
+    // A batch pass swept many pids against the store — representative, so
+    // one success clears the flag outright (and resets the point streak;
+    // it is only meaningful as *consecutive* successes).
+    point_success_streak_.store(0, std::memory_order_relaxed);
+    store_unhealthy_.store(false, std::memory_order_relaxed);
+    return;
+  }
+  // Point observation (single-pid eviction/Invalidate write-back). One lucky
+  // success mid-outage must not clear the flag while batch traffic is still
+  // failing — that flapped the degraded-read marking on and off. Require a
+  // streak before trusting it.
+  if (!store_unhealthy_.load(std::memory_order_relaxed)) return;
+  const int streak =
+      point_success_streak_.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (streak >= kPointHealthClearStreak) {
+    point_success_streak_.store(0, std::memory_order_relaxed);
+    store_unhealthy_.store(false, std::memory_order_relaxed);
+  }
 }
 
 Status GCache::WithProfile(ProfileId pid,
@@ -411,56 +525,211 @@ Status GCache::WithProfileMutable(
     ProfileId pid, const std::function<void(ProfileData&)>& fn,
     bool* out_was_hit) {
   if (out_was_hit != nullptr) *out_was_hit = false;
-  IPS_ASSIGN_OR_RETURN(auto pair, GetOrLoad(pid, /*create_if_missing=*/true));
-  auto& [entry, was_hit] = pair;
-  if (out_was_hit != nullptr) *out_was_hit = was_hit;
   LruShard& shard = *lru_shards_[LruIndex(pid)];
-  std::lock_guard<std::mutex> lock(entry->mu);
-  fn(entry->profile);
-  UpdateAccounting(shard, *entry);
-  MarkDirty(*entry);
-  return Status::OK();
+  // Retry loop: between GetOrLoad handing back the entry and this thread
+  // acquiring its lock, a concurrent eviction/Invalidate may have unmapped
+  // it. Writing into an unmapped entry would be silently lost (no flush pass
+  // can reach it), so re-resolve instead. Terminates in practice: each retry
+  // re-inserts the entry at the LRU front, where an eviction pass cannot
+  // reach it without first draining the whole shard.
+  while (true) {
+    IPS_ASSIGN_OR_RETURN(auto pair,
+                         GetOrLoad(pid, /*create_if_missing=*/true));
+    auto& [entry, was_hit] = pair;
+    std::lock_guard<std::mutex> lock(entry->mu);
+    if (entry->evicted) continue;
+    if (out_was_hit != nullptr) *out_was_hit = was_hit;
+    fn(entry->profile);
+    UpdateAccounting(shard, *entry);
+    MarkDirty(*entry);
+    return Status::OK();
+  }
 }
 
 size_t GCache::EvictFromShard(LruShard& shard, size_t target_bytes) {
-  size_t evicted = 0;
-  size_t freed = 0;
-  std::vector<EntryPtr> doomed;  // destroyed outside the shard lock
+  // The eviction mirror of FlushShard's snapshot-then-store-unlocked design.
+  // The old shape held shard.mu across FlushEntryLocked — every KV
+  // millisecond of a dirty victim's write-back blocked ALL traffic on the
+  // shard, and the store landed without any epoch protection against a
+  // concurrent writer. Four phases now:
+  //   1. collect victims under shard.mu (try_lock probing, Fig 8),
+  //      snapshotting profile + epoch one entry lock at a time;
+  //   2. write dirty victims back with NO lock held — through the store
+  //      broker when installed (an eviction storm coalesces with a flush
+  //      storm), else the batch flusher, else per-pid flushes;
+  //   3. encode surviving victims for L2 demotion, still unlocked;
+  //   4. commit per victim under shard.mu + entry try_lock with the flush
+  //      path's mutation-epoch recheck — an entry re-dirtied during the
+  //      round trip stays resident with its newer state. The demotion Put
+  //      happens under shard.mu BEFORE the map erase, so no concurrent
+  //      reload can slip a fresh entry in while stale bytes land in L2.
+  struct Victim {
+    EntryPtr entry;
+    ProfileData snapshot;
+    uint64_t epoch = 0;
+    bool dirty = false;
+    bool degraded = false;
+  };
+  std::vector<Victim> victims;
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    size_t planned = 0;
+    auto it = shard.lru.end();
+    while (planned < target_bytes && it != shard.lru.begin()) {
+      --it;
+      const ProfileId pid = *it;
+      auto map_it = shard.map.find(pid);
+      if (map_it == shard.map.end()) {
+        // Stale pid in the list; drop it. (Unreachable now that the map slot
+        // owns the list position, kept as a cheap guard.)
+        it = shard.lru.erase(it);
+        continue;
+      }
+      EntryPtr entry = map_it->second.entry;
+      // Fig 8: probe with try_lock; a contended entry is being served right
+      // now — skip it and move up the list instead of blocking.
+      std::unique_lock<std::mutex> entry_lock(entry->mu, std::try_to_lock);
+      if (!entry_lock.owns_lock()) continue;
+      Victim v;
+      v.epoch = entry->mutation_epoch;
+      v.dirty = entry->dirty;
+      v.degraded = entry->degraded;
+      // Clean victims only need the snapshot when a tier exists to demote
+      // them into; dirty ones always need it for the write-back.
+      if (entry->dirty || victim_cache_ != nullptr) {
+        v.snapshot = entry->profile;
+      }
+      planned += entry->bytes;
+      v.entry = std::move(entry);
+      victims.push_back(std::move(v));
+    }
+  }
+  if (victims.empty()) return 0;
 
-  std::unique_lock<std::mutex> lock(shard.mu);
-  auto it = shard.lru.end();
-  while (freed < target_bytes && it != shard.lru.begin()) {
-    --it;
-    const ProfileId pid = *it;
+  // Phase 2: dirty write-backs, no lock held. Point-source health: a lone
+  // eviction success must not clear an outage flag batch traffic still sees.
+  std::vector<Status> statuses(victims.size(), Status::OK());
+  std::vector<size_t> dirty_ix;
+  for (size_t i = 0; i < victims.size(); ++i) {
+    if (victims[i].dirty) dirty_ix.push_back(i);
+  }
+  if (!dirty_ix.empty()) {
+    if (store_broker_ != nullptr || batch_flush_) {
+      std::vector<ProfileId> pids;
+      std::vector<const ProfileData*> profiles;
+      pids.reserve(dirty_ix.size());
+      profiles.reserve(dirty_ix.size());
+      for (size_t ix : dirty_ix) {
+        pids.push_back(victims[ix].entry->pid);
+        profiles.push_back(&victims[ix].snapshot);
+      }
+      std::vector<Status> flushed;
+      if (store_broker_ != nullptr) {
+        // Snapshot epochs ride along, as in FlushShard: the broker dedups an
+        // eviction write-back against an identical in-flight flush of the
+        // same pid and orders it behind an older one.
+        std::vector<uint64_t> epochs;
+        epochs.reserve(dirty_ix.size());
+        for (size_t ix : dirty_ix) epochs.push_back(victims[ix].epoch);
+        flushed = store_broker_->Store(pids, profiles, epochs);
+      } else {
+        flushed = batch_flush_(pids, profiles);
+      }
+      if (flushed.size() != pids.size()) {
+        flushed.assign(pids.size(),
+                       Status::Internal("batch flusher returned a short "
+                                        "result list"));
+      }
+      for (size_t k = 0; k < dirty_ix.size(); ++k) {
+        statuses[dirty_ix[k]] = flushed[k];
+      }
+    } else {
+      for (size_t ix : dirty_ix) {
+        statuses[ix] =
+            flush_(victims[ix].entry->pid, victims[ix].snapshot);
+      }
+    }
+    bool any_unavailable = false;
+    size_t flush_ok = 0;
+    for (size_t ix : dirty_ix) {
+      if (statuses[ix].ok()) {
+        ++flush_ok;
+      } else if (statuses[ix].IsUnavailable()) {
+        any_unavailable = true;
+      }
+    }
+    NoteStoreHealth(any_unavailable ? Status::Unavailable("eviction flush")
+                                    : Status::OK(),
+                    StoreHealthSource::kPoint);
+    if (metrics_ != nullptr) {
+      if (flush_ok > 0) {
+        metrics_->GetCounter("cache.flushed")
+            ->Increment(static_cast<int64_t>(flush_ok));
+      }
+      if (flush_ok < dirty_ix.size()) {
+        metrics_->GetCounter("cache.flush_failures")
+            ->Increment(static_cast<int64_t>(dirty_ix.size() - flush_ok));
+      }
+    }
+  }
+
+  // Phase 3: encode demotions from the snapshots, still unlocked (the codec
+  // walk can be hundreds of microseconds for large profiles). WouldAdmit
+  // pre-check skips the encode for scan traffic the tier would reject.
+  std::vector<std::string> encoded(victims.size());
+  std::vector<bool> demote(victims.size(), false);
+  if (victim_cache_ != nullptr) {
+    for (size_t i = 0; i < victims.size(); ++i) {
+      if (!statuses[i].ok()) continue;  // stays resident; nothing to demote
+      if (!victim_cache_->WouldAdmit(victims[i].entry->pid)) continue;
+      victim_encode_(victims[i].snapshot, &encoded[i]);
+      demote[i] = true;
+    }
+  }
+
+  // Phase 4: commit.
+  size_t evicted = 0;
+  size_t demoted = 0;
+  for (size_t i = 0; i < victims.size(); ++i) {
+    if (!statuses[i].ok()) continue;  // write-back failed: flush later, keep
+    Victim& v = victims[i];
+    const ProfileId pid = v.entry->pid;
+    std::lock_guard<std::mutex> lock(shard.mu);
     auto map_it = shard.map.find(pid);
-    if (map_it == shard.map.end()) {
-      // Stale pid in the list; drop it. (Unreachable now that the map slot
-      // owns the list position, kept as a cheap guard.)
-      it = shard.lru.erase(it);
-      continue;
+    if (map_it == shard.map.end() || map_it->second.entry != v.entry) {
+      continue;  // already gone / replaced while unlocked
     }
-    EntryPtr entry = map_it->second.entry;
-    // Fig 8: probe with try_lock; a contended entry is being served right
-    // now — skip it and move up the list instead of blocking.
-    std::unique_lock<std::mutex> entry_lock(entry->mu, std::try_to_lock);
-    if (!entry_lock.owns_lock()) continue;
-    if (entry->dirty) {
-      // Write-back: persist before dropping so no update is lost.
-      if (!FlushEntryLocked(*entry).ok()) continue;  // flush later, skip
+    std::unique_lock<std::mutex> entry_lock(v.entry->mu, std::try_to_lock);
+    if (!entry_lock.owns_lock()) continue;  // being served again — keep it
+    Entry& entry = *v.entry;
+    if (entry.mutation_epoch != v.epoch) continue;  // re-dirtied mid-flight
+    if (v.dirty) {
+      // The snapshot (== current state, by the epoch check) reached the
+      // store: the entry is clean and authoritative again.
+      entry.dirty = false;
+      entry.degraded = false;
     }
-    const size_t bytes = entry->bytes;
-    entry_lock.unlock();
+    if (demote[i]) {
+      if (victim_cache_->Put(pid, std::move(encoded[i]), entry.degraded)) {
+        ++demoted;
+      }
+    }
+    entry.evicted = true;
+    const size_t bytes = entry.bytes;
+    shard.lru.erase(map_it->second.lru_it);
     shard.map.erase(map_it);
-    it = shard.lru.erase(it);
     shard.bytes.fetch_sub(bytes, std::memory_order_relaxed);
     memory_bytes_.fetch_sub(bytes, std::memory_order_relaxed);
-    freed += bytes;
     ++evicted;
-    doomed.push_back(std::move(entry));
   }
-  lock.unlock();
-  if (metrics_ != nullptr && evicted > 0) {
-    metrics_->GetCounter("cache.evicted")->Increment(evicted);
+  if (metrics_ != nullptr) {
+    if (evicted > 0) {
+      metrics_->GetCounter("cache.evicted")->Increment(evicted);
+    }
+    if (demoted > 0) {
+      metrics_->GetCounter("cache.demoted")
+          ->Increment(static_cast<int64_t>(demoted));
+    }
   }
   return evicted;
 }
@@ -497,7 +766,7 @@ size_t GCache::SwapOnce() {
 
 Status GCache::FlushEntryLocked(Entry& entry) {
   Status status = flush_(entry.pid, entry.profile);
-  NoteStoreHealth(status);
+  NoteStoreHealth(status, StoreHealthSource::kPoint);
   if (status.ok()) {
     entry.dirty = false;
     // The entry's state reached the primary store: whatever stale base it
@@ -706,25 +975,45 @@ void GCache::FlushAll() {
 
 Status GCache::Invalidate(ProfileId pid) {
   LruShard& shard = *lru_shards_[LruIndex(pid)];
-  EntryPtr entry;
-  {
+  // The profile must leave EVERY tier: stale demoted bytes left in L2 would
+  // serve a later miss after the handover.
+  if (victim_cache_ != nullptr) victim_cache_->Erase(pid);
+  // Retry loop: the old shape flushed under the entry lock, dropped it, then
+  // erased under the shard lock — a write landing in that window re-dirtied
+  // the entry and the erase silently discarded it. Now the erase only
+  // happens after re-acquiring both locks and re-checking `dirty`; a write
+  // that slipped in sends us back around to flush again.
+  for (int attempt = 0; attempt < 16; ++attempt) {
+    EntryPtr entry;
+    {
+      std::lock_guard<std::mutex> lock(shard.mu);
+      auto it = shard.map.find(pid);
+      if (it == shard.map.end()) return Status::OK();
+      entry = it->second.entry;
+    }
+    {
+      std::lock_guard<std::mutex> entry_lock(entry->mu);
+      if (entry->evicted) continue;  // raced an eviction; re-probe the map
+      if (entry->dirty) IPS_RETURN_IF_ERROR(FlushEntryLocked(*entry));
+    }
     std::lock_guard<std::mutex> lock(shard.mu);
     auto it = shard.map.find(pid);
-    if (it == shard.map.end()) return Status::OK();
-    entry = it->second.entry;
+    if (it == shard.map.end() || it->second.entry != entry) {
+      return Status::OK();
+    }
+    std::unique_lock<std::mutex> entry_lock(entry->mu, std::try_to_lock);
+    // Contended: a writer may hold the lock right now — re-run the flush
+    // check rather than erasing state we have not re-examined.
+    if (!entry_lock.owns_lock()) continue;
+    if (entry->dirty) continue;  // re-dirtied in the window: flush again
+    entry->evicted = true;
+    shard.lru.erase(it->second.lru_it);
+    shard.map.erase(it);
+    shard.bytes.fetch_sub(entry->bytes, std::memory_order_relaxed);
+    memory_bytes_.fetch_sub(entry->bytes, std::memory_order_relaxed);
+    return Status::OK();
   }
-  {
-    std::lock_guard<std::mutex> entry_lock(entry->mu);
-    if (entry->dirty) IPS_RETURN_IF_ERROR(FlushEntryLocked(*entry));
-  }
-  std::lock_guard<std::mutex> lock(shard.mu);
-  auto it = shard.map.find(pid);
-  if (it == shard.map.end() || it->second.entry != entry) return Status::OK();
-  shard.lru.erase(it->second.lru_it);
-  shard.map.erase(it);
-  shard.bytes.fetch_sub(entry->bytes, std::memory_order_relaxed);
-  memory_bytes_.fetch_sub(entry->bytes, std::memory_order_relaxed);
-  return Status::OK();
+  return Status::Aborted("invalidate: entry kept being re-dirtied");
 }
 
 std::vector<ProfileId> GCache::CachedIds() const {

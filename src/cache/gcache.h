@@ -77,10 +77,11 @@ struct GCacheOptions {
 
 class LoadBroker;
 class StoreBroker;
+class VictimCache;
 
-/// Persists one profile. Eviction write-back and Invalidate call it with the
-/// entry lock held (the entry is about to leave the cache); flush passes call
-/// it on an unlocked snapshot, see BatchFlushFn.
+/// Persists one profile. Invalidate calls it with the entry lock held (the
+/// entry is about to leave the cache); flush passes AND eviction write-backs
+/// call it on unlocked snapshots, see BatchFlushFn.
 using FlushFn = std::function<Status(ProfileId, const ProfileData&)>;
 /// Loads one profile on cache miss. NotFound means "no such profile yet".
 /// `out_degraded` (never null) is set when the profile came from a fallback
@@ -101,6 +102,13 @@ using BatchLoadFn =
 /// pid list — a batch can partially land.
 using BatchFlushFn = std::function<std::vector<Status>(
     const std::vector<ProfileId>&, const std::vector<const ProfileData*>&)>;
+/// Encodes a profile into the victim tier's byte format (the persister's
+/// compressed block format). Called on eviction snapshots with no lock held.
+using VictimEncodeFn = std::function<void(const ProfileData&, std::string*)>;
+/// Decodes victim-tier bytes back into a profile (promotion). Corruption on
+/// malformed input: the promotion is abandoned and the miss falls through to
+/// the loader.
+using VictimDecodeFn = std::function<Status(std::string_view, ProfileData*)>;
 
 class GCache {
  public:
@@ -178,9 +186,30 @@ class GCache {
   /// snapshot epochs FlushShard already tracks ride along so the broker can
   /// tell identical re-flushes from newer ones; the epoch recheck after the
   /// store returns is unchanged. Same setup-time contract as
-  /// set_batch_loader. Eviction write-back and Invalidate keep the inline
-  /// point path — they hold the entry lock and must not linger in a window.
+  /// set_batch_loader. Eviction write-backs route through the broker too:
+  /// EvictFromShard stores unlocked snapshots (victims are collected under
+  /// the shard lock, written back outside it), so an eviction storm
+  /// coalesces with a concurrent flush storm. Only Invalidate keeps the
+  /// inline point path — it holds the entry lock and must not park in a
+  /// window.
   void set_store_broker(StoreBroker* broker) { store_broker_ = broker; }
+
+  /// Installs the compressed L2 victim tier (non-owning; must outlive the
+  /// cache) together with the codec callbacks that translate between
+  /// ProfileData and the tier's encoded-bytes format. With a tier installed:
+  ///   * every lookup feeds the tier's admission sketch;
+  ///   * every miss probes the tier (the cache.l2_lookup trace stage) and a
+  ///     hit promotes the bytes back into L1 — decode instead of KV trip;
+  ///   * eviction demotes written-back victims into the tier instead of
+  ///     dropping them;
+  ///   * Invalidate erases the pid from BOTH tiers.
+  /// Same setup-time contract as set_batch_loader.
+  void set_victim_cache(VictimCache* victim, VictimEncodeFn encode,
+                        VictimDecodeFn decode) {
+    victim_cache_ = victim;
+    victim_encode_ = std::move(encode);
+    victim_decode_ = std::move(decode);
+  }
 
   /// Write path: runs `fn` with exclusive access, creating the profile when
   /// absent (after a load attempt), then marks the entry dirty.
@@ -259,6 +288,12 @@ class GCache {
     uint64_t mutation_epoch = 0;
     /// Guarded by the owning DirtyShard's mutex.
     bool in_dirty_list = false;
+    /// Set (under mu) when the entry is removed from its shard map by
+    /// eviction or Invalidate. A mutator holding a stale EntryPtr from
+    /// before the removal must NOT write into it — the entry is unmapped,
+    /// nothing would ever flush the write — so WithProfileMutable rechecks
+    /// this after locking and retries its lookup instead.
+    bool evicted = false;
 
     Entry(ProfileId id, ProfileData data)
         : pid(id), profile(std::move(data)) {}
@@ -301,6 +336,13 @@ class GCache {
       const std::vector<ProfileId>& pids, std::vector<bool>* out_degraded,
       TimestampMs deadline_ms);
 
+  /// Probes the victim tier for `pid` (caller wraps in the cache.l2_lookup
+  /// span); on a hit the bytes are taken out of the tier and decoded into
+  /// `*out` (promotion), `*out_degraded` carries the demoted staleness mark.
+  /// False on tier miss — and on decode failure, where the corrupt bytes are
+  /// simply dropped and the miss falls through to the loader.
+  bool TryPromoteFromL2(ProfileId pid, ProfileData* out, bool* out_degraded);
+
   /// Moves the slot's pid to the LRU front (shard lock held). Splicing via
   /// the stored iterator: no second hash probe.
   void TouchLru(LruShard& shard, LruShard::Slot& slot);
@@ -316,9 +358,16 @@ class GCache {
   void MarkDirty(Entry& entry);
 
   /// Evicts from `shard` until `target_bytes` freed or shard exhausted.
+  /// Victims are collected (and snapshotted) under shard.mu, written back
+  /// and encoded for demotion with NO lock held, then committed one at a
+  /// time under shard.mu + entry lock with the flush path's mutation-epoch
+  /// recheck — an entry re-dirtied during the unlocked round trip stays
+  /// resident and keeps its newer state.
   size_t EvictFromShard(LruShard& shard, size_t target_bytes);
 
-  /// Flushes the given entry if dirty (entry lock must be held).
+  /// Flushes the given entry if dirty (entry lock must be held). Point path:
+  /// only Invalidate uses it — eviction write-back goes through
+  /// EvictFromShard's unlocked batch.
   Status FlushEntryLocked(Entry& entry);
 
   /// Flushes all entries queued in one dirty shard. Stops early after
@@ -326,8 +375,19 @@ class GCache {
   /// remainder); `out_failures`, when non-null, reports the failure count.
   size_t FlushShard(DirtyShard& shard, size_t* out_failures = nullptr);
 
+  /// Where a store-health observation came from. Batch observations are the
+  /// flush/load passes that sweep many pids — representative of the store's
+  /// real state, so one success clears the unhealthy flag. Point
+  /// observations are single-pid eviction/Invalidate write-backs; one lucky
+  /// point success mid-outage used to clear the flag while batch loads were
+  /// still failing (flapping), so the point path needs
+  /// kPointHealthClearStreak consecutive successes to clear it.
+  enum class StoreHealthSource { kBatch, kPoint };
+  static constexpr int kPointHealthClearStreak = 3;
+
   /// Marks the backing store healthy/unhealthy from a flush/load outcome.
-  void NoteStoreHealth(const Status& status);
+  void NoteStoreHealth(const Status& status,
+                       StoreHealthSource source = StoreHealthSource::kBatch);
 
   void SwapLoop();
   void FlushLoop(size_t thread_index);
@@ -352,6 +412,10 @@ class GCache {
   /// Non-owning; installed at setup. When present, every flush group routes
   /// through it (see set_store_broker).
   StoreBroker* store_broker_ = nullptr;
+  /// Non-owning; installed at setup (see set_victim_cache).
+  VictimCache* victim_cache_ = nullptr;
+  VictimEncodeFn victim_encode_;
+  VictimDecodeFn victim_decode_;
   MetricsRegistry* metrics_;
 
   std::vector<std::unique_ptr<LruShard>> lru_shards_;
@@ -360,6 +424,9 @@ class GCache {
   std::atomic<int64_t> hits_{0};
   std::atomic<int64_t> misses_{0};
   std::atomic<bool> store_unhealthy_{false};
+  /// Consecutive successful point write-backs observed while unhealthy; see
+  /// StoreHealthSource.
+  std::atomic<int> point_success_streak_{0};
 
   std::atomic<bool> shutdown_{false};
   std::mutex bg_mu_;

@@ -1,0 +1,204 @@
+#include "cache/victim_cache.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/hash.h"
+
+namespace ips {
+
+namespace {
+
+size_t RoundUpPow2(size_t n) {
+  if (n == 0) return 1;
+  while ((n & (n - 1)) != 0) ++n;
+  return n;
+}
+
+}  // namespace
+
+VictimCache::VictimCache(VictimCacheOptions options, MetricsRegistry* metrics)
+    : options_(options) {
+  options_.shards = RoundUpPow2(std::max<size_t>(1, options_.shards));
+  options_.sketch_width = RoundUpPow2(std::max<size_t>(64, options_.sketch_width));
+  sketch_mask_ = options_.sketch_width - 1;
+  per_shard_budget_ = options_.memory_limit_bytes / options_.shards;
+  for (size_t i = 0; i < options_.shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+  sketch_ = std::vector<std::atomic<uint8_t>>(kSketchRows *
+                                              options_.sketch_width);
+  for (auto& c : sketch_) c.store(0, std::memory_order_relaxed);
+  if (metrics != nullptr) {
+    hit_ = metrics->GetCounter("cache_l2.hit");
+    miss_ = metrics->GetCounter("cache_l2.miss");
+    admitted_ = metrics->GetCounter("cache_l2.admitted");
+    rejected_ = metrics->GetCounter("cache_l2.rejected");
+    evicted_ = metrics->GetCounter("cache_l2.evicted");
+    bytes_gauge_ = metrics->GetGauge("cache_l2.bytes");
+  }
+}
+
+size_t VictimCache::ShardIndex(ProfileId pid) const {
+  // A different bit range than the sketch rows so a shard's population does
+  // not correlate with its pids' sketch slots.
+  return (Mix64(pid) >> 7) & (options_.shards - 1);
+}
+
+size_t VictimCache::SketchIndex(ProfileId pid, size_t row) const {
+  // Derive per-row hashes from one Mix64 by re-mixing with a row salt; rows
+  // must be pairwise independent-ish for the count-min minimum to work.
+  const uint64_t h = Mix64(pid ^ (0x9e3779b97f4a7c15ULL * (row + 1)));
+  return row * options_.sketch_width + (h & sketch_mask_);
+}
+
+void VictimCache::RecordAccess(ProfileId pid) {
+  for (size_t row = 0; row < kSketchRows; ++row) {
+    std::atomic<uint8_t>& c = sketch_[SketchIndex(pid, row)];
+    uint8_t cur = c.load(std::memory_order_relaxed);
+    // Saturating bump; contended CAS losses are fine (approximate counter).
+    if (cur < 255) {
+      c.compare_exchange_weak(cur, static_cast<uint8_t>(cur + 1),
+                              std::memory_order_relaxed);
+    }
+  }
+  if (options_.sketch_aging_window == 0) return;
+  const uint64_t ops = sketch_ops_.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (ops % options_.sketch_aging_window == 0) AgeSketch();
+}
+
+void VictimCache::AgeSketch() {
+  std::unique_lock<std::mutex> lock(aging_mu_, std::try_to_lock);
+  if (!lock.owns_lock()) return;  // another thread is already aging
+  for (auto& c : sketch_) {
+    uint8_t cur = c.load(std::memory_order_relaxed);
+    c.store(static_cast<uint8_t>(cur >> 1), std::memory_order_relaxed);
+  }
+}
+
+uint32_t VictimCache::EstimateFrequency(ProfileId pid) const {
+  uint32_t est = 255;
+  for (size_t row = 0; row < kSketchRows; ++row) {
+    est = std::min<uint32_t>(
+        est, sketch_[SketchIndex(pid, row)].load(std::memory_order_relaxed));
+  }
+  return est;
+}
+
+bool VictimCache::WouldAdmit(ProfileId pid) const {
+  return EstimateFrequency(pid) >= options_.admit_min_frequency;
+}
+
+bool VictimCache::Put(ProfileId pid, std::string encoded, bool degraded) {
+  if (encoded.size() > options_.max_entry_bytes ||
+      encoded.size() > per_shard_budget_ || !WouldAdmit(pid)) {
+    if (rejected_ != nullptr) rejected_->Increment();
+    return false;
+  }
+  Shard& shard = *shards_[ShardIndex(pid)];
+  size_t freed = 0;
+  size_t evictions = 0;
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto [it, inserted] = shard.map.try_emplace(pid);
+    if (!inserted) {
+      // Renewal: replace the bytes in place, refresh recency.
+      shard.bytes -= it->second.encoded.size();
+      shard.bytes += encoded.size();
+      const size_t old_size = it->second.encoded.size();
+      it->second.encoded = std::move(encoded);
+      it->second.degraded = degraded;
+      shard.lru.splice(shard.lru.begin(), shard.lru, it->second.lru_it);
+      if (it->second.encoded.size() >= old_size) {
+        memory_bytes_.fetch_add(it->second.encoded.size() - old_size,
+                                std::memory_order_relaxed);
+      } else {
+        memory_bytes_.fetch_sub(old_size - it->second.encoded.size(),
+                                std::memory_order_relaxed);
+      }
+    } else {
+      shard.lru.push_front(pid);
+      it->second.lru_it = shard.lru.begin();
+      shard.bytes += encoded.size();
+      memory_bytes_.fetch_add(encoded.size(), std::memory_order_relaxed);
+      it->second.encoded = std::move(encoded);
+      it->second.degraded = degraded;
+    }
+    // Make room: the shard's own LRU tail ages out. The new entry fits by
+    // the per-shard size check above, so this terminates with it resident.
+    while (shard.bytes > per_shard_budget_ && !shard.lru.empty()) {
+      const ProfileId victim = shard.lru.back();
+      if (victim == pid) break;  // never evict the entry just demoted
+      auto vit = shard.map.find(victim);
+      shard.lru.pop_back();
+      if (vit == shard.map.end()) continue;
+      freed += vit->second.encoded.size();
+      shard.bytes -= vit->second.encoded.size();
+      shard.map.erase(vit);
+      ++evictions;
+    }
+  }
+  if (freed > 0) memory_bytes_.fetch_sub(freed, std::memory_order_relaxed);
+  if (admitted_ != nullptr) admitted_->Increment();
+  if (evictions > 0 && evicted_ != nullptr) {
+    evicted_->Increment(static_cast<int64_t>(evictions));
+  }
+  if (bytes_gauge_ != nullptr) {
+    bytes_gauge_->Set(static_cast<int64_t>(MemoryBytes()));
+  }
+  return true;
+}
+
+bool VictimCache::Take(ProfileId pid, std::string* encoded, bool* degraded) {
+  Shard& shard = *shards_[ShardIndex(pid)];
+  size_t freed = 0;
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.map.find(pid);
+    if (it == shard.map.end()) {
+      if (miss_ != nullptr) miss_->Increment();
+      return false;
+    }
+    freed = it->second.encoded.size();
+    *encoded = std::move(it->second.encoded);
+    *degraded = it->second.degraded;
+    shard.bytes -= freed;
+    shard.lru.erase(it->second.lru_it);
+    shard.map.erase(it);
+  }
+  memory_bytes_.fetch_sub(freed, std::memory_order_relaxed);
+  if (hit_ != nullptr) hit_->Increment();
+  if (bytes_gauge_ != nullptr) {
+    bytes_gauge_->Set(static_cast<int64_t>(MemoryBytes()));
+  }
+  return true;
+}
+
+void VictimCache::Erase(ProfileId pid) {
+  Shard& shard = *shards_[ShardIndex(pid)];
+  size_t freed = 0;
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.map.find(pid);
+    if (it == shard.map.end()) return;
+    freed = it->second.encoded.size();
+    shard.bytes -= freed;
+    shard.lru.erase(it->second.lru_it);
+    shard.map.erase(it);
+  }
+  memory_bytes_.fetch_sub(freed, std::memory_order_relaxed);
+  if (bytes_gauge_ != nullptr) {
+    bytes_gauge_->Set(static_cast<int64_t>(MemoryBytes()));
+  }
+}
+
+size_t VictimCache::EntryCount() const {
+  size_t total = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    total += shard->map.size();
+  }
+  return total;
+}
+
+}  // namespace ips

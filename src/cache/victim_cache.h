@@ -1,0 +1,158 @@
+// VictimCache: the compressed L2 tier between GCache and the persister.
+//
+// A profile evicted from the L1 (GCache) no longer has to fall all the way
+// back to a KV round trip: after its dirty state is written back, the entry
+// is *demoted* here as encoded bytes — the same compressed block format the
+// persister stores — instead of being dropped. A later miss probes this tier
+// first and, on a hit, *promotes* the profile back into L1 by decoding the
+// bytes, paying a decode instead of a storage round trip. The tiers are
+// exclusive: a promotion removes the bytes from L2 (Take), so a profile is
+// resident in at most one tier and memory is never double-counted.
+//
+// Admission is frequency-based (the TinyLFU idea): a small count-min sketch
+// tracks per-pid access frequency, and a demotion is only admitted when the
+// pid's estimated frequency clears a floor. One-touch scan traffic — pids
+// seen once, evicted, never asked for again — therefore cannot pollute the
+// tier or evict bytes that will actually be re-read. The sketch ages by
+// periodic halving so yesterday's hot set decays.
+//
+// This layer is deliberately byte-level: it never includes the codec. The
+// GCache owner injects encode/decode callbacks (see GCache::set_victim_cache)
+// so the tier reuses whatever block format the persister is configured with.
+#ifndef IPS_CACHE_VICTIM_CACHE_H_
+#define IPS_CACHE_VICTIM_CACHE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/metrics.h"
+#include "core/types.h"
+
+namespace ips {
+
+struct VictimCacheOptions {
+  /// Shard count for the byte store. Power of two.
+  size_t shards = 8;
+  /// Total budget for stored encoded bytes across all shards. The per-shard
+  /// budget is the even split; a shard at budget evicts its own LRU tail to
+  /// make room (demoted-then-forgotten bytes age out locally).
+  size_t memory_limit_bytes = 64 << 20;
+  /// Demotions whose encoded size exceeds this are never admitted — one
+  /// outsized profile must not wipe a whole shard of useful victims.
+  size_t max_entry_bytes = 4 << 20;
+  /// Minimum estimated access frequency for admission. Demotions of pids the
+  /// sketch has seen fewer times than this are rejected (scan resistance).
+  /// A floor of 0 or 1 admits everything the size checks allow.
+  uint32_t admit_min_frequency = 2;
+  /// Count-min sketch width per row (counters). Rounded up to a power of
+  /// two. Depth is fixed at 4 rows.
+  size_t sketch_width = 4096;
+  /// Recorded accesses between sketch aging passes (every counter halves).
+  /// Keeps the frequency estimate a sliding window rather than a lifetime
+  /// total. 0 disables aging (tests that want exact counts).
+  uint64_t sketch_aging_window = 1 << 17;
+};
+
+/// Sharded store of encoded (compressed) profile bytes with frequency-based
+/// admission. Thread-safe. See the file comment for the tiering contract.
+class VictimCache {
+ public:
+  explicit VictimCache(VictimCacheOptions options,
+                       MetricsRegistry* metrics = nullptr);
+
+  VictimCache(const VictimCache&) = delete;
+  VictimCache& operator=(const VictimCache&) = delete;
+
+  /// Records one access for the admission sketch. The L1 calls this for
+  /// every lookup (hit or miss): admission quality depends on total access
+  /// frequency, not miss frequency — a profile that is hot *because* it is
+  /// resident in L1 must still look hot when it is eventually demoted.
+  void RecordAccess(ProfileId pid);
+
+  /// Cheap admission pre-check: whether a demotion of `pid` would currently
+  /// clear the frequency floor. The eviction path uses it to skip the encode
+  /// work for victims that Put would reject anyway. Advisory — Put repeats
+  /// the check (plus the size checks) authoritatively.
+  bool WouldAdmit(ProfileId pid) const;
+
+  /// Demotes encoded bytes into the tier. Returns true when admitted; false
+  /// when rejected by the frequency floor or the size caps. Replaces any
+  /// bytes already stored for `pid`. `degraded` rides along so a profile
+  /// loaded from a fallback replica keeps its staleness mark through a
+  /// demote/promote round trip.
+  bool Put(ProfileId pid, std::string encoded, bool degraded);
+
+  /// Promotion lookup: on hit, moves the stored bytes out into `*encoded`
+  /// (removing the tier's copy — exclusive tiers), sets `*degraded`, and
+  /// returns true. On miss returns false and leaves the outputs untouched.
+  bool Take(ProfileId pid, std::string* encoded, bool* degraded);
+
+  /// Drops any stored bytes for `pid` (Invalidate: the profile must leave
+  /// every tier, or stale bytes would serve a later miss).
+  void Erase(ProfileId pid);
+
+  /// Sketch frequency estimate for `pid` (upper bound, as count-min always
+  /// is). Exposed for tests and admission introspection.
+  uint32_t EstimateFrequency(ProfileId pid) const;
+
+  size_t EntryCount() const;
+  size_t MemoryBytes() const {
+    return memory_bytes_.load(std::memory_order_relaxed);
+  }
+
+  const VictimCacheOptions& options() const { return options_; }
+
+ private:
+  struct Shard {
+    struct Slot {
+      std::string encoded;
+      bool degraded = false;
+      std::list<ProfileId>::iterator lru_it;
+    };
+    mutable std::mutex mu;
+    std::unordered_map<ProfileId, Slot> map;
+    /// Most-recently demoted/renewed at front; eviction pops the back.
+    std::list<ProfileId> lru;
+    size_t bytes = 0;  // guarded by mu
+  };
+
+  size_t ShardIndex(ProfileId pid) const;
+  /// Row-local sketch slot for `pid` in row `row`.
+  size_t SketchIndex(ProfileId pid, size_t row) const;
+  /// Halves every sketch counter (the aging pass). Serialized by aging_mu_;
+  /// concurrent RecordAccess bumps proceed — the sketch is approximate by
+  /// construction and a bump lost to a concurrent halving is noise.
+  void AgeSketch();
+
+  VictimCacheOptions options_;
+  size_t per_shard_budget_ = 0;
+  std::vector<std::unique_ptr<Shard>> shards_;
+
+  static constexpr size_t kSketchRows = 4;
+  size_t sketch_mask_ = 0;
+  /// kSketchRows rows of sketch_width counters, flattened. Saturating at
+  /// 255: admission floors are tiny, so one byte per counter is plenty and
+  /// keeps the whole sketch a few cache lines per row.
+  std::vector<std::atomic<uint8_t>> sketch_;
+  std::atomic<uint64_t> sketch_ops_{0};
+  std::mutex aging_mu_;
+
+  std::atomic<size_t> memory_bytes_{0};
+
+  Counter* hit_ = nullptr;
+  Counter* miss_ = nullptr;
+  Counter* admitted_ = nullptr;
+  Counter* rejected_ = nullptr;
+  Counter* evicted_ = nullptr;
+  Gauge* bytes_gauge_ = nullptr;
+};
+
+}  // namespace ips
+
+#endif  // IPS_CACHE_VICTIM_CACHE_H_

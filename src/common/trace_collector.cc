@@ -27,6 +27,7 @@ constexpr StageMetric kStageMetrics[] = {
     {"rpc.transfer", "trace.stage.rpc.transfer"},
     {"server.queue", "trace.stage.server.queue"},
     {"cache.lookup", "trace.stage.cache.lookup"},
+    {"cache.l2_lookup", "trace.stage.cache.l2_lookup"},
     {"server.coalesce", "trace.stage.server.coalesce"},
     {"kv.load", "trace.stage.kv.load"},
     {"kv.load.shared", "trace.stage.kv.load.shared"},
@@ -42,7 +43,7 @@ constexpr StageMetric kStageMetrics[] = {
     {"client.multi_add", "trace.stage.client.multi_add"},
     {"assembler.batch", "trace.stage.assembler.batch"},
 };
-constexpr size_t kDisjointStages = 12;
+constexpr size_t kDisjointStages = 13;
 
 void AppendJsonString(std::string* out, std::string_view s) {
   out->push_back('"');

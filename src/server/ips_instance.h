@@ -26,6 +26,7 @@
 #include "cache/gcache.h"
 #include "cache/load_broker.h"
 #include "cache/store_broker.h"
+#include "cache/victim_cache.h"
 #include "common/call_context.h"
 #include "common/clock.h"
 #include "common/config.h"
@@ -64,6 +65,16 @@ struct IpsInstanceOptions {
   /// ablation (bench_flush_storm measures both).
   bool enable_store_broker = true;
   StoreBrokerOptions store_broker;
+  /// Compressed L2 victim tier between the cache and the persister: entries
+  /// evicted from the (L1) GCache are demoted as encoded bytes after their
+  /// write-back instead of dropped, and a later miss promotes them back for
+  /// the price of a decode rather than a KV round trip. Admission is
+  /// frequency-gated (TinyLFU-style sketch) so one-touch scans cannot
+  /// pollute the tier. Off by default: the tier changes what a "miss" costs,
+  /// which the broker benches measure in isolation; opt in per deployment
+  /// (bench_cache_tiers measures both sides).
+  bool enable_victim_cache = false;
+  VictimCacheOptions victim_cache;
   /// Read-write isolation initial state + merge cadence + memory cap.
   bool isolation_enabled = true;
   int64_t isolation_merge_interval_ms = 2000;
@@ -264,6 +275,9 @@ class IpsInstance {
     double memory_usage_ratio = 0.0;
     size_t write_table_profiles = 0;
     size_t write_table_bytes = 0;
+    /// Victim-tier occupancy; zero when the tier is disabled.
+    size_t l2_cached_profiles = 0;
+    size_t l2_bytes = 0;
   };
   Result<TableStats> GetTableStats(const std::string& table) const;
 
@@ -293,6 +307,9 @@ class IpsInstance {
     /// write-side mirror. Same ordering contract: declared before `cache`
     /// so the cache's shutdown flush can still drain through it.
     std::unique_ptr<StoreBroker> store_broker;
+    /// Compressed L2 victim tier (when enabled). Declared before `cache` for
+    /// the same reason: the cache demotes into it up to its last eviction.
+    std::unique_ptr<VictimCache> victim_cache;
     std::unique_ptr<GCache> cache;
     std::unique_ptr<Compactor> compactor;
     std::unique_ptr<CompactionManager> compaction;

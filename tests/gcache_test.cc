@@ -988,6 +988,211 @@ TEST(GCacheTest, WriteDuringFlushRoundTripRequeuesInsteadOfLosingIt) {
   EXPECT_EQ(cache.DirtyCount(), 0u);
 }
 
+TEST(GCacheTest, EvictionWriteBackDoesNotBlockConcurrentReaders) {
+  // Regression for the eviction lock-hold bug: EvictFromShard used to run
+  // the KV write-back while still holding shard.mu, so a slow store stalled
+  // every reader and writer hashing into that shard. Victims are now
+  // collected under the lock and written back outside it: with the flusher
+  // parked mid-round-trip, reads and writes on the same shard must complete.
+  FakeStore store;
+  std::mutex gate_mu;
+  std::condition_variable gate_cv;
+  bool eviction_flush_started = false;
+  bool release_flush = false;
+  constexpr ProfileId kCold = 1;
+  FlushFn blocking_flusher = [&](ProfileId pid, const ProfileData& profile) {
+    if (pid == kCold) {
+      std::unique_lock<std::mutex> lock(gate_mu);
+      eviction_flush_started = true;
+      gate_cv.notify_all();
+      gate_cv.wait(lock, [&] { return release_flush; });
+    }
+    return store.Flusher()(pid, profile);
+  };
+  GCacheOptions options = ManualOptions();
+  options.lru_shards = 1;  // one shard: any held lock would block everyone
+  options.memory_limit_bytes = 4 << 10;
+  GCache cache(options, SystemClock::Instance(), blocking_flusher,
+               store.Loader());
+  // Cold dirty giant at the LRU tail...
+  cache
+      .WithProfileMutable(kCold,
+                          [](ProfileData& profile) {
+                            for (int i = 0; i < 120; ++i) {
+                              profile
+                                  .Add(kMinute * (i + 1), 1, 1,
+                                       static_cast<FeatureId>(i + 1),
+                                       CountVector{1, 2, 3})
+                                  .ok();
+                            }
+                          })
+      .ok();
+  // ...and a small recent entry that must survive the pass.
+  cache
+      .WithProfileMutable(2,
+                          [](ProfileData& profile) {
+                            profile.Add(kMinute, 1, 1, 1, CountVector{1}).ok();
+                          })
+      .ok();
+  ASSERT_GT(cache.MemoryBytes(), options.memory_limit_bytes);
+
+  std::thread swapper([&] { cache.SwapOnce(); });
+  {
+    std::unique_lock<std::mutex> lock(gate_mu);
+    ASSERT_TRUE(gate_cv.wait_for(lock, std::chrono::seconds(5),
+                                 [&] { return eviction_flush_started; }));
+  }
+  // The write-back is parked mid-flight. Same-shard traffic must complete
+  // while it is: run it on a side thread and require completion BEFORE the
+  // gate opens (if the pass still held shard.mu, `done` could only flip
+  // after the release below and the expectation would fail).
+  std::atomic<bool> done{false};
+  std::thread reader([&] {
+    bool hit = false;
+    EXPECT_TRUE(cache.WithProfile(2, [](const ProfileData&) {}, &hit).ok());
+    EXPECT_TRUE(hit);
+    EXPECT_TRUE(cache
+                    .WithProfileMutable(3,
+                                        [](ProfileData& profile) {
+                                          profile
+                                              .Add(kMinute, 1, 1, 1,
+                                                   CountVector{1})
+                                              .ok();
+                                        })
+                    .ok());
+    done.store(true);
+  });
+  for (int i = 0; i < 200 && !done.load(); ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_TRUE(done.load());
+  {
+    std::lock_guard<std::mutex> lock(gate_mu);
+    release_flush = true;
+    gate_cv.notify_all();
+  }
+  reader.join();
+  swapper.join();
+  // The pass finished its job: the cold giant was written back and evicted.
+  EXPECT_TRUE(store.Has(kCold));
+  bool hit = true;
+  EXPECT_TRUE(cache.WithProfile(kCold, [](const ProfileData&) {}, &hit).ok());
+  EXPECT_FALSE(hit);  // reloaded from the store, not resident
+}
+
+TEST(GCacheTest, InvalidateDoesNotDropWriteRacingItsFlush) {
+  // Regression: Invalidate used to flush under the entry lock, drop the
+  // lock, then erase under the shard lock — a writer landing in that window
+  // re-dirtied the entry and the erase silently discarded the write. The
+  // erase now re-checks `dirty` under both locks and loops back to flush
+  // again, so the racing write must survive to the store.
+  FakeStore store;
+  std::mutex gate_mu;
+  std::condition_variable gate_cv;
+  bool flush_started = false;
+  bool writer_started = false;
+  std::atomic<int> flushes_of_7{0};
+  FlushFn gated_flusher = [&](ProfileId pid, const ProfileData& profile) {
+    if (pid == 7 && flushes_of_7.fetch_add(1) == 0) {
+      // First flush (Invalidate's): stall until the racing writer is
+      // en route to the entry lock, then a beat longer so it is parked ON
+      // the lock when we return and the erase re-check runs contended.
+      std::unique_lock<std::mutex> lock(gate_mu);
+      flush_started = true;
+      gate_cv.notify_all();
+      gate_cv.wait(lock, [&] { return writer_started; });
+      lock.unlock();
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+    return store.Flusher()(pid, profile);
+  };
+  GCache cache(ManualOptions(), SystemClock::Instance(), gated_flusher,
+               store.Loader());
+  cache
+      .WithProfileMutable(7,
+                          [](ProfileData& profile) {
+                            profile.Add(kMinute, 1, 1, 1, CountVector{1}).ok();
+                          })
+      .ok();
+  std::thread invalidator([&] { EXPECT_TRUE(cache.Invalidate(7).ok()); });
+  {
+    std::unique_lock<std::mutex> lock(gate_mu);
+    ASSERT_TRUE(gate_cv.wait_for(lock, std::chrono::seconds(5),
+                                 [&] { return flush_started; }));
+    writer_started = true;
+    gate_cv.notify_all();
+  }
+  // The racing write: lands either just before the erase re-check (the
+  // entry re-dirties and Invalidate flushes again) or just after the erase
+  // (the writer sees Entry::evicted, retries its lookup, and writes into a
+  // fresh entry reloaded from the store). Both ways it must reach the store.
+  ASSERT_TRUE(cache
+                  .WithProfileMutable(7,
+                                      [](ProfileData& profile) {
+                                        profile
+                                            .Add(kMinute, 1, 1, 2,
+                                                 CountVector{1})
+                                            .ok();
+                                      })
+                  .ok());
+  invalidator.join();
+  cache.FlushAll();
+  // Both the original feature and the racing writer's made it out.
+  EXPECT_EQ(store.Get(7).TotalFeatures(), 2u);
+  EXPECT_EQ(store.flush_count(), 2);
+}
+
+TEST(GCacheTest, SinglePointSuccessDoesNotClearStoreHealth) {
+  // Regression for health flapping: one lucky single-pid write-back landing
+  // mid-outage used to clear store_unhealthy_ while batch flushes were
+  // still failing. Point successes (Invalidate/eviction write-backs) now
+  // need kPointHealthClearStreak in a row; batch passes clear immediately.
+  FakeStore store;
+  GCache cache(ManualOptions(), SystemClock::Instance(), store.Flusher(),
+               store.Loader());
+  auto dirty = [&](ProfileId pid) {
+    cache
+        .WithProfileMutable(pid,
+                            [](ProfileData& profile) {
+                              profile.Add(kMinute, 1, 1, 1, CountVector{1})
+                                  .ok();
+                            })
+        .ok();
+  };
+  for (ProfileId pid = 11; pid <= 14; ++pid) dirty(pid);
+  store.SetFailFlushes(true);
+  EXPECT_EQ(cache.FlushOnce(), 0u);
+  ASSERT_TRUE(cache.StoreUnhealthy());
+  store.SetFailFlushes(false);
+  // Two successful point write-backs: still below the streak, still
+  // unhealthy (this is exactly the flapping the old code exhibited).
+  ASSERT_TRUE(cache.Invalidate(11).ok());
+  EXPECT_TRUE(cache.StoreUnhealthy());
+  ASSERT_TRUE(cache.Invalidate(12).ok());
+  EXPECT_TRUE(cache.StoreUnhealthy());
+  // A failure in between resets the streak: two more successes after it
+  // still do not clear.
+  store.SetFailFlushes(true);
+  EXPECT_FALSE(cache.Invalidate(13).ok());
+  store.SetFailFlushes(false);
+  ASSERT_TRUE(cache.Invalidate(13).ok());
+  ASSERT_TRUE(cache.Invalidate(14).ok());
+  EXPECT_TRUE(cache.StoreUnhealthy());
+  // Third consecutive point success finally clears it.
+  dirty(15);
+  ASSERT_TRUE(cache.Invalidate(15).ok());
+  EXPECT_FALSE(cache.StoreUnhealthy());
+  // Batch observations stay authoritative: one failing pass re-trips the
+  // flag, one successful pass clears it with no streak needed.
+  dirty(16);
+  store.SetFailFlushes(true);
+  EXPECT_EQ(cache.FlushOnce(), 0u);
+  EXPECT_TRUE(cache.StoreUnhealthy());
+  store.SetFailFlushes(false);
+  EXPECT_EQ(cache.FlushOnce(), 1u);
+  EXPECT_FALSE(cache.StoreUnhealthy());
+}
+
 TEST(GCacheTest, FlushThreadsRoundedToShardMultiple) {
   FakeStore store;
   GCacheOptions options = ManualOptions();

@@ -4,14 +4,17 @@
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <random>
+#include <set>
 #include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
 
+#include "cache/gcache.h"
 #include "common/clock.h"
 #include "common/hash.h"
 #include "common/metrics.h"
@@ -456,6 +459,106 @@ TEST(StoreBrokerTest, ConcurrentStormResolvesEveryPidAndDrainsClean) {
   EXPECT_EQ(broker.InFlightCount(), 0u);
   // The storm must have actually exercised the single-flight paths.
   EXPECT_GT(metrics.GetHistogram("store_broker.batch_pids")->count(), 0u);
+}
+
+TEST(StoreBrokerTest, EvictionWriteBackRoutesThroughBrokerWhenInstalled) {
+  // Eviction write-backs used to bypass the broker unconditionally (they ran
+  // under the entry lock and could not park in a collection window). Now the
+  // victims are stored as unlocked snapshots, so with a broker installed an
+  // eviction storm must ride broker batches — and with the broker ablated it
+  // must fall back to the batch flusher, never silently drop the writes.
+  MetricsRegistry metrics;
+  StoreRecorder rec;
+  StoreBrokerOptions broker_options;
+  broker_options.window_micros = 0;
+  StoreBroker broker(broker_options, CountingStore(&rec),
+                     SystemClock::Instance(), &metrics);
+
+  auto make_cache = [](std::atomic<int>* direct_flushes) {
+    GCacheOptions options;
+    options.start_background_threads = false;
+    options.lru_shards = 1;
+    options.dirty_shards = 1;
+    options.memory_limit_bytes = 4 << 10;
+    options.write_granularity_ms = kMinute;
+    return std::make_unique<GCache>(
+        options, SystemClock::Instance(),
+        [direct_flushes](ProfileId, const ProfileData&) {
+          direct_flushes->fetch_add(1);
+          return Status::OK();
+        },
+        [](ProfileId, bool*) -> Result<ProfileData> {
+          return Status::NotFound("cold");
+        });
+  };
+  auto fill = [](GCache& cache) {
+    for (ProfileId pid = 1; pid <= 40; ++pid) {
+      cache
+          .WithProfileMutable(pid,
+                              [&](ProfileData& profile) {
+                                for (int i = 0; i < 8; ++i) {
+                                  profile
+                                      .Add(kMinute * (i + 1), 1, 1,
+                                           static_cast<FeatureId>(i + 1),
+                                           CountVector{1, 2})
+                                      .ok();
+                                }
+                              })
+          .ok();
+    }
+  };
+
+  std::atomic<int> direct_flushes{0};
+  std::atomic<int> batch_flushes{0};
+  std::unique_ptr<GCache> cache = make_cache(&direct_flushes);
+  cache->set_batch_flusher(
+      [&](const std::vector<ProfileId>& pids,
+          const std::vector<const ProfileData*>&) {
+        batch_flushes.fetch_add(1);
+        return std::vector<Status>(pids.size(), Status::OK());
+      });
+  cache->set_store_broker(&broker);
+  fill(*cache);
+  ASSERT_GT(cache->MemoryBytes(), cache->options().memory_limit_bytes);
+  ASSERT_GT(cache->SwapOnce(), 0u);
+  // The dirty victims' write-backs all rode the broker; neither fallback
+  // path saw a single call.
+  EXPECT_GT(rec.calls.load(), 0);
+  EXPECT_EQ(direct_flushes.load(), 0);
+  EXPECT_EQ(batch_flushes.load(), 0);
+  // And nothing was dropped: every pid is still resident or went out in a
+  // broker batch.
+  std::set<ProfileId> stored;
+  {
+    std::lock_guard<std::mutex> lock(rec.mu);
+    for (const auto& batch : rec.batches) {
+      stored.insert(batch.begin(), batch.end());
+    }
+  }
+  std::vector<ProfileId> resident = cache->CachedIds();
+  std::set<ProfileId> covered(resident.begin(), resident.end());
+  covered.insert(stored.begin(), stored.end());
+  for (ProfileId pid = 1; pid <= 40; ++pid) {
+    EXPECT_TRUE(covered.count(pid) == 1) << pid;
+  }
+
+  // Ablation: identical cache with NO broker — the eviction pass write-back
+  // falls back to the batch flusher and the broker sees nothing.
+  const int broker_calls_before = rec.calls.load();
+  std::atomic<int> ablated_direct{0};
+  std::atomic<int> ablated_batch{0};
+  std::unique_ptr<GCache> ablated = make_cache(&ablated_direct);
+  ablated->set_batch_flusher(
+      [&](const std::vector<ProfileId>& pids,
+          const std::vector<const ProfileData*>&) {
+        ablated_batch.fetch_add(1);
+        return std::vector<Status>(pids.size(), Status::OK());
+      });
+  fill(*ablated);
+  ASSERT_GT(ablated->SwapOnce(), 0u);
+  EXPECT_GT(ablated_batch.load(), 0);
+  EXPECT_EQ(ablated_direct.load(), 0);  // batch flusher preempts point path
+  EXPECT_EQ(rec.calls.load(), broker_calls_before);
 }
 
 // ---------------------------------------------------------------------------
