@@ -1,6 +1,8 @@
 // Hot-key skew sweep: the read-path LoadBroker (server-side cross-request
 // batching + single-flight dedup) vs the broker-off ablation, under Zipfian
-// user popularity at s in {0.6, 0.8, 1.0, 1.2}.
+// user popularity at s in {0.6, 0.8, 0.9, 0.99}. The sweep stays strictly
+// inside ZipfGenerator's (0, 1) domain — the approximation degenerates at
+// s >= 1 (and now aborts there); 0.99 is YCSB's standard hot anchor.
 //
 // Eight request threads issue single-profile queries against an instance
 // whose cache is deliberately tiny, so the Zipf head keeps missing and every
@@ -11,7 +13,7 @@
 // storage round trips per query (PointReadCalls + MultiGetCalls deltas), the
 // cost the paper's shared-profile design removes from the serving path.
 //
-// `--smoke` runs only s=1.0 and exits nonzero unless the broker cuts KV
+// `--smoke` runs only s=0.99 and exits nonzero unless the broker cuts KV
 // round trips per query by >= 3x with broker.single_flight_hits > 0 (the PR
 // acceptance gate). The full run emits BENCH_hotkey_skew.json.
 #include <chrono>
@@ -190,7 +192,7 @@ void WriteJson(const std::vector<RunResult>& rows) {
     const RunResult& r = rows[i];
     std::fprintf(
         f,
-        "    {\"theta\": %.1f, \"broker\": %s, \"queries\": %zu, "
+        "    {\"theta\": %.2f, \"broker\": %s, \"queries\": %zu, "
         "\"kv_round_trips\": %lld, \"rt_per_query\": %.4f, "
         "\"single_flight_hits\": %lld, \"window_batches\": %lld, "
         "\"cross_request_dedup\": %lld, \"hit_ratio\": %.3f, "
@@ -218,7 +220,8 @@ int Run(bool smoke) {
   SeedStore(kv);
 
   const std::vector<double> thetas =
-      smoke ? std::vector<double>{1.0} : std::vector<double>{0.6, 0.8, 1.0, 1.2};
+      smoke ? std::vector<double>{0.99}
+            : std::vector<double>{0.6, 0.8, 0.9, 0.99};
   const size_t queries_per_thread = smoke ? 150 : 300;
 
   bench::PrintHeader({"zipf_s", "broker", "queries", "kv_rt", "rt_per_q",
@@ -237,10 +240,10 @@ int Run(bool smoke) {
     total_errors += off.errors + on.errors;
     const double ratio =
         on.RtPerQuery() > 0 ? off.RtPerQuery() / on.RtPerQuery() : 0;
-    std::printf("%14s s=%.1f: broker cuts KV round trips per query %.1fx "
+    std::printf("%14s s=%.2f: broker cuts KV round trips per query %.1fx "
                 "(%.2f -> %.2f)\n",
                 "", theta, ratio, off.RtPerQuery(), on.RtPerQuery());
-    if (theta == 1.0) {
+    if (theta == 0.99) {
       accept_ratio = ratio;
       accept_single_flight = on.single_flight;
     }
@@ -254,7 +257,7 @@ int Run(bool smoke) {
     rc = 1;
   }
   std::printf(
-      "\nacceptance @ s=1.0: rt reduction %.1fx (need >= 3.0), "
+      "\nacceptance @ s=0.99: rt reduction %.1fx (need >= 3.0), "
       "single_flight_hits %lld (need > 0)\n",
       accept_ratio, static_cast<long long>(accept_single_flight));
   if (accept_ratio < 3.0 || accept_single_flight <= 0) {

@@ -71,6 +71,47 @@ for path in sys.argv[1:]:
                   file=sys.stderr)
             fail = 1
             continue
+    if doc["bench"] == "compaction_ablation":
+        # The committed artifact must satisfy the PR acceptance gate: every
+        # drain row carries the full shape, worker configurations performed
+        # the identical nonzero set of full passes, the multi-worker drain
+        # stole across shards, and — when the artifact was produced on a
+        # host with >= 4 cores — the 1-worker storm took >= 2x the
+        # multi-worker storm. Artifacts recorded on fewer cores skip the
+        # ratio check (parallel drain cannot beat the clock on one core).
+        rows = doc.get("drain")
+        required = {"policy", "workers", "storm_ms", "full_passes",
+                    "partial_passes", "steals"}
+        if (not isinstance(rows, list) or len(rows) < 2
+                or any(not required.issubset(r) for r in rows)):
+            print(f"check_bench: {path}: compaction_ablation artifact needs "
+                  f">= 2 'drain' rows each carrying {sorted(required)}",
+                  file=sys.stderr)
+            fail = 1
+            continue
+        serial = min(rows, key=lambda r: r["workers"])
+        parallel = max(rows, key=lambda r: r["workers"])
+        gate_ok = (serial["workers"] == 1 and parallel["workers"] >= 4
+                   and serial["full_passes"] > 0
+                   and serial["full_passes"] == parallel["full_passes"]
+                   and parallel["steals"] > 0)
+        cores = doc.get("cores", 0)
+        if gate_ok and cores >= 4:
+            gate_ok = (parallel["storm_ms"] > 0
+                       and serial["storm_ms"] / parallel["storm_ms"] >= 2.0)
+        if not gate_ok:
+            print(f"check_bench: {path}: parallel-drain gate not met "
+                  f"(cores={cores}): 1w={serial}, "
+                  f"{parallel['workers']}w={parallel}", file=sys.stderr)
+            fail = 1
+            continue
+        policies = doc.get("policies")
+        if (not isinstance(policies, list)
+                or not any(p.get("policy") == "decay" for p in policies)):
+            print(f"check_bench: {path}: needs a 'policies' row for the "
+                  "alternate 'decay' controller", file=sys.stderr)
+            fail = 1
+            continue
     print(f"check_bench: {path}: ok (bench={doc['bench']})")
 sys.exit(fail)
 EOF

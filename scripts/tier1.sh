@@ -57,6 +57,19 @@ run_suite() {
     # tier-off ablation, with live cache_l2.hit promotions.
     echo "=== tier1: perf smoke (bench_cache_tiers --smoke) ==="
     "${build_dir}/bench/bench_cache_tiers" --smoke
+    # Parallel-drain gate: identical full-pass sets across worker configs,
+    # live cross-shard steals in the multi-worker drain, and (on >=4-core
+    # hosts) the 1-worker storm must take >= 2x the 4-worker storm.
+    echo "=== tier1: perf smoke (bench_compaction_ablation --smoke) ==="
+    "${build_dir}/bench/bench_compaction_ablation" --smoke
+  fi
+  if [[ "${sanitize}" == "thread" ]]; then
+    # The drain-concurrency storm (concurrent MaybeTrigger + Drain +
+    # SetEnabled flips over the sharded pool) is the test TSan exists for;
+    # ctest runs it with the rest of the suite, but an explicit pass keeps
+    # the race gate visible in the tier-1 log.
+    echo "=== tier1: TSan drain storm (CompactionManagerTest) ==="
+    (cd "${build_dir}" && ctest --output-on-failure -R compaction_test)
   fi
 }
 

@@ -546,6 +546,60 @@ Status GCache::WithProfileMutable(
   }
 }
 
+Status GCache::WithProfileOffLockMutate(
+    ProfileId pid, const std::function<bool(ProfileData&)>& work,
+    int max_retries) {
+  LruShard& shard = *lru_shards_[LruIndex(pid)];
+  for (int attempt = 0; attempt <= max_retries; ++attempt) {
+    // Resolve the resident entry without touching LRU recency: a
+    // maintenance pass reading a profile is not evidence of user interest,
+    // and promoting victims-to-be would fight the eviction policy.
+    EntryPtr entry;
+    {
+      std::lock_guard<std::mutex> lock(shard.mu);
+      auto it = shard.map.find(pid);
+      if (it == shard.map.end()) {
+        return Status::NotFound("profile not resident");
+      }
+      entry = it->second.entry;
+    }
+    ProfileData snapshot;
+    uint64_t epoch = 0;
+    {
+      std::lock_guard<std::mutex> lock(entry->mu);
+      if (entry->evicted) {
+        // Unmapped between the shard lookup and the entry lock; re-resolve.
+        continue;
+      }
+      snapshot = entry->profile;
+      epoch = entry->mutation_epoch;
+    }
+
+    // The expensive part — merge/truncate/shrink — runs here with no lock
+    // held, overlapping serving writes and dirty-shard flushes of the same
+    // entry.
+    if (!work(snapshot)) return Status::OK();
+
+    {
+      std::lock_guard<std::mutex> lock(entry->mu);
+      if (entry->evicted || entry->mutation_epoch != epoch) {
+        // A write (or an eviction) landed during the unlocked pass.
+        // Committing the stale snapshot would silently drop that write, so
+        // throw this pass away and redo it from the current state.
+        if (metrics_ != nullptr) {
+          metrics_->GetCounter("compaction.overlap_stalls")->Increment();
+        }
+        continue;
+      }
+      entry->profile = std::move(snapshot);
+      UpdateAccounting(shard, *entry);
+      MarkDirty(*entry);
+    }
+    return Status::OK();
+  }
+  return Status::Aborted("off-lock mutate kept losing the epoch race");
+}
+
 size_t GCache::EvictFromShard(LruShard& shard, size_t target_bytes) {
   // The eviction mirror of FlushShard's snapshot-then-store-unlocked design.
   // The old shape held shard.mu across FlushEntryLocked — every KV

@@ -217,6 +217,26 @@ class GCache {
                             const std::function<void(ProfileData&)>& fn,
                             bool* out_was_hit = nullptr);
 
+  /// Maintenance write path (compaction): snapshots the profile under the
+  /// entry lock, runs `work` on the snapshot with NO lock held, then commits
+  /// the result back under the lock — but only if the entry's mutation
+  /// epoch is unchanged (the same collect→work→commit discipline the flush
+  /// and eviction paths use). A long pass therefore never pins the entry
+  /// lock: serving writes and FlushShard proceed concurrently, and a pass
+  /// that lost the race retries from a fresh snapshot (each lost race is
+  /// counted as compaction.overlap_stalls), up to `max_retries` extra
+  /// attempts before giving up with Aborted — harmless, later traffic
+  /// re-triggers. `work` returns false to abandon the pass (nothing to
+  /// change); the entry is left untouched and OK is returned.
+  ///
+  /// Unlike WithProfileMutable this never faults the profile in from
+  /// storage: NotFound for non-resident pids. Compacting an uncached
+  /// profile would drag cold data into memory just to shrink it; persisted
+  /// slices get compacted when real traffic next loads them.
+  Status WithProfileOffLockMutate(ProfileId pid,
+                                  const std::function<bool(ProfileData&)>& work,
+                                  int max_retries = 2);
+
   /// Runs one eviction pass if usage exceeds the high watermark. Returns the
   /// number of entries evicted.
   size_t SwapOnce();

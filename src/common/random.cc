@@ -1,13 +1,25 @@
 #include "common/random.h"
 
 #include <cmath>
+#include <cstdio>
+#include <cstdlib>
 
 namespace ips {
 
 ZipfGenerator::ZipfGenerator(uint64_t n, double theta)
     : n_(n), theta_(theta) {
-  assert(n > 0);
-  assert(theta > 0.0 && theta < 1.0);
+  // Hard validation even under NDEBUG: the Gray/Jain approximation is only
+  // defined for theta in (0, 1) — at theta >= 1 the eta/alpha terms
+  // silently degenerate (division by 1-theta) and every benchmark built on
+  // the sampler reports skew it never generated. Misconfiguration here must
+  // be loud, not a subtly wrong result.
+  if (n == 0 || !(theta > 0.0) || !(theta < 1.0)) {
+    std::fprintf(stderr,
+                 "ZipfGenerator: invalid parameters n=%llu theta=%f "
+                 "(need n > 0 and theta in (0, 1) exclusive)\n",
+                 static_cast<unsigned long long>(n), theta);
+    std::abort();
+  }
   zeta_two_theta_ = Zeta(2, theta);
   zeta_n_ = Zeta(n, theta);
   alpha_ = 1.0 / (1.0 - theta);

@@ -88,8 +88,13 @@ class Rng {
 /// so all profile-ID workloads in bench/ sample from this distribution.
 class ZipfGenerator {
  public:
-  /// `n` items, skew `theta` in (0, 1); theta ~0.99 matches YCSB's default
-  /// and approximates measured content-consumption skew.
+  /// `n` items (> 0), skew `theta` strictly inside (0, 1); theta ~0.99
+  /// matches YCSB's default and approximates measured content-consumption
+  /// skew. The domain is hard: the approximation's alpha = 1/(1-theta) and
+  /// eta terms degenerate at theta >= 1 (theta = 1.0 divides by zero and
+  /// silently yields a non-Zipfian sampler), so out-of-domain values abort
+  /// with a diagnostic rather than misreport every downstream benchmark —
+  /// in release builds too, not just under assert.
   ZipfGenerator(uint64_t n, double theta);
 
   /// Draws an item rank in [0, n); rank 0 is the most popular.

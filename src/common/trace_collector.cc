@@ -42,6 +42,7 @@ constexpr StageMetric kStageMetrics[] = {
     {"client.multi_query", "trace.stage.client.multi_query"},
     {"client.multi_add", "trace.stage.client.multi_add"},
     {"assembler.batch", "trace.stage.assembler.batch"},
+    {"compaction.run", "trace.stage.compaction.run"},
 };
 constexpr size_t kDisjointStages = 13;
 

@@ -1,0 +1,41 @@
+#include "compaction/controller.h"
+
+namespace ips {
+
+CompactionKind DefaultCompactionController::Classify(
+    const CompactionPressure& pressure) const {
+  return pressure.queue_depth < pressure.partial_threshold
+             ? CompactionKind::kFull
+             : CompactionKind::kPartial;
+}
+
+int64_t DecayBiasedCompactionController::MinIntervalMs(
+    int64_t configured_ms) const {
+  return configured_ms > 1 ? configured_ms / 2 : configured_ms;
+}
+
+CompactionKind DecayBiasedCompactionController::Classify(
+    const CompactionPressure& pressure) const {
+  if (pressure.max_queue > 0 &&
+      pressure.queue_depth >= pressure.max_queue - pressure.max_queue / 8) {
+    return CompactionKind::kSkip;
+  }
+  if (2 * pressure.queue_depth >= pressure.partial_threshold ||
+      pressure.shard_queue_depth > 2) {
+    return CompactionKind::kPartial;
+  }
+  return CompactionKind::kFull;
+}
+
+std::unique_ptr<CompactionController> MakeCompactionController(
+    std::string_view policy) {
+  if (policy.empty() || policy == "default") {
+    return std::make_unique<DefaultCompactionController>();
+  }
+  if (policy == "decay") {
+    return std::make_unique<DecayBiasedCompactionController>();
+  }
+  return nullptr;
+}
+
+}  // namespace ips

@@ -1,0 +1,92 @@
+// CompactionController: the policy half of the compaction manager. The
+// manager owns the mechanism — trigger dedupe, the sharded drain pool, the
+// per-profile bookkeeping — and delegates every judgement call to a
+// controller: how aggressively to rate-limit one profile, and whether a
+// trigger under the observed drain pressure should run a full pass, degrade
+// to a partial pass, or back off entirely. Policies are stateless and
+// swappable at construction, so the ablation bench can A/B them over an
+// identical replayed trace (cf. dariadb's ICompactionController, which
+// separates the compaction decision from the engine the same way).
+#ifndef IPS_COMPACTION_CONTROLLER_H_
+#define IPS_COMPACTION_CONTROLLER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string_view>
+
+namespace ips {
+
+/// What a trigger should schedule, in increasing order of work.
+enum class CompactionKind {
+  /// Back off: do not schedule anything; later traffic re-triggers.
+  kSkip,
+  /// Cheap pass: truncate/decay-side work only (Compactor::PartialCompact).
+  kPartial,
+  /// Full pass: merge + truncate + shrink (Compactor::FullCompact).
+  kFull,
+};
+
+/// Drain-pressure snapshot a controller classifies against. All counts are
+/// instantaneous reads of the striped drain pool; in synchronous mode every
+/// field is zero (there is no queue to be behind).
+struct CompactionPressure {
+  /// Queued (not yet running) compactions across all drain shards.
+  size_t queue_depth = 0;
+  /// Queued compactions on the target profile's drain shard.
+  size_t shard_queue_depth = 0;
+  /// The pool-wide queue bound (drops beyond it).
+  size_t max_queue = 0;
+  /// Configured full-vs-partial degradation threshold.
+  size_t partial_threshold = 0;
+};
+
+class CompactionController {
+ public:
+  virtual ~CompactionController() = default;
+
+  /// Policy name, for logs/bench JSON.
+  virtual const char* name() const = 0;
+
+  /// Effective per-profile rate-limit interval given the configured one.
+  /// Policies that bias toward cheaper passes may shorten it (more frequent
+  /// but lighter work); the default passes it through.
+  virtual int64_t MinIntervalMs(int64_t configured_ms) const {
+    return configured_ms;
+  }
+
+  /// Classifies one admitted trigger under the observed drain pressure.
+  virtual CompactionKind Classify(const CompactionPressure& pressure) const = 0;
+};
+
+/// The pre-refactor manager behavior, verbatim: full passes while the drain
+/// queue is shallower than partial_threshold, partial beyond it, never a
+/// skip (the pool's queue bound is the only drop point), and the configured
+/// rate-limit interval unchanged. The equivalence test in compaction_test
+/// pins this policy against the legacy outcomes.
+class DefaultCompactionController : public CompactionController {
+ public:
+  const char* name() const override { return "default"; }
+  CompactionKind Classify(const CompactionPressure& pressure) const override;
+};
+
+/// Decay/truncate-biased alternate: compacts each profile twice as often but
+/// degrades to cheap partial (truncate/decay) passes at half the default
+/// pressure, and backs off entirely when the drain queue is near saturation
+/// (>= 7/8 of max_queue) instead of letting the pool's bound drop triggers.
+/// Trades slice-merge thoroughness for steadier tail behavior under storms.
+class DecayBiasedCompactionController : public CompactionController {
+ public:
+  const char* name() const override { return "decay"; }
+  int64_t MinIntervalMs(int64_t configured_ms) const override;
+  CompactionKind Classify(const CompactionPressure& pressure) const override;
+};
+
+/// Policy factory: "default" (or empty) and "decay". Null for unknown names
+/// so callers can surface a configuration error.
+std::unique_ptr<CompactionController> MakeCompactionController(
+    std::string_view policy);
+
+}  // namespace ips
+
+#endif  // IPS_COMPACTION_CONTROLLER_H_

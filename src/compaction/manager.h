@@ -1,7 +1,12 @@
 // Background compaction manager (Section III-D): compaction is triggered by
-// serving traffic but executed asynchronously in a dedicated thread pool with
-// capped parallelism, keeping the CPU cost off the main serving path. Under
-// load, the manager downgrades full compactions to partial ones.
+// serving traffic but executed asynchronously in a sharded drain pool with
+// capped parallelism, keeping the CPU cost off the main serving path. Jobs
+// are sharded by pid hash onto a striped work queue, so N workers drain N
+// shards concurrently (stealing across shards when theirs run dry) instead
+// of funnelling through one queue mutex. All judgement calls — full vs
+// partial degradation, per-profile rate limiting, queue-pressure backoff —
+// live behind the CompactionController policy interface; the manager is
+// pure mechanism.
 #ifndef IPS_COMPACTION_MANAGER_H_
 #define IPS_COMPACTION_MANAGER_H_
 
@@ -10,6 +15,7 @@
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <unordered_map>
 #include <unordered_set>
 
@@ -17,6 +23,7 @@
 #include "common/metrics.h"
 #include "common/thread_pool.h"
 #include "compaction/compactor.h"
+#include "compaction/controller.h"
 #include "core/types.h"
 
 namespace ips {
@@ -24,14 +31,24 @@ namespace ips {
 struct CompactionManagerOptions {
   /// Worker threads for asynchronous compactions (capped parallelism).
   size_t num_threads = 2;
-  /// Maximum queued compaction jobs; beyond this, triggers are dropped
-  /// (the profile will be re-triggered by later traffic).
+  /// Drain-queue shards of the striped pool (rounded up to a power of two
+  /// and to at least num_threads). More shards than workers smooths skew.
+  size_t queue_shards = 16;
+  /// Maximum queued compaction jobs across all shards; beyond this,
+  /// triggers are dropped (the profile will be re-triggered by later
+  /// traffic).
   size_t max_queue = 1024;
-  /// Minimum interval between two compactions of the same profile.
+  /// Minimum interval between two compactions of the same profile. The
+  /// controller may shorten it (see CompactionController::MinIntervalMs).
   int64_t min_interval_ms = 60'000;
   /// Queue depth beyond which full compactions degrade to partial ones
-  /// (the paper's load-adaptive full-vs-partial strategy).
+  /// (the paper's load-adaptive full-vs-partial strategy). Interpreted by
+  /// the controller policy.
   size_t partial_threshold = 64;
+  /// Controller policy name ("default", "decay"); see
+  /// MakeCompactionController. An explicit controller passed to the
+  /// constructor wins over this.
+  std::string policy = "default";
   /// When true, compactions run inline in the caller thread — the
   /// non-optimized strategy the paper started from; kept for the ablation
   /// bench.
@@ -40,12 +57,14 @@ struct CompactionManagerOptions {
 
 class CompactionManager {
  public:
-  /// `run_compaction(pid, full)` performs the actual work under the profile
-  /// lock of the owning table; the manager only decides *when* and *what
-  /// kind*. Metrics may be null.
+  /// `run_compaction(pid, full)` performs the actual work against the
+  /// owning table's cache; the manager only decides *when* and *what kind*.
+  /// Metrics may be null. `controller` overrides options.policy when
+  /// non-null; an unknown options.policy falls back to the default policy.
   CompactionManager(CompactionManagerOptions options, Clock* clock,
                     std::function<void(ProfileId, bool full)> run_compaction,
-                    MetricsRegistry* metrics = nullptr);
+                    MetricsRegistry* metrics = nullptr,
+                    std::unique_ptr<CompactionController> controller = nullptr);
   ~CompactionManager();
 
   CompactionManager(const CompactionManager&) = delete;
@@ -61,6 +80,8 @@ class CompactionManager {
   /// use this to decide whether MaybeTrigger may open trace spans.
   bool synchronous() const { return options_.synchronous; }
 
+  const CompactionController& controller() const { return *controller_; }
+
   /// Kill switch: while disabled, MaybeTrigger is a no-op. Operators pause
   /// compaction during heavy back-fills and run a sweep afterwards.
   void SetEnabled(bool enabled) {
@@ -70,10 +91,20 @@ class CompactionManager {
     return enabled_.load(std::memory_order_relaxed);
   }
 
-  /// Blocks until queued compactions complete (tests/benches).
+  /// Blocks until queued compactions complete (tests/benches), then settles
+  /// the steal-count metric.
   void Drain();
 
   size_t QueueDepth() const;
+
+  /// Cross-shard steals the drain pool has performed so far (0 in sync
+  /// mode). Deltas surface as the compaction.steals counter on Drain.
+  uint64_t StealCount() const;
+
+  /// Total per-profile rate-limit entries across trigger shards; the
+  /// bounded-growth regression test asserts this stays capped under a flood
+  /// of distinct pids.
+  size_t RateLimitEntriesForTest() const;
 
  private:
   /// Trigger bookkeeping is sharded by pid hash: MaybeTrigger runs on every
@@ -82,22 +113,33 @@ class CompactionManager {
   /// only the admission decision — the dispatch (queue-depth probe, pool
   /// submit, metrics) happens outside any lock.
   struct TriggerShard {
-    std::mutex mu;
+    mutable std::mutex mu;
     std::unordered_set<ProfileId> in_flight;
     std::unordered_map<ProfileId, TimestampMs> last_run_ms;
   };
   static constexpr size_t kTriggerShards = 16;
 
-  TriggerShard& ShardFor(ProfileId pid);
+  /// Per-shard cap on last_run_ms entries (admission sweeps age out stale
+  /// entries first, then evicts arbitrarily down to this bound, so a flood
+  /// of distinct fresh pids cannot grow the maps without limit).
+  size_t RateLimitShardCap() const {
+    return (4 * options_.max_queue + 1024) / kTriggerShards;
+  }
+
   void Execute(ProfileId pid, bool full);
+  void ClearInFlight(ProfileId pid, TriggerShard& shard);
+  /// Folds new pool steals into the compaction.steals counter.
+  void SyncStealMetric();
 
   CompactionManagerOptions options_;
   Clock* clock_;
   std::function<void(ProfileId, bool)> run_compaction_;
   MetricsRegistry* metrics_;
-  std::unique_ptr<ThreadPool> pool_;
+  std::unique_ptr<CompactionController> controller_;
+  std::unique_ptr<StripedThreadPool> pool_;
 
   std::atomic<bool> enabled_{true};
+  std::atomic<uint64_t> steals_reported_{0};
   std::array<TriggerShard, kTriggerShards> shards_;
 };
 

@@ -131,31 +131,45 @@ Status IpsInstance::CreateTable(const TableSchema& schema) {
         });
   }
 
-  table->compactor = std::make_unique<Compactor>(&table->schema);
   Table* raw = table.get();
   table->compaction = std::make_unique<CompactionManager>(
       options_.compaction, clock_,
       [this, raw](ProfileId pid, bool full) {
+        // Snapshot the schema under its lock, then run the whole pass
+        // against the copy: neither a hot reload nor another compaction is
+        // blocked while this pass merges (the old shape held schema_mu
+        // across the pass, serializing all compactions of a table onto one
+        // core no matter how many drain workers ran). The pass itself goes
+        // through the off-lock mutate path, so serving writes and flushes
+        // of the same profile overlap it too; a lost epoch race or an
+        // evicted/non-resident pid just abandons the pass — later traffic
+        // re-triggers.
+        TableSchema schema_copy;
+        {
+          std::lock_guard<std::mutex> schema_lock(raw->schema_mu);
+          schema_copy = raw->schema;
+        }
+        Compactor compactor(&schema_copy);
+        CompactionStats stats;
         raw->cache
-            ->WithProfileMutable(
+            ->WithProfileOffLockMutate(
                 pid,
                 [&](ProfileData& profile) {
-                  std::lock_guard<std::mutex> schema_lock(raw->schema_mu);
-                  const CompactionStats stats =
-                      full ? raw->compactor->FullCompact(profile,
-                                                         clock_->NowMs())
-                           : raw->compactor->PartialCompact(profile,
-                                                            clock_->NowMs());
-                  if (stats.AnyWork()) {
-                    metrics_->GetCounter("compaction.slices_merged")
-                        ->Increment(stats.slices_merged);
-                    metrics_->GetCounter("compaction.slices_truncated")
-                        ->Increment(stats.slices_truncated);
-                    metrics_->GetCounter("compaction.features_shrunk")
-                        ->Increment(stats.features_shrunk);
-                  }
+                  stats = full ? compactor.FullCompact(profile,
+                                                       clock_->NowMs())
+                               : compactor.PartialCompact(profile,
+                                                          clock_->NowMs());
+                  return stats.AnyWork();
                 })
             .ok();
+        if (stats.AnyWork()) {
+          metrics_->GetCounter("compaction.slices_merged")
+              ->Increment(stats.slices_merged);
+          metrics_->GetCounter("compaction.slices_truncated")
+              ->Increment(stats.slices_truncated);
+          metrics_->GetCounter("compaction.features_shrunk")
+              ->Increment(stats.features_shrunk);
+        }
       },
       metrics_);
 
@@ -607,19 +621,26 @@ void IpsInstance::SetCompactionEnabled(bool enabled) {
 Result<size_t> IpsInstance::CompactTableNow(const std::string& table) {
   Table* t = FindTable(table);
   if (t == nullptr) return Status::NotFound("table " + table);
-  const std::vector<ProfileId> ids = t->cache->CachedIds();
-  for (ProfileId pid : ids) {
-    t->cache
-        ->WithProfileMutable(pid,
-                             [&](ProfileData& profile) {
-                               std::lock_guard<std::mutex> schema_lock(
-                                   t->schema_mu);
-                               t->compactor->FullCompact(profile,
-                                                         clock_->NowMs());
-                             })
-        .ok();
+  // Same schema-snapshot + off-lock discipline as the triggered path: the
+  // sweep never holds schema_mu or an entry lock across a pass, so it can
+  // run against live traffic. Profiles evicted mid-sweep are simply skipped.
+  TableSchema schema_copy;
+  {
+    std::lock_guard<std::mutex> schema_lock(t->schema_mu);
+    schema_copy = t->schema;
   }
-  return ids.size();
+  Compactor compactor(&schema_copy);
+  const std::vector<ProfileId> ids = t->cache->CachedIds();
+  size_t compacted = 0;
+  for (ProfileId pid : ids) {
+    const Status status = t->cache->WithProfileOffLockMutate(
+        pid, [&](ProfileData& profile) {
+          compactor.FullCompact(profile, clock_->NowMs());
+          return true;
+        });
+    if (status.ok()) ++compacted;
+  }
+  return compacted;
 }
 
 Result<IpsInstance::TableStats> IpsInstance::GetTableStats(

@@ -311,7 +311,8 @@ class IpsInstance {
     /// the same reason: the cache demotes into it up to its last eviction.
     std::unique_ptr<VictimCache> victim_cache;
     std::unique_ptr<GCache> cache;
-    std::unique_ptr<Compactor> compactor;
+    /// Compaction passes construct a local Compactor over a schema snapshot
+    /// (see CreateTable) so no shared compactor instance is needed.
     std::unique_ptr<CompactionManager> compaction;
     /// Isolation write buffer (few shards: it is short-lived and small).
     std::unique_ptr<ProfileTable> write_table;

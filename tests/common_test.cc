@@ -290,5 +290,139 @@ TEST(ThreadPoolTest, WaitReturnsWhenIdle) {
   EXPECT_EQ(counter.load(), 1);
 }
 
+// -------------------------------------------------- StripedThreadPool ---
+
+TEST(StripedThreadPoolTest, RunsAllTasksAcrossShards) {
+  StripedThreadPool pool(4, /*num_shards=*/16);
+  std::atomic<int> counter{0};
+  for (uint64_t i = 0; i < 200; ++i) {
+    ASSERT_TRUE(pool.Submit(i, [&counter] { counter.fetch_add(1); }));
+  }
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 200);
+  EXPECT_EQ(pool.QueueDepth(), 0u);
+}
+
+TEST(StripedThreadPoolTest, SameShardHintKeepsFifoOrder) {
+  // One worker, all tasks on one shard: execution must follow submit order.
+  StripedThreadPool pool(1, /*num_shards=*/4);
+  std::mutex mu;
+  std::vector<int> order;
+  std::atomic<bool> release{false};
+  ASSERT_TRUE(pool.Submit(7, [&release] {
+    while (!release.load()) std::this_thread::yield();
+  }));
+  for (int i = 0; i < 32; ++i) {
+    ASSERT_TRUE(pool.Submit(7, [&mu, &order, i] {
+      std::lock_guard<std::mutex> lock(mu);
+      order.push_back(i);
+    }));
+  }
+  release.store(true);
+  pool.Wait();
+  ASSERT_EQ(order.size(), 32u);
+  EXPECT_TRUE(std::is_sorted(order.begin(), order.end()));
+}
+
+TEST(StripedThreadPoolTest, RejectsWhenTotalQueueFull) {
+  StripedThreadPool pool(1, /*num_shards=*/2, /*max_queue=*/2);
+  std::atomic<bool> release{false};
+  ASSERT_TRUE(pool.Submit(0, [&release] {
+    while (!release.load()) std::this_thread::yield();
+  }));
+  int accepted = 0;
+  for (uint64_t i = 0; i < 10; ++i) {
+    if (pool.Submit(i, [] {})) ++accepted;
+  }
+  EXPECT_LE(accepted, 2);
+  release.store(true);
+  pool.Wait();
+}
+
+TEST(StripedThreadPoolTest, WorkersStealFromForeignShards) {
+  // Two workers; every task lands on one shard, so only one worker owns it
+  // as home stripe. The first task parks its worker until a SECOND task is
+  // also running — which the other worker can only reach by stealing from
+  // the foreign shard. Forces (and counts) a steal even on one core, where
+  // a free-running home worker would otherwise drain the queue alone.
+  StripedThreadPool pool(2, /*num_shards=*/2);
+  std::atomic<int> counter{0};
+  std::atomic<int> entered{0};
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(pool.Submit(0, [&counter, &entered] {
+      entered.fetch_add(1);
+      while (entered.load() < 2) std::this_thread::yield();
+      counter.fetch_add(1);
+    }));
+  }
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 8);
+  EXPECT_GT(pool.StealCount(), 0u);
+}
+
+TEST(StripedThreadPoolTest, SingleWorkerNeverSteals) {
+  // With one worker every shard is its home stripe, so "steal" must stay 0
+  // regardless of how many shards the work spreads over — the structural
+  // property the ablation bench's serial row relies on.
+  StripedThreadPool pool(1, /*num_shards=*/8);
+  std::atomic<int> counter{0};
+  for (uint64_t i = 0; i < 100; ++i) {
+    ASSERT_TRUE(pool.Submit(i * 2654435761u,
+                            [&counter] { counter.fetch_add(1); }));
+  }
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 100);
+  EXPECT_EQ(pool.StealCount(), 0u);
+}
+
+TEST(StripedThreadPoolTest, ShardQueueDepthTracksBacklog) {
+  StripedThreadPool pool(1, /*num_shards=*/4);
+  std::atomic<bool> release{false};
+  ASSERT_TRUE(pool.Submit(0, [&release] {
+    while (!release.load()) std::this_thread::yield();
+  }));
+  // Park three more tasks behind the blocker on shard 1's queue.
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(pool.Submit(1, [] {}));
+  }
+  EXPECT_GE(pool.ShardQueueDepth(1), 3u);
+  EXPECT_GE(pool.QueueDepth(), 3u);
+  release.store(true);
+  pool.Wait();
+  EXPECT_EQ(pool.ShardQueueDepth(1), 0u);
+}
+
+TEST(StripedThreadPoolTest, WaitWithNoTasksReturnsImmediately) {
+  StripedThreadPool pool(3, /*num_shards=*/8);
+  pool.Wait();
+  SUCCEED();
+}
+
+// ------------------------------------------------------- ZipfGenerator ---
+
+using ZipfDeathTest = ::testing::Test;
+
+TEST(ZipfDeathTest, RejectsThetaAtOrAboveOne) {
+  // theta >= 1 makes alpha = 1/(1-theta) blow up; construction must abort
+  // with a diagnostic instead of silently producing garbage skew.
+  EXPECT_DEATH(ZipfGenerator(100, 1.0), "theta");
+  EXPECT_DEATH(ZipfGenerator(100, 1.5), "theta");
+}
+
+TEST(ZipfDeathTest, RejectsNonPositiveThetaAndEmptyDomain) {
+  EXPECT_DEATH(ZipfGenerator(100, 0.0), "theta");
+  EXPECT_DEATH(ZipfGenerator(100, -0.5), "theta");
+  EXPECT_DEATH(ZipfGenerator(0, 0.5), "n > 0");
+}
+
+TEST(ZipfTest, AcceptsOpenIntervalTheta) {
+  ZipfGenerator zipf(1000, 0.99);
+  Rng rng(7);
+  for (int i = 0; i < 100; ++i) {
+    const uint64_t v = zipf.Next(rng);
+    EXPECT_LT(v, 1000u);
+  }
+}
+
 }  // namespace
 }  // namespace ips

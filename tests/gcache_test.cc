@@ -1204,5 +1204,252 @@ TEST(GCacheTest, FlushThreadsRoundedToShardMultiple) {
   EXPECT_GE(cache.options().flush_threads, 5u);
 }
 
+// ------------------------------------------- WithProfileOffLockMutate ---
+
+TEST(GCacheTest, OffLockMutateCommitsAndMarksDirty) {
+  FakeStore store;
+  GCache cache(ManualOptions(), SystemClock::Instance(), store.Flusher(),
+               store.Loader());
+  ASSERT_TRUE(cache
+                  .WithProfileMutable(1,
+                                      [](ProfileData& profile) {
+                                        profile
+                                            .Add(kMinute, 1, 1, 7,
+                                                 CountVector{1})
+                                            .ok();
+                                      })
+                  .ok());
+  cache.FlushAll();
+  ASSERT_EQ(cache.DirtyCount(), 0u);
+  ASSERT_TRUE(cache
+                  .WithProfileOffLockMutate(1,
+                                            [](ProfileData& profile) {
+                                              profile
+                                                  .Add(2 * kMinute, 1, 1, 8,
+                                                       CountVector{3})
+                                                  .ok();
+                                              return true;
+                                            })
+                  .ok());
+  // The committed pass re-dirtied the entry and the change is visible.
+  EXPECT_EQ(cache.DirtyCount(), 1u);
+  int64_t count = 0;
+  ASSERT_TRUE(cache
+                  .WithProfile(1,
+                               [&](const ProfileData& profile) {
+                                 count = profile.TotalFeatures();
+                               })
+                  .ok());
+  EXPECT_EQ(count, 2);
+}
+
+TEST(GCacheTest, OffLockMutateNeverFaultsInNonResidentProfiles) {
+  FakeStore store;
+  {
+    GCache cache(ManualOptions(), SystemClock::Instance(), store.Flusher(),
+                 store.Loader());
+    cache
+        .WithProfileMutable(5,
+                            [](ProfileData& profile) {
+                              profile.Add(kMinute, 1, 1, 1, CountVector{1})
+                                  .ok();
+                            })
+        .ok();
+    cache.FlushAll();
+  }
+  ASSERT_TRUE(store.Has(5));
+  GCache cache(ManualOptions(), SystemClock::Instance(), store.Flusher(),
+               store.Loader());
+  const int loads_before = store.load_count();
+  // Persisted but not resident: maintenance must not page it in — the
+  // slices get compacted when real traffic loads the profile.
+  Status status = cache.WithProfileOffLockMutate(
+      5, [](ProfileData&) { return true; });
+  EXPECT_TRUE(status.IsNotFound());
+  EXPECT_EQ(store.load_count(), loads_before);
+  EXPECT_EQ(cache.EntryCount(), 0u);
+}
+
+TEST(GCacheTest, OffLockMutateRetriesWhenWriteLandsMidPass) {
+  FakeStore store;
+  MetricsRegistry metrics;
+  GCache cache(ManualOptions(), SystemClock::Instance(), store.Flusher(),
+               store.Loader(), &metrics);
+  ASSERT_TRUE(cache
+                  .WithProfileMutable(1,
+                                      [](ProfileData& profile) {
+                                        profile
+                                            .Add(kMinute, 1, 1, 1,
+                                                 CountVector{1})
+                                            .ok();
+                                      })
+                  .ok());
+  int passes = 0;
+  ASSERT_TRUE(cache
+                  .WithProfileOffLockMutate(
+                      1,
+                      [&](ProfileData& profile) {
+                        ++passes;
+                        if (passes == 1) {
+                          // A serving write lands while the pass holds no
+                          // lock: the stale snapshot must not win.
+                          cache
+                              .WithProfileMutable(
+                                  1,
+                                  [](ProfileData& p) {
+                                    p.Add(3 * kMinute, 1, 1, 9, CountVector{2})
+                                        .ok();
+                                  })
+                              .ok();
+                        }
+                        profile.Add(2 * kMinute, 1, 1, 5, CountVector{1}).ok();
+                        return true;
+                      })
+                  .ok());
+  EXPECT_EQ(passes, 2);
+  EXPECT_EQ(metrics.GetCounter("compaction.overlap_stalls")->Value(), 1);
+  // Both the racing write and the retried pass survive.
+  size_t features = 0;
+  ASSERT_TRUE(cache
+                  .WithProfile(1,
+                               [&](const ProfileData& profile) {
+                                 features = profile.TotalFeatures();
+                               })
+                  .ok());
+  EXPECT_EQ(features, 3u);  // fids 1, 9, 5
+}
+
+TEST(GCacheTest, OffLockMutateAbortsAfterMaxRetries) {
+  FakeStore store;
+  MetricsRegistry metrics;
+  GCache cache(ManualOptions(), SystemClock::Instance(), store.Flusher(),
+               store.Loader(), &metrics);
+  ASSERT_TRUE(cache.WithProfileMutable(1, [](ProfileData&) {}).ok());
+  int passes = 0;
+  Status status = cache.WithProfileOffLockMutate(
+      1,
+      [&](ProfileData& profile) {
+        ++passes;
+        // Every pass races a fresh write: the epoch check must lose each
+        // time and give up as Aborted instead of spinning forever.
+        cache
+            .WithProfileMutable(1,
+                                [&](ProfileData& p) {
+                                  p.Add(passes * kMinute, 1, 1,
+                                        static_cast<FeatureId>(passes),
+                                        CountVector{1})
+                                      .ok();
+                                })
+            .ok();
+        profile.Add(100 * kMinute, 1, 1, 99, CountVector{1}).ok();
+        return true;
+      },
+      /*max_retries=*/1);
+  EXPECT_TRUE(status.IsAborted());
+  EXPECT_EQ(passes, 2);  // initial try + one retry
+  EXPECT_EQ(metrics.GetCounter("compaction.overlap_stalls")->Value(), 2);
+  // The stale snapshots never committed: only the racing writes are there.
+  size_t features = 0;
+  ASSERT_TRUE(cache
+                  .WithProfile(1,
+                               [&](const ProfileData& profile) {
+                                 features = profile.TotalFeatures();
+                               })
+                  .ok());
+  EXPECT_EQ(features, 2u);  // fids 1 and 2 from the two racing writes
+}
+
+TEST(GCacheTest, OffLockMutateAbandonedPassLeavesEntryClean) {
+  FakeStore store;
+  GCache cache(ManualOptions(), SystemClock::Instance(), store.Flusher(),
+               store.Loader());
+  ASSERT_TRUE(cache
+                  .WithProfileMutable(1,
+                                      [](ProfileData& profile) {
+                                        profile
+                                            .Add(kMinute, 1, 1, 1,
+                                                 CountVector{1})
+                                            .ok();
+                                      })
+                  .ok());
+  cache.FlushAll();
+  ASSERT_EQ(cache.DirtyCount(), 0u);
+  // work returns false ("nothing to do"): no commit, no dirty mark — even
+  // though the pass scribbled on its private snapshot.
+  ASSERT_TRUE(cache
+                  .WithProfileOffLockMutate(
+                      1,
+                      [](ProfileData& profile) {
+                        profile.Add(9 * kMinute, 1, 1, 42, CountVector{7})
+                            .ok();
+                        return false;
+                      })
+                  .ok());
+  EXPECT_EQ(cache.DirtyCount(), 0u);
+  size_t features = 0;
+  ASSERT_TRUE(cache
+                  .WithProfile(1,
+                               [&](const ProfileData& profile) {
+                                 features = profile.TotalFeatures();
+                               })
+                  .ok());
+  EXPECT_EQ(features, 1u);
+}
+
+TEST(GCacheTest, LongOffLockMutateDoesNotBlockFlush) {
+  // The point of the collect/work/commit split: a long compaction pass over
+  // a profile holds no lock while it works, so a dirty-shard flush of that
+  // same profile proceeds to the store instead of queueing behind it.
+  FakeStore store;
+  GCache cache(ManualOptions(), SystemClock::Instance(), store.Flusher(),
+               store.Loader());
+  ASSERT_TRUE(cache
+                  .WithProfileMutable(1,
+                                      [](ProfileData& profile) {
+                                        profile
+                                            .Add(kMinute, 1, 1, 1,
+                                                 CountVector{1})
+                                            .ok();
+                                      })
+                  .ok());
+  ASSERT_EQ(cache.DirtyCount(), 1u);
+  std::atomic<bool> in_pass{false};
+  std::atomic<bool> release{false};
+  std::thread compactor_thread([&] {
+    cache
+        .WithProfileOffLockMutate(1,
+                                  [&](ProfileData& profile) {
+                                    in_pass.store(true);
+                                    while (!release.load()) {
+                                      std::this_thread::yield();
+                                    }
+                                    profile
+                                        .Add(2 * kMinute, 1, 1, 2,
+                                             CountVector{1})
+                                        .ok();
+                                    return true;
+                                  })
+        .ok();
+  });
+  while (!in_pass.load()) std::this_thread::yield();
+  // Compaction is mid-pass and parked; the flush must still drain.
+  EXPECT_EQ(cache.FlushOnce(), 1u);
+  EXPECT_TRUE(store.Has(1));
+  EXPECT_EQ(cache.DirtyCount(), 0u);
+  release.store(true);
+  compactor_thread.join();
+  // The pass committed afterwards (flush does not bump the mutation epoch)
+  // and re-dirtied the entry with the merged result.
+  EXPECT_EQ(cache.DirtyCount(), 1u);
+  size_t features = 0;
+  ASSERT_TRUE(cache
+                  .WithProfile(1,
+                               [&](const ProfileData& profile) {
+                                 features = profile.TotalFeatures();
+                               })
+                  .ok());
+  EXPECT_EQ(features, 2u);
+}
+
 }  // namespace
 }  // namespace ips
