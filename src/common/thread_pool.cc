@@ -109,33 +109,21 @@ bool StripedThreadPool::Submit(uint64_t shard_hint,
   if (queued_.load(std::memory_order_relaxed) >= max_queue_) return false;
   Shard& shard = *shards_[shard_hint & (shards_.size() - 1)];
   {
-    std::lock_guard<std::mutex> lock(shard.mu);
-    shard.queue.push_back(std::move(task));
-  }
-  pending_.fetch_add(1, std::memory_order_relaxed);
-  queued_.fetch_add(1, std::memory_order_release);
-  {
-    // Empty critical section: pairs with the predicate check under wake_mu_
-    // in WorkerLoop so a worker deciding to sleep cannot miss this task.
+    // wake_mu_ does double duty: checking shutdown_ under it BEFORE the push
+    // means a task is either enqueued strictly before the destructor flips
+    // shutdown_ (the drain loop then runs it) or rejected outright — there is
+    // no acknowledged-then-discarded window, and no rollback that could pop
+    // a different submitter's task. Holding it across the push also pairs
+    // with the predicate check in WorkerLoop so a worker deciding to sleep
+    // cannot miss this task.
     std::lock_guard<std::mutex> lock(wake_mu_);
-    if (shutdown_) {
-      // Lost the race with shutdown: pull the task back out so the
-      // destructor's join does not wait on work nobody will run. The task
-      // may already have been taken by a draining worker; that is fine.
-      bool removed = false;
-      {
-        std::lock_guard<std::mutex> shard_lock(shard.mu);
-        if (!shard.queue.empty()) {
-          shard.queue.pop_back();
-          removed = true;
-        }
-      }
-      if (removed) {
-        queued_.fetch_sub(1, std::memory_order_relaxed);
-        pending_.fetch_sub(1, std::memory_order_relaxed);
-      }
-      return false;
+    if (shutdown_) return false;
+    {
+      std::lock_guard<std::mutex> shard_lock(shard.mu);
+      shard.queue.push_back(std::move(task));
     }
+    pending_.fetch_add(1, std::memory_order_relaxed);
+    queued_.fetch_add(1, std::memory_order_release);
   }
   work_cv_.notify_one();
   return true;
@@ -151,14 +139,17 @@ bool StripedThreadPool::PopTask(size_t worker,
                                 std::function<void()>* out_task) {
   const size_t num_shards = shards_.size();
   const size_t num_workers = num_workers_;
-  // Home stripe first (FIFO within each shard), then steal, scanning foreign
-  // shards starting just past the home stripe so concurrent stealers spread
-  // out instead of piling onto shard 0.
+  // Home stripe first (FIFO within each shard), then steal. Both passes scan
+  // with stride 1 so every worker can reach every shard: a stride-num_workers
+  // scan only visits shards congruent to the start mod gcd(num_workers,
+  // num_shards), which strands tasks on the unreachable shards until an
+  // unrelated Submit happens to wake a capable worker. The steal pass starts
+  // just past the home shard so concurrent stealers spread out instead of
+  // piling onto shard 0.
   for (size_t pass = 0; pass < 2; ++pass) {
     const bool stealing = pass == 1;
     for (size_t i = 0; i < num_shards; ++i) {
-      const size_t s = (worker + i * num_workers + (stealing ? 1 : 0)) %
-                       num_shards;
+      const size_t s = (worker + i + (stealing ? 1 : 0)) % num_shards;
       const bool home = s % num_workers == worker % num_workers;
       if (home == stealing) continue;
       Shard& shard = *shards_[s];

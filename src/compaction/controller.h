@@ -27,9 +27,10 @@ enum class CompactionKind {
   kFull,
 };
 
-/// Drain-pressure snapshot a controller classifies against. All counts are
-/// instantaneous reads of the striped drain pool; in synchronous mode every
-/// field is zero (there is no queue to be behind).
+/// Drain-pressure snapshot a controller classifies against. The queue-depth
+/// counts are instantaneous reads of the striped drain pool and are zero in
+/// synchronous mode (there is no queue to be behind); max_queue and
+/// partial_threshold always reflect the configured values.
 struct CompactionPressure {
   /// Queued (not yet running) compactions across all drain shards.
   size_t queue_depth = 0;

@@ -151,18 +151,16 @@ Status IpsInstance::CreateTable(const TableSchema& schema) {
         }
         Compactor compactor(&schema_copy);
         CompactionStats stats;
-        raw->cache
-            ->WithProfileOffLockMutate(
-                pid,
-                [&](ProfileData& profile) {
-                  stats = full ? compactor.FullCompact(profile,
-                                                       clock_->NowMs())
-                               : compactor.PartialCompact(profile,
-                                                          clock_->NowMs());
-                  return stats.AnyWork();
-                })
-            .ok();
-        if (stats.AnyWork()) {
+        const Status pass_status = raw->cache->WithProfileOffLockMutate(
+            pid, [&](ProfileData& profile) {
+              stats = full ? compactor.FullCompact(profile, clock_->NowMs())
+                           : compactor.PartialCompact(profile, clock_->NowMs());
+              return stats.AnyWork();
+            });
+        // Only count committed work: on an abandoned pass (epoch-race retries
+        // exhausted, pid evicted mid-pass) `stats` holds the discarded
+        // attempt's numbers.
+        if (pass_status.ok() && stats.AnyWork()) {
           metrics_->GetCounter("compaction.slices_merged")
               ->Increment(stats.slices_merged);
           metrics_->GetCounter("compaction.slices_truncated")

@@ -303,6 +303,22 @@ TEST(StripedThreadPoolTest, RunsAllTasksAcrossShards) {
   EXPECT_EQ(pool.QueueDepth(), 0u);
 }
 
+TEST(StripedThreadPoolTest, LoneTaskOnAnyShardDrainsOnItsOwnWake) {
+  // Regression: the steal scan used stride num_workers, so with 4 workers
+  // and 16 shards each worker could reach only 8 of the 16 shards. A lone
+  // task on a shard outside the woken worker's reachable set made that
+  // worker busy-spin (queued_ > 0, PopTask always failing) while the task
+  // starved and Wait() hung. One task per shard with a Wait() between
+  // submissions forces every shard to drain off a single wake-up.
+  StripedThreadPool pool(4, /*num_shards=*/16);
+  std::atomic<int> counter{0};
+  for (uint64_t shard = 0; shard < 16; ++shard) {
+    ASSERT_TRUE(pool.Submit(shard, [&counter] { counter.fetch_add(1); }));
+    pool.Wait();
+  }
+  EXPECT_EQ(counter.load(), 16);
+}
+
 TEST(StripedThreadPoolTest, SameShardHintKeepsFifoOrder) {
   // One worker, all tasks on one shard: execution must follow submit order.
   StripedThreadPool pool(1, /*num_shards=*/4);
